@@ -1,0 +1,68 @@
+"""Ablation: which ScaleFS technique buys which Figure 6 cells.
+
+DESIGN.md's design-choice index promises this: rerun the name-oriented
+slice of the matrix with individual §6.3 techniques disabled —
+
+* ``coarse-dir``: one hash bucket, i.e. a single-lock directory (drops
+  "layer scalability" for names);
+* ``shared-nlink``: st_nlink on one shared line instead of Refcache
+  (drops "defer work" for link counts).
+
+The full kernel must dominate both ablations, and each ablation must lose
+exactly the cells its technique was responsible for.
+"""
+
+from repro.bench.heatmap import run_heatmap
+from repro.kernels.scalefs import ScaleFsKernel
+from repro.model.base import NFD, NVA
+from repro.model.posix import op_by_name
+
+SLICE = ["open", "link", "unlink", "stat", "fstat"]
+
+
+def _factory(**kw):
+    def make(mem):
+        return ScaleFsKernel(mem, nfds=NFD, ncores=4, nva=NVA, **kw)
+    return make
+
+
+KERNELS = {
+    "scalefs": _factory(),
+    "coarse-dir": _factory(nbuckets=1),
+    "shared-nlink": _factory(shared_nlink=True),
+}
+
+
+def test_ablation_matrix(benchmark):
+    ops = [op_by_name(n) for n in SLICE]
+    result = benchmark.pedantic(
+        lambda: run_heatmap(ops=ops, kernels=KERNELS),
+        iterations=1, rounds=1,
+    )
+    print()
+    print(result.summary())
+    full = result.conflict_free_total("scalefs")
+    coarse = result.conflict_free_total("coarse-dir")
+    shared = result.conflict_free_total("shared-nlink")
+    benchmark.extra_info.update(
+        total=result.total_tests, scalefs=full,
+        coarse_dir=coarse, shared_nlink=shared,
+    )
+    assert full > coarse, "per-bucket locking must matter for name ops"
+    assert full > shared, "Refcache must matter for link counts"
+
+    # The coarse directory must specifically lose name-pair cells...
+    def fails(kernel, op0, op1):
+        for cell in result.cells:
+            if {cell.op0, cell.op1} == {op0, op1}:
+                return cell.not_conflict_free[kernel]
+        raise AssertionError(f"missing cell {op0}/{op1}")
+
+    assert fails("coarse-dir", "link", "unlink") > fails(
+        "scalefs", "link", "unlink"
+    )
+    # ...and the shared counter must lose link/unlink pairs (both orders
+    # write the one nlink line).
+    assert fails("shared-nlink", "link", "link") > fails(
+        "scalefs", "link", "link"
+    )

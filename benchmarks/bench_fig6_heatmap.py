@@ -1,0 +1,48 @@
+"""Figure 6: conflict-freedom matrix for commutative syscall pairs.
+
+The full 18×18 matrix takes ~4 minutes (the paper reports 8 for its
+pipeline); the benchmark times a representative 6-operation slice and
+prints its matrix plus, when present, the stored full-matrix results from
+``results/fig6_heatmap.json`` (regenerate those with
+``python examples/posix_commuter.py --full``).
+"""
+
+import json
+import os
+
+from repro.bench.heatmap import run_heatmap
+from repro.bench.report import render_heatmap, render_residues
+from repro.model.posix import op_by_name
+
+SLICE = ["open", "link", "unlink", "rename", "stat", "fstat"]
+RESULTS = os.path.join(os.path.dirname(__file__), "..", "results",
+                       "fig6_heatmap.json")
+
+
+def test_fig6_heatmap_slice(benchmark):
+    ops = [op_by_name(n) for n in SLICE]
+    result = benchmark.pedantic(
+        lambda: run_heatmap(ops=ops), iterations=1, rounds=1
+    )
+    print()
+    for kernel in result.kernels:
+        print(render_heatmap(result, kernel))
+        print(render_residues(result, kernel))
+        print()
+    benchmark.extra_info["total_tests"] = result.total_tests
+    for kernel in result.kernels:
+        benchmark.extra_info[f"{kernel}_conflict_free"] = (
+            result.conflict_free_total(kernel)
+        )
+    assert result.conflict_free_total("scalefs") \
+        >= result.conflict_free_total("mono")
+    if os.path.exists(RESULTS):
+        with open(RESULTS) as f:
+            full = json.load(f)
+        print(
+            f"full matrix (results/): {full['total']} tests; "
+            + "; ".join(
+                f"{k}: {v} conflict-free"
+                for k, v in full["conflict_free"].items()
+            )
+        )

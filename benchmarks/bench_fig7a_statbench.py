@@ -1,0 +1,38 @@
+"""Figure 7(a): statbench — fstat vs fstatx under concurrent link/unlink.
+
+Regenerates the three curves (fstatx, shared st_nlink, Refcache st_nlink)
+and checks their Figure 7(a) shape: fstatx flat, the others collapsing,
+Refcache cheapest for link/unlink but costliest for fstat.
+"""
+
+from repro.bench.report import render_series
+from repro.bench.statbench import run_statbench, run_statbench_linux_baseline
+
+CORES = (1, 10, 20, 40, 80)
+DURATION = 60_000.0
+
+
+def _run_all():
+    return [
+        run_statbench(mode, cores=CORES, duration=DURATION)
+        for mode in ("fstatx", "fstat-shared", "fstat-refcache")
+    ]
+
+
+def test_fig7a_statbench(benchmark):
+    series = benchmark.pedantic(_run_all, iterations=1, rounds=1)
+    baseline = run_statbench_linux_baseline(duration=DURATION)
+    print()
+    print(render_series("Figure 7(a): statbench", series,
+                        unit="fstats/Mcycle/core"))
+    print(f"  Linux-like single-core fstat: {baseline:.0f}")
+    fstatx, shared, refcache = series
+    benchmark.extra_info["fstatx_scaling"] = fstatx.scaling_factor()
+    benchmark.extra_info["shared_scaling"] = shared.scaling_factor()
+    benchmark.extra_info["refcache_scaling"] = refcache.scaling_factor()
+    # Paper shapes: fstatx scales perfectly; the others do not; with
+    # Refcache, fstat pays the reconciliation cost (3.9x there).
+    assert fstatx.per_core[-1] >= 0.9 * fstatx.per_core[0]
+    assert shared.per_core[-1] < 0.5 * shared.per_core[0]
+    assert refcache.per_core[-1] < shared.per_core[-1]
+    assert refcache.per_core[0] < fstatx.per_core[0]

@@ -1,0 +1,32 @@
+"""Figure 7(b): openbench — lowest-fd vs O_ANYFD descriptor allocation."""
+
+from repro.bench.openbench import run_openbench, run_openbench_linux_baseline
+from repro.bench.report import render_series
+
+CORES = (1, 10, 20, 40, 80)
+DURATION = 60_000.0
+
+
+def _run_all():
+    return [
+        run_openbench(mode, cores=CORES, duration=DURATION)
+        for mode in ("anyfd", "lowest")
+    ]
+
+
+def test_fig7b_openbench(benchmark):
+    series = benchmark.pedantic(_run_all, iterations=1, rounds=1)
+    baseline = run_openbench_linux_baseline(duration=DURATION)
+    print()
+    print(render_series("Figure 7(b): openbench", series,
+                        unit="opens/Mcycle/core"))
+    print(f"  Linux-like single-core open: {baseline:.0f}")
+    anyfd, lowest = series
+    benchmark.extra_info["anyfd_scaling"] = anyfd.scaling_factor()
+    benchmark.extra_info["lowest_scaling"] = lowest.scaling_factor()
+    # Paper shapes: O_ANYFD scales linearly; lowest-fd collapses; sv6's
+    # single-core open is at least competitive with Linux's (27% faster
+    # in the paper).
+    assert anyfd.per_core[-1] >= 0.9 * anyfd.per_core[0]
+    assert lowest.per_core[-1] < 0.25 * lowest.per_core[0]
+    assert anyfd.per_core[0] >= 0.9 * baseline

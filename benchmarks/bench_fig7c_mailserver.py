@@ -1,0 +1,34 @@
+"""Figure 7(c): the qmail-like mail server, regular vs commutative APIs."""
+
+from repro.bench.mailserver import run_mailserver
+from repro.bench.report import render_series
+
+CORES = (1, 10, 20, 40, 80)
+DURATION = 250_000.0
+
+
+def _run_all():
+    return [
+        run_mailserver(mode, cores=CORES, duration=DURATION)
+        for mode in ("commutative", "regular")
+    ]
+
+
+def test_fig7c_mailserver(benchmark):
+    series = benchmark.pedantic(_run_all, iterations=1, rounds=1)
+    print()
+    print(render_series("Figure 7(c): mail server", series,
+                        unit="emails/Mcycle/core"))
+    commutative, regular = series
+    benchmark.extra_info["commutative_scaling"] = commutative.scaling_factor()
+    benchmark.extra_info["regular_scaling"] = regular.scaling_factor()
+    # Paper shapes: the regular configuration collapses at a small number
+    # of cores; the commutative one scales (7.5x from 10 to 80 cores on one
+    # socket granularity there).
+    assert regular.per_core[-1] < 0.25 * regular.per_core[0]
+    assert commutative.per_core[-1] >= 0.5 * commutative.per_core[0]
+    ten = commutative.cores.index(10)
+    total_10 = commutative.per_core[ten] * 10
+    total_80 = commutative.per_core[-1] * 80
+    benchmark.extra_info["commutative_10_to_80"] = total_80 / total_10
+    assert total_80 / total_10 >= 4.0

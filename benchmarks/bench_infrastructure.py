@@ -1,0 +1,100 @@
+"""Infrastructure microbenchmarks: solver, executor, kernels, machine.
+
+Not a paper figure — these guard the reproduction's own performance (the
+whole Figure 6 pipeline leans on solver check throughput and kernel
+syscall dispatch).
+"""
+
+from repro.kernels import MonoKernel, ScaleFsKernel
+from repro.mtrace.machine import Machine, MachineConfig
+from repro.mtrace.memory import Memory
+from repro.symbolic import terms as T
+from repro.symbolic.engine import Executor
+from repro.symbolic.solver import Solver
+from repro.symbolic.symtypes import SymMap, VarFactory
+
+FNAME = T.uninterpreted_sort("BFilename")
+
+
+def test_solver_check_throughput(benchmark):
+    a = T.var("ba", FNAME)
+    b = T.var("bb", FNAME)
+    c = T.var("bc", FNAME)
+    x = T.var("bx", T.INT)
+    constraints = [
+        T.ne(a, b), T.eq(b, c),
+        T.le(T.const(0), x), T.le(x, T.const(3)),
+        T.or_(T.eq(a, c), T.lt(x, T.const(2))),
+    ]
+
+    def check():
+        return Solver().check(constraints)
+
+    assert benchmark(check)
+
+
+def test_executor_path_exploration(benchmark):
+    def explore():
+        factory = VarFactory("bench")
+
+        def body(ex):
+            factory.reset()
+            m = SymMap.any(factory, "m", FNAME,
+                           lambda n: factory.fresh_int(n))
+            k1 = factory.fresh_ref("k1", FNAME)
+            k2 = factory.fresh_ref("k2", FNAME)
+            hits = 0
+            if m.contains(k1):
+                hits += 1
+            if m.contains(k2):
+                hits += 1
+            return hits
+
+        return len(Executor(Solver()).explore(body))
+
+    paths = benchmark(explore)
+    assert paths >= 4
+
+
+def test_scalefs_syscall_rate(benchmark):
+    mem = Memory()
+    kernel = ScaleFsKernel(mem, nfds=16, ncores=4)
+    pid = kernel.create_process()
+    fd = kernel.open(pid, "bench", ocreat=True)
+    kernel.write(pid, fd, "x")
+
+    def syscalls():
+        kernel.pread(pid, fd, 0)
+        kernel.fstatx(pid, fd, want_nlink=False)
+
+    benchmark(syscalls)
+
+
+def test_mono_syscall_rate(benchmark):
+    mem = Memory()
+    kernel = MonoKernel(mem, nfds=16, ncores=4)
+    pid = kernel.create_process()
+    fd = kernel.open(pid, "bench", ocreat=True)
+    kernel.write(pid, fd, "x")
+
+    def syscalls():
+        kernel.pread(pid, fd, 0)
+        kernel.fstat(pid, fd)
+
+    benchmark(syscalls)
+
+
+def test_machine_simulation_rate(benchmark):
+    mem = Memory(ncores=8)
+    machine = Machine(mem, MachineConfig(ncores=8))
+    machine.attach()
+    cells = {c: mem.line(f"w{c}").cell("v", 0) for c in range(8)}
+
+    def run():
+        return machine.run(
+            {c: (lambda c=c: cells[c].write(1)) for c in range(8)},
+            duration=5_000,
+        )
+
+    completed = benchmark(run)
+    assert sum(completed.values()) > 0

@@ -1,0 +1,37 @@
+"""§6.1: test-case generation throughput.
+
+The paper generates 13,664 test cases from its model in part of an 8-minute
+budget.  This benchmark times ANALYZER+TESTGEN for representative pairs;
+the full-matrix rate is recorded in EXPERIMENTS.md.
+"""
+
+from repro.analyzer import analyze_pair
+from repro.model.posix import PosixState, posix_state_equal, op_by_name
+from repro.testgen import generate_for_pair
+
+
+def _pipeline(n0, n1, tests_per_path=1):
+    pair = analyze_pair(
+        PosixState, posix_state_equal, op_by_name(n0), op_by_name(n1)
+    )
+    return generate_for_pair(pair, tests_per_path=tests_per_path)
+
+
+def test_generate_rename_rename(benchmark):
+    cases = benchmark(_pipeline, "rename", "rename")
+    assert len(cases) >= 20
+
+
+def test_generate_read_write(benchmark):
+    cases = benchmark.pedantic(
+        lambda: _pipeline("read", "write"), iterations=1, rounds=3
+    )
+    assert len(cases) >= 100
+
+
+def test_generate_with_isomorphism_patterns(benchmark):
+    cases = benchmark.pedantic(
+        lambda: _pipeline("link", "unlink", tests_per_path=4),
+        iterations=1, rounds=3,
+    )
+    assert len(cases) >= 10

@@ -1,0 +1,6 @@
+"""Shared configuration for the benchmark harness.
+
+Every figure/table benchmark prints the rows it regenerates (run with
+``pytest benchmarks/ --benchmark-only -s`` to see them) and records them in
+``benchmark.extra_info`` so saved benchmark JSON carries the series.
+"""

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""§4's interface redesign case studies, measured.
+
+Three POSIX interfaces limit commutativity; their §4 replacements commute
+more broadly, and the scalable kernel is conflict-free for the replacements:
+
+* fstat returns st_nlink  →  fstatx with field selection
+* open returns the lowest fd  →  O_ANYFD
+* fork snapshots everything  →  posix_spawn
+
+Run:  python examples/interface_redesign.py
+"""
+
+from repro.analyzer import analyze_pair
+from repro.model.posix import PosixState, posix_state_equal, op_by_name
+from repro.mtrace.memory import Memory, find_conflicts
+from repro.kernels import ScaleFsKernel
+
+
+def commute_fraction(op0_name, op1_name):
+    result = analyze_pair(
+        PosixState, posix_state_equal,
+        op_by_name(op0_name), op_by_name(op1_name),
+    )
+    return len(result.commutative_paths), len(result.paths)
+
+
+def main():
+    print("Commutativity of the standard vs redesigned interfaces")
+    print("(commutative paths / total paths; more is better)\n")
+    for std, ext, partner in (
+        ("fstat", "fstatx", "link"),
+        ("open", "openany", "open"),
+    ):
+        c0, t0 = commute_fraction(std, partner)
+        c1, t1 = commute_fraction(ext, partner)
+        print(f"  {std:7s} vs {partner:5s}: {c0:4d}/{t0:4d}    "
+              f"{ext:8s} vs {partner:5s}: {c1:4d}/{t1:4d}")
+
+    # fork vs posix_spawn, measured directly as shared-memory conflicts
+    # between a spawn and an open in the same process.
+    print("\nfork vs posix_spawn: conflicts with a concurrent open "
+          "in the same process")
+    for mode in ("fork", "posix_spawn"):
+        mem = Memory()
+        kernel = ScaleFsKernel(mem, ncores=4)
+        pid = kernel.create_process()
+        kernel.open(pid, "seed", ocreat=True)
+        mem.start_recording()
+        mem.set_core(1)
+        if mode == "fork":
+            kernel.fork(pid)
+        else:
+            kernel.posix_spawn(pid, inherit_fds=())
+        mem.set_core(2)
+        kernel.open(pid, "other", ocreat=True)
+        conflicts = find_conflicts(mem.stop_recording())
+        status = "conflict-free" if not conflicts else (
+            "conflicts on " + ", ".join(c.line.label for c in conflicts)
+        )
+        print(f"  {mode:12s}: {status}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""The Figure 6 pipeline: ANALYZER → TESTGEN → MTRACE on both kernels.
+
+By default this runs a representative subset of the 18-call model so it
+finishes in under a minute; pass ``--full`` for the complete matrix
+(≈4–5 minutes, the paper reports 8 minutes for its version).
+
+Run:  python examples/posix_commuter.py [--full]
+"""
+
+import sys
+
+from repro.bench.heatmap import run_heatmap
+from repro.bench.report import render_heatmap, render_residues
+from repro.model.posix import POSIX_OPS, op_by_name
+
+SUBSET = ["open", "link", "unlink", "rename", "stat", "fstat", "read",
+          "write", "close"]
+
+
+def main():
+    full = "--full" in sys.argv
+    ops = POSIX_OPS if full else [op_by_name(n) for n in SUBSET]
+    print(f"Analyzing {len(ops)} operations "
+          f"({len(ops) * (len(ops) + 1) // 2} pairs)...\n")
+    result = run_heatmap(ops=ops, on_progress=lambda s: print("  " + s))
+    print()
+    print(result.summary())
+    print()
+    for kernel in result.kernels:
+        print(render_heatmap(result, kernel))
+        print()
+        print(render_residues(result, kernel))
+        print()
+
+
+if __name__ == "__main__":
+    main()

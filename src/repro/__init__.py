@@ -1,0 +1,32 @@
+"""Reproduction of "The Scalable Commutativity Rule" (SOSP 2013).
+
+The public API mirrors the paper's pipeline (Figure 3):
+
+1. Model an interface with :mod:`repro.symbolic` types (or use the
+   bundled 18-call POSIX model, :mod:`repro.model.posix`).
+2. :func:`repro.analyzer.analyze_pair` computes commutativity conditions.
+3. :func:`repro.testgen.generate_for_pair` turns them into concrete tests.
+4. :func:`repro.mtrace.run_testcase` checks an implementation for
+   conflict-freedom and reports the offending cache lines.
+
+The §3 formalism lives in :mod:`repro.formal`; the evaluation harness
+(Figure 6 and Figure 7) in :mod:`repro.bench`; the two kernels under test
+in :mod:`repro.kernels`.
+"""
+
+from repro.analyzer import analyze_interface, analyze_pair
+from repro.mtrace import Memory, find_conflicts, run_testcase
+from repro.testgen import generate_for_pair, generate_suite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analyze_interface",
+    "analyze_pair",
+    "Memory",
+    "find_conflicts",
+    "run_testcase",
+    "generate_for_pair",
+    "generate_suite",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""ANALYZER: symbolic commutativity analysis of interface models (§5.1)."""
+
+from repro.analyzer.analyzer import (
+    PairResult,
+    PathVerdict,
+    analyze_interface,
+    analyze_pair,
+    analyze_set,
+)
+from repro.analyzer.conditions import CommutativityCondition, summarize_conditions
+
+__all__ = [
+    "PairResult",
+    "PathVerdict",
+    "analyze_pair",
+    "analyze_interface",
+    "analyze_set",
+    "CommutativityCondition",
+    "summarize_conditions",
+]

@@ -1,0 +1,78 @@
+"""Human-readable commutativity conditions.
+
+ANALYZER's raw output is a set of path conditions.  Developers inspect
+these to understand an interface's commutativity (§5.1 walks through the
+six rename/rename classes); this module simplifies path conditions into a
+readable conjunctive form and groups equivalent ones.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.symbolic import terms as T
+from repro.symbolic.terms import Term
+
+
+class CommutativityCondition:
+    """One simplified conjunction under which a pair commutes."""
+
+    def __init__(self, literals: tuple[Term, ...]):
+        self.literals = literals
+
+    def __repr__(self) -> str:
+        if not self.literals:
+            return "<always>"
+        return " AND ".join(str(lit) for lit in self.literals)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, CommutativityCondition)
+            and set(self.literals) == set(other.literals)
+        )
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.literals))
+
+
+def condition_from_path(
+    path_condition: Iterable[Term],
+    interesting: Iterable[str] = (),
+) -> CommutativityCondition:
+    """Project a path condition onto literals mentioning interesting
+    variables (by name prefix); bookkeeping literals (bounds, presence
+    variables) are dropped for readability."""
+    prefixes = tuple(interesting)
+    keep = []
+    for lit in path_condition:
+        names = {str(v.payload) for v in T.term_variables(lit)}
+        if not prefixes or any(
+            name.startswith(prefixes) for name in names
+        ):
+            if not _is_bound_literal(lit):
+                keep.append(lit)
+    return CommutativityCondition(tuple(keep))
+
+
+def summarize_conditions(
+    paths: Iterable,
+    interesting: Iterable[str] = ("a0", "a1"),
+) -> list[CommutativityCondition]:
+    """Distinct simplified conditions across commutative paths."""
+    seen = []
+    for p in paths:
+        cond = condition_from_path(p.path_condition, interesting)
+        if cond not in seen:
+            seen.append(cond)
+    return seen
+
+
+def _is_bound_literal(lit: Term) -> bool:
+    """Bounds like ``0 <= x`` or ``x <= 3`` added by parameter creation."""
+    probe = lit
+    if probe.kind == T.NOT:
+        probe = probe.args[0]
+    if probe.kind not in (T.LT, T.LE):
+        return False
+    lhs, rhs = probe.args
+    return lhs.kind == T.ICONST or rhs.kind == T.ICONST

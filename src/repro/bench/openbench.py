@@ -1,0 +1,83 @@
+"""Figure 7(b): openbench — fd allocation scalability.
+
+n threads of one process concurrently open and close per-thread files.
+With POSIX's lowest-fd rule every open must find the globally lowest free
+descriptor, so all threads fight over the low slots; with O_ANYFD each
+core allocates from its own partition of the fd space and the benchmark
+scales linearly (§7.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.bench.statbench import BenchSeries, DEFAULT_CORES
+from repro.kernels.mono import MonoKernel
+from repro.kernels.scalefs import ScaleFsKernel
+from repro.mtrace.machine import Machine, MachineConfig
+from repro.mtrace.memory import Memory
+
+
+def run_openbench(
+    mode: str,
+    cores: Sequence[int] = DEFAULT_CORES,
+    duration: float = 300_000.0,
+    config: Optional[MachineConfig] = None,
+) -> BenchSeries:
+    """Modes: "anyfd" (commutative) or "lowest" (POSIX's ordered rule)."""
+    if mode not in ("anyfd", "lowest"):
+        raise ValueError(f"unknown openbench mode {mode!r}")
+    series = BenchSeries(label=mode)
+    for n in cores:
+        mem = Memory(ncores=max(n, 2))
+        kernel = ScaleFsKernel(
+            mem, nfds=max(4 * n, 16), ncores=max(n, 2)
+        )
+        pid = kernel.create_process()
+        for core in range(n):
+            fd = kernel.open(pid, f"openbench{core}", ocreat=True)
+            assert fd >= 0
+            kernel.close(pid, fd)
+        machine = Machine(
+            mem, config if config is not None else MachineConfig(ncores=max(n, 2))
+        )
+        machine.attach()
+
+        def make_worker(core: int):
+            name = f"openbench{core}"
+            use_anyfd = mode == "anyfd"
+
+            def work():
+                fd = kernel.open(pid, name, anyfd=use_anyfd)
+                if fd >= 0:
+                    kernel.close(pid, fd)
+
+            return work
+
+        workers = {core: make_worker(core) for core in range(n)}
+        completed = machine.run(workers, duration)
+        machine.detach()
+        per_core = sum(completed.values()) / n / (duration / 1e6)
+        series.add(n, per_core)
+    return series
+
+
+def run_openbench_linux_baseline(duration: float = 300_000.0) -> float:
+    """Single-core Linux-like open/close rate (Figure 7b's blue dot; the
+    paper measures sv6 open 27% faster than Linux at one core)."""
+    mem = Memory(ncores=2)
+    kernel = MonoKernel(mem, nfds=16, ncores=2)
+    pid = kernel.create_process()
+    fd = kernel.open(pid, "openbench0", ocreat=True)
+    kernel.close(pid, fd)
+    machine = Machine(mem, MachineConfig(ncores=2))
+    machine.attach()
+
+    def work():
+        fd = kernel.open(pid, "openbench0")
+        if fd >= 0:
+            kernel.close(pid, fd)
+
+    completed = machine.run({0: work}, duration)
+    machine.detach()
+    return completed[0] / (duration / 1e6)

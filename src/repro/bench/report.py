@@ -1,0 +1,74 @@
+"""ASCII rendering of the evaluation artifacts (Figure 6 matrix, Figure 7
+series) and a machine-readable dump for EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.bench.heatmap import HeatmapResult
+from repro.bench.statbench import BenchSeries
+
+
+def render_heatmap(result: HeatmapResult, kernel: str) -> str:
+    """The Figure 6 matrix: tests *not* conflict-free per syscall pair."""
+    ops = result.op_names
+    index = {}
+    for cell in result.cells:
+        index[(cell.op0, cell.op1)] = cell
+        index[(cell.op1, cell.op0)] = cell
+    width = max(len(op) for op in ops) + 1
+    colw = 9
+    header = " " * width + "".join(f"{op[:colw - 1]:>{colw}}" for op in ops)
+    lines = [
+        f"{kernel}: {result.conflict_free_total(kernel)} of "
+        f"{result.total_tests} cases conflict-free "
+        f"(cells show failing / total)",
+        header,
+    ]
+    for i, row_op in enumerate(ops):
+        row = f"{row_op:<{width}}"
+        for j, col_op in enumerate(ops):
+            if j < i:
+                row += " " * colw
+                continue
+            cell = index.get((row_op, col_op))
+            if cell is None or cell.total == 0:
+                row += f"{'-':>{colw}}"
+                continue
+            bad = cell.not_conflict_free.get(kernel, 0)
+            row += f"{'' if bad == 0 else f'{bad}/{cell.total}':>{colw}}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_residues(result: HeatmapResult, kernel: str) -> str:
+    """§6.4 difficult-to-scale residue breakdown."""
+    residues = result.residues.get(kernel, {})
+    if not residues:
+        return f"{kernel}: no residual conflicts"
+    total = sum(residues.values())
+    lines = [f"{kernel}: residual conflict classes ({total} tests)"]
+    for label, count in sorted(residues.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {label:<16} {count}")
+    return "\n".join(lines)
+
+
+def render_series(title: str, series_list: Iterable[BenchSeries],
+                  unit: str = "ops/Mcycle/core") -> str:
+    """Aligned throughput table, one column per mode (Figure 7 style)."""
+    series_list = list(series_list)
+    cores = series_list[0].cores
+    lines = [title, f"{'cores':>6} " + "".join(
+        f"{s.label:>18}" for s in series_list
+    ) + f"   ({unit})"]
+    for i, n in enumerate(cores):
+        row = f"{n:>6} "
+        for s in series_list:
+            row += f"{s.per_core[i]:>18.2f}"
+        lines.append(row)
+    for s in series_list:
+        lines.append(
+            f"  {s.label}: total-throughput scaling "
+            f"{s.scaling_factor():.1f}x from {cores[0]} to {cores[-1]} cores"
+        )
+    return "\n".join(lines)

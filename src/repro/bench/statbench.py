@@ -1,0 +1,126 @@
+"""Figure 7(a): statbench — fstat scalability against link/unlink.
+
+One file; n/2 cores repeatedly fstat it while the other n/2 cores link it
+to a core-unique name and unlink that name.  Three modes, as in §7.2:
+
+* ``fstatx`` — commutative API: fstatx without st_nlink never touches the
+  link count; with Refcache links, everything is conflict-free and the
+  benchmark scales perfectly.
+* ``fstat-shared`` — plain fstat with st_nlink on one shared line: each
+  fstat takes exactly one remote miss; the single contended line caps
+  scalability ("the most scalable that fstat can possibly be in the
+  presence of concurrent links and unlinks" — and still not scalable).
+* ``fstat-refcache`` — plain fstat with Refcache st_nlink: link/unlink are
+  conflict-free but fstat must reconcile every core's delta line, paying
+  O(cores) transfers per call (3.9× single-core cost in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.kernels.mono import MonoKernel
+from repro.kernels.scalefs import ScaleFsKernel
+from repro.mtrace.machine import Machine, MachineConfig
+from repro.mtrace.memory import Memory
+
+DEFAULT_CORES = (1, 10, 20, 40, 60, 80)
+
+
+@dataclass
+class BenchSeries:
+    """One curve: per-core throughput at each core count."""
+
+    label: str
+    cores: list[int] = field(default_factory=list)
+    per_core: list[float] = field(default_factory=list)
+
+    def add(self, n: int, value: float) -> None:
+        self.cores.append(n)
+        self.per_core.append(value)
+
+    def scaling_factor(self) -> float:
+        """Total throughput at max cores relative to one core."""
+        if len(self.per_core) < 2 or not self.per_core[0]:
+            return 1.0
+        total_first = self.per_core[0] * self.cores[0]
+        total_last = self.per_core[-1] * self.cores[-1]
+        return total_last / total_first
+
+
+def _setup(mode: str, ncores: int):
+    mem = Memory(ncores=max(ncores, 2))
+    kernel = ScaleFsKernel(
+        mem, nfds=max(ncores * 2 + 8, 16), ncores=max(ncores, 2),
+        shared_nlink=(mode == "fstat-shared"),
+    )
+    pid = kernel.create_process()
+    fd0 = kernel.open(pid, "statfile", ocreat=True)
+    assert fd0 >= 0
+    fds = {}
+    for core in range(ncores):
+        mem.set_core(core)
+        fds[core] = kernel.open(pid, "statfile", anyfd=True)
+        assert fds[core] >= 0
+    return mem, kernel, pid, fds
+
+
+def run_statbench(
+    mode: str,
+    cores: Sequence[int] = DEFAULT_CORES,
+    duration: float = 300_000.0,
+    config: Optional[MachineConfig] = None,
+) -> BenchSeries:
+    """Throughput series for one mode; value = fstats/sec/core analogue."""
+    if mode not in ("fstatx", "fstat-shared", "fstat-refcache"):
+        raise ValueError(f"unknown statbench mode {mode!r}")
+    series = BenchSeries(label=mode)
+    for n in cores:
+        mem, kernel, pid, fds = _setup(mode, n)
+        machine = Machine(
+            mem, config if config is not None else MachineConfig(ncores=max(n, 2))
+        )
+        machine.attach()
+        workers = {}
+        stat_cores = [c for c in range(n) if n == 1 or c % 2 == 0]
+        link_cores = [c for c in range(n) if n > 1 and c % 2 == 1]
+
+        def make_stat_worker(core: int):
+            fd = fds[core]
+            if mode == "fstatx":
+                return lambda: kernel.fstatx(pid, fd, want_nlink=False)
+            return lambda: kernel.fstat(pid, fd)
+
+        def make_link_worker(core: int):
+            temp = f"statlink{core}"
+
+            def work():
+                kernel.link("statfile", temp)
+                kernel.unlink(temp)
+
+            return work
+
+        for core in stat_cores:
+            workers[core] = make_stat_worker(core)
+        for core in link_cores:
+            workers[core] = make_link_worker(core)
+        completed = machine.run(workers, duration)
+        machine.detach()
+        stat_total = sum(completed[c] for c in stat_cores)
+        per_core = stat_total / len(stat_cores) / (duration / 1e6)
+        series.add(n, per_core)
+    return series
+
+
+def run_statbench_linux_baseline(duration: float = 300_000.0) -> float:
+    """Single-core Linux-like fstat rate (the blue dot in Figure 7a)."""
+    mem = Memory(ncores=2)
+    kernel = MonoKernel(mem, nfds=16, ncores=2)
+    pid = kernel.create_process()
+    fd = kernel.open(pid, "statfile", ocreat=True)
+    machine = Machine(mem, MachineConfig(ncores=2))
+    machine.attach()
+    completed = machine.run({0: lambda: kernel.fstat(pid, fd)}, duration)
+    machine.detach()
+    return completed[0] / (duration / 1e6)

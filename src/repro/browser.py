@@ -1,0 +1,134 @@
+"""A terminal browser for the evaluation data.
+
+The paper ships "a browser for the data in this paper" alongside COMMUTER;
+this is ours: it loads the JSON the Figure 6 pipeline writes and answers
+the questions a developer asks of it.
+
+Usage::
+
+    python -m repro.browser summary
+    python -m repro.browser cell open open
+    python -m repro.browser row mmap
+    python -m repro.browser worst scalefs --top 10
+    python -m repro.browser residues scalefs
+
+All commands accept ``--data PATH`` (default results/fig6_heatmap.json).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_DATA = os.path.join("results", "fig6_heatmap.json")
+
+
+class HeatmapData:
+    def __init__(self, raw: dict):
+        self.raw = raw
+        self.kernels = raw["kernels"]
+        self.ops = raw["ops"]
+        self.cells = raw["cells"]
+        self.by_pair = {}
+        for cell in self.cells:
+            self.by_pair[(cell["op0"], cell["op1"])] = cell
+            self.by_pair[(cell["op1"], cell["op0"])] = cell
+
+    @classmethod
+    def load(cls, path: str) -> "HeatmapData":
+        with open(path) as f:
+            return cls(json.load(f))
+
+    def cell(self, op0: str, op1: str) -> dict:
+        try:
+            return self.by_pair[(op0, op1)]
+        except KeyError:
+            raise SystemExit(f"no cell for {op0}/{op1}; ops: {self.ops}")
+
+
+def cmd_summary(data: HeatmapData, args) -> None:
+    total = data.raw["total"]
+    print(f"{total} commutative test cases "
+          f"({data.raw['elapsed']:.0f}s pipeline)")
+    for kernel, ok in data.raw["conflict_free"].items():
+        print(f"  {kernel:12s} {ok:6d} conflict-free "
+              f"({100 * ok / total:.1f}%)")
+
+
+def cmd_cell(data: HeatmapData, args) -> None:
+    cell = data.cell(args.op0, args.op1)
+    print(f"{cell['op0']}/{cell['op1']}: {cell['total']} commutative tests")
+    for kernel, bad in cell["fails"].items():
+        print(f"  {kernel:12s} {cell['total'] - bad:5d} conflict-free, "
+              f"{bad} not")
+
+
+def cmd_row(data: HeatmapData, args) -> None:
+    print(f"{args.op} against every operation:")
+    for other in data.ops:
+        cell = data.by_pair.get((args.op, other))
+        if cell is None or not cell["total"]:
+            continue
+        fails = ", ".join(
+            f"{k} {v}" for k, v in cell["fails"].items() if v
+        ) or "all conflict-free"
+        print(f"  {other:10s} {cell['total']:5d} tests   {fails}")
+
+
+def cmd_worst(data: HeatmapData, args) -> None:
+    ranked = sorted(
+        data.cells, key=lambda c: -c["fails"].get(args.kernel, 0)
+    )[:args.top]
+    print(f"worst cells for {args.kernel}:")
+    for cell in ranked:
+        bad = cell["fails"].get(args.kernel, 0)
+        if not bad:
+            break
+        print(f"  {cell['op0']}/{cell['op1']}: {bad}/{cell['total']}")
+
+
+def cmd_residues(data: HeatmapData, args) -> None:
+    residues = data.raw["residues"].get(args.kernel)
+    if residues is None:
+        raise SystemExit(f"no residue data for kernel {args.kernel!r}")
+    total = sum(residues.values())
+    print(f"{args.kernel}: {total} non-conflict-free tests by cause")
+    for label, count in sorted(residues.items(), key=lambda kv: -kv[1]):
+        print(f"  {label:16s} {count}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.browser", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--data", default=DEFAULT_DATA)
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("summary")
+    p = sub.add_parser("cell")
+    p.add_argument("op0")
+    p.add_argument("op1")
+    p = sub.add_parser("row")
+    p.add_argument("op")
+    p = sub.add_parser("worst")
+    p.add_argument("kernel")
+    p.add_argument("--top", type=int, default=10)
+    p = sub.add_parser("residues")
+    p.add_argument("kernel")
+    args = parser.parse_args(argv)
+    data = HeatmapData.load(args.data)
+    handler = {
+        "summary": cmd_summary,
+        "cell": cmd_cell,
+        "row": cmd_row,
+        "worst": cmd_worst,
+        "residues": cmd_residues,
+    }[args.command]
+    handler(data, args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Errno values and error conventions shared by the POSIX model and kernels.
+
+The paper's model (Figure 4) returns ``(-1, errno.ENOENT)`` style tuples from
+system calls.  We follow the same convention everywhere: a call returns either
+a non-negative result or a negative errno constant from this module, so model
+return values and kernel return values are directly comparable.
+"""
+
+from __future__ import annotations
+
+# Values mirror Linux x86-64 errno numbers so rendered test cases read
+# naturally; only the distinctions matter for commutativity analysis.
+EPERM = 1
+ENOENT = 2
+EBADF = 9
+EAGAIN = 11
+ENOMEM = 12
+EACCES = 13
+EEXIST = 17
+ENOTDIR = 20
+EISDIR = 21
+EINVAL = 22
+ENFILE = 23
+EMFILE = 24
+ESPIPE = 29
+EPIPE = 32
+ENAMETOOLONG = 36
+
+_NAMES = {
+    EPERM: "EPERM",
+    ENOENT: "ENOENT",
+    EBADF: "EBADF",
+    EAGAIN: "EAGAIN",
+    ENOMEM: "ENOMEM",
+    EACCES: "EACCES",
+    EEXIST: "EEXIST",
+    ENOTDIR: "ENOTDIR",
+    EISDIR: "EISDIR",
+    EINVAL: "EINVAL",
+    ENFILE: "ENFILE",
+    EMFILE: "EMFILE",
+    ESPIPE: "ESPIPE",
+    EPIPE: "EPIPE",
+    ENAMETOOLONG: "ENAMETOOLONG",
+}
+
+
+def errno_name(code: int) -> str:
+    """Return the symbolic name for an errno value (e.g. ``2 -> 'ENOENT'``)."""
+    return _NAMES.get(code, f"E#{code}")
+
+
+def err(code: int) -> int:
+    """Return the conventional error return for ``code`` (its negation)."""
+    return -code
+
+
+def is_error(ret: int) -> bool:
+    """True when ``ret`` encodes an error under the negative-errno convention."""
+    return isinstance(ret, int) and ret < 0

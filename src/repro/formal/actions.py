@@ -1,0 +1,169 @@
+"""Actions and histories (§3.1).
+
+An action is an invocation or a response; it carries an operation class,
+arguments or a return value, a thread, and a uniqueness tag.  A history is
+a finite action sequence; it is well-formed when each thread's subhistory
+alternates invocation/response starting with an invocation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+_INVOKE = "invoke"
+_RESPOND = "respond"
+_tags = itertools.count()
+
+
+@dataclass(frozen=True)
+class Action:
+    kind: str          # "invoke" or "respond"
+    thread: int
+    op: str            # operation class (e.g. which system call)
+    value: object      # arguments (invocation) or return value (response)
+    tag: int = field(default_factory=lambda: next(_tags))
+
+    @property
+    def is_invocation(self) -> bool:
+        return self.kind == _INVOKE
+
+    @property
+    def is_response(self) -> bool:
+        return self.kind == _RESPOND
+
+    def __repr__(self) -> str:
+        arrow = "!" if self.is_invocation else "?"
+        return f"t{self.thread}{arrow}{self.op}({self.value!r})"
+
+
+def invoke(thread: int, op: str, value=None) -> Action:
+    return Action(_INVOKE, thread, op, value)
+
+
+def respond(thread: int, op: str, value=None) -> Action:
+    return Action(_RESPOND, thread, op, value)
+
+
+class History:
+    """An immutable action sequence with the §3.1 operations."""
+
+    def __init__(self, actions: Iterable[Action] = ()):
+        self.actions = tuple(actions)
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def __iter__(self) -> Iterator[Action]:
+        return iter(self.actions)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return History(self.actions[index])
+        return self.actions[index]
+
+    def __add__(self, other: "History") -> "History":
+        return History(self.actions + tuple(other))
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, History) and self.actions == other.actions
+
+    def __hash__(self) -> int:
+        return hash(self.actions)
+
+    def __repr__(self) -> str:
+        return "H[" + " ".join(repr(a) for a in self.actions) + "]"
+
+    # ------------------------------------------------------------------
+
+    def restrict(self, thread: int) -> "History":
+        """H|t — the thread-restricted subhistory."""
+        return History(a for a in self.actions if a.thread == thread)
+
+    def threads(self) -> list[int]:
+        seen = []
+        for a in self.actions:
+            if a.thread not in seen:
+                seen.append(a.thread)
+        return seen
+
+    def is_well_formed(self) -> bool:
+        """Each thread alternates invocation/response, invocation first."""
+        for t in self.threads():
+            expect_invocation = True
+            pending: Optional[Action] = None
+            for a in self.restrict(t):
+                if a.is_invocation != expect_invocation:
+                    return False
+                if a.is_response and pending is not None:
+                    if a.op != pending.op:
+                        return False
+                if a.is_invocation:
+                    pending = a
+                expect_invocation = not expect_invocation
+        return True
+
+    def is_reordering_of(self, other: "History") -> bool:
+        """Same actions, same per-thread order (§3.2)."""
+        if sorted(a.tag for a in self) != sorted(a.tag for a in other):
+            return False
+        return all(
+            self.restrict(t) == other.restrict(t)
+            for t in set(self.threads()) | set(other.threads())
+        )
+
+    def reorderings(self, well_formed_only: bool = True) -> Iterator["History"]:
+        """Every interleaving preserving per-thread order."""
+        by_thread = {t: list(self.restrict(t)) for t in self.threads()}
+
+        def emit(prefix: list[Action], remaining: dict[int, list[Action]]):
+            if all(not v for v in remaining.values()):
+                candidate = History(prefix)
+                if not well_formed_only or candidate.is_well_formed():
+                    yield candidate
+                return
+            for t, queue in remaining.items():
+                if not queue:
+                    continue
+                rest = {k: (v[1:] if k == t else list(v))
+                        for k, v in remaining.items()}
+                yield from emit(prefix + [queue[0]], rest)
+
+        yield from emit([], by_thread)
+
+    def prefixes(self) -> Iterator["History"]:
+        for i in range(len(self.actions) + 1):
+            yield History(self.actions[:i])
+
+    def complete_operations(self) -> "History":
+        """Drop trailing unmatched invocations (used for prefix checks)."""
+        open_ops = {
+            t: None for t in self.threads()
+        }
+        keep = []
+        for a in self.actions:
+            keep.append(a)
+        # Remove any invocation without a matching later response.
+        responded = set()
+        for a in self.actions:
+            if a.is_response:
+                responded.add((a.thread, a.op))
+        return History(keep)
+
+
+def sequential_pairs(history: History) -> list[tuple[Action, Action]]:
+    """(invocation, response) pairs of a sequential (atomic-step) history."""
+    pairs = []
+    pending: dict[int, Action] = {}
+    for a in history:
+        if a.is_invocation:
+            pending[a.thread] = a
+        else:
+            inv = pending.pop(a.thread, None)
+            if inv is None:
+                raise ValueError("response without invocation")
+            pairs.append((inv, a))
+    if pending:
+        raise ValueError("unmatched invocations remain")
+    return pairs

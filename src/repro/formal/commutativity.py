@@ -1,0 +1,86 @@
+"""SI and SIM commutativity (§3.2), checked by bounded enumeration.
+
+``Y SI-commutes in H = X || Y`` when for every reordering Y' of Y and
+every action sequence Z:  X||Y||Z ∈ S  ⟺  X||Y'||Z ∈ S.
+
+``Y SIM-commutes in H = X || Y`` when for every prefix P of every
+reordering of Y, P SI-commutes in X||P — the monotonic strengthening that
+makes the rule's proof go through (§3.2's get/set example shows why plain
+SI commutativity is not monotonic).
+
+The universal quantification over Z is bounded: we enumerate futures up to
+``future_depth`` operations drawn from the spec's alphabet, on every
+thread.  For the small interfaces in :mod:`repro.formal.examples` modest
+depths are exhaustive enough to distinguish every pair of states.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.formal.actions import History
+from repro.formal.spec import AtomicSpec
+
+
+def si_commutes(
+    spec: AtomicSpec,
+    x: History,
+    y: History,
+    future_depth: int = 2,
+    future_thread: int = 99,
+) -> bool:
+    """Does Y SI-commute in X || Y (bounded check)?"""
+    base = x + y
+    if not spec.contains(base):
+        return False
+    for reordered in y.reorderings():
+        candidate = x + reordered
+        # Responses travel with their actions: the reordered history must
+        # itself be valid...
+        if not spec.contains(candidate):
+            return False
+        # ...and no future can distinguish the two orders.
+        if not _futures_equivalent(spec, base, candidate, future_depth,
+                                   future_thread):
+            return False
+    return True
+
+
+def sim_commutes(
+    spec: AtomicSpec,
+    x: History,
+    y: History,
+    future_depth: int = 2,
+) -> bool:
+    """Does Y SIM-commute in X || Y (bounded check)?
+
+    For any prefix P of some reordering of Y (including Y itself), P must
+    SI-commute in X || P.
+    """
+    for reordered in y.reorderings():
+        for prefix in reordered.prefixes():
+            if not prefix.is_well_formed():
+                continue
+            if not si_commutes(spec, x, prefix, future_depth):
+                return False
+    return True
+
+
+def _futures_equivalent(
+    spec: AtomicSpec,
+    a: History,
+    b: History,
+    future_depth: int,
+    future_thread: int,
+) -> bool:
+    """Can any bounded future Z distinguish the states after a and b?"""
+    state_a = spec.state_after(a)
+    state_b = spec.state_after(b)
+    for future in spec.futures(future_depth):
+        if not future:
+            continue
+        results_a = spec.run_ops(spec.copy_state(state_a), future)
+        results_b = spec.run_ops(spec.copy_state(state_b), future)
+        if results_a != results_b:
+            return False
+    return True

@@ -1,0 +1,186 @@
+"""The constructive proof's machines (§3.5, Figures 1 and 2).
+
+``ConstructedMns`` (Figure 1) replays a fixed history H and falls back to
+emulating the reference implementation when the input diverges.  It is
+correct but *not* scalable: every step reads and writes the shared history
+cursor.
+
+``ConstructedM`` (Figure 2) splits the cursor per thread and adds a
+conflict-free mode entered at the COMMUTE marker: within the
+SIM-commutative region Y, each step touches only the invoking thread's
+components, so any two steps in the region are conflict-free — which is
+exactly the scalable commutativity rule's claim.  When execution diverges,
+the per-thread cursors no longer determine the interleaving of Y; SIM
+commutativity guarantees any consistent reordering leads the reference to
+indistinguishable results.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Optional
+
+from repro.formal.actions import Action, History, respond
+from repro.formal.machine import CONTINUE, StepMachine
+from repro.formal.spec import AtomicSpec
+
+EMULATE = "EMULATE"
+COMMUTE = "COMMUTE"
+
+
+def _same_action(a: Action, b: Action) -> bool:
+    return (a.kind, a.thread, a.op, a.value) == (b.kind, b.thread, b.op, b.value)
+
+
+class ConstructedMns(StepMachine):
+    """Figure 1: the non-scalable replay/emulate machine for history H."""
+
+    def __init__(self, spec: AtomicSpec, history: History):
+        self.spec = spec
+        self.H = list(history)
+
+    def initial(self) -> dict:
+        return {"h": 0, "refstate": self.spec.copy_state(self.spec.initial)}
+
+    def step(self, state: dict, action: Action) -> object:
+        position = state["h"]
+        if position != EMULATE and position < len(self.H):
+            head = self.H[position]
+            if action.op != CONTINUE and _same_action(head, action):
+                state["h"] = position + 1
+                return CONTINUE
+            if (action.op == CONTINUE and head.is_response
+                    and head.thread == action.thread):
+                state["h"] = position + 1
+                return head
+        if position != EMULATE:
+            # H complete or input diverged: replay the consumed prefix into
+            # the reference implementation, then emulate.
+            refstate = self.spec.copy_state(self.spec.initial)
+            consumed = self.H[:position] if position != EMULATE else []
+            for past in consumed:
+                if past.is_invocation:
+                    refstate, _ = self.spec.apply(
+                        refstate, past.op, past.value
+                    )
+            state["refstate"] = refstate
+            state["h"] = EMULATE
+        return self._emulate(state, action)
+
+    def _emulate(self, state: dict, action: Action) -> object:
+        if action.op == CONTINUE:
+            return CONTINUE
+        refstate, result = self.spec.apply(
+            state["refstate"], action.op, action.value
+        )
+        state["refstate"] = refstate
+        return respond(action.thread, action.op, result)
+
+
+class ConstructedM(StepMachine):
+    """Figure 2: the machine that is conflict-free over Y in H = X || Y."""
+
+    def __init__(self, spec: AtomicSpec, x: History, y: History):
+        self.spec = spec
+        self.X = list(x)
+        self.Y = list(y)
+        self.threads = sorted(set(
+            a.thread for a in self.X + self.Y
+        ))
+        # Per-thread script: X || COMMUTE || (Y|t).
+        self.script = {
+            t: self.X + [COMMUTE] + [a for a in self.Y if a.thread == t]
+            for t in self.threads
+        }
+
+    def initial(self) -> dict:
+        state = {"refstate": self.spec.copy_state(self.spec.initial)}
+        for t in self.threads:
+            state[("h", t)] = 0
+            state[("commute", t)] = False
+        return state
+
+    # ------------------------------------------------------------------
+
+    def step(self, state: dict, action: Action) -> object:
+        t = action.thread
+        if t not in self.script:
+            return self._emulate_all(state, action)
+        position = state[("h", t)]
+        if position != EMULATE:
+            script = self.script[t]
+            if position < len(script) and script[position] is COMMUTE:
+                # Enter conflict-free mode for this thread.
+                state[("commute", t)] = True
+                position += 1
+                state[("h", t)] = position
+            head = script[position] if position < len(script) else None
+            matched: Optional[object] = None
+            if head is not None and head is not COMMUTE:
+                if action.op != CONTINUE and _same_action(head, action):
+                    matched = CONTINUE
+                elif (action.op == CONTINUE and head.is_response
+                      and head.thread == t):
+                    matched = head
+            if matched is not None:
+                if state[("commute", t)]:
+                    # Conflict-free mode: only this thread's components.
+                    state[("h", t)] = position + 1
+                else:
+                    # Replay mode: all threads advance through X together.
+                    for u in self.threads:
+                        state[("h", u)] = state[("h", u)] + 1
+                return matched
+            # Diverged (or script done): reconstruct a consistent
+            # invocation sequence from every thread's cursor and emulate.
+            return self._switch_to_emulation(state, action)
+        return self._emulate(state, action)
+
+    # ------------------------------------------------------------------
+
+    def _switch_to_emulation(self, state: dict, action: Action) -> object:
+        consumed = self._consistent_invocations(state)
+        refstate = self.spec.copy_state(self.spec.initial)
+        for past in consumed:
+            refstate, _ = self.spec.apply(refstate, past.op, past.value)
+        state["refstate"] = refstate
+        for u in self.threads:
+            state[("h", u)] = EMULATE
+        return self._emulate(state, action)
+
+    def _consistent_invocations(self, state: dict) -> list[Action]:
+        """An invocation sequence consistent with s.h[*] (§3.5): the
+        consumed prefix of X, then each thread's consumed part of Y in an
+        arbitrary (here: thread-id) order.  SIM commutativity is what
+        makes the arbitrary order safe."""
+        x_len = len(self.X)
+        x_consumed = 0
+        per_thread: dict[int, list[Action]] = {}
+        for t in self.threads:
+            position = state[("h", t)]
+            if position == EMULATE:
+                position = len(self.script[t])
+            x_consumed = max(x_consumed, min(position, x_len))
+            past_marker = max(0, position - x_len - 1)
+            y_part = [
+                a for a in self.script[t][x_len + 1:x_len + 1 + past_marker]
+            ]
+            per_thread[t] = y_part
+        out = [a for a in self.X[:x_consumed] if a.is_invocation]
+        for t in self.threads:
+            out.extend(a for a in per_thread[t] if a.is_invocation)
+        return out
+
+    def _emulate_all(self, state: dict, action: Action) -> object:
+        if state[("h", self.threads[0])] != EMULATE:
+            return self._switch_to_emulation(state, action)
+        return self._emulate(state, action)
+
+    def _emulate(self, state: dict, action: Action) -> object:
+        if action.op == CONTINUE:
+            return CONTINUE
+        refstate, result = self.spec.apply(
+            state["refstate"], action.op, action.value
+        )
+        state["refstate"] = refstate
+        return respond(action.thread, action.op, result)

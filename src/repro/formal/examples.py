@@ -1,0 +1,126 @@
+"""The paper's running example interfaces as atomic specifications.
+
+* get/set register — §3.2's non-monotonicity example: set(1);set(2);set(2)
+  SI-commutes but its two-action prefix does not.
+* put/max — §3.6's example that no single implementation is conflict-free
+  across all of H (per-thread maxima favour put‖put; a global maximum
+  favours put‖max).
+* counter and getpid — simple always/never-commuting baselines.
+"""
+
+from __future__ import annotations
+
+from repro.formal.actions import Action, History
+from repro.formal.machine import StepMachine
+from repro.formal.spec import AtomicSpec
+
+
+def register_spec(values=(0, 1, 2)) -> AtomicSpec:
+    """get/set register."""
+
+    def apply(state, op, args):
+        if op == "set":
+            return args, "ok"
+        if op == "get":
+            return state, state
+        raise ValueError(op)
+
+    alphabet = [("get", None)] + [("set", v) for v in values]
+    return AtomicSpec(0, apply, alphabet)
+
+
+def putmax_spec(values=(0, 1, 2)) -> AtomicSpec:
+    """put(x) records a sample; max() returns the maximum so far (§3.6)."""
+
+    def apply(state, op, args):
+        if op == "put":
+            return max(state, args), "ok"
+        if op == "max":
+            return state, state
+        raise ValueError(op)
+
+    alphabet = [("max", None)] + [("put", v) for v in values]
+    return AtomicSpec(0, apply, alphabet)
+
+
+def counter_spec() -> AtomicSpec:
+    """inc() returns the previous value: never commutes with itself."""
+
+    def apply(state, op, args):
+        if op == "inc":
+            return state + 1, state
+        if op == "read":
+            return state, state
+        raise ValueError(op)
+
+    return AtomicSpec(0, apply, [("inc", None), ("read", None)])
+
+
+def getpid_spec(pid: int = 42) -> AtomicSpec:
+    """getpid() unconditionally commutes in every state and history (§3.2)."""
+
+    def apply(state, op, args):
+        if op == "getpid":
+            return state, pid
+        raise ValueError(op)
+
+    return AtomicSpec(None, apply, [("getpid", None)])
+
+
+# ----------------------------------------------------------------------
+# §3.6: two implementations of put/max with different conflict-freedom.
+
+
+class PerThreadMaxMachine(StepMachine):
+    """put/max storing per-thread maxima reconciled by max().
+
+    Conflict-free for concurrent puts (each thread writes its own
+    component) but max() reads every thread's component.
+    """
+
+    def __init__(self, threads):
+        self.threads = list(threads)
+
+    def initial(self) -> dict:
+        return {("local", t): 0 for t in self.threads}
+
+    def step(self, state: dict, action: Action):
+        from repro.formal.actions import respond
+        if action.op == "CONTINUE":
+            return "CONTINUE"
+        if action.op == "put":
+            t = action.thread
+            if state[("local", t)] < action.value:
+                state[("local", t)] = action.value
+            return respond(action.thread, "put", "ok")
+        if action.op == "max":
+            best = 0
+            for t in self.threads:
+                value = state[("local", t)]
+                if value > best:
+                    best = value
+            return respond(action.thread, "max", best)
+        raise ValueError(action.op)
+
+
+class GlobalMaxMachine(StepMachine):
+    """put/max with one global maximum that put checks before writing.
+
+    max() is conflict-free with puts that don't raise the maximum, but
+    concurrent puts of a new maximum write the shared component.
+    """
+
+    def initial(self) -> dict:
+        return {"global": 0}
+
+    def step(self, state: dict, action: Action):
+        from repro.formal.actions import respond
+        if action.op == "CONTINUE":
+            return "CONTINUE"
+        if action.op == "put":
+            if state["global"] < action.value:
+                state["global"] = action.value
+            return respond(action.thread, "put", "ok")
+        if action.op == "max":
+            return respond(action.thread, "max", state["global"])
+        raise ValueError(action.op)

@@ -1,0 +1,198 @@
+"""Implementations as step functions, with access-conflict auditing (§3.3).
+
+An implementation is a function ``S × I → S × R``; special CONTINUE
+actions allow overlapping operations.  States are component tuples — here,
+dictionaries keyed by component name — and §3.3 defines:
+
+* a step *writes* component i when the step changes it;
+* a step *reads* component i when replacing i's value could change the
+  step's behaviour;
+* two steps on different threads *conflict* when one writes a component
+  the other reads or writes.
+
+:func:`semantic_accesses` implements the definitional read/write test by
+perturbing each component over a supplied domain.  For auditing whole
+executions, :class:`TrackedDict` instruments every state access — an
+over-approximation of the semantic definition (a logged read might not
+affect behaviour) which is what a real MTRACE sees too.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.formal.actions import Action, History
+
+CONTINUE = "CONTINUE"
+
+
+def continue_action(thread: int) -> Action:
+    return Action("invoke", thread, CONTINUE, None)
+
+
+class TrackedDict(dict):
+    """A component state that records reads and writes."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.reads: set = set()
+        self.writes: set = set()
+
+    def __getitem__(self, key):
+        self.reads.add(key)
+        return super().__getitem__(key)
+
+    def __setitem__(self, key, value) -> None:
+        self.writes.add(key)
+        super().__setitem__(key, value)
+
+    def reset_tracking(self) -> None:
+        self.reads = set()
+        self.writes = set()
+
+
+class StepMachine:
+    """Base class: deterministic step function over a component dict."""
+
+    def initial(self) -> dict:
+        raise NotImplementedError
+
+    def step(self, state: dict, action: Action) -> Action:
+        """Process one action; return a response action or CONTINUE."""
+        raise NotImplementedError
+
+
+@dataclass
+class StepRecord:
+    action: Action
+    response: object
+    reads: set
+    writes: set
+
+    def conflicts_with(self, other: "StepRecord") -> bool:
+        if self.action.thread == other.action.thread:
+            return False
+        return bool(
+            self.writes & (other.reads | other.writes)
+            or other.writes & (self.reads | self.writes)
+        )
+
+
+@dataclass
+class AccessAudit:
+    """Execution trace of a machine driven through a history."""
+
+    records: list[StepRecord] = field(default_factory=list)
+
+    def conflicts(self, start: int = 0, end: Optional[int] = None) -> list:
+        """Conflicting step pairs within [start, end) (§3.3)."""
+        window = self.records[start:end]
+        found = []
+        for i, a in enumerate(window):
+            for b in window[i + 1:]:
+                if a.conflicts_with(b):
+                    found.append((a, b))
+        return found
+
+    def conflict_free(self, start: int = 0, end: Optional[int] = None) -> bool:
+        return not self.conflicts(start, end)
+
+
+class ReplayableMachine:
+    """Drives a StepMachine through a target history, collecting accesses.
+
+    For each invocation in the history the machine is stepped with it; for
+    each response the machine is fed CONTINUE invocations on that thread
+    until it emits the response (bounded, as the constructed machines
+    respond on the first CONTINUE).
+    """
+
+    def __init__(self, machine: StepMachine, max_continues: int = 8):
+        self.machine = machine
+        self.max_continues = max_continues
+
+    def run(self, history: History) -> AccessAudit:
+        state = TrackedDict(self.machine.initial())
+        audit = AccessAudit()
+        pending: dict[int, Action] = {}  # responses already produced
+        for action in history:
+            if action.is_invocation:
+                state.reset_tracking()
+                response = self.machine.step(state, action)
+                audit.records.append(StepRecord(
+                    action, response, set(state.reads), set(state.writes)
+                ))
+                if isinstance(response, Action) and response.is_response:
+                    # Atomic machines answer on the invocation step itself.
+                    pending[response.thread] = response
+                continue
+            # A response in the history: it may already be pending, else
+            # poke the thread with CONTINUEs until it's emitted.
+            emitted = False
+            ready = pending.pop(action.thread, None)
+            if ready is not None:
+                _check_response(ready, action)
+                emitted = True
+            else:
+                for _ in range(self.max_continues):
+                    poke = continue_action(action.thread)
+                    state.reset_tracking()
+                    response = self.machine.step(state, poke)
+                    audit.records.append(StepRecord(
+                        poke, response, set(state.reads), set(state.writes)
+                    ))
+                    if isinstance(response, Action) and response.is_response:
+                        _check_response(response, action)
+                        emitted = True
+                        break
+            if not emitted:
+                raise AssertionError(f"machine never produced {action}")
+        return audit
+
+
+def _check_response(produced: Action, expected: Action) -> None:
+    if (produced.thread, produced.op, produced.value) != (
+        expected.thread, expected.op, expected.value
+    ):
+        raise AssertionError(
+            f"machine produced {produced}, history expects {expected}"
+        )
+
+
+def semantic_accesses(
+    machine: StepMachine,
+    state: dict,
+    action: Action,
+    domains: dict[object, Iterable],
+) -> tuple[set, set]:
+    """The §3.3 definitional read/write sets of one step.
+
+    Writes: components whose value changes.  Reads: components where some
+    replacement value from ``domains`` changes the step's behaviour —
+    i.e. ``m(s[i←y], a) != (s'[i←y], r)``.
+    """
+    base = copy.deepcopy(state)
+    after = copy.deepcopy(state)
+    response = machine.step(after, action)
+    writes = {
+        key for key in base
+        if base[key] != after[key]
+    }
+    reads = set()
+    for key, domain in domains.items():
+        for y in domain:
+            if y == base[key]:
+                continue
+            perturbed = copy.deepcopy(base)
+            perturbed[key] = y
+            perturbed_after = copy.deepcopy(perturbed)
+            perturbed_response = machine.step(perturbed_after, action)
+            expected_after = copy.deepcopy(after)
+            expected_after[key] = y
+            if (perturbed_after != expected_after
+                    or perturbed_response != response):
+                reads.add(key)
+                break
+    return reads, writes

@@ -1,0 +1,128 @@
+"""Specifications (§3.1): prefix-closed sets of well-formed histories.
+
+For executable checking we represent a specification by a deterministic
+*atomic* reference semantics: a pure function ``apply(state, op, args) ->
+(state, result)`` plus an initial state.  A sequential history is in the
+spec iff replaying its operations yields exactly its responses.  This is
+the standard sequential-specification construction (the paper's §5.1
+likewise assumes a sequentially consistent specification for ANALYZER).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Optional
+
+from repro.formal.actions import Action, History, invoke, respond, sequential_pairs
+
+
+class Spec:
+    """Abstract specification: membership of well-formed histories."""
+
+    def contains(self, history: History) -> bool:
+        raise NotImplementedError
+
+    def futures(self, max_ops: int) -> Iterable[list[tuple[str, object]]]:
+        """Bounded enumeration of future op sequences (for SI checks)."""
+        raise NotImplementedError
+
+
+class AtomicSpec(Spec):
+    """Specification induced by a deterministic atomic reference semantics.
+
+    ``alphabet`` lists (op, args) pairs used to enumerate bounded futures
+    and candidate operations; ``initial`` must be an immutable-ish value
+    copied via ``copy_state``.
+    """
+
+    def __init__(
+        self,
+        initial,
+        apply: Callable[[object, str, object], tuple[object, object]],
+        alphabet: Iterable[tuple[str, object]],
+        copy_state: Callable = None,
+    ):
+        self.initial = initial
+        self.apply = apply
+        self.alphabet = list(alphabet)
+        self.copy_state = copy_state if copy_state is not None else _default_copy
+
+    # ------------------------------------------------------------------
+
+    def contains(self, history: History) -> bool:
+        if not history.is_well_formed():
+            return False
+        try:
+            pairs = _pairs_allowing_open(history)
+        except ValueError:
+            return False
+        state = self.copy_state(self.initial)
+        for inv, resp in pairs:
+            state, result = self.apply(state, inv.op, inv.value)
+            if resp is not None and result != resp.value:
+                return False
+        return True
+
+    def state_after(self, history: History):
+        """Replay a (valid) history and return the final state.
+
+        Open invocations (no response yet) are not applied: observably,
+        the operation has not happened.
+        """
+        state = self.copy_state(self.initial)
+        for inv, resp in _pairs_allowing_open(history):
+            if resp is not None:
+                state, _ = self.apply(state, inv.op, inv.value)
+        return state
+
+    def run_ops(self, state, ops: Iterable[tuple[str, object]]) -> list:
+        results = []
+        for op, args in ops:
+            state, result = self.apply(state, op, args)
+            results.append(result)
+        return results
+
+    def futures(self, max_ops: int) -> Iterable[list[tuple[str, object]]]:
+        for length in range(max_ops + 1):
+            yield from (
+                list(combo)
+                for combo in itertools.product(self.alphabet, repeat=length)
+            )
+
+    def history_of(self, thread_ops: list[tuple[int, str, object]]) -> History:
+        """Build the sequential history obtained by running the given
+        (thread, op, args) operations in order."""
+        state = self.copy_state(self.initial)
+        actions = []
+        for thread, op, args in thread_ops:
+            state, result = self.apply(state, op, args)
+            actions.append(invoke(thread, op, args))
+            actions.append(respond(thread, op, result))
+        return History(actions)
+
+
+def _default_copy(state):
+    import copy
+    return copy.deepcopy(state)
+
+
+def _pairs_allowing_open(history: History):
+    """(invocation, response-or-None) pairs; trailing invocations may be
+    unanswered (prefix closure includes histories cut mid-operation)."""
+    pairs = []
+    pending: dict[int, Action] = {}
+    order: list[Action] = []
+    for a in history:
+        if a.is_invocation:
+            if a.thread in pending:
+                raise ValueError("two outstanding invocations on one thread")
+            pending[a.thread] = a
+            order.append(a)
+        else:
+            inv = pending.pop(a.thread, None)
+            if inv is None or inv.op != a.op:
+                raise ValueError("response does not match invocation")
+            pairs.append((inv, a))
+    for inv in pending.values():
+        pairs.append((inv, None))
+    return pairs

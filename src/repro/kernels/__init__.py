@@ -1,0 +1,21 @@
+"""Kernel implementations under test.
+
+Two kernels implement the same syscall surface on the instrumented memory
+substrate:
+
+* :class:`~repro.kernels.mono.MonoKernel` — the Linux-3.8-shaped baseline:
+  dentry/file refcounts, a parent-directory mutex, lowest-fd allocation
+  under a table lock, a process-wide ``mmap_sem``, eager shootdowns,
+  ordered sockets, fork/exec.  Reproduces the conflict structure §6.2
+  measures in the left half of Figure 6.
+* :class:`~repro.kernels.scalefs.ScaleFsKernel` — the sv6-shaped scalable
+  kernel: hash-table directories, Refcache counters, radix page arrays and
+  RadixVM-style address spaces, per-core allocation, O_ANYFD, fstatx,
+  unordered sockets, posix_spawn; keeps §6.4's deliberate residues.
+"""
+
+from repro.kernels.base import Kernel, KernelError
+from repro.kernels.mono import MonoKernel
+from repro.kernels.scalefs import ScaleFsKernel
+
+__all__ = ["Kernel", "KernelError", "MonoKernel", "ScaleFsKernel"]

@@ -1,0 +1,160 @@
+"""The syscall surface both kernels implement, and the install contract.
+
+Return conventions match the model exactly (negative errno, tagged tuples
+for data-bearing results) so the MTRACE runner can compare kernel results
+against model expectations.  ``install`` materializes a
+:class:`~repro.testgen.casegen.ConcreteSetup` directly — the equivalent of
+the paper's setup code, which runs before MTRACE starts recording.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.mtrace.memory import Memory
+from repro.testgen.casegen import ConcreteSetup
+
+
+class KernelError(Exception):
+    """Internal kernel invariant violation (a bug, not an errno)."""
+
+
+class Kernel(ABC):
+    """Abstract POSIX-ish kernel over instrumented memory."""
+
+    name = "kernel"
+
+    def __init__(self, mem: Memory):
+        self.mem = mem
+
+    # -- processes -----------------------------------------------------
+    @abstractmethod
+    def create_process(self) -> int: ...
+
+    # -- file system ---------------------------------------------------
+    @abstractmethod
+    def open(self, pid: int, name: str, ocreat: bool = False,
+             oexcl: bool = False, otrunc: bool = False,
+             anyfd: bool = False) -> int: ...
+
+    @abstractmethod
+    def link(self, old: str, new: str) -> int: ...
+
+    @abstractmethod
+    def unlink(self, name: str) -> int: ...
+
+    @abstractmethod
+    def rename(self, src: str, dst: str) -> int: ...
+
+    @abstractmethod
+    def stat(self, name: str): ...
+
+    @abstractmethod
+    def fstat(self, pid: int, fd: int): ...
+
+    @abstractmethod
+    def fstatx(self, pid: int, fd: int, want_nlink: bool): ...
+
+    @abstractmethod
+    def lseek(self, pid: int, fd: int, offset: int, whence: int): ...
+
+    @abstractmethod
+    def close(self, pid: int, fd: int) -> int: ...
+
+    @abstractmethod
+    def pipe(self, pid: int): ...
+
+    @abstractmethod
+    def read(self, pid: int, fd: int): ...
+
+    @abstractmethod
+    def write(self, pid: int, fd: int, data: str): ...
+
+    @abstractmethod
+    def pread(self, pid: int, fd: int, pos: int): ...
+
+    @abstractmethod
+    def pwrite(self, pid: int, fd: int, pos: int, data: str): ...
+
+    # -- virtual memory --------------------------------------------------
+    @abstractmethod
+    def mmap(self, pid: int, fixed: bool, addr: int, anon: bool,
+             fd: int, fpage: int, writable: bool): ...
+
+    @abstractmethod
+    def munmap(self, pid: int, addr: int) -> int: ...
+
+    @abstractmethod
+    def mprotect(self, pid: int, addr: int, writable: bool) -> int: ...
+
+    @abstractmethod
+    def memread(self, pid: int, addr: int): ...
+
+    @abstractmethod
+    def memwrite(self, pid: int, addr: int, data: str): ...
+
+    # -- sockets (mail-server workload, §7.3) ----------------------------
+    @abstractmethod
+    def socket(self, ordered: bool = True) -> int: ...
+
+    @abstractmethod
+    def sendto(self, sock: int, message) -> int: ...
+
+    @abstractmethod
+    def recvfrom(self, sock: int): ...
+
+    # -- process creation (§4 decomposition, §7.3) ------------------------
+    @abstractmethod
+    def fork(self, pid: int) -> int: ...
+
+    @abstractmethod
+    def exec(self, pid: int) -> int: ...
+
+    @abstractmethod
+    def posix_spawn(self, pid: int) -> int: ...
+
+    # -- test plumbing ----------------------------------------------------
+    @abstractmethod
+    def install(self, setup: ConcreteSetup) -> None:
+        """Materialize a generated initial state (runs unrecorded)."""
+
+    def call(self, opname: str, args: dict):
+        """Dispatch a model OpCall onto this kernel."""
+        handler = _DISPATCH.get(opname)
+        if handler is None:
+            raise KernelError(f"no kernel dispatch for op {opname!r}")
+        return handler(self, args)
+
+
+def _dispatch_open(k: Kernel, a: dict):
+    return k.open(a["pid"], a["name"], a["ocreat"], a["oexcl"], a["otrunc"])
+
+
+def _dispatch_openany(k: Kernel, a: dict):
+    return k.open(a["pid"], a["name"], a["ocreat"], a["oexcl"], a["otrunc"],
+                  anyfd=True)
+
+
+_DISPATCH = {
+    "open": _dispatch_open,
+    "openany": _dispatch_openany,
+    "link": lambda k, a: k.link(a["old"], a["new"]),
+    "unlink": lambda k, a: k.unlink(a["name"]),
+    "rename": lambda k, a: k.rename(a["src"], a["dst"]),
+    "stat": lambda k, a: k.stat(a["name"]),
+    "fstat": lambda k, a: k.fstat(a["pid"], a["fd"]),
+    "fstatx": lambda k, a: k.fstatx(a["pid"], a["fd"], a["want_nlink"]),
+    "lseek": lambda k, a: k.lseek(a["pid"], a["fd"], a["offset"], a["whence"]),
+    "close": lambda k, a: k.close(a["pid"], a["fd"]),
+    "pipe": lambda k, a: k.pipe(a["pid"]),
+    "read": lambda k, a: k.read(a["pid"], a["fd"]),
+    "write": lambda k, a: k.write(a["pid"], a["fd"], a["data"]),
+    "pread": lambda k, a: k.pread(a["pid"], a["fd"], a["pos"]),
+    "pwrite": lambda k, a: k.pwrite(a["pid"], a["fd"], a["pos"], a["data"]),
+    "mmap": lambda k, a: k.mmap(a["pid"], a["fixed"], a["addr"], a["anon"],
+                                a["fd"], a["fpage"], a["writable"]),
+    "munmap": lambda k, a: k.munmap(a["pid"], a["addr"]),
+    "mprotect": lambda k, a: k.mprotect(a["pid"], a["addr"], a["writable"]),
+    "memread": lambda k, a: k.memread(a["pid"], a["addr"]),
+    "memwrite": lambda k, a: k.memwrite(a["pid"], a["addr"], a["data"]),
+}

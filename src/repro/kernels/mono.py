@@ -1,0 +1,813 @@
+"""MonoKernel: the Linux-3.8-shaped baseline implementation.
+
+Reproduces the mechanisms §6.2 blames for the left half of Figure 6:
+
+* name lookups take a reference on the dentry (write to the dentry line);
+* every fd-taking call does fget/fput on the struct-file refcount;
+* any operation creating or removing names locks the parent directory;
+* the fd table is a compact array guarded by one lock, allocated lowest-fd;
+* one process-wide ``mmap_sem`` rwlock serializes VM operations, and even
+  page faults write its reader count;
+* munmap eagerly invalidates: it writes every core's TLB generation
+  (remote shootdown);
+* inode metadata (nlink, len, mtime, atime) shares one cache line;
+* pipes and ordered sockets are single-lock, single-queue objects.
+
+Semantics (return values, errno cases, time counters) mirror the symbolic
+model exactly so MTRACE can check kernel results against model expectations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import errors
+from repro.kernels.base import Kernel, KernelError
+from repro.mtrace.memory import CacheLine, Memory
+from repro.primitives.spinlock import RWLock, SpinLock
+from repro.testgen.casegen import ConcreteSetup
+
+_KIND_FILE = 0
+_KIND_PIPE_R = 1
+_KIND_PIPE_W = 2
+
+_FDS_PER_LINE = 8
+
+
+class _Dentry:
+    def __init__(self, mem: Memory, name: str, inum: int):
+        self.line = mem.line(f"dentry:{name}")
+        self.refcount = self.line.cell("d_count", 0)
+        self.inum = self.line.cell("d_inum", inum)
+
+
+class _Inode:
+    """All metadata on one line (as in a real struct inode's hot fields)."""
+
+    def __init__(self, mem: Memory, inum: int):
+        self.inum = inum
+        self.line = mem.line(f"inode{inum}")
+        self.nlink = self.line.cell("i_nlink", 0)
+        self.size = self.line.cell("i_size", 0)
+        self.mtime = self.line.cell("i_mtime", 0)
+        self.atime = self.line.cell("i_atime", 0)
+        self.lock = SpinLock(mem, f"inode{inum}.i_lock", line=self.line)
+        self._mem = mem
+        self.pages: dict[int, object] = {}
+
+    def page_cell(self, page: int):
+        cell = self.pages.get(page)
+        if cell is None:
+            line = self._mem.line(f"inode{self.inum}.page{page}")
+            cell = line.cell("data", None)
+            self.pages[page] = cell
+        return cell
+
+
+class _File:
+    """struct file: refcount, offset and identity share one line."""
+
+    _next_id = 0
+
+    def __init__(self, mem: Memory, kind: int, obj, offset: int = 0):
+        _File._next_id += 1
+        self.line = mem.line(f"file{_File._next_id}")
+        self.refcount = self.line.cell("f_count", 1)
+        self.offset = self.line.cell("f_pos", offset)
+        self.kind = kind
+        self.obj = obj  # _Inode or _Pipe
+
+
+class _Pipe:
+    """Lock, end counts and queue bookkeeping share one line."""
+
+    _next_id = 0
+
+    def __init__(self, mem: Memory):
+        _Pipe._next_id += 1
+        self.line = mem.line(f"pipe{_Pipe._next_id}")
+        self.lock = SpinLock(mem, "p_lock", line=self.line)
+        self.nread = self.line.cell("p_readers", 1)
+        self.nwrite = self.line.cell("p_writers", 1)
+        self.count = self.line.cell("p_count", 0)
+        self.buf = self.line.cell("p_buf", None)
+        self.queue: list = []
+
+    def push(self, value) -> None:
+        self.queue.append(value)
+        self.buf.write(None)
+        self.count.add(1)
+
+    def pop(self):
+        value = self.queue.pop(0)
+        self.buf.write(None)
+        self.count.add(-1)
+        return value
+
+
+class _Vma:
+    def __init__(self, mem: Memory, pid: int, va: int, anon: bool,
+                 writable: bool, inode: Optional[_Inode], fpage: int):
+        self.line = mem.line(f"p{pid}.vma{va}")
+        self.meta = self.line.cell("vma", (anon, writable, fpage))
+        self.anon = anon
+        self.writable = writable
+        self.inode = inode
+        self.fpage = fpage
+
+    def update(self, anon: bool, writable: bool, inode, fpage: int) -> None:
+        self.anon = anon
+        self.writable = writable
+        self.inode = inode
+        self.fpage = fpage
+        self.meta.write((anon, writable, fpage))
+
+
+class _Process:
+    def __init__(self, mem: Memory, pid: int, nfds: int):
+        self.pid = pid
+        self.nfds = nfds
+        # fd table: compact array chunked over lines, lock on the first.
+        self._fd_lines = [
+            mem.line(f"p{pid}.fdtab{i}")
+            for i in range((nfds + _FDS_PER_LINE - 1) // _FDS_PER_LINE)
+        ]
+        self.fd_lock = SpinLock(mem, f"p{pid}.fdlock", line=self._fd_lines[0])
+        self.fd_slots = [
+            self._fd_lines[fd // _FDS_PER_LINE].cell(f"fd{fd}", None)
+            for fd in range(nfds)
+        ]
+        # VM: one mmap_sem; vma list and page tables hang off it.
+        self.mm_line = mem.line(f"p{pid}.mm")
+        self.mmap_sem = RWLock(mem, f"p{pid}.mmap_sem", line=self.mm_line)
+        self.vmas: dict[int, _Vma] = {}
+        self.ptes: dict[int, object] = {}
+        self.anon_pages: dict[int, object] = {}
+        self.status_cell = mem.line(f"p{pid}.task").cell("status", "running")
+
+
+class MonoKernel(Kernel):
+    name = "mono (Linux-like)"
+
+    def __init__(self, mem: Memory, nfds: int = 64, ncores: int = 80,
+                 nva: int = 64):
+        super().__init__(mem)
+        self.nfds = nfds
+        self.ncores = ncores
+        self.nva = nva
+        self.dcache: dict[str, _Dentry] = {}
+        self.dir_line = mem.line("rootdir")
+        self.dir_lock = SpinLock(mem, "rootdir.i_mutex", line=self.dir_line)
+        self.inodes: dict[int, _Inode] = {}
+        self._next_inum_cell = mem.line("inum_alloc").cell("next", 100)
+        self.procs: list[_Process] = []
+        self.sockets: list["_MonoSocket"] = []
+        # Global process bookkeeping: pid allocation and the task list are
+        # single shared lines (Linux's last_pid / tasklist_lock).
+        tasks = mem.line("tasklist")
+        self.tasklist_lock = SpinLock(mem, "tasklist_lock", line=tasks)
+        self.pid_counter = tasks.cell("last_pid", 0)
+        self.nr_tasks = tasks.cell("nr_tasks", 0)
+        # Per-core TLB generation lines: eager munmap shootdown writes all.
+        self.tlb_gen = [
+            mem.line(f"tlbgen{c}").cell("gen", 0) for c in range(ncores)
+        ]
+
+    # ------------------------------------------------------------------
+    # processes
+
+    def create_process(self) -> int:
+        pid = len(self.procs)
+        self.procs.append(_Process(self.mem, pid, self.nfds))
+        return pid
+
+    def _proc(self, pid: int) -> _Process:
+        if not (0 <= pid < len(self.procs)):
+            raise KernelError(f"bad pid {pid}")
+        return self.procs[pid]
+
+    # ------------------------------------------------------------------
+    # name lookup (dcache)
+
+    def _lookup(self, name: str) -> Optional[_Inode]:
+        """RCU-walk-style lookup that still refs the final dentry (§6.2:
+        'most file name lookup operations update the reference count on a
+        struct dentry')."""
+        dentry = self.dcache.get(name)
+        if dentry is None:
+            return None
+        dentry.refcount.add(1)
+        inum = dentry.inum.read()
+        dentry.refcount.add(-1)
+        return self.inodes[inum]
+
+    def _alloc_inum(self) -> int:
+        return self._next_inum_cell.add(1)
+
+    def _make_inode(self, inum: Optional[int] = None, nlink: int = 0) -> _Inode:
+        if inum is None:
+            inum = self._alloc_inum()
+        ino = _Inode(self.mem, inum)
+        ino.nlink.write(nlink)
+        self.inodes[inum] = ino
+        return ino
+
+    # ------------------------------------------------------------------
+    # fd table
+
+    def _fget(self, pid: int, fd: int) -> Optional[_File]:
+        proc = self._proc(pid)
+        if not (0 <= fd < proc.nfds):
+            return None
+        file = proc.fd_slots[fd].read()
+        if file is None:
+            return None
+        file.refcount.add(1)
+        return file
+
+    def _fput(self, file: _File) -> None:
+        file.refcount.add(-1)
+
+    def _fd_alloc(self, proc: _Process, file: _File,
+                  lowest: bool = True) -> Optional[int]:
+        # Linux allocates the lowest fd under the file-table lock; O_ANYFD
+        # has no effect here (the baseline has no scalable allocator).
+        proc.fd_lock.acquire()
+        chosen = None
+        for fd in range(proc.nfds):
+            if proc.fd_slots[fd].read() is None:
+                chosen = fd
+                break
+        if chosen is not None:
+            proc.fd_slots[chosen].write(file)
+        proc.fd_lock.release()
+        return chosen
+
+    # ------------------------------------------------------------------
+    # file system calls
+
+    def open(self, pid, name, ocreat=False, oexcl=False, otrunc=False,
+             anyfd=False):
+        proc = self._proc(pid)
+        # Error checks precede descriptor reservation, which precedes side
+        # effects (the model fixes the order POSIX leaves unspecified).
+        ino = self._lookup(name)
+        if ino is not None:
+            if ocreat and oexcl:
+                return -errors.EEXIST
+        else:
+            if not ocreat:
+                return -errors.ENOENT
+        proc.fd_lock.acquire()
+        free = None
+        for fd in range(proc.nfds):
+            if proc.fd_slots[fd].read() is None:
+                free = fd
+                break
+        proc.fd_lock.release()
+        if free is None:
+            return -errors.EMFILE
+        if ino is not None:
+            if otrunc:
+                ino.lock.acquire()
+                if ino.size.read() > 0:
+                    ino.size.write(0)
+                    ino.mtime.add(1)
+                ino.lock.release()
+        else:
+            self.dir_lock.acquire()
+            ino = self._make_inode(nlink=1)
+            self.dcache[name] = _Dentry(self.mem, name, ino.inum)
+            self.dir_lock.release()
+        file = _File(self.mem, _KIND_FILE, ino)
+        proc.fd_lock.acquire()
+        proc.fd_slots[free].write(file)
+        proc.fd_lock.release()
+        return free
+
+    def link(self, old, new):
+        ino = self._lookup(old)
+        if ino is None:
+            return -errors.ENOENT
+        if self._lookup(new) is not None:
+            return -errors.EEXIST
+        self.dir_lock.acquire()
+        self.dcache[new] = _Dentry(self.mem, new, ino.inum)
+        ino.nlink.add(1)
+        self.dir_lock.release()
+        return 0
+
+    def unlink(self, name):
+        ino = self._lookup(name)
+        if ino is None:
+            return -errors.ENOENT
+        self.dir_lock.acquire()
+        del self.dcache[name]
+        ino.nlink.add(-1)
+        self.dir_lock.release()
+        return 0
+
+    def rename(self, src, dst):
+        src_ino = self._lookup(src)
+        if src_ino is None:
+            return -errors.ENOENT
+        if src == dst:
+            return 0
+        self.dir_lock.acquire()
+        dst_dentry = self.dcache.get(dst)
+        if dst_dentry is not None:
+            victim = self.inodes[dst_dentry.inum.read()]
+            victim.nlink.add(-1)
+        self.dcache[dst] = self.dcache.pop(src)
+        self.dir_lock.release()
+        return 0
+
+    def _stat_tuple(self, ino: _Inode):
+        return ("stat", ino.inum, ino.nlink.read(), ino.size.read(),
+                ino.mtime.read(), ino.atime.read())
+
+    def stat(self, name):
+        ino = self._lookup(name)
+        if ino is None:
+            return -errors.ENOENT
+        return self._stat_tuple(ino)
+
+    def fstat(self, pid, fd):
+        file = self._fget(pid, fd)
+        if file is None:
+            return -errors.EBADF
+        try:
+            if file.kind != _KIND_FILE:
+                return ("stat-pipe",)
+            return self._stat_tuple(file.obj)
+        finally:
+            self._fput(file)
+
+    def fstatx(self, pid, fd, want_nlink):
+        file = self._fget(pid, fd)
+        if file is None:
+            return -errors.EBADF
+        try:
+            if file.kind != _KIND_FILE:
+                return ("stat-pipe",)
+            ino = file.obj
+            if want_nlink:
+                return self._stat_tuple(ino)
+            return ("statx", ino.inum, ino.size.read())
+        finally:
+            self._fput(file)
+
+    def lseek(self, pid, fd, offset, whence):
+        file = self._fget(pid, fd)
+        if file is None:
+            return -errors.EBADF
+        try:
+            if file.kind != _KIND_FILE:
+                return -errors.ESPIPE
+            if whence == 0:
+                new = offset
+            elif whence == 1:
+                new = file.offset.read() + offset
+            else:
+                new = file.obj.size.read() + offset
+            if new < 0:
+                return -errors.EINVAL
+            file.offset.write(new)
+            return ("off", new)
+        finally:
+            self._fput(file)
+
+    def close(self, pid, fd):
+        proc = self._proc(pid)
+        if not (0 <= fd < proc.nfds):
+            return -errors.EBADF
+        proc.fd_lock.acquire()
+        file = proc.fd_slots[fd].read()
+        if file is None:
+            proc.fd_lock.release()
+            return -errors.EBADF
+        proc.fd_slots[fd].write(None)
+        proc.fd_lock.release()
+        if file.kind == _KIND_PIPE_R:
+            pipe = file.obj
+            pipe.lock.acquire()
+            pipe.nread.add(-1)
+            pipe.lock.release()
+        elif file.kind == _KIND_PIPE_W:
+            pipe = file.obj
+            pipe.lock.acquire()
+            pipe.nwrite.add(-1)
+            pipe.lock.release()
+        else:
+            self._fput(file)
+        return 0
+
+    def pipe(self, pid):
+        proc = self._proc(pid)
+        pipe = _Pipe(self.mem)
+        rfile = _File(self.mem, _KIND_PIPE_R, pipe)
+        wfile = _File(self.mem, _KIND_PIPE_W, pipe)
+        rfd = self._fd_alloc(proc, rfile)
+        if rfd is None:
+            return -errors.EMFILE
+        wfd = self._fd_alloc(proc, wfile)
+        if wfd is None:
+            proc.fd_slots[rfd].write(None)
+            return -errors.EMFILE
+        return ("pipe", rfd, wfd)
+
+    def read(self, pid, fd):
+        file = self._fget(pid, fd)
+        if file is None:
+            return -errors.EBADF
+        try:
+            if file.kind == _KIND_PIPE_W:
+                return -errors.EBADF
+            if file.kind == _KIND_PIPE_R:
+                pipe = file.obj
+                pipe.lock.acquire()
+                try:
+                    if pipe.count.read() == 0:
+                        if pipe.nwrite.read() == 0:
+                            return 0
+                        return -errors.EAGAIN
+                    return ("data", pipe.pop())
+                finally:
+                    pipe.lock.release()
+            ino = file.obj
+            offset = file.offset.read()
+            if offset >= ino.size.read():
+                return 0
+            value = self._read_page(ino, offset)
+            file.offset.write(offset + 1)
+            ino.atime.add(1)
+            return ("data", value)
+        finally:
+            self._fput(file)
+
+    def write(self, pid, fd, data):
+        file = self._fget(pid, fd)
+        if file is None:
+            return -errors.EBADF
+        try:
+            if file.kind == _KIND_PIPE_R:
+                return -errors.EBADF
+            if file.kind == _KIND_PIPE_W:
+                pipe = file.obj
+                pipe.lock.acquire()
+                try:
+                    if pipe.nread.read() == 0:
+                        return -errors.EPIPE
+                    pipe.push(data)
+                    return 1
+                finally:
+                    pipe.lock.release()
+            ino = file.obj
+            ino.lock.acquire()
+            offset = file.offset.read()
+            ino.page_cell(offset).write(data)
+            file.offset.write(offset + 1)
+            if offset + 1 > ino.size.read():
+                ino.size.write(offset + 1)
+            ino.mtime.add(1)
+            ino.lock.release()
+            return 1
+        finally:
+            self._fput(file)
+
+    def pread(self, pid, fd, pos):
+        file = self._fget(pid, fd)
+        if file is None:
+            return -errors.EBADF
+        try:
+            if pos < 0:
+                return -errors.EINVAL
+            if file.kind != _KIND_FILE:
+                return -errors.ESPIPE
+            ino = file.obj
+            if pos >= ino.size.read():
+                return 0
+            value = self._read_page(ino, pos)
+            ino.atime.add(1)
+            return ("data", value)
+        finally:
+            self._fput(file)
+
+    def pwrite(self, pid, fd, pos, data):
+        file = self._fget(pid, fd)
+        if file is None:
+            return -errors.EBADF
+        try:
+            if pos < 0:
+                return -errors.EINVAL
+            if file.kind != _KIND_FILE:
+                return -errors.ESPIPE
+            ino = file.obj
+            ino.lock.acquire()
+            ino.page_cell(pos).write(data)
+            if pos + 1 > ino.size.read():
+                ino.size.write(pos + 1)
+            ino.mtime.add(1)
+            ino.lock.release()
+            return 1
+        finally:
+            self._fput(file)
+
+    def _read_page(self, ino: _Inode, page: int):
+        value = ino.page_cell(page).read()
+        return value if value is not None else "zero"
+
+    # ------------------------------------------------------------------
+    # virtual memory (the pre-RadixVM design: everything under mmap_sem)
+
+    def _nva(self) -> int:
+        return self.nva
+
+    def mmap(self, pid, fixed, addr, anon, fd, fpage, writable):
+        proc = self._proc(pid)
+        inode = None
+        if not anon:
+            file = self._fget(pid, fd)
+            if file is None:
+                return -errors.EBADF
+            if file.kind != _KIND_FILE:
+                self._fput(file)
+                return -errors.EACCES
+            inode = file.obj
+            self._fput(file)
+        proc.mmap_sem.acquire_write()
+        try:
+            if fixed:
+                if addr >= self._nva():
+                    return -errors.EINVAL
+                va = addr
+            else:
+                va = None
+                for candidate in range(self._nva()):
+                    if candidate not in proc.vmas:
+                        va = candidate
+                        break
+                if va is None:
+                    return -errors.ENOMEM
+            vma = proc.vmas.get(va)
+            if vma is None:
+                proc.vmas[va] = _Vma(self.mem, pid, va, anon, writable,
+                                     inode, fpage)
+            else:
+                vma.update(anon, writable, inode, fpage)
+            self._drop_pte(proc, va)
+            return ("va", va)
+        finally:
+            proc.mmap_sem.release_write()
+
+    def munmap(self, pid, addr):
+        proc = self._proc(pid)
+        if addr >= self._nva():
+            return -errors.EINVAL
+        proc.mmap_sem.acquire_write()
+        if addr in proc.vmas:
+            vma = proc.vmas.pop(addr)
+            vma.meta.write(None)
+            self._drop_pte(proc, addr)
+            # Eager remote TLB shootdown: write every core's generation
+            # (§4: "non-scalable remote TLB shootdowns before munmap can
+            # return").
+            for cell in self.tlb_gen:
+                cell.add(1)
+        proc.mmap_sem.release_write()
+        return 0
+
+    def mprotect(self, pid, addr, writable):
+        proc = self._proc(pid)
+        if addr >= self._nva():
+            return -errors.EINVAL
+        proc.mmap_sem.acquire_write()
+        try:
+            vma = proc.vmas.get(addr)
+            if vma is None:
+                return -errors.ENOMEM
+            vma.update(vma.anon, writable, vma.inode, vma.fpage)
+            self._drop_pte(proc, addr)
+            return 0
+        finally:
+            proc.mmap_sem.release_write()
+
+    def _pte_cell(self, proc: _Process, va: int):
+        cell = proc.ptes.get(va)
+        if cell is None:
+            line = self.mem.line(f"p{proc.pid}.pte{va}")
+            cell = line.cell("pte", None)
+            proc.ptes[va] = cell
+        return cell
+
+    def _drop_pte(self, proc: _Process, va: int) -> None:
+        self._pte_cell(proc, va).write(None)
+
+    def _anon_cell(self, proc: _Process, va: int):
+        cell = proc.anon_pages.get(va)
+        if cell is None:
+            line = self.mem.line(f"p{proc.pid}.anon{va}")
+            cell = line.cell("data", None)
+            proc.anon_pages[va] = cell
+        return cell
+
+    def _fault(self, proc: _Process, va: int):
+        """Page fault: reader-side mmap_sem (still writes the rwsem line)."""
+        proc.mmap_sem.acquire_read()
+        try:
+            vma = proc.vmas.get(va)
+            if vma is None:
+                return None
+            self._pte_cell(proc, va).write(("mapped", vma.anon))
+            return vma
+        finally:
+            proc.mmap_sem.release_read()
+
+    def memread(self, pid, addr):
+        proc = self._proc(pid)
+        if addr >= self._nva():
+            return "SIGSEGV"
+        pte = self._pte_cell(proc, addr).read()
+        vma = proc.vmas.get(addr) if pte is not None else self._fault(proc, addr)
+        if vma is None:
+            return "SIGSEGV"
+        if vma.anon:
+            value = self._anon_cell(proc, addr).read()
+            return ("data", value if value is not None else "zero")
+        ino = vma.inode
+        if vma.fpage >= ino.size.read():
+            return "SIGBUS"
+        return ("data", self._read_page(ino, vma.fpage))
+
+    def memwrite(self, pid, addr, data):
+        proc = self._proc(pid)
+        if addr >= self._nva():
+            return "SIGSEGV"
+        pte = self._pte_cell(proc, addr).read()
+        vma = proc.vmas.get(addr) if pte is not None else self._fault(proc, addr)
+        if vma is None:
+            return "SIGSEGV"
+        if not vma.writable:
+            return "SIGSEGV"
+        if vma.anon:
+            self._anon_cell(proc, addr).write(data)
+            return "ok"
+        ino = vma.inode
+        if vma.fpage >= ino.size.read():
+            return "SIGBUS"
+        ino.page_cell(vma.fpage).write(data)
+        return "ok"
+
+    # ------------------------------------------------------------------
+    # sockets: ordered single-queue datagram sockets
+
+    def socket(self, ordered=True):
+        sock = _MonoSocket(self.mem, len(self.sockets))
+        self.sockets.append(sock)
+        return len(self.sockets) - 1
+
+    def sendto(self, sock, message):
+        s = self.sockets[sock]
+        s.lock.acquire()
+        s.queue.append(message)
+        s.count.add(1)
+        s.lock.release()
+        return 1
+
+    def recvfrom(self, sock):
+        s = self.sockets[sock]
+        s.lock.acquire()
+        try:
+            if s.count.read() == 0:
+                return -errors.EAGAIN
+            s.count.add(-1)
+            return ("msg", s.queue.pop(0))
+        finally:
+            s.lock.release()
+
+    # ------------------------------------------------------------------
+    # process creation: fork/exec (posix_spawn = fork+exec here)
+
+    def fork(self, pid):
+        parent = self._proc(pid)
+        # pid allocation and task-list insertion serialize on shared lines.
+        self.tasklist_lock.acquire()
+        self.pid_counter.add(1)
+        self.nr_tasks.add(1)
+        self.tasklist_lock.release()
+        child_pid = self.create_process()
+        child = self._proc(child_pid)
+        # Snapshot the whole fd table (reads every slot, bumps every file
+        # refcount) — this is why fork commutes with almost nothing (§4).
+        parent.fd_lock.acquire()
+        for fd in range(parent.nfds):
+            file = parent.fd_slots[fd].read()
+            if file is not None:
+                file.refcount.add(1)
+                child.fd_slots[fd].write(file)
+        parent.fd_lock.release()
+        # Snapshot the address space under mmap_sem.
+        parent.mmap_sem.acquire_write()
+        for va, vma in parent.vmas.items():
+            vma.meta.read()
+            child.vmas[va] = _Vma(self.mem, child_pid, va, vma.anon,
+                                  vma.writable, vma.inode, vma.fpage)
+        parent.mmap_sem.release_write()
+        return child_pid
+
+    def exec(self, pid):
+        proc = self._proc(pid)
+        proc.mmap_sem.acquire_write()
+        for va in list(proc.vmas):
+            proc.vmas.pop(va).meta.write(None)
+            self._drop_pte(proc, va)
+        proc.mmap_sem.release_write()
+        return 0
+
+    def posix_spawn(self, pid):
+        """Linux has no first-class spawn: emulate with fork+exec."""
+        child = self.fork(pid)
+        self.exec(child)
+        return child
+
+    def exit(self, pid):
+        proc = self._proc(pid)
+        proc.fd_lock.acquire()
+        for fd in range(proc.nfds):
+            if proc.fd_slots[fd].read() is not None:
+                proc.fd_slots[fd].write(None)
+        proc.fd_lock.release()
+        self.tasklist_lock.acquire()
+        self.nr_tasks.add(-1)
+        self.tasklist_lock.release()
+        proc.status_cell.write("dead")
+        return 0
+
+    def wait(self, pid, child_pid):
+        self.tasklist_lock.acquire()
+        status = self._proc(child_pid).status_cell.read()
+        self.tasklist_lock.release()
+        return status
+
+    # ------------------------------------------------------------------
+    # setup installation (unrecorded)
+
+    def install(self, setup: ConcreteSetup) -> None:
+        recording = self.mem.recording
+        self.mem.recording = False
+        try:
+            self._install(setup)
+        finally:
+            self.mem.recording = recording
+
+    def _install(self, setup: ConcreteSetup) -> None:
+        for inum, spec in setup.inodes.items():
+            key = ("i", inum)
+            ino = self._make_inode(inum=key, nlink=spec.nlink)
+            ino.size.write(spec.length)
+            ino.mtime.write(spec.mtime)
+            ino.atime.write(spec.atime)
+            for page, byte in spec.pages.items():
+                ino.page_cell(page).write(byte)
+        for name, inum in setup.dir.items():
+            self.dcache[name] = _Dentry(self.mem, name, ("i", inum))
+        pipes = {}
+        for pipeid, pspec in setup.pipes.items():
+            pipe = _Pipe(self.mem)
+            pipe.nread.write(pspec.nread)
+            pipe.nwrite.write(pspec.nwrite)
+            pipe.count.write(pspec.nbytes)
+            for idx in range(pspec.head, pspec.head + pspec.nbytes):
+                pipe.queue.append(pspec.data.get(idx, "zero"))
+            pipes[pipeid] = pipe
+        while len(self.procs) < len(setup.procs):
+            self.create_process()
+        for pid, pspec in enumerate(setup.procs):
+            proc = self._proc(pid)
+            for fd, fspec in pspec.fds.items():
+                if fspec.kind == _KIND_FILE:
+                    file = _File(self.mem, _KIND_FILE,
+                                 self.inodes[("i", fspec.obj)], fspec.offset)
+                else:
+                    file = _File(self.mem, fspec.kind, pipes[fspec.obj])
+                proc.fd_slots[fd].write(file)
+            for va, vspec in pspec.vmas.items():
+                inode = None if vspec.anon else self.inodes[("i", vspec.inum)]
+                proc.vmas[va] = _Vma(self.mem, pid, va, vspec.anon,
+                                     vspec.writable, inode, vspec.fpage)
+                if vspec.anon:
+                    if vspec.page != "zero":
+                        self._anon_cell(proc, va).write(vspec.page)
+                        self._pte_cell(proc, va).write(("mapped", True))
+                else:
+                    # File pages are pre-faulted; fresh anonymous zero
+                    # mappings fault on first touch.
+                    self._pte_cell(proc, va).write(("mapped", False))
+
+
+class _MonoSocket:
+    def __init__(self, mem: Memory, index: int):
+        self.line = mem.line(f"sock{index}")
+        self.lock = SpinLock(mem, "s_lock", line=self.line)
+        self.count = self.line.cell("s_count", 0)
+        self.queue: list = []

@@ -1,0 +1,845 @@
+"""ScaleFsKernel: the sv6-shaped scalable kernel (ScaleFS + RadixVM).
+
+Implements the §6.3 technique catalog:
+
+* **Layer scalability** — directories are per-bucket-locked hash tables;
+  file pages and fd tables are radix arrays with one line per slot; the
+  address space is a RadixVM-style per-page radix.
+* **Defer work** — reference counts (file refs, nlink) and time counters
+  live in Refcache-style per-core deltas; inode numbers come from a
+  monotonic per-core counter and are never reused.
+* **Precede pessimism with optimism** — lseek returns early when the
+  offset is unchanged; write only locks the length when extending; rename
+  checks the destination before updating it.
+* **Don't read unless necessary** — an existence-only ``_name_exists``
+  path serves lookups that don't need the inode; reads of present pages
+  never consult the file length.
+
+§6.4's deliberate non-scalable residues are preserved: idempotent updates
+(two lseeks to the same new offset, same-address fixed mmaps, double
+fault-ins) still write; pipe end-counts stay on a shared line; same-fd
+reads share the offset word.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import errors
+from repro.kernels.base import Kernel, KernelError
+from repro.mtrace.memory import Memory
+from repro.primitives.hashtable import HashDir
+from repro.primitives.percpu import PerCoreCounter, PerCorePartition
+from repro.primitives.radix import RadixArray
+from repro.primitives.refcache import Refcache
+from repro.primitives.seqlock import SeqLock
+from repro.primitives.spinlock import SpinLock
+from repro.testgen.casegen import ConcreteSetup
+
+_KIND_FILE = 0
+_KIND_PIPE_R = 1
+_KIND_PIPE_W = 2
+
+
+class SharedCounter:
+    """A plain shared counter with the Refcache interface.
+
+    statbench's middle mode (§7.2): representing st_nlink as a single
+    shared cache line makes fstat cheap (one line) but makes link/unlink
+    serialize — "despite sharing only a single cache line, this seemingly
+    innocuous non-commutativity limits the implementation's scalability."
+    """
+
+    def __init__(self, mem: Memory, name: str, initial: int = 0):
+        # Own line, to isolate exactly the one-contended-line effect.
+        self._cell = mem.line(name).cell("count", initial)
+
+    def adjust(self, mem: Memory, delta: int) -> None:
+        self._cell.add(delta)
+
+    def read(self) -> int:
+        return self._cell.read()
+
+    def read_base(self) -> int:
+        return self._cell.read()
+
+
+class _Inode:
+    """Metadata spread across lines; counters are per-core deltas."""
+
+    def __init__(self, mem: Memory, inum, ncores: int,
+                 shared_nlink: bool = False):
+        self.inum = inum
+        self.len_line = mem.line(f"sfs.inode{inum}.len")
+        self.size = self.len_line.cell("len", 0)
+        self.len_lock = SpinLock(mem, "len_lock", line=self.len_line)
+        if shared_nlink:
+            self.nlink = SharedCounter(mem, f"sfs.inode{inum}.nlink")
+        else:
+            self.nlink = Refcache(mem, f"sfs.inode{inum}.nlink", ncores)
+        self.mtime = Refcache(mem, f"sfs.inode{inum}.mtime", ncores)
+        self.atime = Refcache(mem, f"sfs.inode{inum}.atime", ncores)
+        self.pages = RadixArray(mem, f"sfs.inode{inum}.pages")
+
+
+class _File:
+    """Per-open file: offset on its own line, references via Refcache."""
+
+    _next_id = 0
+
+    def __init__(self, mem: Memory, kind: int, obj, ncores: int,
+                 offset: int = 0):
+        _File._next_id += 1
+        line = mem.line(f"sfs.file{_File._next_id}")
+        self.offset = line.cell("f_pos", offset)
+        self.kind = kind
+        self.obj = obj
+        self.refs = Refcache(mem, f"sfs.file{_File._next_id}.ref", ncores, 1)
+
+
+class _Pipe:
+    """Head and tail on separate lines; end counts share one line — the
+    §6.4 pipe-refcount residue is deliberate."""
+
+    _next_id = 0
+
+    def __init__(self, mem: Memory, ncores: int):
+        _Pipe._next_id += 1
+        n = _Pipe._next_id
+        counts = mem.line(f"sfs.pipe{n}.counts")
+        self.nread = counts.cell("readers", 1)
+        self.nwrite = counts.cell("writers", 1)
+        self.head = mem.line(f"sfs.pipe{n}.head").cell("head", 0)
+        self.tail = mem.line(f"sfs.pipe{n}.tail").cell("tail", 0)
+        self.data = RadixArray(mem, f"sfs.pipe{n}.buf")
+
+
+class _Process:
+    def __init__(self, mem: Memory, pid: int, nfds: int, ncores: int):
+        self.pid = pid
+        self.nfds = nfds
+        self.fds = RadixArray(mem, f"sfs.p{pid}.fds")
+        self.fd_partition = PerCorePartition(
+            mem, f"sfs.p{pid}.fdpart", ncores, nfds
+        )
+        # RadixVM: per-page mapping and page-table slots.
+        self.vmas = RadixArray(mem, f"sfs.p{pid}.vma")
+        self.ptes = RadixArray(mem, f"sfs.p{pid}.pte")
+        self.anon_pages: dict[int, object] = {}
+        self.status_cell = mem.line(f"sfs.p{pid}.task").cell("status", "running")
+        self._mem = mem
+
+    def anon_cell(self, va: int):
+        cell = self.anon_pages.get(va)
+        if cell is None:
+            cell = self._mem.line(f"sfs.p{self.pid}.anon{va}").cell("data", None)
+            self.anon_pages[va] = cell
+        return cell
+
+
+class ScaleFsKernel(Kernel):
+    name = "scalefs (sv6-like)"
+
+    def __init__(self, mem: Memory, nfds: int = 64, ncores: int = 80,
+                 nbuckets: int = 64, nva: int = 64,
+                 shared_nlink: bool = False):
+        super().__init__(mem)
+        self.nfds = nfds
+        self.ncores = ncores
+        self.nva = nva
+        self.shared_nlink = shared_nlink
+        self.dir = HashDir(mem, "sfs.rootdir", nbuckets)
+        self.inodes: dict[object, _Inode] = {}
+        self.inum_alloc = PerCoreCounter(mem, "sfs.ialloc", ncores, start=100)
+        self.procs: list[_Process] = []
+        self.sockets: list[object] = []
+        # fork keeps POSIX's globally ordered pid/task bookkeeping (fork is
+        # inherently non-commutative, §4); posix_spawn allocates per-core.
+        tasks = mem.line("sfs.tasklist")
+        self.tasklist_lock = SpinLock(mem, "tasklist_lock", line=tasks)
+        self.pid_counter = tasks.cell("last_pid", 0)
+        self.pid_percore = PerCoreCounter(mem, "sfs.pidalloc", ncores)
+
+    # ------------------------------------------------------------------
+    # processes
+
+    def create_process(self) -> int:
+        pid = len(self.procs)
+        self.procs.append(_Process(self.mem, pid, self.nfds, self.ncores))
+        return pid
+
+    def _proc(self, pid: int) -> _Process:
+        if not (0 <= pid < len(self.procs)):
+            raise KernelError(f"bad pid {pid}")
+        return self.procs[pid]
+
+    # ------------------------------------------------------------------
+    # directory operations (hash table, per-bucket locks, no dentry refs)
+
+    def _name_exists(self, name: str) -> bool:
+        """Existence-only check: never touches the inode (§6.3, "don't
+        read unless necessary")."""
+        return self.dir.contains(name)
+
+    def _lookup(self, name: str) -> Optional[_Inode]:
+        inum = self.dir.get(name)
+        if inum is None:
+            return None
+        return self.inodes[inum]
+
+    def _make_inode(self, inum=None) -> _Inode:
+        if inum is None:
+            inum = self.inum_alloc.alloc(self.mem)
+        ino = _Inode(self.mem, inum, self.ncores,
+                     shared_nlink=self.shared_nlink)
+        self.inodes[inum] = ino
+        return ino
+
+    # ------------------------------------------------------------------
+    # fd table
+
+    def _fget(self, pid: int, fd: int) -> Optional[_File]:
+        proc = self._proc(pid)
+        if not (0 <= fd < proc.nfds):
+            return None
+        file = proc.fds.get(fd)
+        if file is None:
+            return None
+        file.refs.adjust(self.mem, 1)  # own-core delta: conflict-free
+        return file
+
+    def _fput(self, file: _File) -> None:
+        file.refs.adjust(self.mem, -1)
+
+    def _fd_alloc(self, proc: _Process, file: _File, anyfd: bool) -> Optional[int]:
+        if anyfd:
+            fd = proc.fd_partition.alloc(
+                self.mem, lambda i: proc.fds.contains(i)
+            )
+        else:
+            # Lowest fd: scan slots in order; touches only slots <= result.
+            fd = None
+            for candidate in range(proc.nfds):
+                if not proc.fds.contains(candidate):
+                    fd = candidate
+                    break
+        if fd is None:
+            return None
+        proc.fds.set(fd, file)
+        return fd
+
+    # ------------------------------------------------------------------
+    # file system calls
+
+    def open(self, pid, name, ocreat=False, oexcl=False, otrunc=False,
+             anyfd=False):
+        proc = self._proc(pid)
+        # Optimistic error checks first (§6.3: error returns need no
+        # update), then descriptor reservation, then side effects.
+        ino = self._lookup(name)
+        if ino is not None:
+            if ocreat and oexcl:
+                return -errors.EEXIST
+        else:
+            if not ocreat:
+                return -errors.ENOENT
+        if anyfd:
+            fd = proc.fd_partition.alloc(
+                self.mem, lambda i: proc.fds.contains(i)
+            )
+        else:
+            # Lowest fd: the scan touches only slots <= the result.
+            fd = None
+            for candidate in range(proc.nfds):
+                if not proc.fds.contains(candidate):
+                    fd = candidate
+                    break
+        if fd is None:
+            return -errors.EMFILE
+        if ino is not None:
+            if otrunc:
+                # Optimistic check before pessimistic update.
+                if ino.size.read() > 0:
+                    ino.len_lock.acquire()
+                    if ino.size.read() > 0:
+                        ino.size.write(0)
+                        ino.mtime.adjust(self.mem, 1)
+                    ino.len_lock.release()
+        else:
+            ino = self._make_inode()
+            ino.nlink.adjust(self.mem, 1)
+            self.dir.put(name, ino.inum)
+        file = _File(self.mem, _KIND_FILE, ino, self.ncores)
+        proc.fds.set(fd, file)
+        return fd
+
+    def link(self, old, new):
+        inum = self.dir.get(old)
+        if inum is None:
+            return -errors.ENOENT
+        if self._name_exists(new):
+            return -errors.EEXIST
+        self.dir.put(new, inum)
+        self.inodes[inum].nlink.adjust(self.mem, 1)
+        return 0
+
+    def unlink(self, name):
+        inum = self.dir.get(name)
+        if inum is None:
+            return -errors.ENOENT
+        self.dir.remove(name)
+        self.inodes[inum].nlink.adjust(self.mem, -1)
+        return 0
+
+    def rename(self, src, dst):
+        src_inum = self.dir.get(src)
+        if src_inum is None:
+            return -errors.ENOENT
+        if src == dst:
+            return 0
+        # Check the destination before updating it: when both names already
+        # point at the same inode only the source entry needs to change
+        # (§6.3's rename example).
+        dst_inum = self.dir.get(dst)
+        if dst_inum is not None:
+            self.inodes[dst_inum].nlink.adjust(self.mem, -1)
+        if dst_inum != src_inum:
+            self.dir.put(dst, src_inum)
+        self.dir.remove(src)
+        return 0
+
+    def _stat_tuple(self, ino: _Inode):
+        return ("stat", ino.inum, ino.nlink.read(), ino.size.read(),
+                ino.mtime.read(), ino.atime.read())
+
+    def stat(self, name):
+        ino = self._lookup(name)
+        if ino is None:
+            return -errors.ENOENT
+        return self._stat_tuple(ino)
+
+    def fstat(self, pid, fd):
+        file = self._fget(pid, fd)
+        if file is None:
+            return -errors.EBADF
+        try:
+            if file.kind != _KIND_FILE:
+                return ("stat-pipe",)
+            return self._stat_tuple(file.obj)
+        finally:
+            self._fput(file)
+
+    def fstatx(self, pid, fd, want_nlink):
+        file = self._fget(pid, fd)
+        if file is None:
+            return -errors.EBADF
+        try:
+            if file.kind != _KIND_FILE:
+                return ("stat-pipe",)
+            ino = file.obj
+            if want_nlink:
+                return self._stat_tuple(ino)
+            # Skipping st_nlink (and the time counters) skips every
+            # Refcache reconciliation — the whole point of fstatx (§7.2).
+            return ("statx", ino.inum, ino.size.read())
+        finally:
+            self._fput(file)
+
+    def lseek(self, pid, fd, offset, whence):
+        file = self._fget(pid, fd)
+        if file is None:
+            return -errors.EBADF
+        try:
+            if file.kind != _KIND_FILE:
+                return -errors.ESPIPE
+            current = file.offset.read()
+            if whence == 0:
+                new = offset
+            elif whence == 1:
+                new = current + offset
+            else:
+                new = file.obj.size.read() + offset
+            if new < 0:
+                return -errors.EINVAL
+            if new == current:
+                # Optimistic early return: no write, no conflict (§6.3).
+                return ("off", new)
+            file.offset.write(new)
+            return ("off", new)
+        finally:
+            self._fput(file)
+
+    def close(self, pid, fd):
+        proc = self._proc(pid)
+        if not (0 <= fd < proc.nfds):
+            return -errors.EBADF
+        file = proc.fds.get(fd)
+        if file is None:
+            return -errors.EBADF
+        proc.fds.remove(fd)
+        if file.kind == _KIND_PIPE_R:
+            file.obj.nread.add(-1)  # shared count: §6.4 residue
+        elif file.kind == _KIND_PIPE_W:
+            file.obj.nwrite.add(-1)
+        else:
+            file.refs.adjust(self.mem, -1)
+        return 0
+
+    def pipe(self, pid):
+        proc = self._proc(pid)
+        pipe = _Pipe(self.mem, self.ncores)
+        rfile = _File(self.mem, _KIND_PIPE_R, pipe, self.ncores)
+        wfile = _File(self.mem, _KIND_PIPE_W, pipe, self.ncores)
+        rfd = self._fd_alloc(proc, rfile, anyfd=False)
+        if rfd is None:
+            return -errors.EMFILE
+        wfd = self._fd_alloc(proc, wfile, anyfd=False)
+        if wfd is None:
+            proc.fds.remove(rfd)
+            return -errors.EMFILE
+        return ("pipe", rfd, wfd)
+
+    def read(self, pid, fd):
+        file = self._fget(pid, fd)
+        if file is None:
+            return -errors.EBADF
+        try:
+            if file.kind == _KIND_PIPE_W:
+                return -errors.EBADF
+            if file.kind == _KIND_PIPE_R:
+                pipe = file.obj
+                head = pipe.head.read()
+                tail = pipe.tail.read()
+                if head == tail:
+                    if pipe.nwrite.read() == 0:
+                        return 0
+                    return -errors.EAGAIN
+                value = pipe.data.get(head)
+                pipe.head.write(head + 1)
+                return ("data", value if value is not None else "zero")
+            ino = file.obj
+            offset = file.offset.read()
+            slot = ino.pages.slot(offset)
+            if slot.present.read():
+                # Page exists => within bounds: the radix array answers the
+                # bounds question without reading the length (§6.3).
+                value = slot.value.read()
+            else:
+                if offset >= ino.size.read():
+                    return 0  # EOF
+                value = "zero"  # hole
+            file.offset.write(offset + 1)
+            ino.atime.adjust(self.mem, 1)
+            return ("data", value)
+        finally:
+            self._fput(file)
+
+    def write(self, pid, fd, data):
+        file = self._fget(pid, fd)
+        if file is None:
+            return -errors.EBADF
+        try:
+            if file.kind == _KIND_PIPE_R:
+                return -errors.EBADF
+            if file.kind == _KIND_PIPE_W:
+                pipe = file.obj
+                if pipe.nread.read() == 0:
+                    return -errors.EPIPE
+                tail = pipe.tail.read()
+                pipe.data.set(tail, data)
+                pipe.tail.write(tail + 1)
+                return 1
+            ino = file.obj
+            offset = file.offset.read()
+            self._write_page(ino, offset, data)
+            file.offset.write(offset + 1)
+            ino.mtime.adjust(self.mem, 1)
+            return 1
+        finally:
+            self._fput(file)
+
+    def pread(self, pid, fd, pos):
+        file = self._fget(pid, fd)
+        if file is None:
+            return -errors.EBADF
+        try:
+            if pos < 0:
+                return -errors.EINVAL
+            if file.kind != _KIND_FILE:
+                return -errors.ESPIPE
+            ino = file.obj
+            slot = ino.pages.slot(pos)
+            if slot.present.read():
+                value = slot.value.read()
+            else:
+                if pos >= ino.size.read():
+                    return 0
+                value = "zero"
+            ino.atime.adjust(self.mem, 1)
+            return ("data", value)
+        finally:
+            self._fput(file)
+
+    def pwrite(self, pid, fd, pos, data):
+        file = self._fget(pid, fd)
+        if file is None:
+            return -errors.EBADF
+        try:
+            if pos < 0:
+                return -errors.EINVAL
+            if file.kind != _KIND_FILE:
+                return -errors.ESPIPE
+            ino = file.obj
+            self._write_page(ino, pos, data)
+            ino.mtime.adjust(self.mem, 1)
+            return 1
+        finally:
+            self._fput(file)
+
+    def _write_page(self, ino: _Inode, page: int, data) -> None:
+        slot = ino.pages.slot(page)
+        if slot.present.read():
+            # Overwrite within bounds: page slot only, no length access.
+            slot.value.write(data)
+            return
+        # Possible extension: optimistic length check, then locked update.
+        if page + 1 > ino.size.read():
+            ino.len_lock.acquire()
+            if page + 1 > ino.size.read():
+                ino.size.write(page + 1)
+            ino.len_lock.release()
+        slot.present.write(1)
+        slot.value.write(data)
+
+    # ------------------------------------------------------------------
+    # virtual memory: RadixVM
+
+    def _nva(self) -> int:
+        return self.nva
+
+    def mmap(self, pid, fixed, addr, anon, fd, fpage, writable):
+        proc = self._proc(pid)
+        inode = None
+        if not anon:
+            file = self._fget(pid, fd)
+            if file is None:
+                return -errors.EBADF
+            if file.kind != _KIND_FILE:
+                self._fput(file)
+                return -errors.EACCES
+            inode = file.obj
+            self._fput(file)
+        if fixed:
+            if addr >= self._nva():
+                return -errors.EINVAL
+            va = addr
+        else:
+            # Any unused address: allocate from a per-core region of the
+            # address space — conflict-free and commutative (§4).
+            va = None
+            core = self.mem.current_core
+            region = self._nva() // 4
+            base = (core % 4) * region
+            for probe in list(range(base, self._nva())) + list(range(0, base)):
+                if not proc.vmas.contains(probe):
+                    va = probe
+                    break
+            if va is None:
+                return -errors.ENOMEM
+        proc.vmas.set(va, (anon, writable, inode, fpage))
+        pte_slot = proc.ptes.slot(va)
+        if pte_slot.present.read():
+            pte_slot.present.write(0)
+            pte_slot.value.write(None)
+        return ("va", va)
+
+    def munmap(self, pid, addr):
+        proc = self._proc(pid)
+        if addr >= self._nva():
+            return -errors.EINVAL
+        slot = proc.vmas.slot(addr)
+        if slot.present.read():
+            slot.present.write(0)
+            slot.value.write(None)
+            # Targeted shootdown: RadixVM tracks which cores faulted the
+            # page and interrupts only those; the per-page PTE slot is the
+            # only shared state touched.
+            pte_slot = proc.ptes.slot(addr)
+            if pte_slot.present.read():
+                pte_slot.present.write(0)
+                pte_slot.value.write(None)
+        return 0
+
+    def mprotect(self, pid, addr, writable):
+        proc = self._proc(pid)
+        if addr >= self._nva():
+            return -errors.EINVAL
+        vma = proc.vmas.get(addr)
+        if vma is None:
+            return -errors.ENOMEM
+        anon, _, inode, fpage = vma
+        proc.vmas.set(addr, (anon, writable, inode, fpage))
+        pte_slot = proc.ptes.slot(addr)
+        if pte_slot.present.read():
+            pte_slot.present.write(0)
+            pte_slot.value.write(None)
+        return 0
+
+    def _resolve(self, proc: _Process, addr: int):
+        """Page lookup with a RadixVM-style per-page fault path."""
+        pte_slot = proc.ptes.slot(addr)
+        if pte_slot.present.read():
+            return proc.vmas.get(addr)
+        vma = proc.vmas.get(addr)
+        if vma is None:
+            return None
+        # Fault-in writes only this page's PTE slot: faults on different
+        # pages are conflict-free (the RadixVM property).
+        pte_slot.present.write(1)
+        pte_slot.value.write("mapped")
+        return vma
+
+    def memread(self, pid, addr):
+        proc = self._proc(pid)
+        if addr >= self._nva():
+            return "SIGSEGV"
+        vma = self._resolve(proc, addr)
+        if vma is None:
+            return "SIGSEGV"
+        anon, writable, inode, fpage = vma
+        if anon:
+            value = proc.anon_cell(addr).read()
+            return ("data", value if value is not None else "zero")
+        slot = inode.pages.slot(fpage)
+        if slot.present.read():
+            return ("data", slot.value.read())
+        if fpage >= inode.size.read():
+            return "SIGBUS"
+        return ("data", "zero")
+
+    def memwrite(self, pid, addr, data):
+        proc = self._proc(pid)
+        if addr >= self._nva():
+            return "SIGSEGV"
+        vma = self._resolve(proc, addr)
+        if vma is None:
+            return "SIGSEGV"
+        anon, writable, inode, fpage = vma
+        if not writable:
+            return "SIGSEGV"
+        if anon:
+            proc.anon_cell(addr).write(data)
+            return "ok"
+        slot = inode.pages.slot(fpage)
+        if not slot.present.read():
+            if fpage >= inode.size.read():
+                return "SIGBUS"
+        slot.present.write(1)
+        slot.value.write(data)
+        return "ok"
+
+    # ------------------------------------------------------------------
+    # sockets: ordered shared queue, or per-core queues with stealing
+
+    def socket(self, ordered=True):
+        if ordered:
+            sock = _OrderedSocket(self.mem, len(self.sockets))
+        else:
+            sock = _UnorderedSocket(self.mem, len(self.sockets), self.ncores)
+        self.sockets.append(sock)
+        return len(self.sockets) - 1
+
+    def sendto(self, sock, message):
+        return self.sockets[sock].send(self.mem, message)
+
+    def recvfrom(self, sock):
+        return self.sockets[sock].recv(self.mem)
+
+    # ------------------------------------------------------------------
+    # process creation
+
+    def fork(self, pid):
+        parent = self._proc(pid)
+        # Even sv6's fork carries fork's compound semantics: ordered pid
+        # allocation and an atomic snapshot of the whole process image,
+        # taken under the task lock (§4: "fork fails to commute with most
+        # other operations in the same process").
+        self.tasklist_lock.acquire()
+        self.pid_counter.add(1)
+        child_pid = self.create_process()
+        child = self._proc(child_pid)
+        for fd in range(parent.nfds):
+            file = parent.fds.get(fd)
+            if file is not None:
+                file.refs.adjust(self.mem, 1)
+                child.fds.set(fd, file)
+        for va in parent.vmas.known_indexes():
+            vma = parent.vmas.get(va)
+            if vma is not None:
+                child.vmas.set(va, vma)
+        self.tasklist_lock.release()
+        return child_pid
+
+    def exec(self, pid):
+        proc = self._proc(pid)
+        for va in proc.vmas.known_indexes():
+            if proc.vmas.get(va) is not None:
+                proc.vmas.remove(va)
+        return 0
+
+    def posix_spawn(self, pid, inherit_fds=(0, 1, 2)):
+        """First-class spawn: build the child image directly; only the
+        explicitly inherited descriptors are read (§4, §7.3)."""
+        parent = self._proc(pid)
+        self.pid_percore.alloc(self.mem)  # any unused pid: per-core
+        child_pid = self.create_process()
+        child = self._proc(child_pid)
+        for fd in inherit_fds:
+            if 0 <= fd < parent.nfds:
+                file = parent.fds.get(fd)
+                if file is not None:
+                    file.refs.adjust(self.mem, 1)
+                    child.fds.set(fd, file)
+        return child_pid
+
+    def exit(self, pid):
+        proc = self._proc(pid)
+        for fd in range(proc.nfds):
+            if proc.fds.peek_present(fd):
+                proc.fds.remove(fd)
+        proc.status_cell.write("dead")
+        return 0
+
+    def wait(self, pid, child_pid):
+        return self._proc(child_pid).status_cell.read()
+
+    # ------------------------------------------------------------------
+    # setup installation (unrecorded)
+
+    def install(self, setup: ConcreteSetup) -> None:
+        recording = self.mem.recording
+        self.mem.recording = False
+        try:
+            self._install(setup)
+        finally:
+            self.mem.recording = recording
+
+    def _install(self, setup: ConcreteSetup) -> None:
+        for inum, spec in setup.inodes.items():
+            ino = self._make_inode(inum=("i", inum))
+            ino.size.write(spec.length)
+            ino.nlink.adjust(self.mem, spec.nlink)
+            ino.mtime.adjust(self.mem, spec.mtime)
+            ino.atime.adjust(self.mem, spec.atime)
+            for page, byte in spec.pages.items():
+                ino.pages.set(page, byte)
+        for name, inum in setup.dir.items():
+            self.dir.put(name, ("i", inum))
+        pipes = {}
+        for pipeid, pspec in setup.pipes.items():
+            pipe = _Pipe(self.mem, self.ncores)
+            pipe.nread.write(pspec.nread)
+            pipe.nwrite.write(pspec.nwrite)
+            pipe.head.write(pspec.head)
+            pipe.tail.write(pspec.head + pspec.nbytes)
+            for idx in range(pspec.head, pspec.head + pspec.nbytes):
+                pipe.data.set(idx, pspec.data.get(idx, "zero"))
+            pipes[pipeid] = pipe
+        while len(self.procs) < len(setup.procs):
+            self.create_process()
+        for pid, pspec in enumerate(setup.procs):
+            proc = self._proc(pid)
+            for fd, fspec in pspec.fds.items():
+                if fspec.kind == _KIND_FILE:
+                    file = _File(self.mem, _KIND_FILE,
+                                 self.inodes[("i", fspec.obj)], self.ncores,
+                                 fspec.offset)
+                else:
+                    file = _File(self.mem, fspec.kind, pipes[fspec.obj],
+                                 self.ncores)
+                proc.fds.set(fd, file)
+            for va, vspec in pspec.vmas.items():
+                inode = None if vspec.anon else self.inodes[("i", vspec.inum)]
+                proc.vmas.set(va, (vspec.anon, vspec.writable, inode,
+                                   vspec.fpage))
+                if vspec.anon:
+                    if vspec.page != "zero":
+                        proc.anon_cell(va).write(vspec.page)
+                        pte = proc.ptes.slot(va)
+                        pte.present.write(1)
+                        pte.value.write("mapped")
+                else:
+                    pte = proc.ptes.slot(va)
+                    pte.present.write(1)
+                    pte.value.write("mapped")
+
+
+class _OrderedSocket:
+    """Single shared FIFO (what POSIX ordering forces, §4).
+
+    The message payload is copied in/out of the queue while the lock is
+    held, so the critical section — not just the lock word — serializes.
+    """
+
+    _COPY_UNITS = 4  # cache lines copied per datagram
+
+    def __init__(self, mem: Memory, index: int):
+        self.line = mem.line(f"sfs.sock{index}")
+        self.lock = SpinLock(mem, "s_lock", line=self.line)
+        self.count = self.line.cell("s_count", 0)
+        self.payload = self.line.cell("s_payload", None)
+        self.queue: list = []
+
+    def send(self, mem: Memory, message) -> int:
+        self.lock.acquire()
+        for _ in range(self._COPY_UNITS):
+            self.payload.write(message)
+        self.queue.append(message)
+        self.count.add(1)
+        self.lock.release()
+        return 1
+
+    def recv(self, mem: Memory):
+        self.lock.acquire()
+        try:
+            if self.count.read() == 0:
+                return -errors.EAGAIN
+            for _ in range(self._COPY_UNITS):
+                self.payload.read()
+            self.count.add(-1)
+            return ("msg", self.queue.pop(0))
+        finally:
+            self.lock.release()
+
+
+class _UnorderedSocket:
+    """Per-core sub-queues with load-balancing steals (§7.3: sv6
+    implements unordered datagram sockets with per-core message queues)."""
+
+    def __init__(self, mem: Memory, index: int, ncores: int):
+        self.ncores = ncores
+        self.counts = []
+        self.queues: list[list] = []
+        for core in range(ncores):
+            line = mem.line(f"sfs.sock{index}.q{core}")
+            self.counts.append(line.cell("count", 0))
+            self.queues.append([])
+
+    def send(self, mem: Memory, message) -> int:
+        core = mem.current_core
+        self.queues[core].append(message)
+        self.counts[core].add(1)
+        return 1
+
+    def recv(self, mem: Memory):
+        core = mem.current_core
+        # Own queue first: conflict-free when traffic is balanced.
+        if self.counts[core].read() > 0:
+            self.counts[core].add(-1)
+            return ("msg", self.queues[core].pop(0))
+        for probe in range(1, self.ncores):
+            victim = (core + probe) % self.ncores
+            if self.counts[victim].read() > 0:
+                self.counts[victim].add(-1)
+                return ("msg", self.queues[victim].pop(0))
+        return -errors.EAGAIN

@@ -1,0 +1,45 @@
+"""Symbolic POSIX model — the input to COMMUTER (§6.1 of the paper).
+
+The model covers 18 system calls over a state with inodes, file names, file
+descriptors and offsets, hard links, link counts, file lengths, file
+contents, file times, pipes, memory-mapped files, anonymous memory and
+processes.  Like the paper's model it restricts file sizes and offsets to
+page granularity and uses a single directory (the paper disables nested
+directories because of solver limits; see DESIGN.md).
+"""
+
+from repro.model.base import (
+    DATABYTE,
+    FILENAME,
+    MAX_FILE_PAGES,
+    NFD,
+    NPROCS,
+    NVA,
+    OpDef,
+    Param,
+    ZERO_BYTE,
+)
+from repro.model.posix import (
+    POSIX_EXT_OPS,
+    POSIX_OPS,
+    PosixState,
+    op_by_name,
+    posix_state_equal,
+)
+
+__all__ = [
+    "DATABYTE",
+    "FILENAME",
+    "MAX_FILE_PAGES",
+    "NFD",
+    "NPROCS",
+    "NVA",
+    "OpDef",
+    "Param",
+    "ZERO_BYTE",
+    "POSIX_EXT_OPS",
+    "POSIX_OPS",
+    "PosixState",
+    "op_by_name",
+    "posix_state_equal",
+]

@@ -1,0 +1,146 @@
+"""Shared model vocabulary: sorts, bounds, and operation definitions.
+
+The bounds play the role of Z3 finitization in the original Commuter: the
+paper restricts offsets to page granularity and disables nested directories
+to keep constraints tractable; we additionally bound file descriptors,
+virtual pages and file lengths to small ranges.  Commutativity conditions
+are not weakened by the bounds — they only limit how many isomorphism-
+distinct test cases TESTGEN can instantiate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.symbolic import terms as T
+from repro.symbolic.engine import Executor
+from repro.symbolic.symtypes import SBool, SInt, SRef, VarFactory
+
+FILENAME = T.uninterpreted_sort("Filename")
+DATABYTE = T.uninterpreted_sort("DataByte")
+
+#: The content of a file hole / freshly mapped anonymous page.
+ZERO_BYTE = SRef(T.uval(DATABYTE, 0))
+
+NPROCS = 2        # processes the model world contains
+NFD = 3           # valid fd numbers are 0..NFD-1
+NVA = 3           # valid virtual page numbers are 0..NVA-1
+MAX_FILE_PAGES = 3  # file lengths are 0..MAX_FILE_PAGES pages
+
+# lseek whence values.
+SEEK_SET = 0
+SEEK_CUR = 1
+SEEK_END = 2
+
+# fd-entry kinds (concrete integers so model code can branch).
+KIND_FILE = 0
+KIND_PIPE_R = 1
+KIND_PIPE_W = 2
+
+
+class Param:
+    """One symbolic operation argument.
+
+    ``kind`` selects both the symbolic construction and the isomorphism
+    group TESTGEN places the argument in:
+
+    ========== ============================================================
+    kind       meaning
+    ========== ============================================================
+    filename   uninterpreted ``Filename`` value
+    byte       uninterpreted ``DataByte`` value (one page of data)
+    fd         integer in ``0..NFD`` (NFD itself exercises EBADF)
+    pid        integer in ``0..NPROCS-1``
+    offset     integer in ``-1..MAX_FILE_PAGES`` (page-granular)
+    page       integer in ``0..MAX_FILE_PAGES-1`` (file page index)
+    addr       integer in ``0..NVA`` (NVA itself exercises EINVAL)
+    whence     integer in ``0..2`` (SEEK_SET/CUR/END)
+    bool       boolean flag
+    ========== ============================================================
+    """
+
+    def __init__(self, name: str, kind: str):
+        self.name = name
+        self.kind = kind
+
+    def make(self, factory: VarFactory):
+        ex = Executor.current()
+        if self.kind == "filename":
+            return factory.fresh_ref(self.name, FILENAME)
+        if self.kind == "byte":
+            return factory.fresh_ref(self.name, DATABYTE)
+        if self.kind == "bool":
+            return factory.fresh_bool(self.name)
+        value = factory.fresh_int(self.name)
+        lo, hi = self.int_range()
+        ex.assume(T.le(T.const(lo), value.term))
+        ex.assume(T.le(value.term, T.const(hi)))
+        return value
+
+    def int_range(self) -> tuple[int, int]:
+        ranges = {
+            "fd": (0, NFD),
+            "pid": (0, NPROCS - 1),
+            "offset": (-1, MAX_FILE_PAGES),
+            "page": (0, MAX_FILE_PAGES - 1),
+            "addr": (0, NVA),
+            "whence": (0, 2),
+        }
+        if self.kind not in ranges:
+            raise ValueError(f"parameter kind {self.kind!r} has no int range")
+        return ranges[self.kind]
+
+    def __repr__(self) -> str:
+        return f"Param({self.name}:{self.kind})"
+
+
+class OpDef:
+    """A model operation: a name, parameters, and a symbolic body.
+
+    The body is called as ``fn(state, ex, rt, **args)`` where ``rt`` is the
+    per-invocation :class:`VarFactory` used for nondeterministic allocations
+    (fresh inode numbers, pipe ids, mmap addresses).  ANALYZER resets ``rt``
+    before each invocation so both permutations of a pair draw identical
+    variables for corresponding allocations — this is how "states can be
+    equivalent for some choice of nondeterministic values" (§5.1) is
+    realized.
+    """
+
+    def __init__(self, name: str, params: list[Param], fn: Callable):
+        self.name = name
+        self.params = params
+        self.fn = fn
+
+    def make_args(self, factory: VarFactory) -> dict:
+        return {p.name: p.make(factory) for p in self.params}
+
+    def execute(self, state, args: dict, rt: VarFactory):
+        ex = Executor.current()
+        return self.fn(state, ex, rt, **args)
+
+    def __repr__(self) -> str:
+        return f"OpDef({self.name})"
+
+
+def defop(registry: list, name: str, *params: Param):
+    """Decorator registering a model operation in ``registry``."""
+
+    def register(fn):
+        registry.append(OpDef(name, list(params), fn))
+        return fn
+
+    return register
+
+
+def lowest_free_fd(fds, start: int = 0) -> Optional[int]:
+    """POSIX's "lowest available fd" rule over a symbolic fd table.
+
+    Forks on the presence of each candidate; returns the first free fd
+    number or None when the table is full (EMFILE).  This determinism is
+    exactly what makes same-process fd allocations non-commutative (§4,
+    "embrace specification non-determinism").
+    """
+    for fd in range(start, NFD):
+        if not fds.contains(fd):
+            return fd
+    return None

@@ -1,0 +1,518 @@
+"""File-system half of the POSIX model: state and 13 system calls.
+
+The state follows the paper's Figure 4, extended to the full §6.1 model:
+a single directory mapping file names to inode numbers, an inode map with
+link counts, page-granular lengths, page contents and time counters, pipes,
+and per-process file-descriptor tables.
+
+Design notes (see DESIGN.md §5 for rationale):
+
+* File times are modeled as version counters: ``write`` bumps ``mtime``,
+  a data-returning ``read`` bumps ``atime``.  This reproduces §4's
+  observation that ``stat`` does not commute even with ``read``.
+* File holes read as :data:`~repro.model.base.ZERO_BYTE`; state equivalence
+  compares page content only below the file length, so states differing in
+  unreachable pages are (correctly) indistinguishable.
+* Fresh inode numbers and pipe ids come from the per-invocation ``rt``
+  factory and are only constrained to be unused — specification
+  nondeterminism per §4 ("creat can assign any unused inode number").
+"""
+
+from __future__ import annotations
+
+from repro import errors
+from repro.model.base import (
+    DATABYTE,
+    FILENAME,
+    KIND_FILE,
+    KIND_PIPE_R,
+    KIND_PIPE_W,
+    MAX_FILE_PAGES,
+    NFD,
+    NPROCS,
+    SEEK_CUR,
+    SEEK_END,
+    SEEK_SET,
+    ZERO_BYTE,
+    OpDef,
+    Param,
+    defop,
+    lowest_free_fd,
+)
+from repro.symbolic import terms as T
+from repro.symbolic.engine import Executor
+from repro.symbolic.symtypes import SInt, SymMap, SymStruct, VarFactory
+
+FS_OPS: list[OpDef] = []
+
+_MAX_INUM = 8
+_MAX_NLINK = 6
+
+
+class PosixState:
+    """The symbolic world state shared by all 18 modeled calls."""
+
+    def __init__(self, factory: VarFactory):
+        self._factory = factory
+        self.inodes = SymMap.any(
+            factory, "inodes", T.INT, lambda n: make_inode(factory, n)
+        )
+        self.fname_to_inum = SymMap.any(
+            factory, "dir", FILENAME, lambda n: self._make_dirent(n)
+        )
+        self.pipes = SymMap.any(
+            factory, "pipes", T.INT, lambda n: make_pipe(factory, n)
+        )
+        self.procs = [make_proc(factory, i) for i in range(NPROCS)]
+        # Pre-created empty maps handed out to freshly allocated objects
+        # (new files, new pipes).  Copies of this state share the pool
+        # entries' bases, so objects allocated by corresponding operations
+        # in different permutations remain directly comparable.
+        self._pool = [
+            SymMap.empty(factory, f"pool{j}", T.INT) for j in range(8)
+        ]
+        self._pool_next = 0
+
+    def _make_dirent(self, name: str) -> SInt:
+        ex = Executor.current()
+        inum = self._factory.fresh_int(name)
+        ex.assume(T.le(T.const(0), inum.term))
+        ex.assume(T.le(inum.term, T.const(_MAX_INUM)))
+        return inum
+
+    def alloc_data_map(self) -> SymMap:
+        if self._pool_next >= len(self._pool):
+            raise RuntimeError("data-map pool exhausted; enlarge the pool")
+        m = self._pool[self._pool_next]
+        self._pool_next += 1
+        return m
+
+    def copy(self) -> "PosixState":
+        new = object.__new__(PosixState)
+        new._factory = self._factory
+        new.inodes = self.inodes.copy()
+        new.fname_to_inum = self.fname_to_inum.copy()
+        new.pipes = self.pipes.copy()
+        new.procs = [p.copy() for p in self.procs]
+        new._pool = [m.copy() for m in self._pool]
+        new._pool_next = self._pool_next
+        return new
+
+
+def make_inode(factory: VarFactory, name: str) -> SymStruct:
+    ex = Executor.current()
+    nlink = factory.fresh_int(f"{name}.nlink")
+    length = factory.fresh_int(f"{name}.len")
+    mtime = factory.fresh_int(f"{name}.mtime")
+    atime = factory.fresh_int(f"{name}.atime")
+    ex.assume(T.le(T.const(0), nlink.term))
+    ex.assume(T.le(nlink.term, T.const(_MAX_NLINK)))
+    ex.assume(T.le(T.const(0), length.term))
+    ex.assume(T.le(length.term, T.const(MAX_FILE_PAGES)))
+    for t in (mtime, atime):
+        ex.assume(T.le(T.const(0), t.term))
+        ex.assume(T.le(t.term, T.const(3)))
+    data = SymMap.any(
+        factory, f"{name}.data", T.INT,
+        lambda n: factory.fresh_ref(n, DATABYTE),
+    )
+    return SymStruct(nlink=nlink, len=length, mtime=mtime, atime=atime, data=data)
+
+
+def make_pipe(factory: VarFactory, name: str) -> SymStruct:
+    ex = Executor.current()
+    head = factory.fresh_int(f"{name}.head")
+    nbytes = factory.fresh_int(f"{name}.nbytes")
+    nread = factory.fresh_int(f"{name}.nread")
+    nwrite = factory.fresh_int(f"{name}.nwrite")
+    for v, hi in ((head, 2), (nbytes, 2), (nread, 3), (nwrite, 3)):
+        ex.assume(T.le(T.const(0), v.term))
+        ex.assume(T.le(v.term, T.const(hi)))
+    data = SymMap.any(
+        factory, f"{name}.data", T.INT,
+        lambda n: factory.fresh_ref(n, DATABYTE),
+    )
+    return SymStruct(head=head, nbytes=nbytes, nread=nread, nwrite=nwrite, data=data)
+
+
+def make_fd_entry(factory: VarFactory, name: str) -> SymStruct:
+    ex = Executor.current()
+    kind = factory.fresh_int(f"{name}.kind")
+    obj = factory.fresh_int(f"{name}.obj")
+    offset = factory.fresh_int(f"{name}.off")
+    ex.assume(T.le(T.const(0), kind.term))
+    ex.assume(T.le(kind.term, T.const(2)))
+    ex.assume(T.le(T.const(0), obj.term))
+    ex.assume(T.le(obj.term, T.const(_MAX_INUM)))
+    ex.assume(T.le(T.const(0), offset.term))
+    ex.assume(T.le(offset.term, T.const(MAX_FILE_PAGES)))
+    return SymStruct(kind=kind, obj=obj, offset=offset)
+
+
+def make_mapping(factory: VarFactory, name: str) -> SymStruct:
+    ex = Executor.current()
+    inum = factory.fresh_int(f"{name}.inum")
+    fpage = factory.fresh_int(f"{name}.fpage")
+    ex.assume(T.le(T.const(0), inum.term))
+    ex.assume(T.le(inum.term, T.const(_MAX_INUM)))
+    ex.assume(T.le(T.const(0), fpage.term))
+    ex.assume(T.le(fpage.term, T.const(MAX_FILE_PAGES - 1)))
+    return SymStruct(
+        anon=factory.fresh_bool(f"{name}.anon"),
+        writable=factory.fresh_bool(f"{name}.writable"),
+        inum=inum,
+        fpage=fpage,
+        page=factory.fresh_ref(f"{name}.page", DATABYTE),
+    )
+
+
+def make_proc(factory: VarFactory, index: int) -> SymStruct:
+    return SymStruct(
+        fds=SymMap.any(
+            factory, f"p{index}.fds", T.INT,
+            lambda n: make_fd_entry(factory, n),
+        ),
+        vmas=SymMap.any(
+            factory, f"p{index}.vm", T.INT,
+            lambda n: make_mapping(factory, n),
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+
+
+def concretize_pid(pid) -> int:
+    if isinstance(pid, int):
+        return pid
+    return pid.concretize(range(NPROCS))
+
+
+def fd_kind(entry) -> int:
+    k = entry.kind
+    if isinstance(k, int):
+        return k
+    return k.concretize((KIND_FILE, KIND_PIPE_R, KIND_PIPE_W))
+
+
+def fd_lookup(state: PosixState, pid: int, fd):
+    """The fd-table lookup every fd-taking call starts with (or None=EBADF)."""
+    proc = state.procs[pid]
+    if fd >= NFD:
+        return None
+    if not proc.fds.contains(fd):
+        return None
+    return proc.fds[fd]
+
+
+def get_inode(state: PosixState, ex, inum) -> SymStruct:
+    """Fetch an inode that the fs invariants say must exist."""
+    return state.inodes.require(inum)
+
+
+def linked_inode(state: PosixState, ex, inum) -> SymStruct:
+    """An inode reached through a directory entry has at least one link."""
+    ino = state.inodes.require(inum)
+    nlink = ino.nlink
+    if not isinstance(nlink, int):
+        ex.assume(T.le(T.const(1), nlink.term))
+    return ino
+
+
+def page_or_zero(ino: SymStruct, page):
+    """A file page's content; holes read as the zero page."""
+    if ino.data.contains(page):
+        return ino.data[page]
+    return ZERO_BYTE
+
+
+def assume_at_least(ex, value, minimum: int) -> None:
+    """Constrain a counter to be >= minimum (fs invariant, not a fork)."""
+    if isinstance(value, int):
+        if value < minimum:
+            ex.assume(False)
+        return
+    ex.assume(T.le(T.const(minimum), value.term))
+
+
+def new_inode(state: PosixState) -> SymStruct:
+    return SymStruct(
+        nlink=1, len=0, mtime=0, atime=0, data=state.alloc_data_map()
+    )
+
+
+def alloc_inum(state: PosixState, ex, rt: VarFactory) -> SInt:
+    """Any unused inode number (specification nondeterminism, §4)."""
+    inum = rt.fresh_int("ialloc")
+    ex.assume(T.le(T.const(0), inum.term))
+    ex.assume(T.le(inum.term, T.const(_MAX_INUM)))
+    state.inodes.require_absent(inum)
+    return inum
+
+
+# ----------------------------------------------------------------------
+# System calls
+
+
+@defop(FS_OPS, "open",
+       Param("pid", "pid"), Param("name", "filename"),
+       Param("ocreat", "bool"), Param("oexcl", "bool"), Param("otrunc", "bool"))
+def sys_open(s, ex, rt, pid, name, ocreat, oexcl, otrunc):
+    # Order of checks: optimistic error returns first (no update needed,
+    # §6.3), then descriptor reservation, then side effects — so a full
+    # table fails with EMFILE without creating or truncating anything.
+    pid = concretize_pid(pid)
+    proc = s.procs[pid]
+    exists = s.fname_to_inum.contains(name)
+    if exists:
+        if ocreat & oexcl:
+            return -errors.EEXIST
+    else:
+        if not ocreat:
+            return -errors.ENOENT
+    fd = lowest_free_fd(proc.fds)
+    if fd is None:
+        return -errors.EMFILE
+    if exists:
+        inum = s.fname_to_inum[name]
+        ino = linked_inode(s, ex, inum)
+        if otrunc:
+            if ino.len > 0:
+                ino.len = 0
+                ino.mtime = ino.mtime + 1
+    else:
+        inum = alloc_inum(s, ex, rt)
+        s.inodes[inum] = new_inode(s)
+        s.fname_to_inum[name] = inum
+    proc.fds[fd] = SymStruct(kind=KIND_FILE, obj=inum, offset=0)
+    return fd
+
+
+@defop(FS_OPS, "link", Param("old", "filename"), Param("new", "filename"))
+def sys_link(s, ex, rt, old, new):
+    if not s.fname_to_inum.contains(old):
+        return -errors.ENOENT
+    if s.fname_to_inum.contains(new):
+        return -errors.EEXIST
+    inum = s.fname_to_inum[old]
+    ino = linked_inode(s, ex, inum)
+    s.fname_to_inum[new] = inum
+    ino.nlink = ino.nlink + 1
+    return 0
+
+
+@defop(FS_OPS, "unlink", Param("name", "filename"))
+def sys_unlink(s, ex, rt, name):
+    if not s.fname_to_inum.contains(name):
+        return -errors.ENOENT
+    inum = s.fname_to_inum[name]
+    ino = linked_inode(s, ex, inum)
+    del s.fname_to_inum[name]
+    ino.nlink = ino.nlink - 1
+    return 0
+
+
+@defop(FS_OPS, "rename", Param("src", "filename"), Param("dst", "filename"))
+def sys_rename(s, ex, rt, src, dst):
+    # This is the paper's Figure 4 model, with the fs invariants made
+    # explicit via linked_inode.
+    if not s.fname_to_inum.contains(src):
+        return -errors.ENOENT
+    if src == dst:
+        return 0
+    if s.fname_to_inum.contains(dst):
+        victim = linked_inode(s, ex, s.fname_to_inum[dst])
+        victim.nlink = victim.nlink - 1
+    s.fname_to_inum[dst] = s.fname_to_inum[src]
+    del s.fname_to_inum[src]
+    return 0
+
+
+def _stat_tuple(ino: SymStruct, inum):
+    return ("stat", inum, ino.nlink, ino.len, ino.mtime, ino.atime)
+
+
+@defop(FS_OPS, "stat", Param("name", "filename"))
+def sys_stat(s, ex, rt, name):
+    if not s.fname_to_inum.contains(name):
+        return -errors.ENOENT
+    inum = s.fname_to_inum[name]
+    ino = linked_inode(s, ex, inum)
+    return _stat_tuple(ino, inum)
+
+
+@defop(FS_OPS, "fstat", Param("pid", "pid"), Param("fd", "fd"))
+def sys_fstat(s, ex, rt, pid, fd):
+    pid = concretize_pid(pid)
+    entry = fd_lookup(s, pid, fd)
+    if entry is None:
+        return -errors.EBADF
+    if fd_kind(entry) != KIND_FILE:
+        return ("stat-pipe",)
+    ino = get_inode(s, ex, entry.obj)
+    return _stat_tuple(ino, entry.obj)
+
+
+@defop(FS_OPS, "lseek",
+       Param("pid", "pid"), Param("fd", "fd"),
+       Param("offset", "offset"), Param("whence", "whence"))
+def sys_lseek(s, ex, rt, pid, fd, offset, whence):
+    pid = concretize_pid(pid)
+    entry = fd_lookup(s, pid, fd)
+    if entry is None:
+        return -errors.EBADF
+    if fd_kind(entry) != KIND_FILE:
+        return -errors.ESPIPE
+    whence = whence if isinstance(whence, int) else whence.concretize((0, 1, 2))
+    if whence == SEEK_SET:
+        new = offset
+    elif whence == SEEK_CUR:
+        new = entry.offset + offset
+    else:  # SEEK_END
+        ino = get_inode(s, ex, entry.obj)
+        new = ino.len + offset
+    if new < 0:
+        return -errors.EINVAL
+    entry.offset = new
+    return ("off", new)
+
+
+@defop(FS_OPS, "close", Param("pid", "pid"), Param("fd", "fd"))
+def sys_close(s, ex, rt, pid, fd):
+    pid = concretize_pid(pid)
+    entry = fd_lookup(s, pid, fd)
+    if entry is None:
+        return -errors.EBADF
+    kind = fd_kind(entry)
+    if kind == KIND_PIPE_R:
+        p = s.pipes.require(entry.obj)
+        assume_at_least(ex, p.nread, 1)
+        p.nread = p.nread - 1
+    elif kind == KIND_PIPE_W:
+        p = s.pipes.require(entry.obj)
+        assume_at_least(ex, p.nwrite, 1)
+        p.nwrite = p.nwrite - 1
+    del s.procs[pid].fds[fd]
+    return 0
+
+
+@defop(FS_OPS, "pipe", Param("pid", "pid"))
+def sys_pipe(s, ex, rt, pid):
+    pid = concretize_pid(pid)
+    fds = s.procs[pid].fds
+    rfd = lowest_free_fd(fds)
+    if rfd is None:
+        return -errors.EMFILE
+    wfd = None
+    for cand in range(rfd + 1, NFD):
+        if not fds.contains(cand):
+            wfd = cand
+            break
+    if wfd is None:
+        return -errors.EMFILE
+    pipeid = rt.fresh_int("palloc")
+    ex.assume(T.le(T.const(0), pipeid.term))
+    ex.assume(T.le(pipeid.term, T.const(_MAX_INUM)))
+    s.pipes.require_absent(pipeid)
+    s.pipes[pipeid] = SymStruct(
+        head=0, nbytes=0, nread=1, nwrite=1, data=s.alloc_data_map()
+    )
+    fds[rfd] = SymStruct(kind=KIND_PIPE_R, obj=pipeid, offset=0)
+    fds[wfd] = SymStruct(kind=KIND_PIPE_W, obj=pipeid, offset=0)
+    return ("pipe", rfd, wfd)
+
+
+@defop(FS_OPS, "read", Param("pid", "pid"), Param("fd", "fd"))
+def sys_read(s, ex, rt, pid, fd):
+    pid = concretize_pid(pid)
+    entry = fd_lookup(s, pid, fd)
+    if entry is None:
+        return -errors.EBADF
+    kind = fd_kind(entry)
+    if kind == KIND_PIPE_W:
+        return -errors.EBADF
+    if kind == KIND_PIPE_R:
+        p = s.pipes.require(entry.obj)
+        assume_at_least(ex, p.nread, 1)
+        if p.nbytes == 0:
+            if p.nwrite == 0:
+                return 0  # EOF: no write ends remain
+            return -errors.EAGAIN  # the model never blocks
+        value = p.data.get(p.head, ZERO_BYTE)
+        p.head = p.head + 1
+        p.nbytes = p.nbytes - 1
+        return ("data", value)
+    ino = get_inode(s, ex, entry.obj)
+    if entry.offset >= ino.len:
+        return 0  # EOF
+    value = page_or_zero(ino, entry.offset)
+    entry.offset = entry.offset + 1
+    ino.atime = ino.atime + 1
+    return ("data", value)
+
+
+@defop(FS_OPS, "write",
+       Param("pid", "pid"), Param("fd", "fd"), Param("data", "byte"))
+def sys_write(s, ex, rt, pid, fd, data):
+    pid = concretize_pid(pid)
+    entry = fd_lookup(s, pid, fd)
+    if entry is None:
+        return -errors.EBADF
+    kind = fd_kind(entry)
+    if kind == KIND_PIPE_R:
+        return -errors.EBADF
+    if kind == KIND_PIPE_W:
+        p = s.pipes.require(entry.obj)
+        assume_at_least(ex, p.nwrite, 1)
+        if p.nread == 0:
+            return -errors.EPIPE
+        p.data[p.head + p.nbytes] = data
+        p.nbytes = p.nbytes + 1
+        return 1
+    ino = get_inode(s, ex, entry.obj)
+    ino.data[entry.offset] = data
+    entry.offset = entry.offset + 1
+    if entry.offset > ino.len:
+        ino.len = entry.offset
+    ino.mtime = ino.mtime + 1
+    return 1
+
+
+@defop(FS_OPS, "pread",
+       Param("pid", "pid"), Param("fd", "fd"), Param("pos", "offset"))
+def sys_pread(s, ex, rt, pid, fd, pos):
+    pid = concretize_pid(pid)
+    entry = fd_lookup(s, pid, fd)
+    if entry is None:
+        return -errors.EBADF
+    if pos < 0:
+        return -errors.EINVAL
+    if fd_kind(entry) != KIND_FILE:
+        return -errors.ESPIPE
+    ino = get_inode(s, ex, entry.obj)
+    if pos >= ino.len:
+        return 0
+    value = page_or_zero(ino, pos)
+    ino.atime = ino.atime + 1
+    return ("data", value)
+
+
+@defop(FS_OPS, "pwrite",
+       Param("pid", "pid"), Param("fd", "fd"),
+       Param("pos", "offset"), Param("data", "byte"))
+def sys_pwrite(s, ex, rt, pid, fd, pos, data):
+    pid = concretize_pid(pid)
+    entry = fd_lookup(s, pid, fd)
+    if entry is None:
+        return -errors.EBADF
+    if pos < 0:
+        return -errors.EINVAL
+    if fd_kind(entry) != KIND_FILE:
+        return -errors.ESPIPE
+    ino = get_inode(s, ex, entry.obj)
+    ino.data[pos] = data
+    if pos + 1 > ino.len:
+        ino.len = pos + 1
+    ino.mtime = ino.mtime + 1
+    return 1

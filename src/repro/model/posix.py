@@ -1,0 +1,235 @@
+"""The assembled 18-call POSIX model, its state equivalence, and the §4
+commutative API extensions (fstatx, O_ANYFD open).
+
+State equivalence implements what §5.1 asks of the model author: "to define
+state equivalence as whether two states are externally indistinguishable."
+Concretely:
+
+* file data compares only below the file length (truncated/stale pages are
+  unreachable through the interface);
+* pipe buffers compare only the live region between head and tail;
+* file mappings ignore the anonymous-content field, anonymous mappings
+  ignore the file fields.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro import errors
+from repro.model import base
+from repro.model.base import KIND_FILE, NFD, OpDef, Param, ZERO_BYTE, defop
+from repro.model.fs import (
+    FS_OPS,
+    PosixState,
+    _stat_tuple,
+    alloc_inum,
+    concretize_pid,
+    fd_kind,
+    fd_lookup,
+    get_inode,
+    linked_inode,
+    new_inode,
+)
+from repro.model.vm import VM_OPS
+from repro.symbolic import terms as T
+from repro.symbolic.engine import Executor
+from repro.symbolic.symtypes import SymMap, SymStruct, values_equal
+
+#: The paper's model: 13 fs calls + 5 vm calls.
+POSIX_OPS: list[OpDef] = FS_OPS + VM_OPS
+
+#: §4 interface modifications analyzed in §7.2.
+POSIX_EXT_OPS: list[OpDef] = []
+
+
+def op_by_name(name: str) -> OpDef:
+    for op in POSIX_OPS + POSIX_EXT_OPS:
+        if op.name == name:
+            return op
+    raise KeyError(f"no model operation named {name!r}")
+
+
+# ----------------------------------------------------------------------
+# State equivalence
+
+
+def posix_state_equal(a: PosixState, b: PosixState) -> bool:
+    """External indistinguishability of two states (forks the executor)."""
+    if not values_equal(a.fname_to_inum, b.fname_to_inum):
+        return False
+    if not _object_map_equal(a.inodes, b.inodes, _inode_equal):
+        return False
+    if not _object_map_equal(a.pipes, b.pipes, _pipe_equal):
+        return False
+    for pa, pb in zip(a.procs, b.procs):
+        if not values_equal(pa.fds, pb.fds):
+            return False
+        if not _object_map_equal(pa.vmas, pb.vmas, _vma_equal):
+            return False
+    return True
+
+
+def _object_map_equal(ma: SymMap, mb: SymMap, elem_equal: Callable) -> bool:
+    if ma.base is not mb.base:
+        raise ValueError("object maps must be copies of one initial map")
+    for i in range(ma.slot_count()):
+        pa, va = ma.slot_state(i)
+        pb, vb = mb.slot_state(i)
+        if pa != pb:
+            return False
+        if pa and not elem_equal(va, vb):
+            return False
+    return True
+
+
+def _inode_equal(a: SymStruct, b: SymStruct) -> bool:
+    for field in ("nlink", "len", "mtime", "atime"):
+        if not values_equal(getattr(a, field), getattr(b, field)):
+            return False
+    length = _int_term(a.len)
+    # A page is irrelevant when it lies at or beyond the file length.
+    return _region_equal(a.data, b.data, lambda k: T.le(length, k))
+
+
+def _pipe_equal(a: SymStruct, b: SymStruct) -> bool:
+    for field in ("head", "nbytes", "nread", "nwrite"):
+        if not values_equal(getattr(a, field), getattr(b, field)):
+            return False
+    head = _int_term(a.head)
+    tail = T.add(head, _int_term(a.nbytes))
+    # A buffer slot is irrelevant outside the live region [head, tail).
+    return _region_equal(
+        a.data, b.data, lambda k: T.or_(T.lt(k, head), T.le(tail, k))
+    )
+
+
+def _vma_equal(a: SymStruct, b: SymStruct) -> bool:
+    if not values_equal(a.writable, b.writable):
+        return False
+    a_anon = Executor.current().fork_bool(_bool_term(a.anon))
+    b_anon = Executor.current().fork_bool(_bool_term(b.anon))
+    if a_anon != b_anon:
+        return False
+    if a_anon:
+        return values_equal(a.page, b.page)
+    return values_equal(a.inum, b.inum) and values_equal(a.fpage, b.fpage)
+
+
+def _region_equal(da: SymMap, db: SymMap, irrelevant: Callable) -> bool:
+    """Equality of two page maps restricted to relevant keys.
+
+    Holes read as the zero page, so the effective value of an absent slot
+    is ZERO_BYTE.  Handles both copies of one map (same base) and two
+    freshly created maps (distinct born-empty bases).
+    """
+    ex = Executor.current()
+    if da.base is db.base:
+        for i in range(da.slot_count()):
+            key = da.base.slots[i].key
+            ea = _effective_page(da, i)
+            eb = _effective_page(db, i)
+            if not ex.fork_bool(T.or_(irrelevant(key), T.eq(ea, eb))):
+                return False
+        return True
+    if da.base.unconstrained or db.base.unconstrained:
+        raise ValueError("cross-base page maps must both be born empty")
+    items_a = [(k, v) for k, p, v in da.footprint() if p]
+    items_b = [(k, v) for k, p, v in db.footprint() if p]
+    remaining = list(items_b)
+    for ka, va in items_a:
+        match = None
+        for j, (kb, _) in enumerate(remaining):
+            if ka is kb or ex.fork_bool(T.eq(ka, kb)):
+                match = j
+                break
+        if match is None:
+            # Key only written in map a; b holds a hole there.
+            if not ex.fork_bool(
+                T.or_(irrelevant(ka), T.eq(va.term, ZERO_BYTE.term))
+            ):
+                return False
+            continue
+        kb, vb = remaining.pop(match)
+        if not ex.fork_bool(T.or_(irrelevant(ka), T.eq(va.term, vb.term))):
+            return False
+    for kb, vb in remaining:
+        if not ex.fork_bool(
+            T.or_(irrelevant(kb), T.eq(vb.term, ZERO_BYTE.term))
+        ):
+            return False
+    return True
+
+
+def _effective_page(m: SymMap, i: int):
+    present, value = m.slot_state(i)
+    return value.term if present else ZERO_BYTE.term
+
+
+def _int_term(x) -> T.Term:
+    if isinstance(x, int):
+        return T.const(x)
+    return x.term
+
+
+def _bool_term(x) -> T.Term:
+    if isinstance(x, bool):
+        return T.true if x else T.false
+    return x.term
+
+
+# ----------------------------------------------------------------------
+# §4 interface modifications (analyzed in §7.2, used by sv6-style kernels)
+
+
+@defop(POSIX_EXT_OPS, "fstatx",
+       Param("pid", "pid"), Param("fd", "fd"), Param("want_nlink", "bool"))
+def sys_fstatx(s, ex, rt, pid, fd, want_nlink):
+    """fstat with caller-selected fields: omitting st_nlink makes it commute
+    with link/unlink on the same file (§7.2 statbench)."""
+    pid = concretize_pid(pid)
+    entry = fd_lookup(s, pid, fd)
+    if entry is None:
+        return -errors.EBADF
+    if fd_kind(entry) != KIND_FILE:
+        return ("stat-pipe",)
+    ino = get_inode(s, ex, entry.obj)
+    if want_nlink:
+        return _stat_tuple(ino, entry.obj)
+    # Only the requested fields: skipping st_nlink (and the time counters)
+    # is what lets the implementation skip every distributed counter.
+    return ("statx", entry.obj, ino.len)
+
+
+@defop(POSIX_EXT_OPS, "openany",
+       Param("pid", "pid"), Param("name", "filename"),
+       Param("ocreat", "bool"), Param("oexcl", "bool"), Param("otrunc", "bool"))
+def sys_open_anyfd(s, ex, rt, pid, name, ocreat, oexcl, otrunc):
+    """open with O_ANYFD: any unused descriptor may be returned (§7.2
+    openbench), lifting the lowest-fd ordering constraint."""
+    pid = concretize_pid(pid)
+    proc = s.procs[pid]
+    exists = s.fname_to_inum.contains(name)
+    if exists:
+        if ocreat & oexcl:
+            return -errors.EEXIST
+    else:
+        if not ocreat:
+            return -errors.ENOENT
+    fd = rt.fresh_int("fdalloc")
+    ex.assume(T.le(T.const(0), fd.term))
+    ex.assume(T.le(fd.term, T.const(NFD - 1)))
+    proc.fds.require_absent(fd)
+    if exists:
+        inum = s.fname_to_inum[name]
+        ino = linked_inode(s, ex, inum)
+        if otrunc:
+            if ino.len > 0:
+                ino.len = 0
+                ino.mtime = ino.mtime + 1
+    else:
+        inum = alloc_inum(s, ex, rt)
+        s.inodes[inum] = new_inode(s)
+        s.fname_to_inum[name] = inum
+    proc.fds[fd] = SymStruct(kind=KIND_FILE, obj=inum, offset=0)
+    return fd

@@ -1,0 +1,210 @@
+"""§4's "permit weak ordering" case study as an analyzable model.
+
+POSIX orders all messages on a local datagram socket, so send and recv on
+one socket never commute (except in error cases).  An unordered datagram
+socket commutes much more broadly: two sends commute (the bag of messages
+is the same either way), and send/recv commute "as long as there is both
+enough free space and enough pending messages" — §4's exact claim, which
+``tests/model/test_socket_model.py`` verifies with ANALYZER.
+
+The model is a single datagram socket in two variants sharing one state
+shape: a FIFO position buffer.  The variants differ only in their state
+equivalence — the ordered spec compares the live region position by
+position, the unordered spec compares it as a bag.
+"""
+
+from __future__ import annotations
+
+from repro import errors
+from repro.model.base import OpDef, Param, defop
+from repro.symbolic import terms as T
+from repro.symbolic.engine import Executor
+from repro.symbolic.symtypes import SymMap, VarFactory, values_equal
+
+MESSAGE = T.uninterpreted_sort("Message")
+
+#: Bounded queue capacity (messages), like the paper's page-granularity cap.
+CAPACITY = 3
+
+ORDERED_SOCKET_OPS: list[OpDef] = []
+UNORDERED_SOCKET_OPS: list[OpDef] = []
+
+
+class SocketState:
+    """One datagram socket: an absolute-position buffer of messages.
+
+    ``head`` and ``tail`` are positions in an unbounded stream; the live
+    region [head, tail) holds the queued messages, capped at CAPACITY.
+    """
+
+    def __init__(self, factory: VarFactory):
+        ex = Executor.current()
+        self.head = factory.fresh_int("sock.head")
+        self.tail = factory.fresh_int("sock.tail")
+        ex.assume(T.le(T.const(0), self.head.term))
+        ex.assume(T.le(self.head.term, self.tail.term))
+        ex.assume(T.le(self.tail.term,
+                       T.add(self.head.term, T.const(CAPACITY))))
+        ex.assume(T.le(self.tail.term, T.const(4)))
+        self.buffer = SymMap.any(
+            factory, "sock.buf", T.INT,
+            lambda n: factory.fresh_ref(n, MESSAGE),
+        )
+
+    def copy(self) -> "SocketState":
+        new = object.__new__(SocketState)
+        new.head = self.head
+        new.tail = self.tail
+        new.buffer = self.buffer.copy()
+        return new
+
+
+class UnorderedSocketState:
+    """The §4 redesign: a bounded *multiset* of messages.
+
+    Delivery order is unspecified, so the state is per-message-value
+    counts plus a total; ``urecv`` delivers a nondeterministically chosen
+    pending message (a matched fresh variable constrained to have a
+    positive count — the same mechanism as ScaleFS's free-inode choice).
+    """
+
+    def __init__(self, factory: VarFactory):
+        ex = Executor.current()
+        self.total = factory.fresh_int("usock.total")
+        ex.assume(T.le(T.const(0), self.total.term))
+        ex.assume(T.le(self.total.term, T.const(CAPACITY)))
+        self.counts = SymMap.any(
+            factory, "usock.counts", MESSAGE,
+            lambda n: self._make_count(factory, n),
+        )
+
+    def _make_count(self, factory: VarFactory, name: str):
+        ex = Executor.current()
+        count = factory.fresh_int(name)
+        ex.assume(T.le(T.const(1), count.term))
+        ex.assume(T.le(count.term, T.const(CAPACITY)))
+        return count
+
+    def copy(self) -> "UnorderedSocketState":
+        new = object.__new__(UnorderedSocketState)
+        new.total = self.total
+        new.counts = self.counts.copy()
+        return new
+
+
+def ordered_socket_equal(a: SocketState, b: SocketState) -> bool:
+    """FIFO equivalence: same message at every live position."""
+    ex = Executor.current()
+    if not values_equal(a.head, b.head) or not values_equal(a.tail, b.tail):
+        return False
+    head = _term(a.head)
+    tail = _term(a.tail)
+    for i in range(a.buffer.slot_count()):
+        key = a.buffer.base.slots[i].key
+        ea = _effective(a, i)
+        eb = _effective(b, i)
+        outside = T.or_(T.lt(key, head), T.le(tail, key))
+        if not ex.fork_bool(T.or_(outside, T.eq(ea, eb))):
+            return False
+    return True
+
+
+def unordered_socket_equal(a: UnorderedSocketState,
+                           b: UnorderedSocketState) -> bool:
+    """Bag equivalence: same total, same count for every message value."""
+    if not values_equal(a.total, b.total):
+        return False
+    for i in range(a.counts.slot_count()):
+        pa, va = a.counts.slot_state(i)
+        pb, vb = b.counts.slot_state(i)
+        ea = va if pa else 0
+        eb = vb if pb else 0
+        if not values_equal(ea, eb):
+            return False
+    return True
+
+
+def _term(x):
+    return T.const(x) if isinstance(x, int) else x.term
+
+
+def _effective(state: SocketState, slot_index: int):
+    present, value = state.buffer.slot_state(slot_index)
+    return value.term if present else T.uval(MESSAGE, 0)
+
+
+def _send(s: SocketState, msg):
+    if s.tail >= s.head + CAPACITY:
+        return -errors.EAGAIN  # no free space
+    s.buffer[s.tail] = msg
+    s.tail = s.tail + 1
+    return 0
+
+
+def _recv(s: SocketState):
+    if s.head >= s.tail:
+        return -errors.EAGAIN  # no pending messages
+    value = s.buffer.require(s.head)
+    s.head = s.head + 1
+    return ("msg", value)
+
+
+@defop(ORDERED_SOCKET_OPS, "send", Param("msg", "byte"))
+def ordered_send(s, ex, rt, msg):
+    return _send(s, msg)
+
+
+@defop(ORDERED_SOCKET_OPS, "recv")
+def ordered_recv(s, ex, rt):
+    return _recv(s)
+
+
+@defop(UNORDERED_SOCKET_OPS, "usend", Param("msg", "byte"))
+def unordered_send(s, ex, rt, msg):
+    if s.total >= CAPACITY:
+        return -errors.EAGAIN  # no free space
+    if s.counts.contains(msg):
+        s.counts[msg] = s.counts[msg] + 1
+    else:
+        s.counts[msg] = 1
+    s.total = s.total + 1
+    return 0
+
+
+@defop(UNORDERED_SOCKET_OPS, "urecv")
+def unordered_recv(s, ex, rt):
+    if s.total <= 0:
+        return -errors.EAGAIN  # no pending messages
+    # Deliver any pending message: a matched nondeterministic choice.
+    delivered = rt.fresh_ref("deliver", MESSAGE)
+    count = s.counts.require(delivered)
+    if isinstance(count, int):
+        if count < 1:
+            ex.assume(False)
+    else:
+        ex.assume(T.le(T.const(1), count.term))
+    s.counts[delivered] = count - 1
+    s.total = s.total - 1
+    return ("msg", delivered)
+
+
+def socket_op(name: str) -> OpDef:
+    for op in ORDERED_SOCKET_OPS + UNORDERED_SOCKET_OPS:
+        if op.name == name:
+            return op
+    raise KeyError(name)
+
+
+def _patch_param_sorts() -> None:
+    """The msg parameter uses the Message sort, not DataByte."""
+    for ops in (ORDERED_SOCKET_OPS, UNORDERED_SOCKET_OPS):
+        for op in ops:
+            for param in op.params:
+                if param.name == "msg":
+                    param.make = (
+                        lambda factory, p=param:
+                        factory.fresh_ref(p.name, MESSAGE)
+                    )
+
+
+_patch_param_sorts()

@@ -1,0 +1,129 @@
+"""Virtual-memory half of the POSIX model: mmap, munmap, mprotect, and
+page-granular memory reads/writes.
+
+Mappings are per-process, one page each (the paper restricts offsets to page
+granularity).  ``mmap`` supports anonymous and shared file mappings; without
+MAP_FIXED it may place the mapping at *any* unused page — specification
+nondeterminism §4 calls out explicitly ("mmap can return any unused virtual
+address").  Faults are modeled as distinguished return values ("SIGSEGV",
+"SIGBUS") so commutativity analysis can compare them like any other result.
+"""
+
+from __future__ import annotations
+
+from repro import errors
+from repro.model.base import (
+    KIND_FILE,
+    NVA,
+    ZERO_BYTE,
+    OpDef,
+    Param,
+    defop,
+)
+from repro.model.fs import concretize_pid, fd_kind, fd_lookup, get_inode, page_or_zero
+from repro.symbolic import terms as T
+from repro.symbolic.symtypes import SymStruct
+
+VM_OPS: list[OpDef] = []
+
+SIGSEGV = "SIGSEGV"
+SIGBUS = "SIGBUS"
+
+
+@defop(VM_OPS, "mmap",
+       Param("pid", "pid"), Param("fixed", "bool"), Param("addr", "addr"),
+       Param("anon", "bool"), Param("fd", "fd"), Param("fpage", "page"),
+       Param("writable", "bool"))
+def sys_mmap(s, ex, rt, pid, fixed, addr, anon, fd, fpage, writable):
+    pid = concretize_pid(pid)
+    proc = s.procs[pid]
+    if anon:
+        inum = 0
+        fpage = 0
+        content = ZERO_BYTE  # anonymous pages are zero-filled
+        is_anon = True
+    else:
+        entry = fd_lookup(s, pid, fd)
+        if entry is None:
+            return -errors.EBADF
+        if fd_kind(entry) != KIND_FILE:
+            return -errors.EACCES
+        inum = entry.obj
+        content = ZERO_BYTE  # unused for file mappings
+        is_anon = False
+    if fixed:
+        if addr >= NVA:
+            return -errors.EINVAL
+        va = addr
+    else:
+        # Any unused page: an under-constrained fresh value (§4).
+        va = rt.fresh_int("maddr")
+        ex.assume(T.le(T.const(0), va.term))
+        ex.assume(T.le(va.term, T.const(NVA - 1)))
+        proc.vmas.require_absent(va)
+    proc.vmas[va] = SymStruct(
+        anon=is_anon, writable=writable, inum=inum, fpage=fpage, page=content
+    )
+    return ("va", va)
+
+
+@defop(VM_OPS, "munmap", Param("pid", "pid"), Param("addr", "addr"))
+def sys_munmap(s, ex, rt, pid, addr):
+    pid = concretize_pid(pid)
+    if addr >= NVA:
+        return -errors.EINVAL
+    # POSIX munmap succeeds whether or not the page was mapped.
+    del s.procs[pid].vmas[addr]
+    return 0
+
+
+@defop(VM_OPS, "mprotect",
+       Param("pid", "pid"), Param("addr", "addr"), Param("writable", "bool"))
+def sys_mprotect(s, ex, rt, pid, addr, writable):
+    pid = concretize_pid(pid)
+    if addr >= NVA:
+        return -errors.EINVAL
+    proc = s.procs[pid]
+    if not proc.vmas.contains(addr):
+        return -errors.ENOMEM
+    proc.vmas[addr].writable = writable
+    return 0
+
+
+@defop(VM_OPS, "memread", Param("pid", "pid"), Param("addr", "addr"))
+def sys_memread(s, ex, rt, pid, addr):
+    pid = concretize_pid(pid)
+    if addr >= NVA:
+        return SIGSEGV
+    proc = s.procs[pid]
+    if not proc.vmas.contains(addr):
+        return SIGSEGV
+    m = proc.vmas[addr]
+    if m.anon:
+        return ("data", m.page)
+    ino = get_inode(s, ex, m.inum)
+    if m.fpage >= ino.len:
+        return SIGBUS
+    return ("data", page_or_zero(ino, m.fpage))
+
+
+@defop(VM_OPS, "memwrite",
+       Param("pid", "pid"), Param("addr", "addr"), Param("data", "byte"))
+def sys_memwrite(s, ex, rt, pid, addr, data):
+    pid = concretize_pid(pid)
+    if addr >= NVA:
+        return SIGSEGV
+    proc = s.procs[pid]
+    if not proc.vmas.contains(addr):
+        return SIGSEGV
+    m = proc.vmas[addr]
+    if not m.writable:
+        return SIGSEGV
+    if m.anon:
+        m.page = data
+        return "ok"
+    ino = get_inode(s, ex, m.inum)
+    if m.fpage >= ino.len:
+        return SIGBUS
+    ino.data[m.fpage] = data
+    return "ok"

@@ -1,0 +1,40 @@
+"""MTRACE substrate: instrumented shared memory and a MESI timing model.
+
+The paper's MTRACE runs the kernel under a modified qemu and logs every
+memory access per core (§5.3).  Our kernels are Python objects whose state
+lives on named :class:`~repro.mtrace.memory.CacheLine` objects; every read
+and write goes through the :class:`~repro.mtrace.memory.Memory` substrate,
+which attributes it to the current core.  Conflict detection (two cores
+touch a line, at least one writes) is then exact, and reports carry the
+allocation-site names that play the role of MTRACE's DWARF type resolution.
+
+For the §7 throughput experiments, :mod:`repro.mtrace.machine` adds a
+MESI-like cost model: cache hits are cheap, remote transfers expensive, and
+ownership transfers of a line are serialized through a per-line clock —
+the two properties §1 derives scalability from.
+"""
+
+from repro.mtrace.memory import (
+    Access,
+    CacheLine,
+    Cell,
+    ConflictReport,
+    Memory,
+    find_conflicts,
+)
+from repro.mtrace.machine import Machine, MachineConfig
+from repro.mtrace.runner import MtraceResult, run_testcase, check_testcase
+
+__all__ = [
+    "Access",
+    "CacheLine",
+    "Cell",
+    "ConflictReport",
+    "Memory",
+    "find_conflicts",
+    "Machine",
+    "MachineConfig",
+    "MtraceResult",
+    "run_testcase",
+    "check_testcase",
+]

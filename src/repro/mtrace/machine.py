@@ -1,0 +1,168 @@
+"""MESI-like multicore timing model for the §7 throughput experiments.
+
+§1 grounds the paper's scalability definition in two hardware behaviours:
+
+* a core can cheaply access lines it has cached (exclusively for writes,
+  shared for reads), while accessing a line another core modified costs a
+  coherence transfer;
+* ownership changes of one line are *serialized* by the protocol and the
+  interconnect, so N writers of one line collapse to a queue.
+
+The machine tracks, per line, a MESI-ish state (owner + sharer set) and a
+transfer clock.  Cores accumulate virtual cycles; a write to a line owned
+elsewhere waits on the line's transfer clock, reproducing the collapse of
+contended benchmarks in Figure 7.  Sockets model the paper's 8×10-core
+topology: transfers within a socket are cheaper than across sockets.
+
+This is a deliberately black-and-white model (§2.1: "a single modified
+shared cache line can wreck scalability") — it is not cycle-accurate and
+only the *shape* of throughput curves is meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.mtrace.memory import CacheLine, Memory
+
+
+@dataclass
+class MachineConfig:
+    ncores: int = 80
+    cores_per_socket: int = 10
+    cost_hit: int = 1
+    cost_local_transfer: int = 40    # same-socket coherence transfer
+    cost_remote_transfer: int = 120  # cross-socket coherence transfer
+    cost_memory: int = 200           # cold miss to DRAM
+
+
+class _LineState:
+    __slots__ = ("owner", "sharers", "clock")
+
+    def __init__(self):
+        self.owner: Optional[int] = None   # core holding M/E
+        self.sharers: set[int] = set()     # cores holding S
+        self.clock: float = 0.0            # serialization point for transfers
+
+
+class Machine:
+    """Attachable timing observer for a :class:`Memory` substrate."""
+
+    def __init__(self, mem: Memory, config: Optional[MachineConfig] = None):
+        self.mem = mem
+        self.config = config if config is not None else MachineConfig()
+        self.core_time = [0.0] * self.config.ncores
+        self._lines: dict[CacheLine, _LineState] = {}
+        self.enabled = False
+
+    # ------------------------------------------------------------------
+    # Memory-substrate observer interface
+
+    def attach(self) -> None:
+        self.mem.observer = self
+        self.enabled = True
+
+    def detach(self) -> None:
+        self.mem.observer = None
+        self.enabled = False
+
+    def on_access(self, core: int, line: CacheLine, is_write: bool) -> None:
+        if not self.enabled:
+            return
+        state = self._lines.get(line)
+        if state is None:
+            state = _LineState()
+            self._lines[line] = state
+            # First touch: cold miss, then owned by this core.
+            self.core_time[core] += self.config.cost_memory
+            state.owner = core
+            return
+        cfg = self.config
+        if is_write:
+            if state.owner == core and not state.sharers - {core}:
+                self.core_time[core] += cfg.cost_hit
+                # The line's timeline advances with its holder: a later
+                # write (e.g. a lock release) pushes the point where the
+                # next core can take ownership past the critical section.
+                state.clock = max(state.clock, self.core_time[core])
+            else:
+                # Gaining exclusive ownership: serialized through the line
+                # clock — this is what makes contended lines collapse.
+                cost = self._transfer_cost(core, state)
+                start = max(self.core_time[core], state.clock)
+                finish = start + cost
+                state.clock = finish
+                self.core_time[core] = finish
+            state.owner = core
+            state.sharers = {core}
+        else:
+            if state.owner == core or core in state.sharers:
+                self.core_time[core] += cfg.cost_hit
+            else:
+                # Read miss: fetch a copy; concurrent readers don't serialize.
+                self.core_time[core] += self._transfer_cost(core, state)
+                state.sharers.add(core)
+                if state.owner is not None and state.owner != core:
+                    # Demote the writer's exclusive copy to shared.
+                    state.sharers.add(state.owner)
+                    state.owner = None
+
+    def _transfer_cost(self, core: int, state: _LineState) -> int:
+        cfg = self.config
+        source = state.owner
+        if source is None and state.sharers:
+            source = next(iter(state.sharers))
+        if source is None:
+            return cfg.cost_memory
+        if source // cfg.cores_per_socket == core // cfg.cores_per_socket:
+            return cfg.cost_local_transfer
+        return cfg.cost_remote_transfer
+
+    # ------------------------------------------------------------------
+    # Event-driven workload execution
+
+    def run(
+        self,
+        workers: dict[int, Callable[[], None]],
+        duration: float,
+        warmup_iterations: int = 2,
+    ) -> dict[int, int]:
+        """Run one closure per core until every core passes ``duration``
+        virtual cycles; returns completed iterations per core.
+
+        Scheduling is event-driven: the globally least-advanced core runs
+        its next whole iteration.  Operations are atomic at iteration
+        granularity; cross-core interference enters exclusively through the
+        line transfer clocks, which is the paper's model of contention.
+        """
+        for core in workers:
+            self.core_time[core] = 0.0
+        completed = {core: 0 for core in workers}
+        # Warm caches so steady-state behaviour dominates.
+        for core, fn in workers.items():
+            for _ in range(warmup_iterations):
+                self.mem.set_core(core)
+                fn()
+        for core in workers:
+            self.core_time[core] = 0.0
+        for line_state in self._lines.values():
+            line_state.clock = 0.0
+        active = set(workers)
+        while active:
+            core = min(active, key=lambda c: self.core_time[c])
+            if self.core_time[core] >= duration:
+                active.discard(core)
+                continue
+            self.mem.set_core(core)
+            workers[core]()
+            completed[core] += 1
+        return completed
+
+    def throughput_per_core(
+        self, completed: dict[int, int], duration: float
+    ) -> float:
+        """Mean iterations per (virtual) megacycle per core."""
+        ncores = len(completed)
+        total = sum(completed.values())
+        return total / ncores / (duration / 1e6)

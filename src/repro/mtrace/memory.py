@@ -1,0 +1,174 @@
+"""Instrumented shared memory at cache-line granularity.
+
+Kernel implementations allocate :class:`CacheLine` objects and place named
+:class:`Cell` values on them.  Placement is the scalability-relevant design
+decision — a refcount sharing a line with a lock is false sharing, per-core
+counters on private lines are conflict-free — so the substrate makes it
+explicit and lets MTRACE report conflicts by line and cell name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+
+@dataclass(frozen=True)
+class Access:
+    core: int
+    line: "CacheLine"
+    cell: str
+    is_write: bool
+    context: str = ""  # the syscall being executed (MTRACE's stack trace)
+
+    def __repr__(self) -> str:
+        rw = "W" if self.is_write else "R"
+        where = f" in {self.context}" if self.context else ""
+        return f"{rw} core{self.core} {self.line.name}.{self.cell}{where}"
+
+
+class Memory:
+    """The shared-memory substrate: allocation, core context, access log."""
+
+    def __init__(self, ncores: int = 80):
+        self.ncores = ncores
+        self.current_core = 0
+        self.current_context = ""
+        self.recording = False
+        self.log: list[Access] = []
+        self._next_line = 0
+        #: Optional timing observer (the MESI machine) notified per access.
+        self.observer = None
+
+    def set_core(self, core: int) -> None:
+        if not (0 <= core < self.ncores):
+            raise ValueError(f"core {core} out of range")
+        self.current_core = core
+
+    def set_context(self, context: str) -> None:
+        """Label subsequent accesses with the operation being executed."""
+        self.current_context = context
+
+    def line(self, name: str) -> "CacheLine":
+        self._next_line += 1
+        return CacheLine(self, f"{name}#{self._next_line}", name)
+
+    def start_recording(self) -> None:
+        self.recording = True
+        self.log = []
+
+    def stop_recording(self) -> list[Access]:
+        self.recording = False
+        return self.log
+
+    def record(self, line: "CacheLine", cell: str, is_write: bool) -> None:
+        if self.recording:
+            self.log.append(Access(
+                self.current_core, line, cell, is_write,
+                self.current_context,
+            ))
+        if self.observer is not None:
+            self.observer.on_access(self.current_core, line, is_write)
+
+
+class CacheLine:
+    """One cache line holding named cells (false sharing is deliberate:
+    cells on the same line conflict together)."""
+
+    __slots__ = ("memory", "name", "label", "_cells")
+
+    def __init__(self, memory: Memory, name: str, label: str):
+        self.memory = memory
+        self.name = name
+        self.label = label
+        self._cells: dict[str, object] = {}
+
+    def cell(self, name: str, init=0) -> "Cell":
+        if name in self._cells:
+            raise ValueError(f"cell {name} already on line {self.name}")
+        self._cells[name] = init
+        return Cell(self, name)
+
+    def __repr__(self) -> str:
+        return f"CacheLine({self.name})"
+
+
+class Cell:
+    """A named word on a cache line; all access goes through read/write."""
+
+    __slots__ = ("line", "name")
+
+    def __init__(self, line: CacheLine, name: str):
+        self.line = line
+        self.name = name
+
+    def read(self):
+        self.line.memory.record(self.line, self.name, is_write=False)
+        return self.line._cells[self.name]
+
+    def write(self, value) -> None:
+        self.line.memory.record(self.line, self.name, is_write=True)
+        self.line._cells[self.name] = value
+
+    def add(self, delta):
+        """Read-modify-write (counts as one read and one write)."""
+        value = self.read() + delta
+        self.write(value)
+        return value
+
+    def peek(self):
+        """Unrecorded read, for assertions and test plumbing only."""
+        return self.line._cells[self.name]
+
+    def __repr__(self) -> str:
+        return f"Cell({self.line.name}.{self.name})"
+
+
+@dataclass
+class ConflictReport:
+    """One conflicting cache line: who touched it and how."""
+
+    line: CacheLine
+    accesses: list[Access]
+
+    @property
+    def cells(self) -> set[str]:
+        return {a.cell for a in self.accesses}
+
+    @property
+    def cores(self) -> set[int]:
+        return {a.core for a in self.accesses}
+
+    @property
+    def contexts(self) -> set[str]:
+        """The operations whose accesses collided (§5.3's stack traces)."""
+        return {a.context for a in self.accesses if a.context}
+
+    def __repr__(self) -> str:
+        ctx = ""
+        if self.contexts:
+            ctx = f", ops={sorted(self.contexts)}"
+        return (
+            f"Conflict({self.line.label}: cells={sorted(self.cells)}, "
+            f"cores={sorted(self.cores)}{ctx})"
+        )
+
+
+def find_conflicts(log: Iterable[Access]) -> list[ConflictReport]:
+    """Lines accessed by more than one core with at least one write (§3.3's
+    access-conflict definition at cache-line granularity)."""
+    by_line: dict[CacheLine, list[Access]] = {}
+    for access in log:
+        by_line.setdefault(access.line, []).append(access)
+    conflicts = []
+    for line, accesses in by_line.items():
+        cores = {a.core for a in accesses}
+        if len(cores) < 2:
+            continue
+        writers = {a.core for a in accesses if a.is_write}
+        if not writers:
+            continue
+        # A conflict needs a writer and a *different* core touching the line.
+        if len(cores) > 1:
+            conflicts.append(ConflictReport(line, accesses))
+    return conflicts

@@ -1,0 +1,157 @@
+"""Run generated test cases against a kernel and check conflict-freedom.
+
+This is MTRACE's role in the pipeline (§5.3): execute each test's two
+operations on different cores, log every shared-memory access, and report
+the cache lines — with variable names — that violate the commutativity
+rule.  The runner additionally checks each operation's return value against
+the model's expectation (§6.1: "We verified that all test cases return the
+expected results on both Linux and sv6").
+
+Return-value comparison allows for specification nondeterminism: inode
+numbers of newly created files and addresses of non-fixed mmaps are chosen
+freely by the kernel, so only their success/failure shape is compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from typing import TYPE_CHECKING
+
+from repro.model.base import NFD, NVA
+from repro.mtrace.memory import ConflictReport, Memory, find_conflicts
+from repro.testgen.testgen import TestCase
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.kernels.base import Kernel
+
+
+def mono_factory(mem: Memory) -> "Kernel":
+    """Linux-like kernel sized to the model's bounds (fd table of NFD)."""
+    from repro.kernels.mono import MonoKernel
+    return MonoKernel(mem, nfds=NFD, ncores=4, nva=NVA)
+
+
+def scalefs_factory(mem: Memory) -> "Kernel":
+    """sv6-like kernel sized to the model's bounds."""
+    from repro.kernels.scalefs import ScaleFsKernel
+    return ScaleFsKernel(mem, nfds=NFD, ncores=4, nva=NVA)
+
+
+@dataclass
+class MtraceResult:
+    case: TestCase
+    kernel_name: str
+    conflicts: list[ConflictReport]
+    results: tuple
+    mismatch: Optional[str]
+
+    @property
+    def conflict_free(self) -> bool:
+        return not self.conflicts
+
+    def __repr__(self) -> str:
+        status = "conflict-free" if self.conflict_free else (
+            f"{len(self.conflicts)} conflicting line(s)"
+        )
+        return f"MtraceResult({self.case.name} on {self.kernel_name}: {status})"
+
+
+def run_testcase(
+    kernel_factory: Callable[[Memory], "Kernel"],
+    case: TestCase,
+    cores: tuple[int, int] = (1, 2),
+) -> MtraceResult:
+    """Install the setup, run the two ops on distinct cores, log accesses."""
+    mem = Memory()
+    kernel = kernel_factory(mem)
+    while len(getattr(kernel, "procs")) < len(case.setup.procs):
+        kernel.create_process()
+    kernel.install(case.setup)
+    results = []
+    mem.start_recording()
+    for i, (core, op) in enumerate(zip(cores, case.ops)):
+        mem.set_core(core)
+        mem.set_context(f"op{i}:{op.op}")
+        results.append(kernel.call(op.op, op.args))
+    mem.set_context("")
+    log = mem.stop_recording()
+    conflicts = find_conflicts(log)
+    mismatch = None
+    for i, (op, expected, got) in enumerate(
+        zip(case.ops, case.expected, results)
+    ):
+        problem = _compare(op.op, dict(op.args), expected, got)
+        if problem is not None:
+            mismatch = f"op{i} {op.op}: {problem}"
+            break
+    return MtraceResult(case, kernel.name, conflicts, tuple(results), mismatch)
+
+
+def check_testcase(
+    kernel_factory: Callable[[Memory], "Kernel"], case: TestCase
+) -> bool:
+    """Convenience predicate: conflict-free and semantically correct."""
+    result = run_testcase(kernel_factory, case)
+    return result.conflict_free and result.mismatch is None
+
+
+# ----------------------------------------------------------------------
+# Result comparison with nondeterminism allowances
+
+
+def _compare(opname: str, args: dict, expected, got) -> Optional[str]:
+    if isinstance(expected, int) and not isinstance(expected, bool):
+        if opname == "openany" and expected >= 0:
+            # O_ANYFD may return any unused descriptor.
+            if isinstance(got, int) and got >= 0:
+                return None
+            return f"expected some fd, got {got!r}"
+        if got != expected:
+            return f"expected {expected!r}, got {got!r}"
+        return None
+    if isinstance(expected, str):
+        return None if got == expected else f"expected {expected!r}, got {got!r}"
+    if isinstance(expected, tuple):
+        if not isinstance(got, tuple) or not got or got[0] != expected[0]:
+            return f"expected {expected!r}, got {got!r}"
+        tag = expected[0]
+        if tag == "stat":
+            return _compare_stat(expected, got, nlink=True)
+        if tag == "statx":
+            return _compare_statx(expected, got)
+        if tag == "va":
+            if args.get("fixed"):
+                return None if got[1] == expected[1] else (
+                    f"fixed mmap at {expected[1]}, kernel used {got[1]}"
+                )
+            return None  # any unused address is acceptable
+        if got != expected:
+            return f"expected {expected!r}, got {got!r}"
+        return None
+    return None if got == expected else f"expected {expected!r}, got {got!r}"
+
+
+def _compare_stat(expected, got, nlink: bool) -> Optional[str]:
+    # ("stat", st_ino, nlink, len, mtime, atime); st_ino is only comparable
+    # for installed inodes (kernels tag those ("i", n)).
+    if len(got) != len(expected):
+        return f"expected {expected!r}, got {got!r}"
+    if isinstance(got[1], tuple) and got[1] != ("i", expected[1]):
+        return f"st_ino {got[1]!r} != {expected[1]!r}"
+    for field, e, g in zip(("nlink", "len", "mtime", "atime"),
+                           expected[2:], got[2:]):
+        if e != g:
+            return f"st_{field}: expected {e!r}, got {g!r}"
+    return None
+
+
+def _compare_statx(expected, got) -> Optional[str]:
+    if len(got) != len(expected):
+        return f"expected {expected!r}, got {got!r}"
+    if isinstance(got[1], tuple) and got[1] != ("i", expected[1]):
+        return f"st_ino {got[1]!r} != {expected[1]!r}"
+    if expected[2] != got[2]:
+        return f"st_len: expected {expected[2]!r}, got {got[2]!r}"
+    return None

@@ -1,0 +1,35 @@
+"""Scalable-implementation building blocks (§6.3's technique catalog).
+
+Each primitive is built on the instrumented memory substrate so its
+conflict behaviour is observable by MTRACE:
+
+* :class:`SpinLock` — test-and-set lock; every acquire writes the lock line
+  (this is what makes coarse locking non-scalable).
+* :class:`SeqLock` — writers version-stamp, readers stay conflict-free.
+* :class:`Refcache` — per-core counter deltas on private lines (the paper's
+  Refcache [15]); writes are conflict-free, exact reads sum all cores.
+* :class:`PerCorePartition` — per-core id allocation (scalable fd/inode
+  allocation for O_ANYFD and ScaleFS inode numbers).
+* :class:`RadixArray` — one line per slot, no interior sharing (RadixVM's
+  structure and ScaleFS's page store).
+* :class:`HashDir` — fixed-size hash table with per-bucket lines and locks
+  (ScaleFS directories: distinct names are conflict-free barring collisions).
+"""
+
+from repro.primitives.spinlock import SpinLock, RWLock
+from repro.primitives.seqlock import SeqLock
+from repro.primitives.refcache import Refcache
+from repro.primitives.percpu import PerCoreCounter, PerCorePartition
+from repro.primitives.radix import RadixArray
+from repro.primitives.hashtable import HashDir
+
+__all__ = [
+    "SpinLock",
+    "RWLock",
+    "SeqLock",
+    "Refcache",
+    "PerCoreCounter",
+    "PerCorePartition",
+    "RadixArray",
+    "HashDir",
+]

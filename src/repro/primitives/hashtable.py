@@ -1,0 +1,80 @@
+"""Hash table with per-bucket lines and locks: ScaleFS directories.
+
+"One such implementation represents each directory as a hash table indexed
+by file name, with an independent lock per bucket, so that creation of
+differently named files is conflict-free, barring hash collisions" (§1).
+
+Lookups read the bucket line only (lock-free readers via RCU in the real
+system); mutations take the bucket's lock.  Two names that hash to the
+same bucket genuinely conflict — as in the real design.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Optional
+
+from repro.mtrace.memory import Memory
+
+
+def _stable_hash(key) -> int:
+    """Deterministic across processes (Python's str hash is randomized)."""
+    if isinstance(key, str):
+        return zlib.crc32(key.encode())
+    return hash(key)
+
+
+class _Bucket:
+    __slots__ = ("line", "lock", "entries_cell", "entries")
+
+    def __init__(self, mem: Memory, name: str):
+        self.line = mem.line(name)
+        self.lock = self.line.cell("lock", 0)
+        # The marker cell stands for the bucket's chain memory: readers
+        # read it, mutators write it.
+        self.entries_cell = self.line.cell("chain", 0)
+        self.entries: dict = {}
+
+
+class HashDir:
+    def __init__(self, mem: Memory, name: str, nbuckets: int = 64):
+        self.nbuckets = nbuckets
+        self._buckets = [
+            _Bucket(mem, f"{name}.bkt{i}") for i in range(nbuckets)
+        ]
+
+    def _bucket(self, key) -> _Bucket:
+        return self._buckets[_stable_hash(key) % self.nbuckets]
+
+    def get(self, key) -> Optional[object]:
+        bucket = self._bucket(key)
+        bucket.entries_cell.read()
+        return bucket.entries.get(key)
+
+    def contains(self, key) -> bool:
+        bucket = self._bucket(key)
+        bucket.entries_cell.read()
+        return key in bucket.entries
+
+    def put(self, key, value) -> None:
+        bucket = self._bucket(key)
+        bucket.lock.read()
+        bucket.lock.write(1)
+        bucket.entries_cell.write(0)
+        bucket.entries[key] = value
+        bucket.lock.write(0)
+
+    def remove(self, key) -> None:
+        bucket = self._bucket(key)
+        bucket.lock.read()
+        bucket.lock.write(1)
+        bucket.entries_cell.write(0)
+        bucket.entries.pop(key, None)
+        bucket.lock.write(0)
+
+    def keys(self) -> list:
+        """Unrecorded enumeration, for install/debug plumbing only."""
+        out = []
+        for bucket in self._buckets:
+            out.extend(bucket.entries)
+        return out

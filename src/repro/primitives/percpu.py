@@ -1,0 +1,80 @@
+"""Per-core allocation structures.
+
+ScaleFS "never reuses inode numbers.  Instead, inode numbers are generated
+by a monotonically increasing per-core counter, concatenated with the core
+number that allocated the inode" (§6.3); O_ANYFD fd allocation uses
+per-core partitions of the descriptor space (§7.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mtrace.memory import Memory
+
+
+class PerCoreCounter:
+    """Monotonic per-core id allocation: ids are ``n * ncores + core``.
+    Per-core lines materialize on first use."""
+
+    def __init__(self, mem: Memory, name: str, ncores: int, start: int = 0):
+        self.ncores = ncores
+        self.start = start
+        self._mem = mem
+        self._name = name
+        self._cells: dict[int, object] = {}
+
+    def alloc(self, mem: Memory) -> int:
+        core = mem.current_core
+        cell = self._cells.get(core)
+        if cell is None:
+            line = self._mem.line(f"{self._name}.ctr{core}")
+            cell = line.cell("next", self.start)
+            self._cells[core] = cell
+        n = cell.read()
+        cell.write(n + 1)
+        return n * self.ncores + core
+
+
+class PerCorePartition:
+    """Partition an index space [0, size) into per-core ranges.
+
+    ``alloc`` hands out the lowest free index in the calling core's own
+    partition, touching only that partition's bookkeeping line.
+    """
+
+    def __init__(self, mem: Memory, name: str, ncores: int, size: int):
+        self.ncores = ncores
+        self.size = size
+        self.chunk = max(1, size // ncores)
+        self._mem = mem
+        self._name = name
+        self._hints: dict[int, object] = {}
+
+    def _hint_cell(self, core: int):
+        cell = self._hints.get(core)
+        if cell is None:
+            line = self._mem.line(f"{self._name}.part{core}")
+            cell = line.cell("hint", 0)
+            self._hints[core] = cell
+        return cell
+
+    def range_for(self, core: int) -> range:
+        base = (core % self.ncores) * self.chunk
+        return range(base, min(base + self.chunk, self.size))
+
+    def alloc(self, mem: Memory, taken) -> Optional[int]:
+        """Lowest free index in the current core's partition; falls back to
+        a global scan when the partition is exhausted.  ``taken(i)`` must
+        report whether index ``i`` is in use (it may touch memory)."""
+        core = mem.current_core
+        hint = self._hint_cell(core)
+        hint.read()
+        for i in self.range_for(core):
+            if not taken(i):
+                hint.write(i)
+                return i
+        for i in range(self.size):
+            if not taken(i):
+                return i
+        return None

@@ -1,0 +1,72 @@
+"""Radix array: one cache line per slot (RadixVM [15] / ScaleFS pages).
+
+"ScaleFS uses data structures that themselves naturally satisfy the
+commutativity rule, such as linear arrays, radix arrays, and hash tables.
+In contrast with structures like balanced trees, these data structures
+typically share no cache lines when different elements are accessed or
+modified" (§6.3, "layer scalability").
+
+Interior radix nodes are read-shared and essentially never written after
+creation, so the simulation tracks only leaf slots; each slot owns a line
+with ``present``/``value`` cells (and room for per-slot metadata).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from repro.mtrace.memory import CacheLine, Memory
+
+
+class RadixSlot:
+    __slots__ = ("line", "present", "value")
+
+    def __init__(self, line: CacheLine):
+        self.line = line
+        self.present = line.cell("present", 0)
+        self.value = line.cell("value", None)
+
+
+class RadixArray:
+    """Sparse index → value map with per-slot cache lines."""
+
+    def __init__(self, mem: Memory, name: str):
+        self._mem = mem
+        self._name = name
+        self._slots: dict[int, RadixSlot] = {}
+
+    def slot(self, index: int) -> RadixSlot:
+        existing = self._slots.get(index)
+        if existing is not None:
+            return existing
+        line = self._mem.line(f"{self._name}[{index}]")
+        slot = RadixSlot(line)
+        self._slots[index] = slot
+        return slot
+
+    def get(self, index: int):
+        slot = self.slot(index)
+        if not slot.present.read():
+            return None
+        return slot.value.read()
+
+    def contains(self, index: int) -> bool:
+        return bool(self.slot(index).present.read())
+
+    def set(self, index: int, value) -> None:
+        slot = self.slot(index)
+        slot.present.write(1)
+        slot.value.write(value)
+
+    def remove(self, index: int) -> None:
+        slot = self.slot(index)
+        slot.present.write(0)
+        slot.value.write(None)
+
+    def known_indexes(self) -> Iterator[int]:
+        """Indexes with materialized slots (unrecorded; for install/debug)."""
+        return iter(sorted(self._slots))
+
+    def peek_present(self, index: int) -> bool:
+        slot = self._slots.get(index)
+        return bool(slot and slot.present.peek())

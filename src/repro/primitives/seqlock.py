@@ -1,0 +1,28 @@
+"""Seqlock: conflict-free readers, version-stamping writers (§6.3 lists
+seqlocks among ScaleFS's techniques, citing Lameter [28])."""
+
+from __future__ import annotations
+
+from repro.mtrace.memory import CacheLine, Memory
+
+
+class SeqLock:
+    def __init__(self, mem: Memory, name: str, line: CacheLine = None):
+        self._line = line if line is not None else mem.line(name)
+        self._version = self._line.cell(f"{name}.seq", 0)
+
+    @property
+    def line(self) -> CacheLine:
+        return self._line
+
+    def read_begin(self) -> int:
+        return self._version.read()
+
+    def read_retry(self, version: int) -> bool:
+        return self._version.read() != version or version % 2 == 1
+
+    def write_begin(self) -> None:
+        self._version.add(1)
+
+    def write_end(self) -> None:
+        self._version.add(1)

@@ -1,0 +1,71 @@
+"""Spin locks on instrumented memory.
+
+The simulation executes operations atomically, so locks never actually
+spin; what matters for scalability is the cache-line traffic they cost.
+Acquire is a read-modify-write of the lock word — under contention that is
+precisely the serialized ownership transfer §1 identifies as non-scalable.
+"""
+
+from __future__ import annotations
+
+from repro.mtrace.memory import CacheLine, Memory
+
+
+class SpinLock:
+    """Test-and-set lock; may live on its own line or share one (false
+    sharing with protected data is a deliberate modeling choice)."""
+
+    def __init__(self, mem: Memory, name: str, line: CacheLine = None):
+        self._line = line if line is not None else mem.line(name)
+        self._cell = self._line.cell(f"{name}.lock", 0)
+
+    @property
+    def line(self) -> CacheLine:
+        return self._line
+
+    def acquire(self) -> None:
+        # test-and-set: one read, one write of the lock word.
+        self._cell.read()
+        self._cell.write(1)
+
+    def release(self) -> None:
+        self._cell.write(0)
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc):
+        self.release()
+        return False
+
+
+class RWLock:
+    """Reader-writer lock in the Linux ``rwsem`` mold.
+
+    Even read acquisition writes the reader count — which is why Linux page
+    faults on ``mmap_sem`` do not scale (§6.2), and why RadixVM exists.
+    """
+
+    def __init__(self, mem: Memory, name: str, line: CacheLine = None):
+        self._line = line if line is not None else mem.line(name)
+        self._readers = self._line.cell(f"{name}.readers", 0)
+        self._writer = self._line.cell(f"{name}.writer", 0)
+
+    @property
+    def line(self) -> CacheLine:
+        return self._line
+
+    def acquire_read(self) -> None:
+        self._writer.read()
+        self._readers.add(1)
+
+    def release_read(self) -> None:
+        self._readers.add(-1)
+
+    def acquire_write(self) -> None:
+        self._readers.read()
+        self._writer.write(1)
+
+    def release_write(self) -> None:
+        self._writer.write(0)

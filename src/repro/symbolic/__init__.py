@@ -1,0 +1,100 @@
+"""Symbolic execution engine underlying COMMUTER's ANALYZER and TESTGEN.
+
+The original Commuter drives Z3 through its Python bindings.  Z3 is not
+available in this environment, so this package provides a self-contained
+replacement sized for the fragment the POSIX model actually needs:
+
+* :mod:`repro.symbolic.terms` — a hash-consed expression AST over booleans,
+  bounded integers and uninterpreted sorts.
+* :mod:`repro.symbolic.solver` — a small SMT solver for that fragment
+  (DPLL-style boolean splitting, congruence closure for uninterpreted
+  equality, backtracking search over bounded integer domains) with model
+  construction.
+* :mod:`repro.symbolic.enumerate` — isomorphism-grouped model enumeration,
+  the engine behind TESTGEN's "conflict coverage" (§5.2 of the paper).
+* :mod:`repro.symbolic.engine` — a forking symbolic executor that re-executes
+  straight-line Python against a decision trace, exploring every feasible
+  path (the execution strategy behind ANALYZER, §5.1).
+* :mod:`repro.symbolic.symtypes` — symbolic values and containers mirroring
+  the modeling language of the paper's Figure 4 (``tdict``, ``tlist``,
+  ``tstruct``, ``tuninterpreted``, ``@symargs``).
+"""
+
+from repro.symbolic.terms import (
+    BOOL,
+    INT,
+    Sort,
+    Term,
+    add,
+    and_,
+    const,
+    distinct,
+    eq,
+    false,
+    ite,
+    le,
+    lt,
+    ne,
+    not_,
+    or_,
+    sub,
+    true,
+    uninterpreted_sort,
+    uval,
+    var,
+)
+from repro.symbolic.solver import Model, Solver, SolverError
+from repro.symbolic.enumerate import IsomorphismGroups, enumerate_models
+from repro.symbolic.engine import Executor, PathResult, SymbolicFailure
+from repro.symbolic.symtypes import (
+    SBool,
+    SInt,
+    SValue,
+    SymMap,
+    SymStruct,
+    VarFactory,
+    symand,
+    symbolic_not,
+    symor,
+)
+
+__all__ = [
+    "BOOL",
+    "INT",
+    "Sort",
+    "Term",
+    "add",
+    "and_",
+    "const",
+    "distinct",
+    "eq",
+    "false",
+    "ite",
+    "le",
+    "lt",
+    "ne",
+    "not_",
+    "or_",
+    "sub",
+    "true",
+    "uninterpreted_sort",
+    "uval",
+    "var",
+    "Model",
+    "Solver",
+    "SolverError",
+    "IsomorphismGroups",
+    "enumerate_models",
+    "Executor",
+    "PathResult",
+    "SymbolicFailure",
+    "SBool",
+    "SInt",
+    "SValue",
+    "SymMap",
+    "SymStruct",
+    "VarFactory",
+    "symand",
+    "symbolic_not",
+    "symor",
+]

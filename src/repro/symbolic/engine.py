@@ -1,0 +1,182 @@
+"""Forking symbolic executor.
+
+ANALYZER needs to run a Python model "for every possible behaviour" (§5.1).
+We use deterministic re-execution against a decision trace, the classic
+concolic strategy: the model runs as ordinary Python; whenever control
+depends on a symbolic boolean, the executor consults the current decision
+prefix, or — past the end of the prefix — queries the solver for feasible
+branches, takes the first, and records the untried alternatives.  After the
+run finishes, every untried alternative spawns a new prefix to execute.
+
+Requirements on the explored function: it must be deterministic given the
+decision sequence (the model and kernel code we run satisfies this — no
+wall-clock, no iteration over unordered containers of symbolic values), and
+it must create symbolic variables through a factory whose naming is
+deterministic, so re-executions rebuild identical (interned) terms.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.symbolic import terms as T
+from repro.symbolic.solver import Solver
+from repro.symbolic.terms import Term
+
+
+class SymbolicFailure(Exception):
+    """Exploration exceeded its configured limits."""
+
+
+class Infeasible(Exception):
+    """Internal: the current path's constraints became unsatisfiable."""
+
+
+class PathResult:
+    """One explored path: its condition, decisions, and the run's value."""
+
+    __slots__ = ("path_condition", "value", "decisions")
+
+    def __init__(self, path_condition: tuple[Term, ...], value, decisions: tuple[int, ...]):
+        self.path_condition = path_condition
+        self.value = value
+        self.decisions = decisions
+
+    def __repr__(self) -> str:
+        cond = T.and_(*self.path_condition)
+        return f"PathResult(value={self.value!r}, pc={cond!r})"
+
+
+_CURRENT: Optional["Executor"] = None
+
+
+class Executor:
+    """Explores all feasible paths of a symbolic Python function."""
+
+    def __init__(
+        self,
+        solver: Optional[Solver] = None,
+        base_constraints: Sequence[Term] = (),
+        max_paths: int = 20000,
+        max_depth: int = 2000,
+    ):
+        self.solver = solver if solver is not None else Solver()
+        self.base_constraints = list(base_constraints)
+        self.max_paths = max_paths
+        self.max_depth = max_depth
+        # Per-run state.
+        self._pc: list[Term] = []
+        self._trace: list[tuple[int, list[int]]] = []
+        self._prefix: Sequence[int] = ()
+        self._depth = 0
+
+    # ------------------------------------------------------------------
+    # Exploration driver
+
+    @staticmethod
+    def current() -> "Executor":
+        if _CURRENT is None:
+            raise SymbolicFailure("no active symbolic execution")
+        return _CURRENT
+
+    def explore(self, fn: Callable[["Executor"], object]) -> list[PathResult]:
+        """Run ``fn`` along every feasible path; collect one result per path."""
+        global _CURRENT
+        frontier: list[list[int]] = [[]]
+        results: list[PathResult] = []
+        while frontier:
+            if len(results) > self.max_paths:
+                raise SymbolicFailure(f"more than {self.max_paths} paths")
+            prefix = frontier.pop()
+            self._pc = list(self.base_constraints)
+            self._trace = []
+            self._prefix = prefix
+            self._depth = 0
+            previous = _CURRENT
+            _CURRENT = self
+            try:
+                value = fn(self)
+                feasible_path = True
+            except Infeasible:
+                feasible_path = False
+            finally:
+                _CURRENT = previous
+            chosen = tuple(entry[0] for entry in self._trace)
+            if feasible_path:
+                results.append(PathResult(tuple(self._pc), value, chosen))
+            for i in range(len(prefix), len(self._trace)):
+                _, untried = self._trace[i]
+                stem = [self._trace[j][0] for j in range(i)]
+                for alt in untried:
+                    frontier.append(stem + [alt])
+        return results
+
+    # ------------------------------------------------------------------
+    # Choice points (called from symtypes / model code)
+
+    def choose(self, options: Sequence[Term]) -> int:
+        """Branch over ``options`` (one constraint each); return the index taken."""
+        if self._depth >= self.max_depth:
+            raise SymbolicFailure(f"decision depth exceeded {self.max_depth}")
+        position = self._depth
+        self._depth += 1
+        if position < len(self._prefix):
+            idx = self._prefix[position]
+            self._trace.append((idx, []))
+            self._add(options[idx])
+            return idx
+        feasible = [
+            j
+            for j, c in enumerate(options)
+            if self.solver.check(self._pc + [c])
+        ]
+        if not feasible:
+            # Every alternative contradicts the path: dead path.  (Cannot
+            # happen for an exhaustive option list but callers may pass
+            # filtered alternatives.)
+            self._trace.append((0, []))
+            raise Infeasible
+        idx = feasible[0]
+        self._trace.append((idx, feasible[1:]))
+        self._add(options[idx])
+        return idx
+
+    def fork_bool(self, cond) -> bool:
+        """Branch on a boolean term; concrete booleans pass straight through."""
+        if isinstance(cond, bool):
+            return cond
+        if cond is T.true:
+            return True
+        if cond is T.false:
+            return False
+        return self.choose([cond, T.not_(cond)]) == 0
+
+    def assume(self, cond) -> None:
+        """Constrain the current path; abandon it when now impossible."""
+        if isinstance(cond, bool):
+            if not cond:
+                raise Infeasible
+            return
+        if cond is T.true:
+            return
+        if cond is T.false or not self.solver.check(self._pc + [cond]):
+            raise Infeasible
+        self._pc.append(cond)
+
+    def concretize(self, term: Term, values: Iterable[int]) -> int:
+        """Force an integer term to a concrete value by branching over ``values``."""
+        options = list(values)
+        idx = self.choose([T.eq(term, T.const(v)) for v in options])
+        return options[idx]
+
+    def path_condition(self) -> list[Term]:
+        return list(self._pc)
+
+    def is_feasible(self, cond: Term) -> bool:
+        """Non-branching satisfiability probe against the current path."""
+        return self.solver.check(self._pc + [cond])
+
+    def _add(self, constraint: Term) -> None:
+        if constraint is T.true:
+            return
+        self._pc.append(constraint)

@@ -1,0 +1,622 @@
+"""SMT-lite solver for the fragment used by the POSIX model.
+
+The original Commuter delegates to Z3.  The path conditions our ANALYZER
+produces live in a small decidable fragment (DESIGN.md §5):
+
+* boolean structure (``and``/``or``/``not``, ``ite`` on any sort),
+* equality and disequality over uninterpreted sorts,
+* equality and order comparisons over *bounded* integers built from
+  variables, constants and addition.
+
+The solver does DPLL-style splitting on the boolean structure, maintains a
+union-find (congruence closure without function symbols — the model never
+produces uninterpreted functions) for uninterpreted equalities, and decides
+integer literals by backtracking search over bounded domains with
+forward-checking.  Satisfiable queries yield a :class:`Model` that assigns
+every relevant variable a concrete Python value.
+
+Queries are memoized on the set of constraints; path exploration re-checks
+many shared prefixes, so the cache is load-bearing for ANALYZER performance.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Optional, Sequence
+
+from repro.symbolic import terms as T
+from repro.symbolic.terms import Term
+
+
+class SolverError(Exception):
+    """Raised when a constraint falls outside the supported fragment."""
+
+
+class UVal:
+    """A concrete value of an uninterpreted sort in a model.
+
+    Instances compare by ``(sort, index)``; distinct indices are distinct
+    values.  TESTGEN later maps these to concrete names like ``"f0"``.
+    """
+
+    __slots__ = ("sort", "index")
+
+    def __init__(self, sort: T.Sort, index: int):
+        self.sort = sort
+        self.index = index
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, UVal)
+            and self.sort is other.sort
+            and self.index == other.index
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.sort, self.index))
+
+    def __repr__(self) -> str:
+        return f"{self.sort.name}#{self.index}"
+
+
+class Model:
+    """A satisfying assignment: maps variable terms to Python values."""
+
+    def __init__(self, assignment: dict[Term, object]):
+        self._assignment = dict(assignment)
+
+    def __getitem__(self, v: Term):
+        return self._assignment[v]
+
+    def get(self, v: Term, default=None):
+        return self._assignment.get(v, default)
+
+    def __contains__(self, v: Term) -> bool:
+        return v in self._assignment
+
+    def variables(self) -> list[Term]:
+        return list(self._assignment)
+
+    def eval(self, term: Term):
+        """Evaluate ``term`` to a concrete value under this model.
+
+        Unassigned variables get deterministic defaults (``False``, ``0``, or
+        a fresh uninterpreted value), so evaluation is total.
+        """
+        k = term.kind
+        if k == T.VAR:
+            if term in self._assignment:
+                return self._assignment[term]
+            return self._default(term)
+        if k in (T.BCONST, T.ICONST):
+            return term.payload
+        if k == T.UVAL:
+            return UVal(term.sort, term.payload)
+        if k == T.NOT:
+            return not self.eval(term.args[0])
+        if k == T.AND:
+            return all(self.eval(a) for a in term.args)
+        if k == T.OR:
+            return any(self.eval(a) for a in term.args)
+        if k == T.EQ:
+            return self.eval(term.args[0]) == self.eval(term.args[1])
+        if k == T.LT:
+            return self.eval(term.args[0]) < self.eval(term.args[1])
+        if k == T.LE:
+            return self.eval(term.args[0]) <= self.eval(term.args[1])
+        if k == T.ADD:
+            return self.eval(term.args[0]) + self.eval(term.args[1])
+        if k == T.ITE:
+            cond, a, b = term.args
+            return self.eval(a) if self.eval(cond) else self.eval(b)
+        raise SolverError(f"cannot evaluate kind {k}")
+
+    def _default(self, v: Term):
+        if v.sort is T.BOOL:
+            return False
+        if v.sort is T.INT:
+            return 0
+        # Deterministic fresh value: index derived from the variable name so
+        # unconstrained names stay distinct from each other and from small
+        # model-assigned indices.
+        return UVal(v.sort, 1000 + (hash(v.payload) & 0xFFFF))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{v.payload}={self._assignment[v]!r}" for v in self._assignment
+        )
+        return f"Model({parts})"
+
+
+class _Theory:
+    """Accumulated literal state during a DPLL branch."""
+
+    __slots__ = ("bools", "parent", "rank", "diseq", "int_literals")
+
+    def __init__(self):
+        self.bools: dict[Term, bool] = {}
+        self.parent: dict[Term, Term] = {}
+        self.rank: dict[Term, int] = {}
+        self.diseq: list[tuple[Term, Term]] = []
+        self.int_literals: list[tuple[str, Term, Term]] = []
+
+    def clone(self) -> "_Theory":
+        t = _Theory.__new__(_Theory)
+        t.bools = dict(self.bools)
+        t.parent = dict(self.parent)
+        t.rank = dict(self.rank)
+        t.diseq = list(self.diseq)
+        t.int_literals = list(self.int_literals)
+        return t
+
+    def find(self, x: Term) -> Term:
+        root = x
+        while self.parent.get(root, root) is not root:
+            root = self.parent[root]
+        # Path compression.
+        while self.parent.get(x, x) is not x:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: Term, b: Term) -> bool:
+        """Merge classes of a and b; False on contradiction with a diseq."""
+        ra, rb = self.find(a), self.find(b)
+        if ra is rb:
+            return True
+        # Two distinct concrete uninterpreted values can never be equal.
+        if ra.kind == T.UVAL and rb.kind == T.UVAL:
+            return False
+        if self.rank.get(ra, 0) < self.rank.get(rb, 0):
+            ra, rb = rb, ra
+        # Keep concrete values as roots so classes stay pinned to them.
+        if rb.kind == T.UVAL:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank.get(ra, 0) == self.rank.get(rb, 0):
+            self.rank[ra] = self.rank.get(ra, 0) + 1
+        return self._diseq_consistent()
+
+    def _diseq_consistent(self) -> bool:
+        return all(self.find(a) is not self.find(b) for a, b in self.diseq)
+
+    def add_diseq(self, a: Term, b: Term) -> bool:
+        if self.find(a) is self.find(b):
+            return False
+        self.diseq.append((a, b))
+        return True
+
+
+class Solver:
+    """Satisfiability checks and model construction with memoization."""
+
+    def __init__(self, int_min: int = -1, int_max: int = 16):
+        self.int_min = int_min
+        self.int_max = int_max
+        self._check_cache: dict[frozenset, bool] = {}
+        self._int_cache: dict[frozenset, Optional[dict]] = {}
+        self.stats = {"checks": 0, "cache_hits": 0, "int_nodes": 0}
+
+    # ------------------------------------------------------------------
+    # Public API
+
+    def check(self, constraints: Iterable[Term]) -> bool:
+        """True when the conjunction of ``constraints`` is satisfiable."""
+        formulas = _prepare(constraints)
+        if formulas is None:
+            return False
+        key = frozenset(id(f) for f in formulas)
+        hit = self._check_cache.get(key)
+        if hit is not None:
+            self.stats["cache_hits"] += 1
+            return hit
+        self.stats["checks"] += 1
+        result = self._solve(list(formulas), _Theory(), want_model=False) is not None
+        self._check_cache[key] = result
+        return result
+
+    def model(self, constraints: Iterable[Term]) -> Optional[Model]:
+        """A satisfying :class:`Model`, or None when unsatisfiable."""
+        formulas = _prepare(constraints)
+        if formulas is None:
+            return None
+        theory = self._solve(list(formulas), _Theory(), want_model=True)
+        if theory is None:
+            return None
+        return self._build_model(theory)
+
+    # ------------------------------------------------------------------
+    # DPLL core
+
+    def _solve(
+        self, pending: list[Term], theory: _Theory, want_model: bool
+    ) -> Optional[_Theory]:
+        while pending:
+            f = pending.pop()
+            f = _lift_ite(f)
+            k = f.kind
+            if f is T.true:
+                continue
+            if f is T.false:
+                return None
+            if k == T.AND:
+                pending.extend(f.args)
+                continue
+            if k == T.OR:
+                # Split: try each disjunct in its own branch.
+                for d in f.args:
+                    result = self._solve(
+                        pending + [d], theory.clone(), want_model
+                    )
+                    if result is not None:
+                        return result
+                return None
+            if k == T.ITE:
+                cond, a, b = f.args
+                for guard, branch in ((cond, a), (T.not_(cond), b)):
+                    result = self._solve(
+                        pending + [guard, branch], theory.clone(), want_model
+                    )
+                    if result is not None:
+                        return result
+                return None
+            if k == T.NOT and f.args[0].kind in (T.AND, T.OR, T.ITE):
+                pending.append(_push_negation(f.args[0]))
+                continue
+            if not self._assert_literal(f, theory):
+                return None
+        if not self._int_check(theory, assign_out=None):
+            return None
+        return theory
+
+    def _assert_literal(self, f: Term, theory: _Theory) -> bool:
+        positive = True
+        if f.kind == T.NOT:
+            positive = False
+            f = f.args[0]
+        k = f.kind
+        if k == T.VAR and f.sort is T.BOOL:
+            prev = theory.bools.get(f)
+            if prev is not None and prev != positive:
+                return False
+            theory.bools[f] = positive
+            return True
+        if k == T.EQ:
+            a, b = f.args
+            if a.sort is T.INT:
+                theory.int_literals.append(("eq" if positive else "ne", a, b))
+                return True
+            if positive:
+                return theory.union(a, b)
+            return theory.add_diseq(a, b)
+        if k == T.LT:
+            a, b = f.args
+            # not (a < b)  <=>  b <= a
+            if positive:
+                theory.int_literals.append(("lt", a, b))
+            else:
+                theory.int_literals.append(("le", b, a))
+            return True
+        if k == T.LE:
+            a, b = f.args
+            if positive:
+                theory.int_literals.append(("le", a, b))
+            else:
+                theory.int_literals.append(("lt", b, a))
+            return True
+        raise SolverError(f"unsupported literal: {f!r}")
+
+    # ------------------------------------------------------------------
+    # Integer theory: bounded backtracking with forward checking.
+    #
+    # Path conditions accumulate many independent integer facts (bounds on
+    # unrelated inode fields, offsets, fds), so the literal set is first
+    # split into connected components over shared variables; each component
+    # is solved separately and memoized — re-checks of grown path
+    # conditions hit the cache for every unchanged component.
+
+    def _int_check(
+        self, theory: _Theory, assign_out: Optional[dict]
+    ) -> bool:
+        literals = theory.int_literals
+        if not literals:
+            return True
+        for component in _int_components(literals):
+            key = frozenset(component)
+            cached = self._int_cache.get(key, _MISSING)
+            if cached is _MISSING:
+                cached = self._solve_int_component(component)
+                self._int_cache[key] = cached
+            if cached is None:
+                return False
+            if assign_out is not None:
+                assign_out.update(cached)
+        return True
+
+    def _solve_int_component(
+        self, literals: list
+    ) -> Optional[dict[Term, int]]:
+        variables: list[Term] = []
+        seen = set()
+        by_var: dict[Term, list] = {}
+        lit_infos = []
+        for lit in literals:
+            lit_vars = frozenset(T.term_variables(lit[1], T.term_variables(lit[2])))
+            lit_infos.append((lit, lit_vars))
+            for v in lit_vars:
+                if v not in seen:
+                    seen.add(v)
+                    variables.append(v)
+                    by_var[v] = []
+            for v in lit_vars:
+                by_var[v].append((lit, lit_vars))
+        # Ground literals (no variables) must hold outright.
+        for lit, lit_vars in lit_infos:
+            if not lit_vars and not _eval_ground(lit):
+                return None
+        # Domain narrowing from single-variable bound literals.
+        domains = {v: self._narrow_domain(v, by_var[v]) for v in variables}
+        if any(not d for d in domains.values()):
+            return None
+        # Assign most-constrained variables first: fail fast.
+        variables.sort(key=lambda v: (len(domains[v]), -len(by_var[v])))
+        assignment: dict[Term, int] = {}
+
+        def satisfied(lit, lit_vars) -> Optional[bool]:
+            if not all(v in assignment for v in lit_vars):
+                return None
+            op, a, b = lit
+            va = _int_eval(a, assignment)
+            vb = _int_eval(b, assignment)
+            if op == "eq":
+                return va == vb
+            if op == "ne":
+                return va != vb
+            if op == "lt":
+                return va < vb
+            return va <= vb
+
+        def backtrack(i: int) -> bool:
+            self.stats["int_nodes"] += 1
+            if i == len(variables):
+                return True
+            v = variables[i]
+            for value in domains[v]:
+                assignment[v] = value
+                ok = True
+                for lit, lit_vars in by_var[v]:
+                    if satisfied(lit, lit_vars) is False:
+                        ok = False
+                        break
+                if ok and backtrack(i + 1):
+                    return True
+                del assignment[v]
+            return False
+
+        if not backtrack(0):
+            return None
+        return dict(assignment)
+
+    def _narrow_domain(self, v: Term, lits: list) -> list[int]:
+        lo, hi = self.int_min, self.int_max
+        excluded: set[int] = set()
+        for lit, lit_vars in lits:
+            if len(lit_vars) != 1:
+                continue
+            bound = _single_var_bound(lit, v)
+            if bound is None:
+                continue
+            op, c = bound
+            if op == "eq":
+                lo = max(lo, c)
+                hi = min(hi, c)
+            elif op == "ne":
+                excluded.add(c)
+            elif op == "lt":
+                hi = min(hi, c - 1)
+            elif op == "le":
+                hi = min(hi, c)
+            elif op == "gt":
+                lo = max(lo, c + 1)
+            elif op == "ge":
+                lo = max(lo, c)
+        return [x for x in range(lo, hi + 1) if x not in excluded]
+
+    # ------------------------------------------------------------------
+    # Model construction
+
+    def _build_model(self, theory: _Theory) -> Model:
+        assignment: dict[Term, object] = {}
+        for v, val in theory.bools.items():
+            assignment[v] = val
+        int_assignment: dict[Term, int] = {}
+        if not self._int_check(theory, assign_out=int_assignment):
+            raise AssertionError("theory was satisfiable a moment ago")
+        assignment.update(int_assignment)
+        # Group uninterpreted terms into equivalence classes per sort and
+        # give each class a distinct concrete value, honoring pinned UVALs.
+        classes: dict[Term, list[Term]] = {}
+        for t in itertools.chain(theory.parent, (a for d in theory.diseq for a in d)):
+            classes.setdefault(theory.find(t), []).append(t)
+        next_index: dict[T.Sort, int] = {}
+        for root in sorted(classes, key=_class_sort_key):
+            members = classes[root]
+            sort = root.sort
+            if root.kind == T.UVAL:
+                value = UVal(sort, root.payload)
+                next_index[sort] = max(next_index.get(sort, 0), root.payload + 1)
+            else:
+                idx = next_index.get(sort, 0)
+                value = UVal(sort, idx)
+                next_index[sort] = idx + 1
+            for m in members:
+                if m.kind == T.VAR:
+                    assignment[m] = value
+            if root.kind == T.VAR:
+                assignment[root] = value
+        return Model(assignment)
+
+
+def _class_sort_key(root: Term):
+    # Stable ordering: pinned values first (by index), then variables by name.
+    if root.kind == T.UVAL:
+        return (root.sort.name, 0, root.payload, "")
+    return (root.sort.name, 1, 0, str(root.payload))
+
+
+_MISSING = object()
+
+
+def _int_components(literals: list) -> list[list]:
+    """Partition literals into connected components over shared variables."""
+    parent: dict = {}
+
+    def find(x):
+        while parent.setdefault(x, x) is not x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a, b):
+        ra, rb = find(a), find(b)
+        if ra is not rb:
+            parent[ra] = rb
+
+    lit_vars_list = []
+    for lit in literals:
+        lit_vars = T.term_variables(lit[1], T.term_variables(lit[2]))
+        lit_vars_list.append(lit_vars)
+        vs = list(lit_vars)
+        for v in vs[1:]:
+            union(vs[0], v)
+    groups: dict = {}
+    ground = []
+    for lit, lit_vars in zip(literals, lit_vars_list):
+        if not lit_vars:
+            ground.append(lit)
+            continue
+        root = find(next(iter(lit_vars)))
+        groups.setdefault(root, []).append(lit)
+    components = list(groups.values())
+    if ground:
+        components.append(ground)
+    return components
+
+
+def _eval_ground(lit) -> bool:
+    op, a, b = lit
+    va = _int_eval(a, {})
+    vb = _int_eval(b, {})
+    if op == "eq":
+        return va == vb
+    if op == "ne":
+        return va != vb
+    if op == "lt":
+        return va < vb
+    return va <= vb
+
+
+def _linearize(t: Term, v: Term):
+    """(coefficient of v, constant) for a term over at most the variable v,
+    or None if other variables appear."""
+    if t.kind == T.ICONST:
+        return (0, t.payload)
+    if t.kind == T.VAR:
+        return (1, 0) if t is v else None
+    if t.kind == T.ADD:
+        left = _linearize(t.args[0], v)
+        right = _linearize(t.args[1], v)
+        if left is None or right is None:
+            return None
+        return (left[0] + right[0], left[1] + right[1])
+    return None
+
+
+_FLIPPED = {"lt": "gt", "le": "ge", "eq": "eq", "ne": "ne"}
+
+
+def _single_var_bound(lit, v: Term):
+    """Normalize a single-variable literal to ``v <op> constant``."""
+    op, a, b = lit
+    la = _linearize(a, v)
+    lb = _linearize(b, v)
+    if la is None or lb is None:
+        return None
+    coeff = la[0] - lb[0]
+    rhs = lb[1] - la[1]
+    if coeff == 1:
+        return (op, rhs)
+    if coeff == -1:
+        return (_FLIPPED[op], -rhs)
+    return None
+
+
+def _int_eval(t: Term, assignment: dict[Term, int]) -> int:
+    if t.kind == T.ICONST:
+        return t.payload
+    if t.kind == T.VAR:
+        return assignment[t]
+    if t.kind == T.ADD:
+        return _int_eval(t.args[0], assignment) + _int_eval(t.args[1], assignment)
+    raise SolverError(f"unsupported integer term: {t!r}")
+
+
+def _push_negation(f: Term) -> Term:
+    """One-level De Morgan / ITE negation push for the DPLL loop."""
+    if f.kind == T.AND:
+        return T.or_(*[T.not_(a) for a in f.args])
+    if f.kind == T.OR:
+        return T.and_(*[T.not_(a) for a in f.args])
+    if f.kind == T.ITE:
+        cond, a, b = f.args
+        return Term(T.ITE, (cond, T.not_(a), T.not_(b)), None, T.BOOL)
+    raise AssertionError(f"unexpected kind {f.kind}")
+
+
+def _prepare(constraints: Iterable[Term]) -> Optional[tuple[Term, ...]]:
+    """Normalize the constraint list; None when trivially unsatisfiable."""
+    out = []
+    for c in constraints:
+        if c is T.false:
+            return None
+        if c is T.true:
+            continue
+        out.append(c)
+    return tuple(out)
+
+
+def _lift_ite(f: Term) -> Term:
+    """Rewrite a boolean formula containing embedded ``ite`` terms.
+
+    Finds the first non-boolean ``ite`` subterm and splits on its condition:
+    ``P[ite(c,a,b)]`` becomes ``ite(c, P[a], P[b])`` with a *boolean* ite,
+    which the DPLL loop then splits on.  Boolean-sorted ites never occur
+    (the constructors encode them with and/or).
+    """
+    target = _find_ite(f)
+    if target is None:
+        return f
+    cond = target.args[0]
+    then = T.substitute(f, {target: target.args[1]})
+    other = T.substitute(f, {target: target.args[2]})
+    # Represent as a boolean split the DPLL loop understands.
+    return Term(T.ITE, (cond, then, other), None, T.BOOL)
+
+
+_ITE_FREE: set[int] = set()
+
+
+def _find_ite(f: Term) -> Optional[Term]:
+    if id(f) in _ITE_FREE:
+        return None
+    stack = list(f.args)
+    seen = set()
+    while stack:
+        t = stack.pop()
+        if id(t) in seen or id(t) in _ITE_FREE:
+            continue
+        seen.add(id(t))
+        if t.kind == T.ITE and t.sort is not T.BOOL:
+            return t
+        stack.extend(t.args)
+    _ITE_FREE.add(id(f))
+    return None

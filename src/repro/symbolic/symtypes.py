@@ -1,0 +1,513 @@
+"""Symbolic values and containers for writing interface models.
+
+This is the modeling language of the paper's Figure 4: models are ordinary
+Python classes whose state is built from symbolic integers, booleans,
+uninterpreted values, structs and maps.  Branches on symbolic booleans fork
+the active :class:`~repro.symbolic.engine.Executor`.
+
+The load-bearing design point is :class:`SymMap`: an initially-unconstrained
+map (``SymMap.any``) discovers its contents lazily.  Every key that touches
+the map is first *resolved* — forked against all previously seen distinct
+keys — so the path condition totally decides key aliasing, and a per-slot
+presence variable forks on whether the initial map contained that key.  Slot
+metadata lives in a :class:`_MapBase` shared by all copies of the map, so
+two copies of one initial state (ANALYZER runs each permutation on its own
+copy) agree about the initial contents they discover, while their mutations
+stay private.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional
+
+from repro.symbolic import terms as T
+from repro.symbolic.engine import Executor
+from repro.symbolic.terms import Sort, Term
+
+
+class SValue:
+    """Base class for symbolic value wrappers; holds the underlying term."""
+
+    __slots__ = ("term",)
+
+    def __init__(self, term: Term):
+        self.term = term
+
+    __hash__ = None  # symbolic values must not be used as dict/set keys
+
+
+class SBool(SValue):
+    """A symbolic boolean.  ``bool(x)`` forks the active executor."""
+
+    def __bool__(self) -> bool:
+        return Executor.current().fork_bool(self.term)
+
+    def __and__(self, other) -> "SBool":
+        return SBool(T.and_(self.term, _bool_term(other)))
+
+    __rand__ = __and__
+
+    def __or__(self, other) -> "SBool":
+        return SBool(T.or_(self.term, _bool_term(other)))
+
+    __ror__ = __or__
+
+    def __invert__(self) -> "SBool":
+        return SBool(T.not_(self.term))
+
+    def __repr__(self) -> str:
+        return f"SBool({self.term!r})"
+
+
+class SInt(SValue):
+    """A symbolic bounded integer."""
+
+    def __add__(self, other) -> "SInt":
+        return SInt(T.add(self.term, _int_term(other)))
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "SInt":
+        return SInt(T.sub(self.term, _int_term(other)))
+
+    def __eq__(self, other) -> SBool:
+        return SBool(T.eq(self.term, _int_term(other)))
+
+    def __ne__(self, other) -> SBool:
+        return SBool(T.ne(self.term, _int_term(other)))
+
+    def __lt__(self, other) -> SBool:
+        return SBool(T.lt(self.term, _int_term(other)))
+
+    def __le__(self, other) -> SBool:
+        return SBool(T.le(self.term, _int_term(other)))
+
+    def __gt__(self, other) -> SBool:
+        return SBool(T.lt(_int_term(other), self.term))
+
+    def __ge__(self, other) -> SBool:
+        return SBool(T.le(_int_term(other), self.term))
+
+    def concretize(self, values) -> int:
+        """Fork this integer down to one of ``values`` and return it."""
+        return Executor.current().concretize(self.term, values)
+
+    def __repr__(self) -> str:
+        return f"SInt({self.term!r})"
+
+
+class SRef(SValue):
+    """A symbolic value of an uninterpreted sort (supports equality only)."""
+
+    def __eq__(self, other) -> SBool:
+        return SBool(T.eq(self.term, _ref_term(other, self.term.sort)))
+
+    def __ne__(self, other) -> SBool:
+        return SBool(T.ne(self.term, _ref_term(other, self.term.sort)))
+
+    def __repr__(self) -> str:
+        return f"SRef({self.term!r})"
+
+
+class VarFactory:
+    """Creates deterministically named symbolic variables.
+
+    Name sequences must be reproducible across the executor's re-executions
+    and across ANALYZER's permutations, so factories are namespaced and the
+    per-name counters can be reset (``reset()``) before each permutation.
+    """
+
+    def __init__(self, namespace: str = ""):
+        self.namespace = namespace
+        self._counters: dict[str, int] = {}
+
+    def reset(self) -> None:
+        self._counters.clear()
+
+    def scoped(self, sub: str) -> "VarFactory":
+        prefix = f"{self.namespace}.{sub}" if self.namespace else sub
+        return VarFactory(prefix)
+
+    def _name(self, name: str) -> str:
+        n = self._counters.get(name, 0)
+        self._counters[name] = n + 1
+        full = f"{self.namespace}.{name}" if self.namespace else name
+        if n:
+            full = f"{full}%{n}"
+        return full
+
+    def fresh_bool(self, name: str) -> SBool:
+        return SBool(T.var(self._name(name), T.BOOL))
+
+    def fresh_int(self, name: str) -> SInt:
+        return SInt(T.var(self._name(name), T.INT))
+
+    def fresh_ref(self, name: str, sort: Sort) -> SRef:
+        return SRef(T.var(self._name(name), sort))
+
+
+class SymStruct:
+    """A mutable record of symbolic fields (the paper's ``tstruct``)."""
+
+    def __init__(self, **fields):
+        object.__setattr__(self, "_fields", dict(fields))
+
+    def __getattr__(self, name: str):
+        fields = object.__getattribute__(self, "_fields")
+        if name in fields:
+            return fields[name]
+        raise AttributeError(name)
+
+    def __setattr__(self, name: str, value) -> None:
+        self._fields[name] = value
+
+    def field_names(self) -> list[str]:
+        return list(self._fields)
+
+    def copy(self) -> "SymStruct":
+        return SymStruct(**{k: copy_value(v) for k, v in self._fields.items()})
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self._fields.items())
+        return f"SymStruct({inner})"
+
+
+class _Slot:
+    """One distinct key representative of a map, shared by all copies."""
+
+    __slots__ = ("key", "initial_present", "initial_value")
+
+    def __init__(self, key: Term, initial_present, initial_value):
+        self.key = key
+        self.initial_present = initial_present  # Term (bool var) or False
+        self.initial_value = initial_value
+
+
+class _MapBase:
+    """Shared identity of one symbolic map: its distinct keys and initial
+    contents, discovered lazily."""
+
+    def __init__(
+        self,
+        name: str,
+        key_sort: Sort,
+        value_maker: Optional[Callable[[str], object]],
+        factory: VarFactory,
+        unconstrained: bool,
+    ):
+        self.name = name
+        self.key_sort = key_sort
+        self.value_maker = value_maker
+        self.factory = factory
+        self.unconstrained = unconstrained
+        self.slots: list[_Slot] = []
+
+    def new_slot(self, key: Term) -> int:
+        index = len(self.slots)
+        if self.unconstrained:
+            present = self.factory.fresh_bool(f"{self.name}.has{index}").term
+            value = self.value_maker(f"{self.name}.val{index}")
+        else:
+            present = False
+            value = None
+        self.slots.append(_Slot(key, present, value))
+        return index
+
+
+class SymMap:
+    """A symbolic map view; copies share a :class:`_MapBase`.
+
+    ``SymMap.any(...)`` models an arbitrary unconstrained initial map (the
+    paper's ``SymDir.any()``); ``SymMap.empty(...)`` a definitely-empty one.
+    """
+
+    def __init__(self, base: _MapBase, state: Optional[dict] = None):
+        self._base = base
+        # slot index -> (present: concrete bool, current value)
+        self._state: dict[int, tuple[bool, object]] = {} if state is None else state
+
+    @classmethod
+    def any(
+        cls,
+        factory: VarFactory,
+        name: str,
+        key_sort: Sort,
+        value_maker: Callable[[str], object],
+    ) -> "SymMap":
+        return cls(_MapBase(name, key_sort, value_maker, factory, True))
+
+    @classmethod
+    def empty(cls, factory: VarFactory, name: str, key_sort: Sort) -> "SymMap":
+        return cls(_MapBase(name, key_sort, None, factory, False))
+
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "SymMap":
+        state = {
+            i: (present, copy_value(value))
+            for i, (present, value) in self._state.items()
+        }
+        return SymMap(self._base, state)
+
+    @property
+    def base(self) -> _MapBase:
+        return self._base
+
+    def _resolve(self, key) -> int:
+        kt = _key_term(key, self._base.key_sort)
+        ex = Executor.current()
+        for i, slot in enumerate(self._base.slots):
+            if kt is slot.key:
+                return i
+            if kt.is_const and slot.key.is_const:
+                continue  # distinct constants cannot alias
+            if ex.fork_bool(T.eq(kt, slot.key)):
+                return i
+        return self._base.new_slot(kt)
+
+    def _slot_state(self, i: int) -> tuple[bool, object]:
+        if i not in self._state:
+            slot = self._base.slots[i]
+            if slot.initial_present is False:
+                self._state[i] = (False, None)
+            elif Executor.current().fork_bool(slot.initial_present):
+                self._state[i] = (True, copy_value(slot.initial_value))
+            else:
+                self._state[i] = (False, None)
+        return self._state[i]
+
+    # ------------------------------------------------------------------
+    # Model-facing operations
+
+    def contains(self, key) -> bool:
+        present, _ = self._slot_state(self._resolve(key))
+        return present
+
+    def __contains__(self, key) -> bool:
+        return self.contains(key)
+
+    def __getitem__(self, key):
+        present, value = self._slot_state(self._resolve(key))
+        if not present:
+            raise KeyError(f"symbolic map {self._base.name}: key not present")
+        return value
+
+    def get(self, key, default=None):
+        present, value = self._slot_state(self._resolve(key))
+        return value if present else default
+
+    def __setitem__(self, key, value) -> None:
+        self._state[self._resolve(key)] = (True, value)
+
+    def __delitem__(self, key) -> None:
+        i = self._resolve(key)
+        self._state[i] = (False, None)
+
+    def require(self, key):
+        """Constrain the key to be present (no fork) and return its value.
+
+        Used for model invariants — e.g. a directory entry's inode number
+        must exist in the inode map — and distinct from :meth:`contains`,
+        which explores both presence outcomes.
+        """
+        i = self._resolve(key)
+        if i in self._state:
+            present, value = self._state[i]
+            if not present:
+                Executor.current().assume(False)
+            return value
+        slot = self._base.slots[i]
+        if slot.initial_present is False:
+            Executor.current().assume(False)
+        Executor.current().assume(slot.initial_present)
+        value = copy_value(slot.initial_value)
+        self._state[i] = (True, value)
+        return value
+
+    def require_absent(self, key) -> None:
+        """Constrain the key to be absent (no fork).
+
+        This is how specification nondeterminism is modeled: a freshly
+        allocated inode number is an unconstrained symbolic value required
+        to be absent from the inode map ("creat can assign any unused inode
+        number", §5.1).
+        """
+        i = self._resolve(key)
+        if i in self._state:
+            if self._state[i][0]:
+                Executor.current().assume(False)
+            return
+        slot = self._base.slots[i]
+        if slot.initial_present is not False:
+            Executor.current().assume(T.not_(slot.initial_present))
+        self._state[i] = (False, None)
+
+    def slot_count(self) -> int:
+        return len(self._base.slots)
+
+    def slot_state(self, i: int) -> tuple[bool, object]:
+        """Presence and value for slot ``i`` (forks presence if undecided)."""
+        return self._slot_state(i)
+
+    def footprint(self) -> list[tuple[Term, bool, object]]:
+        """(key, present, value) for every slot this map has ever resolved."""
+        out = []
+        for i in range(self.slot_count()):
+            present, value = self._slot_state(i)
+            out.append((self._base.slots[i].key, present, value))
+        return out
+
+    def __repr__(self) -> str:
+        return f"SymMap({self._base.name}, {len(self._base.slots)} slots)"
+
+
+# ----------------------------------------------------------------------
+# Generic helpers
+
+
+def copy_value(v):
+    """Deep-copy a symbolic value; immutable wrappers are shared."""
+    if isinstance(v, SymStruct):
+        return v.copy()
+    if isinstance(v, SymMap):
+        return v.copy()
+    if isinstance(v, (list, tuple)):
+        return type(v)(copy_value(x) for x in v)
+    return v
+
+
+def values_equal(a, b) -> bool:
+    """Decide equality of two symbolic values on the current path.
+
+    May fork the active executor: the verdict is concrete on each refined
+    path.  This is the state/return-value equivalence primitive ANALYZER's
+    commutativity test is built on (§5.1).
+    """
+    if a is b:
+        return True
+    if isinstance(a, SymStruct) and isinstance(b, SymStruct):
+        if a.field_names() != b.field_names():
+            return False
+        return all(values_equal(getattr(a, f), getattr(b, f)) for f in a.field_names())
+    if isinstance(a, SymMap) and isinstance(b, SymMap):
+        return _maps_equal(a, b)
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        if len(a) != len(b):
+            return False
+        return all(values_equal(x, y) for x, y in zip(a, b))
+    if a is None or b is None:
+        return a is None and b is None
+    ta = _term_of(a)
+    tb = _term_of(b)
+    if ta is not None and tb is not None:
+        if ta.sort is not tb.sort:
+            return False
+        if ta.sort is T.BOOL:
+            return Executor.current().fork_bool(
+                T.or_(T.and_(ta, tb), T.and_(T.not_(ta), T.not_(tb)))
+            )
+        return Executor.current().fork_bool(T.eq(ta, tb))
+    return a == b
+
+
+def _maps_equal(a: SymMap, b: SymMap) -> bool:
+    if a.base is b.base:
+        # Keys never resolved against the map are untouched in both copies
+        # and therefore identical; only materialized slots can differ.
+        for i in range(a.slot_count()):
+            pa, va = a.slot_state(i)
+            pb, vb = b.slot_state(i)
+            if pa != pb:
+                return False
+            if pa and not values_equal(va, vb):
+                return False
+        return True
+    if a.base.unconstrained or b.base.unconstrained:
+        raise ValueError(
+            "map equivalence across bases requires both maps born empty"
+        )
+    return _maps_equal_crossbase(a, b)
+
+
+def _maps_equal_crossbase(a: SymMap, b: SymMap) -> bool:
+    """Equality of two born-empty maps with unrelated bases.
+
+    Both start empty, so their contents are exactly their present slots.
+    Keys within one map are pairwise distinct, so matching present keys
+    across the maps (forking on cross-key equality) is a bijection test.
+    """
+    present_a = [(k, v) for k, p, v in a.footprint() if p]
+    present_b = [(k, v) for k, p, v in b.footprint() if p]
+    if len(present_a) != len(present_b):
+        return False
+    ex = Executor.current()
+    unmatched = list(present_b)
+    for ka, va in present_a:
+        match = None
+        for j, (kb, _) in enumerate(unmatched):
+            if ka is kb or ex.fork_bool(T.eq(ka, kb)):
+                match = j
+                break
+        if match is None:
+            return False
+        _, vb = unmatched.pop(match)
+        if not values_equal(va, vb):
+            return False
+    return True
+
+
+def symand(*parts) -> SBool:
+    return SBool(T.and_(*[_bool_term(p) for p in parts]))
+
+
+def symor(*parts) -> SBool:
+    return SBool(T.or_(*[_bool_term(p) for p in parts]))
+
+
+def symbolic_not(x) -> SBool:
+    return SBool(T.not_(_bool_term(x)))
+
+
+def _bool_term(x) -> Term:
+    if isinstance(x, SBool):
+        return x.term
+    if isinstance(x, bool):
+        return T.true if x else T.false
+    raise TypeError(f"expected boolean, got {x!r}")
+
+
+def _int_term(x) -> Term:
+    if isinstance(x, SInt):
+        return x.term
+    if isinstance(x, bool):
+        raise TypeError("booleans are not integers in the model")
+    if isinstance(x, int):
+        return T.const(x)
+    raise TypeError(f"expected integer, got {x!r}")
+
+
+def _ref_term(x, sort: Sort) -> Term:
+    if isinstance(x, SRef):
+        return x.term
+    if isinstance(x, Term) and x.sort is sort:
+        return x
+    raise TypeError(f"expected {sort.name} value, got {x!r}")
+
+
+def _key_term(key, sort: Sort) -> Term:
+    if sort is T.INT:
+        return _int_term(key)
+    if sort is T.BOOL:
+        return _bool_term(key)
+    return _ref_term(key, sort)
+
+
+def _term_of(x) -> Optional[Term]:
+    if isinstance(x, SValue):
+        return x.term
+    if isinstance(x, bool):
+        return T.true if x else T.false
+    if isinstance(x, int):
+        return T.const(x)
+    return None

@@ -1,0 +1,31 @@
+"""TESTGEN: concrete test cases from commutativity conditions (§5.2)."""
+
+from repro.testgen.casegen import (
+    ConcreteSetup,
+    FdSpec,
+    InodeSpec,
+    OpCall,
+    PipeSpec,
+    ProcSpec,
+    VmaSpec,
+    concrete_value,
+    setup_from_model,
+)
+from repro.testgen.testgen import TestCase, generate_for_pair, generate_suite
+from repro.testgen.render import render_c_testcase
+
+__all__ = [
+    "ConcreteSetup",
+    "FdSpec",
+    "InodeSpec",
+    "OpCall",
+    "PipeSpec",
+    "ProcSpec",
+    "VmaSpec",
+    "concrete_value",
+    "setup_from_model",
+    "TestCase",
+    "generate_for_pair",
+    "generate_suite",
+    "render_c_testcase",
+]

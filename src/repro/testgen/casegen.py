@@ -1,0 +1,213 @@
+"""Translate a satisfying assignment into a concrete test-case setup.
+
+A :class:`ConcreteSetup` is the model-independent description of one initial
+world: directory entries, inodes with page contents, per-process fd tables,
+pipes and memory mappings.  Kernel implementations install it directly
+(setup runs before MTRACE starts recording, so installing state directly is
+equivalent to the paper's generated setup code — see DESIGN.md) and
+:mod:`repro.testgen.render` pretty-prints it as Figure-5-style C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.model.base import DATABYTE, FILENAME, KIND_FILE, NPROCS
+from repro.model.fs import PosixState
+from repro.symbolic.solver import Model, UVal
+from repro.symbolic.symtypes import SValue, SymMap, SymStruct
+
+
+@dataclass
+class InodeSpec:
+    nlink: int
+    length: int
+    pages: dict[int, str] = field(default_factory=dict)
+    mtime: int = 0
+    atime: int = 0
+
+
+@dataclass
+class FdSpec:
+    kind: int  # KIND_FILE / KIND_PIPE_R / KIND_PIPE_W
+    obj: int   # inode number or pipe id
+    offset: int = 0
+
+
+@dataclass
+class PipeSpec:
+    head: int = 0
+    nbytes: int = 0
+    data: dict[int, str] = field(default_factory=dict)
+    nread: int = 1
+    nwrite: int = 1
+
+
+@dataclass
+class VmaSpec:
+    anon: bool
+    writable: bool
+    inum: int = 0
+    fpage: int = 0
+    page: str = "zero"
+
+
+@dataclass
+class ProcSpec:
+    fds: dict[int, FdSpec] = field(default_factory=dict)
+    vmas: dict[int, VmaSpec] = field(default_factory=dict)
+
+
+@dataclass
+class ConcreteSetup:
+    dir: dict[str, int] = field(default_factory=dict)
+    inodes: dict[int, InodeSpec] = field(default_factory=dict)
+    pipes: dict[int, PipeSpec] = field(default_factory=dict)
+    procs: list[ProcSpec] = field(default_factory=lambda: [ProcSpec() for _ in range(NPROCS)])
+
+
+@dataclass
+class OpCall:
+    """One concrete operation invocation of a test case."""
+    op: str
+    args: dict
+
+
+class _Names:
+    """Canonical, stable tokens for uninterpreted values in one test case."""
+
+    def __init__(self):
+        self._by_sort: dict[tuple, str] = {}
+        self._counters: dict[str, int] = {}
+
+    def token(self, value: UVal) -> str:
+        key = (value.sort.name, value.index)
+        if key in self._by_sort:
+            return self._by_sort[key]
+        if value.sort is DATABYTE and value.index == 0:
+            name = "zero"
+        else:
+            prefix = "f" if value.sort is FILENAME else "b"
+            n = self._counters.get(prefix, 0)
+            self._counters[prefix] = n + 1
+            name = f"{prefix}{n}"
+        self._by_sort[key] = name
+        return name
+
+
+def concrete_value(value, model: Model, names: Optional[_Names] = None):
+    """Evaluate a (possibly symbolic) model value to a concrete one."""
+    if names is None:
+        names = _Names()
+    if isinstance(value, SValue):
+        return concrete_value(model.eval(value.term), model, names)
+    if isinstance(value, UVal):
+        return names.token(value)
+    if isinstance(value, tuple):
+        return tuple(concrete_value(v, model, names) for v in value)
+    return value
+
+
+def setup_from_model(
+    state: PosixState, model: Model, names: Optional[_Names] = None
+) -> ConcreteSetup:
+    """Build the concrete initial world a path's model describes."""
+    if names is None:
+        names = _Names()
+    setup = ConcreteSetup()
+
+    def ev(x):
+        return concrete_value(x, model, names)
+
+    def present(slot) -> bool:
+        if slot.initial_present is False:
+            return False
+        return bool(model.eval(slot.initial_present))
+
+    for slot in state.fname_to_inum.base.slots:
+        if present(slot):
+            setup.dir[ev_key(slot.key, model, names)] = ev(slot.initial_value)
+
+    for slot in state.inodes.base.slots:
+        if present(slot):
+            ino = slot.initial_value
+            spec = InodeSpec(
+                nlink=ev(ino.nlink), length=ev(ino.len),
+                mtime=ev(ino.mtime), atime=ev(ino.atime),
+            )
+            spec.pages = _pages_from_map(ino.data, model, names, spec.length)
+            setup.inodes[ev_key(slot.key, model, names)] = spec
+
+    for slot in state.pipes.base.slots:
+        if present(slot):
+            p = slot.initial_value
+            spec = PipeSpec(
+                head=ev(p.head), nbytes=ev(p.nbytes),
+                nread=ev(p.nread), nwrite=ev(p.nwrite),
+            )
+            spec.data = _pages_from_map(
+                p.data, model, names, spec.head + spec.nbytes, start=spec.head
+            )
+            setup.pipes[ev_key(slot.key, model, names)] = spec
+
+    for pid in range(NPROCS):
+        proc = state.procs[pid]
+        pspec = setup.procs[pid]
+        for slot in proc.fds.base.slots:
+            if present(slot):
+                e = slot.initial_value
+                pspec.fds[ev_key(slot.key, model, names)] = FdSpec(
+                    kind=ev(e.kind), obj=ev(e.obj), offset=ev(e.offset)
+                )
+        for slot in proc.vmas.base.slots:
+            if present(slot):
+                m = slot.initial_value
+                pspec.vmas[ev_key(slot.key, model, names)] = VmaSpec(
+                    anon=ev(m.anon), writable=ev(m.writable),
+                    inum=ev(m.inum), fpage=ev(m.fpage), page=ev(m.page),
+                )
+
+    _close_world(setup)
+    return setup
+
+
+def ev_key(key_term, model: Model, names: _Names):
+    value = model.eval(key_term)
+    if isinstance(value, UVal):
+        return names.token(value)
+    return value
+
+
+def _pages_from_map(data: SymMap, model: Model, names: _Names, limit: int,
+                    start: int = 0) -> dict[int, str]:
+    pages: dict[int, str] = {}
+    for slot in data.base.slots:
+        if slot.initial_present is False:
+            continue
+        if not model.eval(slot.initial_present):
+            continue
+        idx = model.eval(slot.key)
+        if start <= idx < max(limit, start):
+            pages[idx] = concrete_value(slot.initial_value, model, names)
+    return pages
+
+
+def _close_world(setup: ConcreteSetup) -> None:
+    """Fill in objects referenced but never materialized on this path.
+
+    A directory entry, fd or mapping may point at an inode/pipe the path
+    never inspected; any consistent object works there, so supply a
+    default.
+    """
+    for inum in list(setup.dir.values()):
+        setup.inodes.setdefault(inum, InodeSpec(nlink=1, length=0))
+    for proc in setup.procs:
+        for fd_spec in proc.fds.values():
+            if fd_spec.kind == KIND_FILE:
+                setup.inodes.setdefault(fd_spec.obj, InodeSpec(nlink=0, length=0))
+            else:
+                setup.pipes.setdefault(fd_spec.obj, PipeSpec())
+        for vma in proc.vmas.values():
+            if not vma.anon:
+                setup.inodes.setdefault(vma.inum, InodeSpec(nlink=0, length=0))

@@ -1,0 +1,115 @@
+"""Figure-5-style C rendering of generated test cases.
+
+The paper's TESTGEN invokes a model-specific code generator to emit C test
+cases (Figure 5).  Our kernels consume :class:`ConcreteSetup` directly, so
+this rendering is the human-facing artifact: a best-effort syscall script
+that would reconstruct the setup on a POSIX system, plus one function per
+test operation.
+"""
+
+from __future__ import annotations
+
+from repro.model.base import KIND_FILE, KIND_PIPE_R, KIND_PIPE_W
+from repro.testgen.casegen import ConcreteSetup, InodeSpec, OpCall
+
+
+def render_c_testcase(name: str, setup: ConcreteSetup, ops) -> str:
+    lines = [f"void setup_{name}(void) {{"]
+    lines.extend("  " + line for line in _render_setup(setup))
+    lines.append("}")
+    for i, call in enumerate(ops):
+        lines.append("")
+        lines.append(f"int test_{name}_op{i}(void) {{")
+        lines.append(f"  return {_render_call(call)};")
+        lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _render_setup(setup: ConcreteSetup) -> list[str]:
+    out: list[str] = []
+    # Inodes reachable from the directory: create the first name, link the
+    # rest (the Figure 5 idiom uses a scratch name for multi-link files).
+    names_by_inode: dict[int, list[str]] = {}
+    for fname, inum in sorted(setup.dir.items()):
+        names_by_inode.setdefault(inum, []).append(fname)
+    for inum, names in sorted(names_by_inode.items()):
+        spec = setup.inodes[inum]
+        first = names[0]
+        out.append(f'close(open("{first}", O_CREAT|O_RDWR, 0666));')
+        for extra in names[1:]:
+            out.append(f'link("{first}", "{extra}");')
+        out.extend(_render_contents(first, spec))
+    # Orphan inodes held only by fds/mappings: create, populate, unlink.
+    reachable = set(names_by_inode)
+    for inum, spec in sorted(setup.inodes.items()):
+        if inum in reachable:
+            continue
+        scratch = f"__orphan{inum}"
+        out.append(f'close(open("{scratch}", O_CREAT|O_RDWR, 0666));')
+        out.extend(_render_contents(scratch, spec))
+        out.append(f'unlink("{scratch}");  /* kept alive by an fd below */')
+    for pid, proc in enumerate(setup.procs):
+        if not proc.fds and not proc.vmas:
+            continue
+        out.append(f"/* process {pid} */")
+        for fd, spec in sorted(proc.fds.items()):
+            if spec.kind == KIND_FILE:
+                fname = _name_of(setup, spec.obj)
+                out.append(
+                    f'/* fd {fd} */ open("{fname}", O_RDWR);'
+                    + (f" lseek({fd}, {spec.offset}*PG, SEEK_SET);"
+                       if spec.offset else "")
+                )
+            else:
+                end = "read" if spec.kind == KIND_PIPE_R else "write"
+                out.append(f"/* fd {fd}: {end} end of pipe {spec.obj} */")
+        for va, vma in sorted(proc.vmas.items()):
+            prot = "PROT_READ|PROT_WRITE" if vma.writable else "PROT_READ"
+            if vma.anon:
+                out.append(
+                    f"mmap((void*)({va}*PG), PG, {prot}, "
+                    "MAP_ANON|MAP_FIXED, -1, 0);"
+                )
+            else:
+                fname = _name_of(setup, vma.inum)
+                out.append(
+                    f'mmap((void*)({va}*PG), PG, {prot}, MAP_SHARED|MAP_FIXED, '
+                    f'open("{fname}", O_RDWR), {vma.fpage}*PG);'
+                )
+    for pipeid, pipe in sorted(setup.pipes.items()):
+        out.append(
+            f"/* pipe {pipeid}: {pipe.nbytes} page(s) queued, "
+            f"{pipe.nread} read fd(s), {pipe.nwrite} write fd(s) */"
+        )
+    if not out:
+        out.append("/* empty initial state */")
+    return out
+
+
+def _render_contents(fname: str, spec: InodeSpec) -> list[str]:
+    out = []
+    if spec.length:
+        out.append(f'truncate("{fname}", {spec.length}*PG);')
+    for page, byte in sorted(spec.pages.items()):
+        out.append(f'pwrite_page("{fname}", {page}, \'{byte}\');')
+    return out
+
+
+def _name_of(setup: ConcreteSetup, inum: int) -> str:
+    for fname, i in setup.dir.items():
+        if i == inum:
+            return fname
+    return f"__orphan{inum}"
+
+
+def _render_call(call: OpCall) -> str:
+    args = ", ".join(_render_arg(k, v) for k, v in call.args.items())
+    return f"{call.op}({args})"
+
+
+def _render_arg(key: str, value) -> str:
+    if isinstance(value, bool):
+        return f"{key}={'1' if value else '0'}"
+    if isinstance(value, str):
+        return f'"{value}"'
+    return str(value)

@@ -1,0 +1,167 @@
+"""TESTGEN proper: conflict-coverage test enumeration (§5.2).
+
+For every commutative path ANALYZER found, TESTGEN enumerates satisfying
+assignments of the path condition that are distinct up to isomorphism —
+"the same pattern of equal and distinct values" within each value group —
+and emits one concrete :class:`TestCase` per assignment.  Path coverage
+comes from ANALYZER's exhaustive path exploration; conflict coverage from
+the isomorphism enumeration (same path, different aliasing patterns reach
+different data-structure access patterns in an implementation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.analyzer.analyzer import PairResult, PathVerdict
+from repro.model.base import DATABYTE, FILENAME
+from repro.model.fs import PosixState
+from repro.symbolic import terms as T
+from repro.symbolic.enumerate import IsomorphismGroups, enumerate_models
+from repro.symbolic.solver import Solver
+from repro.symbolic.symtypes import SValue
+from repro.testgen.casegen import ConcreteSetup, OpCall, _Names, concrete_value, setup_from_model
+
+
+@dataclass
+class TestCase:
+    """A concrete pair of operations that commute and therefore must have a
+    conflict-free implementation (the scalable commutativity rule)."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    name: str
+    pair: tuple[str, str]
+    setup: ConcreteSetup
+    ops: tuple[OpCall, OpCall]
+    expected: tuple
+    path_index: int
+    test_index: int
+
+    def __repr__(self) -> str:
+        calls = ", ".join(
+            f"{c.op}({', '.join(f'{k}={v}' for k, v in c.args.items())})"
+            for c in self.ops
+        )
+        return f"TestCase({self.name}: {calls})"
+
+
+def generate_for_pair(
+    pair: PairResult,
+    solver: Optional[Solver] = None,
+    tests_per_path: int = 8,
+) -> list[TestCase]:
+    """Concrete test cases for every commutative path of a pair."""
+    solver = solver if solver is not None else Solver()
+    cases: list[TestCase] = []
+    for path_index, path in enumerate(pair.paths):
+        if not path.commutes:
+            continue
+        groups = _groups_for_path(path)
+        models = enumerate_models(
+            solver, list(path.path_condition), groups, limit=tests_per_path
+        )
+        for test_index, model in enumerate(models):
+            names = _Names()
+            setup = setup_from_model(path.initial_state, model, names)
+            ops = tuple(
+                OpCall(op.name, {
+                    k: concrete_value(v, model, names)
+                    for k, v in args.items()
+                })
+                for op, args in zip((pair.op0, pair.op1), path.args)
+            )
+            expected = tuple(
+                concrete_value(r, model, names) for r in path.returns
+            )
+            name = (
+                f"{pair.op0.name}_{pair.op1.name}"
+                f"_path{path_index}_test{test_index}"
+            )
+            cases.append(TestCase(
+                name=name,
+                pair=(pair.op0.name, pair.op1.name),
+                setup=setup,
+                ops=ops,
+                expected=expected,
+                path_index=path_index,
+                test_index=test_index,
+            ))
+    return cases
+
+
+def generate_suite(
+    pair_results: Iterable[PairResult],
+    tests_per_path: int = 8,
+    on_pair=None,
+) -> list[TestCase]:
+    """TESTGEN over a whole interface analysis."""
+    suite: list[TestCase] = []
+    for pair in pair_results:
+        cases = generate_for_pair(pair, tests_per_path=tests_per_path)
+        suite.extend(cases)
+        if on_pair is not None:
+            on_pair(pair, cases)
+    return suite
+
+
+_GROUP_CAP = 8
+
+
+def _groups_for_path(path: PathVerdict) -> IsomorphismGroups:
+    """Value groups whose aliasing pattern defines test identity.
+
+    Groups combine operation arguments with the initial-state values they
+    can alias: file names with directory keys, data bytes with page
+    contents, inode numbers with fd targets, small integers (fds, offsets,
+    lengths) with each other.
+    """
+    state: PosixState = path.initial_state
+    filenames: list[T.Term] = []
+    bytes_: list[T.Term] = []
+    objects: list[T.Term] = []
+    ints: list[T.Term] = []
+
+    for args in path.args:
+        for value in args.values():
+            if not isinstance(value, SValue):
+                continue
+            sort = value.term.sort
+            if sort is FILENAME:
+                filenames.append(value.term)
+            elif sort is DATABYTE:
+                bytes_.append(value.term)
+            elif sort is T.INT:
+                ints.append(value.term)
+
+    for slot in state.fname_to_inum.base.slots:
+        filenames.append(slot.key)
+        if slot.initial_value is not None:
+            objects.append(slot.initial_value.term)
+    for slot in state.inodes.base.slots:
+        objects.append(slot.key)
+        ino = slot.initial_value
+        if ino is not None:
+            ints.append(ino.len.term)
+            for page in ino.data.base.slots:
+                if page.initial_value is not None:
+                    bytes_.append(page.initial_value.term)
+    for proc in state.procs:
+        for slot in proc.fds.base.slots:
+            entry = slot.initial_value
+            if entry is not None:
+                objects.append(entry.obj.term)
+                ints.append(entry.offset.term)
+        for slot in proc.vmas.base.slots:
+            vma = slot.initial_value
+            if vma is not None:
+                objects.append(vma.inum.term)
+                bytes_.append(vma.page.term)
+
+    groups = IsomorphismGroups()
+    groups.add("filenames", filenames[:_GROUP_CAP])
+    groups.add("bytes", bytes_[:_GROUP_CAP])
+    groups.add("objects", objects[:_GROUP_CAP])
+    groups.add("ints", ints[:_GROUP_CAP])
+    return groups

@@ -1,0 +1,96 @@
+"""ANALYZER on operation sets larger than pairs (§5.1's general case).
+
+The triple test below is the §3.2 monotonicity example recast for the
+analyzer: three sets where the full set's outcomes coincide but an
+intermediate state differs between permutations must NOT commute — the
+intermediate-state check (SIM's monotonicity) is what catches it.
+"""
+
+from repro.analyzer import analyze_pair, analyze_set
+from repro.model.base import OpDef
+from repro.symbolic import terms as T
+from repro.symbolic.symtypes import values_equal
+
+RVAL = T.uninterpreted_sort("SetVal")
+
+
+class RegisterState:
+    def __init__(self, factory):
+        self.value = factory.fresh_ref("reg", RVAL)
+
+    def copy(self):
+        new = object.__new__(RegisterState)
+        new.value = self.value
+        return new
+
+
+def register_equal(a, b):
+    return values_equal(a.value, b.value)
+
+
+def set_op():
+    def fn(s, ex, rt, v):
+        s.value = v
+        return 0
+
+    op = OpDef("rset", [], fn)
+    op.make_args = lambda factory: {"v": factory.fresh_ref("v", RVAL)}
+    return op
+
+
+def get_op():
+    def fn(s, ex, rt):
+        return ("v", s.value)
+
+    op = OpDef("rget", [], fn)
+    op.make_args = lambda factory: {}
+    return op
+
+
+def test_pair_via_analyze_set_matches_analyze_pair():
+    a, b = set_op(), set_op()
+    via_set = analyze_set(RegisterState, register_equal, [a, b])
+    via_pair = analyze_pair(RegisterState, register_equal, a, b)
+    assert (len(via_set.commutative_paths) ==
+            len(via_pair.commutative_paths))
+    assert len(via_set.paths) == len(via_pair.paths)
+
+
+def test_triple_of_gets_commutes():
+    ops = [get_op(), get_op(), get_op()]
+    result = analyze_set(RegisterState, register_equal, ops)
+    assert result.paths
+    assert all(p.commutes for p in result.paths)
+
+
+def test_triple_sets_same_value_commutes():
+    """Three sets of one value: every permutation and every prefix agree."""
+    result = analyze_set(RegisterState, register_equal,
+                         [set_op(), set_op(), set_op()])
+    commuting = result.commutative_paths
+    assert commuting
+    # In every commuting path all three written values must be equal:
+    # with two distinct values, some pair of permutations shares a prefix
+    # *set* whose intermediate states differ (the §3.2 example).
+    from repro.symbolic.solver import Solver
+    solver = Solver()
+    for path in commuting:
+        model = solver.model(list(path.path_condition))
+        values = [model.eval(args["v"].term) for args in path.args]
+        assert len(set(values)) == 1
+
+
+def test_monotonicity_check_rejects_si_only_triples():
+    """[set(1) by t0, set(2) by t1, set(2) by t2]: all six orders end at
+    the same value only if the last writer is fixed — as independent ops
+    they must not commute, and even value patterns where the *final*
+    states agree in all orders (all values equal is the only one) are the
+    only survivors."""
+    result = analyze_set(RegisterState, register_equal,
+                         [set_op(), set_op(), set_op()])
+    from repro.symbolic.solver import Solver
+    solver = Solver()
+    for path in result.non_commutative_paths:
+        model = solver.model(list(path.path_condition))
+        values = [model.eval(args["v"].term) for args in path.args]
+        assert len(set(values)) > 1

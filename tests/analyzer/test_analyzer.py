@@ -1,0 +1,147 @@
+"""ANALYZER on small hand-built models (independent of the POSIX model)."""
+
+from repro.analyzer import analyze_interface, analyze_pair
+from repro.analyzer.conditions import summarize_conditions
+from repro.model.base import OpDef
+from repro.symbolic import terms as T
+from repro.symbolic.symtypes import SymMap, SymStruct, values_equal
+
+RKEY = T.uninterpreted_sort("AKey")
+RVAL = T.uninterpreted_sort("AVal")
+
+
+class RegisterState:
+    """A single symbolic cell."""
+
+    def __init__(self, factory):
+        self.value = factory.fresh_ref("reg", RVAL)
+
+    def copy(self):
+        new = object.__new__(RegisterState)
+        new.value = self.value
+        return new
+
+
+def register_equal(a, b):
+    return values_equal(a.value, b.value)
+
+
+def make_set():
+    def fn(s, ex, rt, v):
+        s.value = v
+        return 0
+
+    op = OpDef("rset", [], fn)
+    op.make_args = lambda factory: {"v": factory.fresh_ref("v", RVAL)}
+    return op
+
+
+def make_get():
+    def fn(s, ex, rt):
+        return ("v", s.value)
+
+    op = OpDef("rget", [], fn)
+    op.make_args = lambda factory: {}
+    return op
+
+
+class TestRegister:
+    def test_get_get_commutes(self):
+        pair = analyze_pair(RegisterState, register_equal,
+                            make_get(), make_get())
+        assert all(p.commutes for p in pair.paths)
+
+    def test_set_set_commutes_iff_same_value(self):
+        pair = analyze_pair(RegisterState, register_equal,
+                            make_set(), make_set())
+        assert len(pair.commutative_paths) == 1
+        assert len(pair.non_commutative_paths) == 1
+        cond = pair.commutative_paths[0].condition()
+        # The commutative condition must equate the two written values.
+        assert "==" in str(cond)
+
+    def test_set_get_commutes_iff_overwriting_same_value(self):
+        pair = analyze_pair(RegisterState, register_equal,
+                            make_set(), make_get())
+        assert pair.commutative_paths
+        assert pair.non_commutative_paths
+
+    def test_analyze_interface_covers_all_pairs(self):
+        ops = [make_set(), make_get()]
+        results = analyze_interface(RegisterState, register_equal, ops)
+        names = {(r.op0.name, r.op1.name) for r in results}
+        assert names == {("rset", "rset"), ("rset", "rget"),
+                         ("rget", "rget")}
+
+    def test_pair_filter(self):
+        ops = [make_set(), make_get()]
+        results = analyze_interface(
+            RegisterState, register_equal, ops,
+            pair_filter=lambda a, b: a.name == b.name,
+        )
+        assert len(results) == 2
+
+
+class TestConditionSummaries:
+    def test_summaries_deduplicate(self):
+        pair = analyze_pair(RegisterState, register_equal,
+                            make_get(), make_get())
+        conditions = summarize_conditions(pair.commutative_paths)
+        assert len(conditions) == 1
+
+    def test_commutativity_condition_is_disjunction(self):
+        pair = analyze_pair(RegisterState, register_equal,
+                            make_set(), make_set())
+        cond = pair.commutativity_condition()
+        assert cond is not T.false
+
+
+class TestCounterInterface:
+    """inc-returning-old-value never commutes; blind-inc always does."""
+
+    class CounterState:
+        def __init__(self, factory):
+            self.n = factory.fresh_int("n")
+
+        def copy(self):
+            new = object.__new__(TestCounterInterface.CounterState)
+            new.n = self.n
+            return new
+
+    @staticmethod
+    def counter_equal(a, b):
+        return values_equal(a.n, b.n)
+
+    def _fetch_add(self):
+        def fn(s, ex, rt):
+            old = s.n
+            s.n = s.n + 1
+            return ("old", old)
+
+        op = OpDef("fetch_add", [], fn)
+        op.make_args = lambda factory: {}
+        return op
+
+    def _blind_inc(self):
+        def fn(s, ex, rt):
+            s.n = s.n + 1
+            return 0
+
+        op = OpDef("inc", [], fn)
+        op.make_args = lambda factory: {}
+        return op
+
+    def test_fetch_add_never_commutes(self):
+        pair = analyze_pair(self.CounterState, self.counter_equal,
+                            self._fetch_add(), self._fetch_add())
+        assert not pair.commutative_paths
+
+    def test_blind_inc_always_commutes(self):
+        pair = analyze_pair(self.CounterState, self.counter_equal,
+                            self._blind_inc(), self._blind_inc())
+        assert all(p.commutes for p in pair.paths)
+
+    def test_mixed_pair(self):
+        pair = analyze_pair(self.CounterState, self.counter_equal,
+                            self._fetch_add(), self._blind_inc())
+        assert not pair.commutative_paths

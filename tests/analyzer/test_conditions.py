@@ -1,0 +1,55 @@
+"""Readable commutativity conditions (condition projection)."""
+
+from repro.analyzer import analyze_pair
+from repro.analyzer.conditions import (
+    CommutativityCondition,
+    condition_from_path,
+    summarize_conditions,
+)
+from repro.model.posix import PosixState, posix_state_equal, op_by_name
+from repro.symbolic import terms as T
+
+FN = T.uninterpreted_sort("CondSort")
+
+
+def test_condition_equality_is_set_based():
+    a = T.var("ca", FN)
+    b = T.var("cb", FN)
+    c1 = CommutativityCondition((T.eq(a, b), T.ne(a, b)))
+    c2 = CommutativityCondition((T.ne(a, b), T.eq(a, b)))
+    assert c1 == c2
+    assert hash(c1) == hash(c2)
+
+
+def test_empty_condition_renders_always():
+    assert repr(CommutativityCondition(())) == "<always>"
+
+
+def test_projection_drops_bound_literals():
+    x = T.var("a0.x", T.INT)
+    cond = condition_from_path(
+        [T.le(T.const(0), x), T.le(x, T.const(3)), T.eq(x, T.var("a1.y", T.INT))],
+        interesting=("a0", "a1"),
+    )
+    assert len(cond.literals) == 1
+
+
+def test_projection_keeps_arg_literals_only():
+    x = T.var("a0.x", FN)
+    other = T.var("s.internal", FN)
+    cond = condition_from_path(
+        [T.eq(x, other), T.ne(other, T.var("s.other", FN))],
+        interesting=("a0",),
+    )
+    assert len(cond.literals) == 1
+
+
+def test_summaries_on_real_pair():
+    pair = analyze_pair(
+        PosixState, posix_state_equal,
+        op_by_name("link"), op_by_name("link"),
+    )
+    conditions = summarize_conditions(pair.commutative_paths)
+    assert conditions
+    # Distinct summarized conditions only.
+    assert len(set(conditions)) == len(conditions)

@@ -1,0 +1,91 @@
+"""§5.1: ANALYZER recovers the paper's six rename/rename classes."""
+
+import pytest
+
+from repro.analyzer import analyze_pair
+from repro.model.posix import PosixState, posix_state_equal, op_by_name
+from repro.symbolic.solver import Solver
+
+
+@pytest.fixture(scope="module")
+def rename_pair():
+    rename = op_by_name("rename")
+    return analyze_pair(PosixState, posix_state_equal, rename, rename)
+
+
+def _paths_with(rename_pair, predicate):
+    solver = Solver()
+    matches = []
+    for path in rename_pair.commutative_paths:
+        model = solver.model(list(path.path_condition))
+        a = model.eval(path.args[0]["src"].term)
+        b = model.eval(path.args[0]["dst"].term)
+        c = model.eval(path.args[1]["src"].term)
+        d = model.eval(path.args[1]["dst"].term)
+        names = {}
+        for slot in path.initial_state.fname_to_inum.base.slots:
+            if slot.initial_present is not False and model.eval(
+                slot.initial_present
+            ):
+                names[model.eval(slot.key)] = model.eval(
+                    slot.initial_value.term
+                )
+        if predicate(a, b, c, d, names):
+            matches.append(path)
+    return matches
+
+
+def test_class_both_sources_exist_all_distinct(rename_pair):
+    assert _paths_with(rename_pair, lambda a, b, c, d, names: (
+        a in names and c in names and len({a, b, c, d}) == 4
+    ))
+
+
+def test_class_missing_source_not_others_destination(rename_pair):
+    assert _paths_with(rename_pair, lambda a, b, c, d, names: (
+        a in names and c not in names and b != c
+    ))
+
+
+def test_class_neither_source_exists(rename_pair):
+    matches = _paths_with(rename_pair, lambda a, b, c, d, names: (
+        a not in names and c not in names
+    ))
+    assert matches
+    # Both calls fail with ENOENT: state untouched.
+    assert all(p.returns == (-2, -2) for p in matches)
+
+
+def test_class_both_self_renames(rename_pair):
+    assert _paths_with(rename_pair, lambda a, b, c, d, names: (
+        a == b and c == d
+    ))
+
+
+def test_class_self_rename_of_existing_not_others_source(rename_pair):
+    assert _paths_with(rename_pair, lambda a, b, c, d, names: (
+        a in names and a == b and a != c and c != d
+    ))
+
+
+def test_class_two_hard_links_same_destination(rename_pair):
+    matches = _paths_with(rename_pair, lambda a, b, c, d, names: (
+        a in names and c in names and a != c and b == d
+        and names.get(a) == names.get(c)
+    ))
+    assert matches
+
+
+def test_different_inodes_same_destination_does_not_commute(rename_pair):
+    """The complement of class 6: renames of *different* inodes onto one
+    destination leave order-dependent directory contents."""
+    solver = Solver()
+    for path in rename_pair.non_commutative_paths:
+        model = solver.model(list(path.path_condition))
+        a = model.eval(path.args[0]["src"].term)
+        b = model.eval(path.args[0]["dst"].term)
+        c = model.eval(path.args[1]["src"].term)
+        d = model.eval(path.args[1]["dst"].term)
+        if a != c and b == d and path.returns == (0, 0):
+            return
+    pytest.fail("expected non-commutative same-destination renames")

@@ -1,0 +1,112 @@
+"""Shape checks for the §7 benchmarks (small, fast configurations).
+
+Absolute numbers are simulation artifacts; what the paper's Figure 7
+establishes — and what these tests pin — is who scales and who collapses.
+"""
+
+import pytest
+
+from repro.bench.heatmap import run_heatmap
+from repro.bench.mailserver import run_mailserver
+from repro.bench.openbench import run_openbench, run_openbench_linux_baseline
+from repro.bench.report import render_heatmap, render_residues, render_series
+from repro.bench.statbench import run_statbench, run_statbench_linux_baseline
+from repro.model.posix import op_by_name
+
+CORES = (1, 4, 16)
+DURATION = 30_000.0
+
+
+class TestStatbench:
+    def test_fstatx_scales_linearly(self):
+        series = run_statbench("fstatx", cores=CORES, duration=DURATION)
+        assert series.per_core[-1] >= 0.9 * series.per_core[0]
+
+    def test_fstat_shared_does_not_scale(self):
+        series = run_statbench("fstat-shared", cores=CORES, duration=DURATION)
+        assert series.per_core[-1] < 0.6 * series.per_core[0]
+
+    def test_fstat_refcache_most_expensive_at_scale(self):
+        shared = run_statbench("fstat-shared", cores=CORES, duration=DURATION)
+        refcache = run_statbench("fstat-refcache", cores=CORES,
+                                 duration=DURATION)
+        assert refcache.per_core[-1] < shared.per_core[-1]
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            run_statbench("bogus")
+
+    def test_linux_baseline_positive(self):
+        assert run_statbench_linux_baseline(duration=DURATION) > 0
+
+
+class TestOpenbench:
+    def test_anyfd_scales_linearly(self):
+        series = run_openbench("anyfd", cores=CORES, duration=DURATION)
+        assert series.per_core[-1] >= 0.9 * series.per_core[0]
+
+    def test_lowest_fd_collapses(self):
+        series = run_openbench("lowest", cores=CORES, duration=DURATION)
+        assert series.per_core[-1] < 0.5 * series.per_core[0]
+
+    def test_sv6_single_core_at_least_linux(self):
+        """§7.2: sv6's open outperforms Linux's at one core (27% there)."""
+        sv6 = run_openbench("anyfd", cores=(1,), duration=DURATION)
+        linux = run_openbench_linux_baseline(duration=DURATION)
+        assert sv6.per_core[0] >= 0.9 * linux
+
+
+class TestMailserver:
+    def test_commutative_config_scales(self):
+        series = run_mailserver("commutative", cores=CORES, duration=150_000)
+        assert series.per_core[-1] >= 0.7 * series.per_core[0]
+
+    def test_regular_config_collapses(self):
+        series = run_mailserver("regular", cores=CORES, duration=150_000)
+        assert series.per_core[-1] < 0.5 * series.per_core[0]
+
+    def test_commutative_beats_regular_at_scale(self):
+        commutative = run_mailserver("commutative", cores=(16,),
+                                     duration=150_000)
+        regular = run_mailserver("regular", cores=(16,), duration=150_000)
+        assert commutative.per_core[0] > 2 * regular.per_core[0]
+
+
+class TestHeatmapPipeline:
+    @pytest.fixture(scope="class")
+    def small_heatmap(self):
+        ops = [op_by_name(n) for n in ("link", "unlink", "stat")]
+        return run_heatmap(ops=ops)
+
+    def test_counts_consistent(self, small_heatmap):
+        assert small_heatmap.total_tests > 0
+        for kernel in small_heatmap.kernels:
+            assert 0 <= small_heatmap.conflict_free_total(kernel) \
+                <= small_heatmap.total_tests
+
+    def test_scalefs_dominates_mono(self, small_heatmap):
+        assert (small_heatmap.conflict_free_total("scalefs")
+                >= small_heatmap.conflict_free_total("mono"))
+
+    def test_no_semantic_mismatches(self, small_heatmap):
+        for cell in small_heatmap.cells:
+            assert all(v == 0 for v in cell.mismatches.values()), (
+                f"{cell.op0}/{cell.op1}: {cell.mismatches}"
+            )
+
+    def test_render_heatmap(self, small_heatmap):
+        text = render_heatmap(small_heatmap, "mono")
+        assert "link" in text and "stat" in text
+        text = render_residues(small_heatmap, "scalefs")
+        assert "scalefs" in text
+
+    def test_summary(self, small_heatmap):
+        assert "conflict-free" in small_heatmap.summary()
+
+
+class TestRenderSeries:
+    def test_render(self):
+        series = run_openbench("anyfd", cores=(1, 2), duration=10_000)
+        text = render_series("demo", [series])
+        assert "anyfd" in text
+        assert "scaling" in text

@@ -1,0 +1,65 @@
+"""Histories, well-formedness and reorderings (§3.1–3.2)."""
+
+from repro.formal.actions import History, invoke, respond
+
+
+def seq(*ops):
+    """Sequential history from (thread, op, args, ret) tuples."""
+    actions = []
+    for thread, op, args, ret in ops:
+        actions.append(invoke(thread, op, args))
+        actions.append(respond(thread, op, ret))
+    return History(actions)
+
+
+def test_well_formed_sequential():
+    h = seq((0, "a", None, 1), (1, "b", None, 2))
+    assert h.is_well_formed()
+
+
+def test_ill_formed_double_invocation():
+    h = History([invoke(0, "a"), invoke(0, "b")])
+    assert not h.is_well_formed()
+
+
+def test_ill_formed_response_first():
+    h = History([respond(0, "a")])
+    assert not h.is_well_formed()
+
+
+def test_overlapping_operations_well_formed():
+    h = History([
+        invoke(0, "a"), invoke(1, "b"), respond(1, "b"), respond(0, "a"),
+    ])
+    assert h.is_well_formed()
+
+
+def test_restrict():
+    h = seq((0, "a", None, 1), (1, "b", None, 2), (0, "c", None, 3))
+    r = h.restrict(0)
+    assert [a.op for a in r] == ["a", "a", "c", "c"]
+
+
+def test_reordering_respects_thread_order():
+    h = seq((0, "a", None, 1), (1, "b", None, 2))
+    reorderings = list(h.reorderings())
+    # Operations on different threads interleave; within a thread the
+    # invocation/response order is fixed.
+    assert all(r.is_reordering_of(h) for r in reorderings)
+    assert all(r.is_well_formed() for r in reorderings)
+    assert History(h.actions) in reorderings
+    # b-before-a must appear among the reorderings.
+    assert any(r[0].op == "b" for r in reorderings)
+
+
+def test_not_reordering_when_thread_order_broken():
+    a0, a1 = invoke(0, "a"), respond(0, "a")
+    c0, c1 = invoke(0, "c"), respond(0, "c")
+    h = History([a0, a1, c0, c1])
+    swapped = History([c0, c1, a0, a1])
+    assert not swapped.is_reordering_of(h)
+
+
+def test_prefixes():
+    h = seq((0, "a", None, 1))
+    assert len(list(h.prefixes())) == 3  # empty, invocation-only, full

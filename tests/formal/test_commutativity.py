@@ -1,0 +1,79 @@
+"""SI and SIM commutativity (§3.2): the paper's worked examples."""
+
+from repro.formal.actions import History, invoke, respond
+from repro.formal.commutativity import si_commutes, sim_commutes
+from repro.formal.examples import counter_spec, getpid_spec, putmax_spec, register_spec
+
+
+def seq(spec, *thread_ops):
+    return spec.history_of(list(thread_ops))
+
+
+def test_getpid_always_commutes():
+    spec = getpid_spec()
+    y = seq(spec, (0, "getpid", None), (1, "getpid", None))
+    assert sim_commutes(spec, History(), y, future_depth=1)
+
+
+def test_counter_never_commutes():
+    spec = counter_spec()
+    y = seq(spec, (0, "inc", None), (1, "inc", None))
+    # inc returns the previous value: order is observable in the returns.
+    assert not si_commutes(spec, History(), y)
+
+
+def test_register_sets_same_value_commute():
+    spec = register_spec()
+    y = seq(spec, (0, "set", 2), (1, "set", 2))
+    assert sim_commutes(spec, History(), y)
+
+
+def test_register_sets_different_values_do_not_commute():
+    spec = register_spec()
+    y = seq(spec, (0, "set", 1), (1, "set", 2))
+    assert not si_commutes(spec, History(), y)
+
+
+def test_si_commutativity_is_not_monotonic():
+    """§3.2's example: with set(1) and a later set(2) on one thread and
+    another thread's set(2), every reordering of Y leaves the value 2 — Y
+    SI-commutes — but the two-operation prefix can end at 1 or 2 depending
+    on order.  Hence the monotonic SIM definition."""
+    spec = register_spec()
+    y_full = seq(spec, (0, "set", 1), (1, "set", 2), (0, "set", 2))
+    y_prefix = seq(spec, (0, "set", 1), (1, "set", 2))
+    assert si_commutes(spec, History(), y_full)
+    assert not si_commutes(spec, History(), y_prefix)
+    assert not sim_commutes(spec, History(), y_full)
+
+
+def test_state_dependence_of_commutativity():
+    """put(1) and max() commute when a larger sample is already recorded,
+    and do not in the empty state — SIM commutativity is state-dependent."""
+    spec = putmax_spec()
+    x = seq(spec, (2, "put", 2))
+    y_actions = []
+    y_actions += [invoke(0, "put", 1), respond(0, "put", "ok")]
+    y_actions += [invoke(1, "max", None), respond(1, "max", 2)]
+    y = History(y_actions)
+    assert sim_commutes(spec, x, y)
+    # Same operations, empty prior state: max() sees the put.
+    y_empty = History([
+        invoke(0, "put", 1), respond(0, "put", "ok"),
+        invoke(1, "max", None), respond(1, "max", 1),
+    ])
+    assert not si_commutes(spec, History(), y_empty)
+
+
+def test_putmax_pair_of_puts_commutes():
+    spec = putmax_spec()
+    y = seq(spec, (0, "put", 1), (1, "put", 1))
+    assert sim_commutes(spec, History(), y)
+
+
+def test_invalid_history_never_commutes():
+    spec = register_spec()
+    y = History([
+        invoke(0, "get", None), respond(0, "get", 7),  # 7 was never set
+    ])
+    assert not si_commutes(spec, History(), y)

@@ -1,0 +1,112 @@
+"""The constructive proof (§3.5, Figures 1–2): correctness and
+conflict-freedom of the constructed machines."""
+
+from repro.formal.actions import History, invoke, respond
+from repro.formal.commutativity import sim_commutes
+from repro.formal.construction import ConstructedM, ConstructedMns
+from repro.formal.machine import ReplayableMachine
+from repro.formal.examples import putmax_spec, register_spec
+
+
+def _putmax_histories():
+    spec = putmax_spec()
+    x = History([])
+    y = History([
+        invoke(0, "put", 1), respond(0, "put", "ok"),
+        invoke(1, "put", 1), respond(1, "put", "ok"),
+    ])
+    return spec, x, y
+
+
+def test_mns_replays_history_correctly():
+    spec, x, y = _putmax_histories()
+    machine = ConstructedMns(spec, x + y)
+    audit = ReplayableMachine(machine).run(x + y)
+    # Every response in the history was produced on schedule.
+    responses = [r.response for r in audit.records
+                 if hasattr(r.response, "is_response")]
+    assert len(responses) == 2
+
+
+def test_mns_is_not_conflict_free():
+    """Every mns step touches the shared history cursor (§3.5: 'In replay
+    mode, any two steps of mns conflict on accessing s.h')."""
+    spec, x, y = _putmax_histories()
+    machine = ConstructedMns(spec, x + y)
+    audit = ReplayableMachine(machine).run(x + y)
+    assert not audit.conflict_free()
+
+
+def test_mns_emulates_after_divergence():
+    spec = register_spec()
+    h = spec.history_of([(0, "set", 1)])
+    machine = ConstructedMns(spec, h)
+    state = dict(machine.initial())
+    # Diverge immediately: a different invocation than H's first action.
+    response = machine.step(state, invoke(0, "get", None))
+    assert response.value == 0  # reference semantics answer
+    assert state["h"] == "EMULATE"
+
+
+def test_constructed_m_conflict_free_in_commutative_region():
+    """The rule's witness: steps in the SIM-commutative region Y are
+    conflict-free."""
+    spec, x, y = _putmax_histories()
+    assert sim_commutes(spec, x, y)
+    machine = ConstructedM(spec, x, y)
+    audit = ReplayableMachine(machine).run(x + y)
+    y_start = len(x)
+    assert audit.conflict_free(start=y_start), audit.conflicts(start=y_start)
+
+
+def test_constructed_m_replays_with_nonempty_x():
+    spec = putmax_spec()
+    x = spec.history_of([(2, "put", 2)])
+    y = History([
+        invoke(0, "put", 1), respond(0, "put", "ok"),
+        invoke(1, "max", None), respond(1, "max", 2),
+    ])
+    assert sim_commutes(spec, x, y)
+    machine = ConstructedM(spec, x, y)
+    audit = ReplayableMachine(machine).run(x + y)
+    assert audit.conflict_free(start=len(x))
+
+
+def test_constructed_m_commutative_region_reordered():
+    """m must also accept any reordering of Y (its per-thread scripts don't
+    encode the inter-thread order)."""
+    spec, x, y = _putmax_histories()
+    machine = ConstructedM(spec, x, y)
+    for reordered in y.reorderings():
+        audit = ReplayableMachine(machine).run(x + reordered)
+        assert audit.conflict_free(start=len(x))
+
+
+def test_constructed_m_divergence_falls_back_to_reference():
+    """After Y, diverging input must get reference-implementation answers
+    computed from a consistent replay (SIM makes any replay order valid)."""
+    spec, x, y = _putmax_histories()
+    machine = ConstructedM(spec, x, y)
+    state = dict(machine.initial())
+    runner = ReplayableMachine(machine)
+    audit = runner.run(x + y)
+    # Drive a fresh run: full region, then a diverging max() call.
+    state = dict(machine.initial())
+    for action in (x + y):
+        machine.step(state, action)
+    response = machine.step(state, invoke(5, "max", None))
+    assert response.value == 1  # both puts replayed, max is 1
+
+
+def test_constructed_m_divergence_mid_region():
+    """Divergence inside the commutative region replays only consumed
+    invocations — and SIM guarantees the order doesn't matter."""
+    spec, x, y = _putmax_histories()
+    machine = ConstructedM(spec, x, y)
+    state = dict(machine.initial())
+    # Thread 0 completes its put; thread 1 never starts; then thread 5
+    # queries max.
+    machine.step(state, y[0])               # invoke put on thread 0
+    machine.step(state, y[1])               # its response via CONTINUE...
+    response = machine.step(state, invoke(5, "max", None))
+    assert response.value in (0, 1)

@@ -1,0 +1,83 @@
+"""Property-based tests for the §3 formalism."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.formal.actions import History, invoke, respond
+from repro.formal.commutativity import si_commutes
+from repro.formal.examples import putmax_spec, register_spec
+
+
+def sequential_histories(spec_ops, max_ops=3, threads=(0, 1, 2)):
+    op = st.sampled_from(spec_ops)
+    thread = st.sampled_from(threads)
+    return st.lists(st.tuples(thread, op), min_size=0, max_size=max_ops)
+
+
+REGISTER_OPS = [("set", 0), ("set", 1), ("get", None)]
+PUTMAX_OPS = [("put", 0), ("put", 1), ("max", None)]
+
+
+def build(spec, thread_ops):
+    return spec.history_of([(t, op, args) for t, (op, args) in thread_ops])
+
+
+@settings(max_examples=80, deadline=None)
+@given(sequential_histories(REGISTER_OPS))
+def test_histories_from_spec_are_valid_and_well_formed(thread_ops):
+    spec = register_spec()
+    h = build(spec, thread_ops)
+    assert h.is_well_formed()
+    assert spec.contains(h)
+
+
+@settings(max_examples=80, deadline=None)
+@given(sequential_histories(REGISTER_OPS))
+def test_prefix_closure(thread_ops):
+    spec = register_spec()
+    h = build(spec, thread_ops)
+    for prefix in h.prefixes():
+        assert spec.contains(prefix)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sequential_histories(REGISTER_OPS, max_ops=3))
+def test_reorderings_are_reorderings(thread_ops):
+    spec = register_spec()
+    h = build(spec, thread_ops)
+    for r in h.reorderings():
+        assert r.is_reordering_of(h)
+        assert h.is_reordering_of(r)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sequential_histories(PUTMAX_OPS, max_ops=2),
+       sequential_histories(PUTMAX_OPS, max_ops=2))
+def test_si_commutativity_is_order_insensitive_over_y(prefix_ops, y_ops):
+    """If Y SI-commutes in X||Y then any reordering Y' of Y yields a valid
+    history with future-equivalent state — re-checking from the definition
+    on a second path through the code."""
+    spec = putmax_spec()
+    x = build(spec, prefix_ops)
+    # Build Y by continuing from x's state so responses are valid.
+    state = spec.state_after(x)
+    actions = []
+    for t, (op, args) in y_ops:
+        state, result = spec.apply(state, op, args)
+        actions.append(invoke(t, op, args))
+        actions.append(respond(t, op, result))
+    y = History(actions)
+    if not spec.contains(x + y):
+        return
+    if si_commutes(spec, x, y, future_depth=1):
+        for r in y.reorderings():
+            assert spec.contains(x + r)
+
+
+@settings(max_examples=40, deadline=None)
+@given(sequential_histories(REGISTER_OPS, max_ops=2, threads=(0, 1)))
+def test_single_thread_regions_always_si_commute(thread_ops):
+    """A region whose actions all belong to one thread has exactly one
+    reordering, so it trivially SI-commutes."""
+    spec = register_spec()
+    h = build(spec, [(0, op) for _, op in thread_ops])
+    assert si_commutes(spec, History(), h, future_depth=1)

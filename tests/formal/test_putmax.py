@@ -1,0 +1,83 @@
+"""§3.6: no single put/max implementation is conflict-free across all of
+
+H = [put(1) on A, put(1) on B, max()=1 on C].
+
+Per-thread maxima are conflict-free for the two puts but max() reads every
+thread's component; a global maximum is conflict-free for put‖max (the put
+doesn't raise the max) but the two puts write the shared component.
+"""
+
+from repro.formal.actions import History, invoke, respond
+from repro.formal.machine import ReplayableMachine, semantic_accesses
+from repro.formal.examples import GlobalMaxMachine, PerThreadMaxMachine
+
+
+def full_history():
+    return History([
+        invoke(0, "put", 1), respond(0, "put", "ok"),
+        invoke(1, "put", 1), respond(1, "put", "ok"),
+        invoke(2, "max", None), respond(2, "max", 1),
+    ])
+
+
+def puts_region():
+    # Atomic machines emit one step record per operation: records are
+    # [put(t0), put(t1), max(t2)].
+    return (0, 2)
+
+
+def putmax_region():
+    return (1, 3)
+
+
+def test_per_thread_maxima_scale_for_puts():
+    machine = PerThreadMaxMachine(threads=[0, 1, 2])
+    audit = ReplayableMachine(machine).run(full_history())
+    start, end = puts_region()
+    assert audit.conflict_free(start, end)
+
+
+def test_per_thread_maxima_do_not_scale_for_put_max():
+    machine = PerThreadMaxMachine(threads=[0, 1, 2])
+    audit = ReplayableMachine(machine).run(full_history())
+    start, end = putmax_region()
+    assert not audit.conflict_free(start, end)
+
+
+def test_global_max_scales_for_put_max():
+    machine = GlobalMaxMachine()
+    audit = ReplayableMachine(machine).run(full_history())
+    start, end = putmax_region()
+    # put(1) does not raise the global max (already 1): read-only check;
+    # max() reads it too — conflict-free.
+    assert audit.conflict_free(start, end)
+
+
+def test_global_max_does_not_scale_for_puts():
+    machine = GlobalMaxMachine()
+    audit = ReplayableMachine(machine).run(full_history())
+    start, end = puts_region()
+    assert not audit.conflict_free(start, end)
+
+
+def test_no_machine_is_conflict_free_across_all_of_h():
+    for machine in (PerThreadMaxMachine([0, 1, 2]), GlobalMaxMachine()):
+        audit = ReplayableMachine(machine).run(full_history())
+        assert not audit.conflict_free()
+
+
+def test_semantic_access_detection():
+    """The §3.3 definitional read/write sets on the global-max machine."""
+    machine = GlobalMaxMachine()
+    state = machine.initial()
+    domains = {"global": [0, 1, 2]}
+    reads, writes = semantic_accesses(
+        machine, state, invoke(0, "put", 2), domains
+    )
+    assert "global" in writes
+    assert "global" in reads  # the comparison depends on the old value
+    reads, writes = semantic_accesses(
+        machine, state, invoke(0, "max", None), domains
+    )
+    assert writes == set()
+    assert "global" in reads

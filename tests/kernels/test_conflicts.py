@@ -1,0 +1,289 @@
+"""Conflict-freedom properties of the two kernels (the Figure 6 story).
+
+Each test runs two operations on different cores and checks the presence
+or absence of shared-memory conflicts — mono reproduces Linux's §6.2
+bottlenecks, scalefs the §6.3 techniques and §6.4 residues.
+"""
+
+import pytest
+
+from repro.kernels import MonoKernel, ScaleFsKernel
+from repro.mtrace.memory import Memory, find_conflicts
+
+
+def trace(kernel_cls, setup, op_a, op_b, **kw):
+    mem = Memory()
+    kernel = kernel_cls(mem, nfds=8, ncores=4, **kw)
+    kernel.create_process()
+    kernel.create_process()
+    setup(kernel)
+    mem.start_recording()
+    mem.set_core(1)
+    op_a(kernel)
+    mem.set_core(2)
+    op_b(kernel)
+    return find_conflicts(mem.stop_recording())
+
+
+class TestCreateDistinctNames:
+    """§1's headline: creating differently named files in one directory."""
+
+    SETUP = staticmethod(lambda k: None)
+
+    def test_scalefs_conflict_free(self):
+        conflicts = trace(
+            ScaleFsKernel, self.SETUP,
+            lambda k: k.open(0, "alpha", ocreat=True),
+            lambda k: k.open(1, "beta", ocreat=True),
+        )
+        assert conflicts == []
+
+    def test_mono_conflicts_on_directory_lock(self):
+        conflicts = trace(
+            MonoKernel, self.SETUP,
+            lambda k: k.open(0, "alpha", ocreat=True),
+            lambda k: k.open(1, "beta", ocreat=True),
+        )
+        labels = {c.line.label for c in conflicts}
+        assert any("rootdir" in label or "inum" in label for label in labels)
+
+
+class TestStatPairs:
+    SETUP = staticmethod(lambda k: k.open(0, "f", ocreat=True))
+
+    def test_mono_stat_stat_conflicts_on_dentry_refcount(self):
+        conflicts = trace(
+            MonoKernel, self.SETUP,
+            lambda k: k.stat("f"), lambda k: k.stat("f"),
+        )
+        assert any("dentry" in c.line.label for c in conflicts)
+
+    def test_scalefs_stat_stat_conflict_free(self):
+        conflicts = trace(
+            ScaleFsKernel, self.SETUP,
+            lambda k: k.stat("f"), lambda k: k.stat("f"),
+        )
+        assert conflicts == []
+
+    def test_mono_fstat_fstat_same_fd_conflicts_on_f_count(self):
+        conflicts = trace(
+            MonoKernel, self.SETUP,
+            lambda k: k.fstat(0, 0), lambda k: k.fstat(0, 0),
+        )
+        assert any("f_count" in c.cells.pop() or "f_count" in " ".join(c.cells)
+                   for c in conflicts)
+
+    def test_scalefs_fstat_fstat_same_fd_conflict_free(self):
+        conflicts = trace(
+            ScaleFsKernel, self.SETUP,
+            lambda k: k.fstat(0, 0), lambda k: k.fstat(0, 0),
+        )
+        assert conflicts == []
+
+    def test_scalefs_fstatx_commutes_with_link(self):
+        """Figure 7a's point: without st_nlink there is no shared access."""
+        def setup(k):
+            k.open(0, "f", ocreat=True)
+
+        conflicts = trace(
+            ScaleFsKernel, setup,
+            lambda k: k.fstatx(0, 0, want_nlink=False),
+            lambda k: k.link("f", "g"),
+        )
+        assert conflicts == []
+
+
+class TestFileData:
+    @staticmethod
+    def _two_page_file(k):
+        fd = k.open(0, "f", ocreat=True)
+        k.write(0, fd, "p0")
+        k.write(0, fd, "p1")
+        k.open(1, "f")
+
+    def test_scalefs_pwrite_different_pages_conflict_free(self):
+        conflicts = trace(
+            ScaleFsKernel, self._two_page_file,
+            lambda k: k.pwrite(0, 0, 0, "x"),
+            lambda k: k.pwrite(1, 0, 1, "y"),
+        )
+        assert conflicts == []
+
+    def test_mono_pwrite_different_pages_conflicts_on_inode_lock(self):
+        conflicts = trace(
+            MonoKernel, self._two_page_file,
+            lambda k: k.pwrite(0, 0, 0, "x"),
+            lambda k: k.pwrite(1, 0, 1, "y"),
+        )
+        assert conflicts
+
+    def test_scalefs_read_during_extension_conflict_free(self):
+        """§6.3 layer scalability: reads of present pages never consult the
+        length, so they don't conflict with extending writes."""
+        def setup(k):
+            fd = k.open(0, "f", ocreat=True)
+            k.write(0, fd, "p0")
+            k.open(1, "f")
+
+        conflicts = trace(
+            ScaleFsKernel, setup,
+            lambda k: k.pread(0, 0, 0),
+            lambda k: k.pwrite(1, 0, 1, "new"),  # extends to 2 pages
+        )
+        assert conflicts == []
+
+
+class TestSameFdOffsets:
+    """§6.4 residue: two reads on one fd share the offset word — deliberate."""
+
+    @staticmethod
+    def setup(k):
+        fd = k.open(0, "f", ocreat=True)
+        k.write(0, fd, "a")
+        k.write(0, fd, "a")
+        k.lseek(0, fd, 0, 0)
+
+    def test_scalefs_same_fd_reads_conflict(self):
+        conflicts = trace(
+            ScaleFsKernel, self.setup,
+            lambda k: k.read(0, 0), lambda k: k.read(0, 0),
+        )
+        assert any("f_pos" in " ".join(c.cells) for c in conflicts)
+
+    def test_scalefs_idempotent_lseek_to_current_offset_is_free(self):
+        """lseek's optimistic early return (§6.3): seeking to the current
+        offset writes nothing."""
+        conflicts = trace(
+            ScaleFsKernel, self.setup,
+            lambda k: k.lseek(0, 0, 0, 0), lambda k: k.lseek(0, 0, 0, 0),
+        )
+        assert conflicts == []
+
+    def test_scalefs_idempotent_lseek_to_new_offset_conflicts(self):
+        """But two seeks to the same *new* offset both write (§6.4)."""
+        conflicts = trace(
+            ScaleFsKernel, self.setup,
+            lambda k: k.lseek(0, 0, 1, 0), lambda k: k.lseek(0, 0, 1, 0),
+        )
+        assert conflicts
+
+
+class TestVmPairs:
+    @staticmethod
+    def two_mappings(k):
+        k.mmap(0, True, 0, True, 0, 0, True)
+        k.mmap(0, True, 1, True, 0, 0, True)
+
+    def test_mono_faults_conflict_on_mmap_sem(self):
+        conflicts = trace(
+            MonoKernel, self.two_mappings,
+            lambda k: k.memread(0, 0), lambda k: k.memread(0, 1),
+        )
+        assert any("mm" in c.line.label for c in conflicts)
+
+    def test_scalefs_faults_on_different_pages_conflict_free(self):
+        conflicts = trace(
+            ScaleFsKernel, self.two_mappings,
+            lambda k: k.memread(0, 0), lambda k: k.memread(0, 1),
+        )
+        assert conflicts == []
+
+    def test_scalefs_double_fault_same_page_conflicts(self):
+        """§6.4 idempotent updates: both faults write the same PTE slot."""
+        conflicts = trace(
+            ScaleFsKernel, self.two_mappings,
+            lambda k: k.memread(0, 0), lambda k: k.memread(0, 0),
+        )
+        assert conflicts
+
+    def test_mono_munmap_shoots_down_all_cores(self):
+        conflicts_or_accesses = []
+        mem = Memory()
+        kernel = MonoKernel(mem, nfds=8, ncores=4)
+        kernel.create_process()
+        kernel.mmap(0, True, 0, True, 0, 0, True)
+        mem.start_recording()
+        mem.set_core(1)
+        kernel.munmap(0, 0)
+        log = mem.stop_recording()
+        tlb_lines = {a.line.label for a in log if "tlbgen" in a.line.label}
+        assert len(tlb_lines) == 4  # every core's TLB generation written
+
+    def test_scalefs_munmap_touches_only_page_slots(self):
+        mem = Memory()
+        kernel = ScaleFsKernel(mem, nfds=8, ncores=4)
+        kernel.create_process()
+        kernel.mmap(0, True, 0, True, 0, 0, True)
+        kernel.memread(0, 0)  # fault it in
+        mem.start_recording()
+        mem.set_core(1)
+        kernel.munmap(0, 0)
+        log = mem.stop_recording()
+        assert all("vma" in a.line.label or "pte" in a.line.label
+                   for a in log)
+
+    def test_mono_mmap_mmap_conflict_on_sem(self):
+        conflicts = trace(
+            MonoKernel, lambda k: None,
+            lambda k: k.mmap(0, True, 0, True, 0, 0, True),
+            lambda k: k.mmap(0, True, 1, True, 0, 0, True),
+        )
+        assert any("mm" in c.line.label for c in conflicts)
+
+    def test_scalefs_mmap_mmap_different_pages_conflict_free(self):
+        conflicts = trace(
+            ScaleFsKernel, lambda k: None,
+            lambda k: k.mmap(0, True, 0, True, 0, 0, True),
+            lambda k: k.mmap(0, True, 1, True, 0, 0, True),
+        )
+        assert conflicts == []
+
+
+class TestPipeResidue:
+    """§6.4: pipe fd reference counts stay shared in scalefs."""
+
+    @staticmethod
+    def setup(k):
+        k.pipe(0)          # fds 0 (read), 1 (write) in proc 0
+        k.fork(0)          # proc 2 shares the pipe... (created below)
+
+    def test_scalefs_pipe_close_close_conflicts_on_counts(self):
+        def setup(k):
+            k.pipe(0)
+            # A second read fd for the same pipe in another process.
+            child = k.fork(0)
+
+        mem = Memory()
+        kernel = ScaleFsKernel(mem, nfds=8, ncores=4)
+        kernel.create_process()
+        setup(kernel)
+        mem.start_recording()
+        mem.set_core(1)
+        kernel.close(0, 0)
+        mem.set_core(2)
+        kernel.close(1, 0)
+        conflicts = find_conflicts(mem.stop_recording())
+        assert any("counts" in c.line.label for c in conflicts)
+
+
+class TestAllocationScalability:
+    def test_scalefs_create_uses_per_core_inode_numbers(self):
+        mem = Memory()
+        kernel = ScaleFsKernel(mem, nfds=8, ncores=4)
+        kernel.create_process()
+        mem.set_core(1)
+        kernel.open(0, "a", ocreat=True)
+        mem.set_core(2)
+        kernel.open(0, "b", ocreat=True)
+        inum_a = kernel.dir.get("a")
+        inum_b = kernel.dir.get("b")
+        assert inum_a % 4 == 1  # allocated on core 1
+        assert inum_b % 4 == 2  # allocated on core 2
+
+    def test_mono_create_shares_inum_counter(self):
+        conflicts = trace(
+            MonoKernel, lambda k: None,
+            lambda k: k.open(0, "a", ocreat=True),
+            lambda k: k.open(1, "b", ocreat=True),
+        )
+        assert any("inum_alloc" in c.line.label for c in conflicts)

@@ -1,0 +1,83 @@
+"""End-to-end cross-validation: model, TESTGEN and both kernels agree.
+
+For a spread of operation pairs, every generated commutative test case
+must (a) run on both kernels, (b) return the model's expected results
+(§6.1: "We verified that all test cases return the expected results on
+both Linux and sv6"), and (c) never be *less* conflict-free on the
+scalable kernel than the paper's story allows.
+"""
+
+import pytest
+
+from repro.analyzer import analyze_pair
+from repro.model.posix import PosixState, posix_state_equal, op_by_name
+from repro.mtrace.runner import mono_factory, run_testcase, scalefs_factory
+from repro.testgen import generate_for_pair
+
+PAIRS = [
+    ("link", "unlink"),
+    ("rename", "rename"),
+    ("stat", "fstat"),
+    ("close", "pipe"),
+    ("read", "write"),
+    ("lseek", "pread"),
+    ("mmap", "munmap"),
+    ("memread", "memwrite"),
+    ("open", "mprotect"),
+    ("pwrite", "pwrite"),
+]
+
+
+@pytest.fixture(scope="module", params=PAIRS, ids=lambda p: f"{p[0]}-{p[1]}")
+def pair_cases(request):
+    n0, n1 = request.param
+    pair = analyze_pair(
+        PosixState, posix_state_equal, op_by_name(n0), op_by_name(n1)
+    )
+    cases = generate_for_pair(pair, tests_per_path=1)
+    return request.param, pair, cases
+
+
+def test_cases_generated(pair_cases):
+    names, pair, cases = pair_cases
+    assert cases, f"no commutative tests for {names}"
+
+
+def test_mono_matches_model(pair_cases):
+    _, _, cases = pair_cases
+    for case in cases:
+        result = run_testcase(mono_factory, case)
+        assert result.mismatch is None, (
+            f"{case.name}: {result.mismatch} "
+            f"(ops={case.ops}, expected={case.expected}, "
+            f"got={result.results})"
+        )
+
+
+def test_scalefs_matches_model(pair_cases):
+    _, _, cases = pair_cases
+    for case in cases:
+        result = run_testcase(scalefs_factory, case)
+        assert result.mismatch is None, (
+            f"{case.name}: {result.mismatch} "
+            f"(ops={case.ops}, expected={case.expected}, "
+            f"got={result.results})"
+        )
+
+
+def test_scalefs_at_least_as_conflict_free_as_mono(pair_cases):
+    names, _, cases = pair_cases
+    mono_ok = sum(run_testcase(mono_factory, c).conflict_free for c in cases)
+    sfs_ok = sum(run_testcase(scalefs_factory, c).conflict_free for c in cases)
+    assert sfs_ok >= mono_ok, f"{names}: scalefs worse than mono"
+
+
+def test_scalefs_conflict_free_fraction_high(pair_cases):
+    """sv6 scales for 99% of the paper's tests; per-pair our residues
+    (fd-table scans around EMFILE, same-offset writes) keep every sampled
+    pair above 75% — the whole-matrix aggregate is ≈97% (EXPERIMENTS.md)."""
+    names, _, cases = pair_cases
+    ok = sum(run_testcase(scalefs_factory, c).conflict_free for c in cases)
+    assert ok >= 0.75 * len(cases), (
+        f"{names}: only {ok}/{len(cases)} conflict-free"
+    )

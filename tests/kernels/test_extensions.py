@@ -1,0 +1,125 @@
+"""The §4 extension interfaces on both kernels, plus dispatch plumbing."""
+
+import pytest
+
+from repro import errors
+from repro.kernels import MonoKernel, ScaleFsKernel
+from repro.kernels.base import KernelError
+from repro.mtrace.memory import Memory, find_conflicts
+
+
+@pytest.fixture(params=[MonoKernel, ScaleFsKernel],
+                ids=["mono", "scalefs"])
+def kernel(request):
+    k = request.param(Memory(), nfds=8, ncores=4)
+    k.create_process()
+    return k
+
+
+class TestFstatx:
+    def test_fstatx_full(self, kernel):
+        fd = kernel.open(0, "a", ocreat=True)
+        kernel.link("a", "b")
+        st = kernel.fstatx(0, fd, want_nlink=True)
+        assert st[0] == "stat" and st[2] == 2
+
+    def test_fstatx_without_nlink(self, kernel):
+        fd = kernel.open(0, "a", ocreat=True)
+        st = kernel.fstatx(0, fd, want_nlink=False)
+        assert st[0] == "statx"
+        assert len(st) == 3  # tag, ino, len only
+
+    def test_fstatx_bad_fd(self, kernel):
+        assert kernel.fstatx(0, 7, want_nlink=False) == -errors.EBADF
+
+    def test_fstatx_pipe(self, kernel):
+        _, rfd, _ = kernel.pipe(0)
+        assert kernel.fstatx(0, rfd, want_nlink=False) == ("stat-pipe",)
+
+
+class TestAnyFd:
+    def test_anyfd_returns_usable_fd(self, kernel):
+        fd = kernel.open(0, "a", ocreat=True, anyfd=True)
+        assert fd >= 0
+        assert kernel.fstat(0, fd)[0] == "stat"
+
+    def test_scalefs_anyfd_uses_core_partition(self):
+        kernel = ScaleFsKernel(Memory(), nfds=16, ncores=4)
+        kernel.create_process()
+        kernel.mem.set_core(2)
+        fd = kernel.open(0, "a", ocreat=True, anyfd=True)
+        assert fd in kernel.procs[0].fd_partition.range_for(2)
+
+    def test_scalefs_concurrent_anyfd_opens_conflict_free(self):
+        mem = Memory()
+        kernel = ScaleFsKernel(mem, nfds=16, ncores=4)
+        kernel.create_process()
+        kernel.open(0, "a", ocreat=True)
+        kernel.open(0, "b", ocreat=True)
+        mem.start_recording()
+        mem.set_core(1)
+        kernel.open(0, "a", anyfd=True)
+        mem.set_core(2)
+        kernel.open(0, "b", anyfd=True)
+        assert find_conflicts(mem.stop_recording()) == []
+
+
+class TestUnorderedSockets:
+    def test_scalefs_unordered_roundtrip(self):
+        mem = Memory(ncores=4)
+        kernel = ScaleFsKernel(mem, ncores=4)
+        sock = kernel.socket(ordered=False)
+        mem.set_core(1)
+        kernel.sendto(sock, "m1")
+        assert kernel.recvfrom(sock) == ("msg", "m1")
+
+    def test_scalefs_unordered_steals_across_cores(self):
+        mem = Memory(ncores=4)
+        kernel = ScaleFsKernel(mem, ncores=4)
+        sock = kernel.socket(ordered=False)
+        mem.set_core(1)
+        kernel.sendto(sock, "m1")
+        mem.set_core(3)
+        assert kernel.recvfrom(sock) == ("msg", "m1")
+
+    def test_scalefs_unordered_balanced_traffic_conflict_free(self):
+        mem = Memory(ncores=4)
+        kernel = ScaleFsKernel(mem, ncores=4)
+        sock = kernel.socket(ordered=False)
+        mem.start_recording()
+        mem.set_core(1)
+        kernel.sendto(sock, "a")
+        kernel.recvfrom(sock)
+        mem.set_core(2)
+        kernel.sendto(sock, "b")
+        kernel.recvfrom(sock)
+        assert find_conflicts(mem.stop_recording()) == []
+
+    def test_empty_unordered_socket_eagain(self):
+        kernel = ScaleFsKernel(Memory(ncores=4), ncores=4)
+        sock = kernel.socket(ordered=False)
+        assert kernel.recvfrom(sock) == -errors.EAGAIN
+
+
+class TestDispatch:
+    def test_call_dispatches(self, kernel):
+        fd = kernel.call("open", {"pid": 0, "name": "a", "ocreat": True,
+                                  "oexcl": False, "otrunc": False})
+        assert fd == 0
+        assert kernel.call("stat", {"name": "a"})[0] == "stat"
+
+    def test_unknown_op_raises(self, kernel):
+        with pytest.raises(KernelError):
+            kernel.call("frobnicate", {})
+
+    def test_bad_pid_raises(self, kernel):
+        with pytest.raises(KernelError):
+            kernel.close(99, 0)
+
+
+class TestExec:
+    def test_exec_clears_address_space(self, kernel):
+        kernel.mmap(0, True, 1, True, 0, 0, True)
+        kernel.memwrite(0, 1, "v")
+        kernel.exec(0)
+        assert kernel.memread(0, 1) == "SIGSEGV"

@@ -1,0 +1,279 @@
+"""POSIX semantics of both kernels, checked against each other.
+
+Both kernels implement the same model semantics; the parametrized tests
+here pin the concrete behaviours the evaluation depends on.
+"""
+
+import pytest
+
+from repro import errors
+from repro.kernels import MonoKernel, ScaleFsKernel
+from repro.mtrace.memory import Memory
+
+KERNELS = [
+    pytest.param(lambda mem: MonoKernel(mem, nfds=8, ncores=4), id="mono"),
+    pytest.param(lambda mem: ScaleFsKernel(mem, nfds=8, ncores=4), id="scalefs"),
+]
+
+
+@pytest.fixture(params=KERNELS)
+def kernel(request):
+    mem = Memory()
+    k = request.param(mem)
+    k.create_process()
+    k.create_process()
+    return k
+
+
+class TestOpen:
+    def test_create_and_reopen(self, kernel):
+        fd = kernel.open(0, "a", ocreat=True)
+        assert fd == 0
+        fd2 = kernel.open(0, "a")
+        assert fd2 == 1
+
+    def test_open_missing_is_enoent(self, kernel):
+        assert kernel.open(0, "nope") == -errors.ENOENT
+
+    def test_excl_on_existing_is_eexist(self, kernel):
+        kernel.open(0, "a", ocreat=True)
+        assert kernel.open(0, "a", ocreat=True, oexcl=True) == -errors.EEXIST
+
+    def test_lowest_fd_rule(self, kernel):
+        a = kernel.open(0, "a", ocreat=True)
+        b = kernel.open(0, "b", ocreat=True)
+        kernel.close(0, a)
+        c = kernel.open(0, "c", ocreat=True)
+        assert c == a  # reuses the lowest free descriptor
+
+    def test_emfile_does_not_create(self, kernel):
+        for i in range(8):
+            assert kernel.open(0, f"f{i}", ocreat=True) == i
+        assert kernel.open(0, "overflow", ocreat=True) == -errors.EMFILE
+        # The failed open must not have created the file.
+        assert kernel.stat("overflow") == -errors.ENOENT
+
+    def test_truncate(self, kernel):
+        fd = kernel.open(0, "a", ocreat=True)
+        kernel.write(0, fd, "x")
+        st = kernel.stat("a")
+        assert st[3] == 1  # length
+        kernel.open(0, "a", otrunc=True)
+        st = kernel.stat("a")
+        assert st[3] == 0
+
+
+class TestLinkUnlinkRename:
+    def test_link_bumps_nlink(self, kernel):
+        kernel.open(0, "a", ocreat=True)
+        assert kernel.link("a", "b") == 0
+        assert kernel.stat("a")[2] == 2
+        assert kernel.stat("b")[2] == 2
+
+    def test_link_existing_destination(self, kernel):
+        kernel.open(0, "a", ocreat=True)
+        kernel.open(0, "b", ocreat=True)
+        assert kernel.link("a", "b") == -errors.EEXIST
+
+    def test_unlink_decrements_nlink(self, kernel):
+        kernel.open(0, "a", ocreat=True)
+        kernel.link("a", "b")
+        assert kernel.unlink("b") == 0
+        assert kernel.stat("a")[2] == 1
+        assert kernel.stat("b") == -errors.ENOENT
+
+    def test_rename_basic(self, kernel):
+        kernel.open(0, "a", ocreat=True)
+        assert kernel.rename("a", "b") == 0
+        assert kernel.stat("a") == -errors.ENOENT
+        assert kernel.stat("b")[2] == 1
+
+    def test_rename_self_noop(self, kernel):
+        kernel.open(0, "a", ocreat=True)
+        assert kernel.rename("a", "a") == 0
+        assert kernel.stat("a")[2] == 1
+
+    def test_rename_over_existing_drops_victim_link(self, kernel):
+        kernel.open(0, "a", ocreat=True)
+        kernel.open(0, "b", ocreat=True)
+        assert kernel.rename("a", "b") == 0
+        st = kernel.stat("b")
+        assert st[2] == 1
+
+    def test_rename_missing_source(self, kernel):
+        assert kernel.rename("nope", "x") == -errors.ENOENT
+
+
+class TestReadWrite:
+    def test_write_then_read(self, kernel):
+        fd = kernel.open(0, "a", ocreat=True)
+        assert kernel.write(0, fd, "hello") == 1
+        kernel.lseek(0, fd, 0, 0)
+        assert kernel.read(0, fd) == ("data", "hello")
+
+    def test_read_at_eof_returns_zero(self, kernel):
+        fd = kernel.open(0, "a", ocreat=True)
+        assert kernel.read(0, fd) == 0
+
+    def test_pread_pwrite(self, kernel):
+        fd = kernel.open(0, "a", ocreat=True)
+        assert kernel.pwrite(0, fd, 2, "z") == 1
+        assert kernel.stat("a")[3] == 3  # sparse write extends to 3 pages
+        assert kernel.pread(0, fd, 2) == ("data", "z")
+        assert kernel.pread(0, fd, 0) == ("data", "zero")  # hole
+        assert kernel.pread(0, fd, 3) == 0  # beyond EOF
+
+    def test_write_updates_mtime_read_updates_atime(self, kernel):
+        fd = kernel.open(0, "a", ocreat=True)
+        before = kernel.stat("a")
+        kernel.write(0, fd, "x")
+        mid = kernel.stat("a")
+        assert mid[4] == before[4] + 1
+        kernel.pread(0, fd, 0)
+        after = kernel.stat("a")
+        assert after[5] == mid[5] + 1
+
+    def test_bad_fd(self, kernel):
+        assert kernel.read(0, 5) == -errors.EBADF
+        assert kernel.write(0, 5, "x") == -errors.EBADF
+        assert kernel.fstat(0, 5) == -errors.EBADF
+
+    def test_fd_tables_are_per_process(self, kernel):
+        fd = kernel.open(0, "a", ocreat=True)
+        assert kernel.read(1, fd) == -errors.EBADF
+
+
+class TestLseek:
+    def test_seek_set_cur_end(self, kernel):
+        fd = kernel.open(0, "a", ocreat=True)
+        kernel.write(0, fd, "x")
+        kernel.write(0, fd, "y")
+        assert kernel.lseek(0, fd, 0, 0) == ("off", 0)
+        assert kernel.lseek(0, fd, 1, 1) == ("off", 1)
+        assert kernel.lseek(0, fd, 0, 2) == ("off", 2)
+        assert kernel.lseek(0, fd, -1, 2) == ("off", 1)
+
+    def test_negative_result_is_einval(self, kernel):
+        fd = kernel.open(0, "a", ocreat=True)
+        assert kernel.lseek(0, fd, -1, 0) == -errors.EINVAL
+
+
+class TestPipes:
+    def test_pipe_roundtrip(self, kernel):
+        tag, rfd, wfd = kernel.pipe(0)
+        assert tag == "pipe"
+        assert (rfd, wfd) == (0, 1)
+        assert kernel.write(0, wfd, "m") == 1
+        assert kernel.read(0, rfd) == ("data", "m")
+
+    def test_read_empty_pipe_is_eagain(self, kernel):
+        _, rfd, wfd = kernel.pipe(0)
+        assert kernel.read(0, rfd) == -errors.EAGAIN
+
+    def test_read_after_writer_closes_is_eof(self, kernel):
+        _, rfd, wfd = kernel.pipe(0)
+        kernel.close(0, wfd)
+        assert kernel.read(0, rfd) == 0
+
+    def test_write_after_reader_closes_is_epipe(self, kernel):
+        _, rfd, wfd = kernel.pipe(0)
+        kernel.close(0, rfd)
+        assert kernel.write(0, wfd, "m") == -errors.EPIPE
+
+    def test_wrong_direction_is_ebadf(self, kernel):
+        _, rfd, wfd = kernel.pipe(0)
+        assert kernel.write(0, rfd, "m") == -errors.EBADF
+        assert kernel.read(0, wfd) == -errors.EBADF
+
+    def test_lseek_on_pipe_is_espipe(self, kernel):
+        _, rfd, _ = kernel.pipe(0)
+        assert kernel.lseek(0, rfd, 0, 0) == -errors.ESPIPE
+
+    def test_fifo_order(self, kernel):
+        _, rfd, wfd = kernel.pipe(0)
+        kernel.write(0, wfd, "1")
+        kernel.write(0, wfd, "2")
+        assert kernel.read(0, rfd) == ("data", "1")
+        assert kernel.read(0, rfd) == ("data", "2")
+
+
+class TestVm:
+    def test_anon_mapping_zero_fill(self, kernel):
+        tag, va = kernel.mmap(0, True, 1, True, 0, 0, True)
+        assert tag == "va" and va == 1
+        assert kernel.memread(0, 1) == ("data", "zero")
+
+    def test_anon_write_read(self, kernel):
+        kernel.mmap(0, True, 1, True, 0, 0, True)
+        assert kernel.memwrite(0, 1, "v") == "ok"
+        assert kernel.memread(0, 1) == ("data", "v")
+
+    def test_unmapped_is_sigsegv(self, kernel):
+        assert kernel.memread(0, 2) == "SIGSEGV"
+        assert kernel.memwrite(0, 2, "v") == "SIGSEGV"
+
+    def test_readonly_mapping_write_faults(self, kernel):
+        kernel.mmap(0, True, 1, True, 0, 0, False)
+        assert kernel.memwrite(0, 1, "v") == "SIGSEGV"
+        assert kernel.mprotect(0, 1, True) == 0
+        assert kernel.memwrite(0, 1, "v") == "ok"
+
+    def test_munmap(self, kernel):
+        kernel.mmap(0, True, 1, True, 0, 0, True)
+        assert kernel.munmap(0, 1) == 0
+        assert kernel.memread(0, 1) == "SIGSEGV"
+        assert kernel.munmap(0, 1) == 0  # unmapped munmap still succeeds
+
+    def test_file_backed_mapping_aliases_file(self, kernel):
+        fd = kernel.open(0, "a", ocreat=True)
+        kernel.write(0, fd, "x")
+        kernel.mmap(0, True, 0, False, fd, 0, True)
+        assert kernel.memread(0, 0) == ("data", "x")
+        assert kernel.memwrite(0, 0, "y") == "ok"
+        assert kernel.pread(0, fd, 0) == ("data", "y")
+
+    def test_file_mapping_beyond_eof_is_sigbus(self, kernel):
+        fd = kernel.open(0, "a", ocreat=True)
+        kernel.mmap(0, True, 0, False, fd, 2, True)
+        assert kernel.memread(0, 0) == "SIGBUS"
+
+    def test_mprotect_unmapped_is_enomem(self, kernel):
+        assert kernel.mprotect(0, 1, True) == -errors.ENOMEM
+
+    def test_mmap_nonfixed_picks_unused(self, kernel):
+        tag, va1 = kernel.mmap(0, False, 0, True, 0, 0, True)
+        tag, va2 = kernel.mmap(0, False, 0, True, 0, 0, True)
+        assert va1 != va2
+
+
+class TestSpawn:
+    def test_fork_inherits_fds(self, kernel):
+        fd = kernel.open(0, "a", ocreat=True)
+        kernel.write(0, fd, "x")
+        child = kernel.fork(0)
+        kernel.lseek(child, fd, 0, 0)
+        assert kernel.read(child, fd) == ("data", "x")
+
+    def test_posix_spawn_makes_fresh_process(self, kernel):
+        kernel.open(0, "a", ocreat=True)
+        child = kernel.posix_spawn(0)
+        # Beyond the inherited stdio range, the child's table is empty.
+        assert kernel.read(child, 5) == -errors.EBADF
+
+    def test_exit_and_wait(self, kernel):
+        child = kernel.fork(0)
+        kernel.exit(child)
+        assert kernel.wait(0, child) == "dead"
+
+
+class TestSockets:
+    def test_ordered_socket_fifo(self, kernel):
+        sock = kernel.socket(ordered=True)
+        kernel.sendto(sock, "a")
+        kernel.sendto(sock, "b")
+        assert kernel.recvfrom(sock) == ("msg", "a")
+        assert kernel.recvfrom(sock) == ("msg", "b")
+
+    def test_empty_socket_is_eagain(self, kernel):
+        sock = kernel.socket(ordered=True)
+        assert kernel.recvfrom(sock) == -errors.EAGAIN

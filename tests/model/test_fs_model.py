@@ -1,0 +1,199 @@
+"""Commutativity facts the fs model must reproduce (§4–§6)."""
+
+import pytest
+
+from repro.analyzer import analyze_pair
+from repro.model.posix import PosixState, posix_state_equal, op_by_name
+from repro.symbolic.solver import Solver
+
+
+def analyze(n0, n1):
+    return analyze_pair(
+        PosixState, posix_state_equal, op_by_name(n0), op_by_name(n1)
+    )
+
+
+def commuting_model(pair, **arg_constraints):
+    """Find a commutative path whose model satisfies given concrete args."""
+    solver = Solver()
+    for path in pair.commutative_paths:
+        model = solver.model(list(path.path_condition))
+        args = {}
+        for i, op_args in enumerate(path.args):
+            for name, value in op_args.items():
+                args[f"{i}.{name}"] = model.eval(value.term)
+        if all(args.get(k) == v for k, v in arg_constraints.items()):
+            return path, model, args
+    return None
+
+
+class TestStatPairs:
+    def test_stat_stat_always_commutes(self):
+        pair = analyze("stat", "stat")
+        assert pair.paths
+        assert all(p.commutes for p in pair.paths)
+
+    def test_fstat_fstat_always_commutes(self):
+        pair = analyze("fstat", "fstat")
+        assert all(p.commutes for p in pair.paths)
+
+    def test_stat_does_not_commute_with_link_on_same_file(self):
+        """§4: stat returns st_nlink, so it can't commute with link of the
+        same file."""
+        pair = analyze("stat", "link")
+        solver = Solver()
+        for path in pair.paths:
+            model = solver.model(list(path.path_condition))
+            name = model.eval(path.args[0]["name"].term)
+            old = model.eval(path.args[1]["old"].term)
+            ret_stat, ret_link = path.returns
+            if name == old and ret_link == 0 and isinstance(ret_stat, tuple):
+                # successful link of the statted file: orders distinguishable
+                assert not path.commutes
+                return
+        pytest.fail("expected a same-file stat/link path")
+
+    def test_fstatx_commutes_with_link_when_nlink_not_requested(self):
+        pair = analyze("fstatx", "link")
+        solver = Solver()
+        found = False
+        for path in pair.commutative_paths:
+            model = solver.model(list(path.path_condition))
+            if (not model.eval(path.args[0]["want_nlink"].term)
+                    and path.returns[1] == 0
+                    and isinstance(path.returns[0], tuple)):
+                found = True
+        assert found, "fstatx without st_nlink must commute with a live link"
+
+
+class TestNamePairs:
+    def test_create_distinct_names_commutes(self):
+        """§1's headline example: creating differently named files in one
+        directory commutes."""
+        pair = analyze("open", "open")
+        solver = Solver()
+        for path in pair.commutative_paths:
+            model = solver.model(list(path.path_condition))
+            a0, a1 = path.args
+            if (model.eval(a0["name"].term) != model.eval(a1["name"].term)
+                    and model.eval(a0["ocreat"].term)
+                    and model.eval(a1["ocreat"].term)
+                    and model.eval(a0["pid"].term)
+                    != model.eval(a1["pid"].term)
+                    and isinstance(path.returns[0], int)
+                    and path.returns[0] >= 0):
+                return
+        pytest.fail("no commutative create/create with distinct names found")
+
+    def test_open_excl_same_name_both_fail_commutes(self):
+        """§3.2: two O_CREAT|O_EXCL opens of an existing file commute —
+        both return EEXIST."""
+        pair = analyze("open", "open")
+        assert any(
+            p.commutes and p.returns == (-17, -17) for p in pair.paths
+        )
+
+    def test_open_excl_same_name_one_creates_does_not_commute(self):
+        pair = analyze("open", "open")
+        assert any(
+            not p.commutes
+            and (-17 in p.returns)
+            and any(isinstance(r, int) and r >= 0 for r in p.returns)
+            for p in pair.paths
+        )
+
+    def test_link_unlink_different_names_commute(self):
+        pair = analyze("link", "unlink")
+        assert pair.commutative_paths
+
+    def test_unlink_unlink_same_name_does_not_commute(self):
+        """One unlink succeeds, the other sees ENOENT: order observable."""
+        pair = analyze("unlink", "unlink")
+        solver = Solver()
+        for path in pair.paths:
+            model = solver.model(list(path.path_condition))
+            same = (model.eval(path.args[0]["name"].term)
+                    == model.eval(path.args[1]["name"].term))
+            if same and path.returns[0] == 0 and path.returns[1] != 0:
+                assert not path.commutes
+                return
+        pytest.fail("expected a same-name unlink/unlink path")
+
+    def test_rename_matches_paper_path_count_structure(self):
+        pair = analyze("rename", "rename")
+        assert len(pair.commutative_paths) >= 20
+        assert len(pair.non_commutative_paths) >= 20
+
+
+class TestFdPairs:
+    def test_open_open_same_process_success_does_not_commute(self):
+        """The lowest-fd rule: two successful opens in one process return
+        order-dependent descriptors (§4)."""
+        pair = analyze("open", "open")
+        solver = Solver()
+        for path in pair.paths:
+            model = solver.model(list(path.path_condition))
+            a0, a1 = path.args
+            if (model.eval(a0["pid"].term) == model.eval(a1["pid"].term)
+                    and isinstance(path.returns[0], int)
+                    and isinstance(path.returns[1], int)
+                    and path.returns[0] >= 0 and path.returns[1] >= 0):
+                assert not path.commutes
+                return
+        pytest.fail("expected same-process successful open/open path")
+
+    def test_openany_same_process_success_can_commute(self):
+        pair = analyze("openany", "openany")
+        found = any(
+            p.commutes
+            and not isinstance(p.returns[0], tuple)
+            for p in pair.commutative_paths
+        )
+        assert found
+
+    def test_close_close_different_fds_commute(self):
+        pair = analyze("close", "close")
+        assert any(
+            p.commutes and p.returns == (0, 0) for p in pair.paths
+        )
+
+    def test_read_read_same_fd_commutes_only_for_identical_bytes(self):
+        """§6.4: two reads on one fd commute when the file content makes
+        both orders return the same bytes."""
+        pair = analyze("read", "read")
+        solver = Solver()
+        commuting_same_fd = []
+        for path in pair.paths:
+            model = solver.model(list(path.path_condition))
+            a0, a1 = path.args
+            same_fd = (
+                model.eval(a0["pid"].term) == model.eval(a1["pid"].term)
+                and model.eval(a0["fd"].term) == model.eval(a1["fd"].term)
+            )
+            if same_fd and isinstance(path.returns[0], tuple) \
+                    and isinstance(path.returns[1], tuple):
+                if path.commutes:
+                    commuting_same_fd.append((path, model))
+        assert commuting_same_fd, "identical-bytes same-fd reads must exist"
+        for path, model in commuting_same_fd:
+            got0 = model.eval(path.returns[0][1].term)
+            got1 = model.eval(path.returns[1][1].term)
+            assert got0 == got1
+
+
+class TestPipePairs:
+    def test_pipe_pipe_commutes_in_different_processes(self):
+        pair = analyze("pipe", "pipe")
+        solver = Solver()
+        for path in pair.commutative_paths:
+            model = solver.model(list(path.path_condition))
+            if (model.eval(path.args[0]["pid"].term)
+                    != model.eval(path.args[1]["pid"].term)):
+                return
+        pytest.fail("pipes in different processes must commute")
+
+    def test_write_to_readerless_pipe_is_epipe(self):
+        pair = analyze("write", "write")
+        assert any(
+            -32 in p.returns for p in pair.paths
+        )

@@ -1,0 +1,121 @@
+"""§4 "permit weak ordering": ordered vs unordered datagram sockets.
+
+The paper's claim: ordering makes send/recv pairs non-commutative, while
+an unordered interface lets them commute "as long as there is both enough
+free space and enough pending messages."
+"""
+
+import pytest
+
+from repro.analyzer import analyze_pair
+from repro.model.sockets import (
+    SocketState,
+    UnorderedSocketState,
+    ordered_socket_equal,
+    socket_op,
+    unordered_socket_equal,
+)
+from repro.symbolic.solver import Solver
+
+
+def analyze(state_cls, equal, n0, n1):
+    return analyze_pair(state_cls, equal, socket_op(n0), socket_op(n1))
+
+
+class TestOrderedSocket:
+    def test_send_send_different_messages_do_not_commute(self):
+        pair = analyze(SocketState, ordered_socket_equal, "send", "send")
+        solver = Solver()
+        for path in pair.paths:
+            if path.returns != (0, 0):
+                continue
+            model = solver.model(list(path.path_condition))
+            m0 = model.eval(path.args[0]["msg"].term)
+            m1 = model.eval(path.args[1]["msg"].term)
+            if m0 != m1:
+                assert not path.commutes, "FIFO must expose send order"
+                return
+        pytest.fail("expected successful sends of distinct messages")
+
+    def test_send_send_same_message_commutes(self):
+        pair = analyze(SocketState, ordered_socket_equal, "send", "send")
+        solver = Solver()
+        for path in pair.commutative_paths:
+            if path.returns != (0, 0):
+                continue
+            model = solver.model(list(path.path_condition))
+            assert model.eval(path.args[0]["msg"].term) == model.eval(
+                path.args[1]["msg"].term
+            )
+            return
+        pytest.fail("identical sends must commute")
+
+    def test_recv_recv_distinct_queue_heads_do_not_commute(self):
+        pair = analyze(SocketState, ordered_socket_equal, "recv", "recv")
+        both_succeed = [
+            p for p in pair.paths
+            if isinstance(p.returns[0], tuple) and isinstance(p.returns[1], tuple)
+        ]
+        assert both_succeed
+        assert any(not p.commutes for p in both_succeed)
+
+    def test_error_cases_commute(self):
+        """§4: "...do not commute (except in error conditions)" — two recvs
+        on an empty queue both fail with EAGAIN in either order."""
+        pair = analyze(SocketState, ordered_socket_equal, "recv", "recv")
+        assert any(
+            p.commutes and p.returns == (-11, -11) for p in pair.paths
+        )
+
+
+class TestUnorderedSocket:
+    def test_send_send_always_commutes_when_space(self):
+        pair = analyze(UnorderedSocketState, unordered_socket_equal,
+                       "usend", "usend")
+        successes = [p for p in pair.paths if p.returns == (0, 0)]
+        assert successes
+        assert all(p.commutes for p in successes)
+
+    def test_recv_recv_commutes_when_enough_pending(self):
+        pair = analyze(UnorderedSocketState, unordered_socket_equal,
+                       "urecv", "urecv")
+        both = [
+            p for p in pair.paths
+            if isinstance(p.returns[0], tuple)
+            and isinstance(p.returns[1], tuple)
+        ]
+        assert both
+        assert any(p.commutes for p in both)
+
+    def test_send_recv_commutes_with_space_and_pending(self):
+        """The paper's exact condition."""
+        pair = analyze(UnorderedSocketState, unordered_socket_equal,
+                       "usend", "urecv")
+        good = [
+            p for p in pair.commutative_paths
+            if p.returns[0] == 0 and isinstance(p.returns[1], tuple)
+        ]
+        assert good, "send/recv must commute when neither full nor empty"
+
+    def test_send_recv_empty_queue_does_not_commute(self):
+        """recv-first gets EAGAIN, recv-after-send gets the message."""
+        pair = analyze(UnorderedSocketState, unordered_socket_equal,
+                       "usend", "urecv")
+        solver = Solver()
+        for path in pair.non_commutative_paths:
+            model = solver.model(list(path.path_condition))
+            # Initially empty queue, successful send.
+            state = path.initial_state
+            if model.eval(state.total.term) == 0 and path.returns[0] == 0:
+                return
+        pytest.fail("empty-queue send/recv must be order-sensitive")
+
+    def test_unordered_commutes_more_broadly_than_ordered(self):
+        ordered = analyze(SocketState, ordered_socket_equal, "send", "send")
+        unordered = analyze(UnorderedSocketState, unordered_socket_equal,
+                            "usend", "usend")
+        frac_ordered = len(ordered.commutative_paths) / len(ordered.paths)
+        frac_unordered = (
+            len(unordered.commutative_paths) / len(unordered.paths)
+        )
+        assert frac_unordered > frac_ordered

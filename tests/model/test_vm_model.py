@@ -1,0 +1,114 @@
+"""Commutativity facts the VM model must reproduce (§4, §6)."""
+
+import pytest
+
+from repro.analyzer import analyze_pair
+from repro.model.posix import PosixState, posix_state_equal, op_by_name
+from repro.symbolic.solver import Solver
+
+
+def analyze(n0, n1):
+    return analyze_pair(
+        PosixState, posix_state_equal, op_by_name(n0), op_by_name(n1)
+    )
+
+
+def test_memread_memread_always_commutes():
+    pair = analyze("memread", "memread")
+    assert all(p.commutes for p in pair.paths)
+
+
+def test_memwrite_different_pages_commutes():
+    pair = analyze("memwrite", "memwrite")
+    solver = Solver()
+    for path in pair.commutative_paths:
+        model = solver.model(list(path.path_condition))
+        a0, a1 = path.args
+        if (path.returns == ("ok", "ok")
+                and (model.eval(a0["addr"].term), model.eval(a0["pid"].term))
+                != (model.eval(a1["addr"].term), model.eval(a1["pid"].term))):
+            return
+    pytest.fail("memwrites to different pages must commute")
+
+
+def test_memwrite_same_page_different_data_does_not_commute():
+    pair = analyze("memwrite", "memwrite")
+    solver = Solver()
+    for path in pair.non_commutative_paths:
+        if path.returns != ("ok", "ok"):
+            continue
+        model = solver.model(list(path.path_condition))
+        a0, a1 = path.args
+        same_target = (
+            model.eval(a0["pid"].term) == model.eval(a1["pid"].term)
+            and model.eval(a0["addr"].term) == model.eval(a1["addr"].term)
+        )
+        if same_target:
+            assert model.eval(a0["data"].term) != model.eval(a1["data"].term)
+            return
+    pytest.fail("expected same-page different-data memwrite path")
+
+
+def test_mmap_anonymous_non_fixed_commutes():
+    """§4: mmap may return any unused address, so two anonymous non-fixed
+    mmaps commute."""
+    pair = analyze("mmap", "mmap")
+    solver = Solver()
+    for path in pair.commutative_paths:
+        model = solver.model(list(path.path_condition))
+        a0, a1 = path.args
+        if (not model.eval(a0["fixed"].term)
+                and not model.eval(a1["fixed"].term)
+                and model.eval(a0["anon"].term)
+                and model.eval(a1["anon"].term)):
+            return
+    pytest.fail("anonymous non-fixed mmaps must commute")
+
+
+def test_munmap_then_memread_same_page_does_not_commute():
+    pair = analyze("munmap", "memread")
+    solver = Solver()
+    for path in pair.non_commutative_paths:
+        model = solver.model(list(path.path_condition))
+        a0, a1 = path.args
+        if (model.eval(a0["pid"].term) == model.eval(a1["pid"].term)
+                and model.eval(a0["addr"].term)
+                == model.eval(a1["addr"].term)
+                and path.returns[0] == 0
+                # op0=munmap ran first in the recorded permutation, so the
+                # memread of the unmapped page faulted.
+                and path.returns[1] == "SIGSEGV"):
+            return
+    pytest.fail("munmap vs memread of the same mapped page must not commute")
+
+
+def test_munmap_memread_different_pages_commute():
+    pair = analyze("munmap", "memread")
+    solver = Solver()
+    for path in pair.commutative_paths:
+        model = solver.model(list(path.path_condition))
+        a0, a1 = path.args
+        if (model.eval(a0["pid"].term) == model.eval(a1["pid"].term)
+                and model.eval(a0["addr"].term)
+                != model.eval(a1["addr"].term)
+                and isinstance(path.returns[1], tuple)):
+            return
+    pytest.fail("munmap vs memread of different pages must commute")
+
+
+def test_mprotect_unmapped_is_enomem():
+    pair = analyze("mprotect", "mprotect")
+    assert any(-12 in p.returns for p in pair.paths)
+
+
+def test_memwrite_readonly_mapping_faults():
+    pair = analyze("memwrite", "memread")
+    assert any("SIGSEGV" in p.returns for p in pair.paths)
+
+
+def test_file_backed_memwrite_visible_to_pread():
+    """Shared file mappings alias file pages: memwrite then pread must
+    interact (non-commutative when targeting the same page)."""
+    pair = analyze("memwrite", "pread")
+    assert pair.non_commutative_paths
+    assert pair.commutative_paths

@@ -1,0 +1,108 @@
+"""The MESI timing model: hits are cheap, transfers serialize (§1)."""
+
+from repro.mtrace.machine import Machine, MachineConfig
+from repro.mtrace.memory import Memory
+
+
+def make(ncores=4):
+    mem = Memory(ncores=ncores)
+    machine = Machine(mem, MachineConfig(ncores=ncores))
+    machine.attach()
+    return mem, machine
+
+
+def test_repeated_local_access_is_cheap():
+    mem, machine = make()
+    cell = mem.line("x").cell("v", 0)
+    mem.set_core(0)
+    cell.write(1)
+    cold = machine.core_time[0]
+    for _ in range(10):
+        cell.write(1)
+    assert machine.core_time[0] - cold == 10 * machine.config.cost_hit
+
+
+def test_remote_write_costs_transfer():
+    mem, machine = make()
+    cell = mem.line("x").cell("v", 0)
+    mem.set_core(0)
+    cell.write(1)
+    mem.set_core(1)
+    before = machine.core_time[1]
+    cell.write(2)
+    assert machine.core_time[1] - before >= machine.config.cost_local_transfer
+
+
+def test_cross_socket_transfer_costs_more():
+    mem, machine = make(ncores=20)
+    local = mem.line("a").cell("v", 0)
+    remote = mem.line("b").cell("v", 0)
+    mem.set_core(0)
+    local.write(1)
+    remote.write(1)
+    mem.set_core(1)  # same socket (10 cores per socket)
+    local.write(2)
+    near = machine.core_time[1]
+    mem.set_core(11)  # different socket
+    remote.write(2)
+    far = machine.core_time[11]
+    assert far > near
+
+
+def test_concurrent_readers_do_not_serialize():
+    mem, machine = make()
+    cell = mem.line("x").cell("v", 0)
+    mem.set_core(0)
+    cell.write(1)
+    times = []
+    for core in (1, 2, 3):
+        mem.set_core(core)
+        cell.read()
+        times.append(machine.core_time[core])
+    # Each reader paid its own miss; none queued behind the others.
+    assert len(set(times)) == 1
+
+
+def test_writers_serialize_through_line_clock():
+    mem, machine = make()
+    cell = mem.line("x").cell("v", 0)
+    mem.set_core(0)
+    cell.write(1)
+    finish_times = []
+    for core in (1, 2, 3):
+        mem.set_core(core)
+        cell.write(core)
+        finish_times.append(machine.core_time[core])
+    # Strictly increasing: each writer waited for the previous transfer.
+    assert finish_times == sorted(finish_times)
+    assert len(set(finish_times)) == len(finish_times)
+
+
+def test_run_scales_private_workload_linearly():
+    mem, machine = make()
+    cells = {c: mem.line(f"p{c}").cell("v", 0) for c in range(4)}
+
+    def worker(core):
+        return lambda: cells[core].write(1)
+
+    completed = machine.run({c: worker(c) for c in range(4)}, duration=1000)
+    counts = list(completed.values())
+    assert max(counts) - min(counts) <= 1  # perfectly even
+
+
+def test_run_contended_workload_collapses():
+    mem, machine = make()
+    shared = mem.line("s").cell("v", 0)
+    private = mem.line("p").cell("v", 0)
+
+    completed_shared = machine.run(
+        {c: (lambda: shared.write(1)) for c in range(4)}, duration=10_000
+    )
+    mem2, machine2 = make()
+    private2 = mem2.line("p").cell("v", 0)
+    completed_private = machine2.run(
+        {0: (lambda: private2.write(1))}, duration=10_000
+    )
+    shared_rate = sum(completed_shared.values()) / 4
+    private_rate = completed_private[0]
+    assert shared_rate < private_rate / 2

@@ -1,0 +1,107 @@
+"""Instrumented memory and conflict detection (§5.3 / §3.3)."""
+
+import pytest
+
+from repro.mtrace.memory import Memory, find_conflicts
+
+
+def test_cell_read_write():
+    mem = Memory()
+    cell = mem.line("x").cell("v", 7)
+    assert cell.read() == 7
+    cell.write(9)
+    assert cell.read() == 9
+    assert cell.add(1) == 10
+
+
+def test_recording_toggles():
+    mem = Memory()
+    cell = mem.line("x").cell("v", 0)
+    cell.write(1)
+    assert mem.log == []
+    mem.start_recording()
+    cell.write(2)
+    log = mem.stop_recording()
+    assert len(log) == 1
+    cell.write(3)
+    assert len(mem.log) == 1  # not recording any more
+
+
+def test_conflict_requires_two_cores_and_a_writer():
+    mem = Memory()
+    cell = mem.line("x").cell("v", 0)
+    mem.start_recording()
+    mem.set_core(1)
+    cell.read()
+    mem.set_core(2)
+    cell.read()
+    assert find_conflicts(mem.stop_recording()) == []
+
+    mem.start_recording()
+    mem.set_core(1)
+    cell.write(1)
+    mem.set_core(2)
+    cell.read()
+    conflicts = find_conflicts(mem.stop_recording())
+    assert len(conflicts) == 1
+    assert conflicts[0].cores == {1, 2}
+
+
+def test_single_core_writes_never_conflict():
+    mem = Memory()
+    cell = mem.line("x").cell("v", 0)
+    mem.start_recording()
+    mem.set_core(3)
+    cell.write(1)
+    cell.write(2)
+    assert find_conflicts(mem.stop_recording()) == []
+
+
+def test_false_sharing_on_one_line():
+    """Different cells on one line conflict — placement matters."""
+    mem = Memory()
+    line = mem.line("shared")
+    a = line.cell("a", 0)
+    b = line.cell("b", 0)
+    mem.start_recording()
+    mem.set_core(1)
+    a.write(1)
+    mem.set_core(2)
+    b.read()
+    conflicts = find_conflicts(mem.stop_recording())
+    assert len(conflicts) == 1
+    assert conflicts[0].cells == {"a", "b"}
+
+
+def test_separate_lines_do_not_conflict():
+    mem = Memory()
+    a = mem.line("a").cell("v", 0)
+    b = mem.line("b").cell("v", 0)
+    mem.start_recording()
+    mem.set_core(1)
+    a.write(1)
+    mem.set_core(2)
+    b.write(1)
+    assert find_conflicts(mem.stop_recording()) == []
+
+
+def test_duplicate_cell_name_rejected():
+    mem = Memory()
+    line = mem.line("x")
+    line.cell("v")
+    with pytest.raises(ValueError):
+        line.cell("v")
+
+
+def test_core_range_checked():
+    mem = Memory(ncores=4)
+    with pytest.raises(ValueError):
+        mem.set_core(4)
+
+
+def test_peek_is_unrecorded():
+    mem = Memory()
+    cell = mem.line("x").cell("v", 5)
+    mem.start_recording()
+    assert cell.peek() == 5
+    assert mem.stop_recording() == []

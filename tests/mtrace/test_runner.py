@@ -1,0 +1,99 @@
+"""The MTRACE runner: install, run, detect, compare."""
+
+from repro.analyzer import analyze_pair
+from repro.model.posix import PosixState, posix_state_equal, op_by_name
+from repro.mtrace.runner import (
+    check_testcase,
+    mono_factory,
+    run_testcase,
+    scalefs_factory,
+)
+from repro.testgen import generate_for_pair
+from repro.testgen.casegen import ConcreteSetup, InodeSpec, OpCall
+from repro.testgen.testgen import TestCase
+
+
+def make_case(setup, ops, expected, name="t"):
+    return TestCase(
+        name=name, pair=(ops[0].op, ops[1].op), setup=setup, ops=tuple(ops),
+        expected=tuple(expected), path_index=0, test_index=0,
+    )
+
+
+def test_handmade_case_runs_on_both_kernels():
+    setup = ConcreteSetup()
+    setup.dir = {"f0": 0, "f1": 1}
+    setup.inodes = {0: InodeSpec(nlink=1, length=0),
+                    1: InodeSpec(nlink=1, length=0)}
+    ops = [OpCall("stat", {"name": "f0"}), OpCall("stat", {"name": "f1"})]
+    expected = [("stat", 0, 1, 0, 0, 0), ("stat", 1, 1, 0, 0, 0)]
+    case = make_case(setup, ops, expected)
+    mono = run_testcase(mono_factory, case)
+    assert mono.mismatch is None
+    sfs = run_testcase(scalefs_factory, case)
+    assert sfs.mismatch is None
+    assert sfs.conflict_free
+
+
+def test_mismatch_detected():
+    setup = ConcreteSetup()
+    ops = [OpCall("stat", {"name": "f0"}), OpCall("stat", {"name": "f0"})]
+    expected = [0, 0]  # wrong: stat of a missing file returns -ENOENT
+    case = make_case(setup, ops, expected)
+    result = run_testcase(mono_factory, case)
+    assert result.mismatch is not None
+
+
+def test_conflict_report_names_variables():
+    pair = analyze_pair(
+        PosixState, posix_state_equal, op_by_name("stat"), op_by_name("stat")
+    )
+    cases = generate_for_pair(pair, tests_per_path=1)
+    # Find a same-name stat/stat case: mono conflicts on the dentry.
+    for case in cases:
+        if case.ops[0].args["name"] == case.ops[1].args["name"] \
+                and case.setup.dir:
+            result = run_testcase(mono_factory, case)
+            assert not result.conflict_free
+            assert any("dentry" in c.line.label for c in result.conflicts)
+            assert any("d_count" in c.cells for c in result.conflicts)
+            return
+    raise AssertionError("no same-name stat/stat case found")
+
+
+def test_check_testcase_predicate():
+    pair = analyze_pair(
+        PosixState, posix_state_equal, op_by_name("link"), op_by_name("link")
+    )
+    cases = generate_for_pair(pair, tests_per_path=1)
+    assert any(check_testcase(scalefs_factory, c) for c in cases)
+
+
+def test_conflicts_carry_operation_contexts():
+    pair = analyze_pair(
+        PosixState, posix_state_equal, op_by_name("stat"), op_by_name("stat")
+    )
+    cases = generate_for_pair(pair, tests_per_path=1)
+    for case in cases:
+        if case.ops[0].args["name"] == case.ops[1].args["name"] \
+                and case.setup.dir:
+            result = run_testcase(mono_factory, case)
+            assert result.conflicts
+            contexts = set()
+            for c in result.conflicts:
+                contexts |= c.contexts
+            assert contexts == {"op0:stat", "op1:stat"}
+            return
+    raise AssertionError("no same-name stat/stat case found")
+
+
+def test_ops_attributed_to_distinct_cores():
+    setup = ConcreteSetup()
+    setup.dir = {"f0": 0}
+    setup.inodes = {0: InodeSpec(nlink=1, length=0)}
+    ops = [OpCall("stat", {"name": "f0"}), OpCall("stat", {"name": "f0"})]
+    expected = [("stat", 0, 1, 0, 0, 0)] * 2
+    case = make_case(setup, ops, expected)
+    result = run_testcase(mono_factory, case, cores=(1, 3))
+    for conflict in result.conflicts:
+        assert conflict.cores <= {1, 3}

@@ -1,0 +1,227 @@
+"""The §6.3 scalable building blocks: functional and conflict behaviour."""
+
+import pytest
+
+from repro.mtrace.memory import Memory, find_conflicts
+from repro.primitives import (
+    HashDir,
+    PerCoreCounter,
+    PerCorePartition,
+    RadixArray,
+    Refcache,
+    SeqLock,
+    SpinLock,
+)
+
+
+def record(mem, *steps):
+    """Run (core, fn) steps while recording; return conflicts."""
+    mem.start_recording()
+    for core, fn in steps:
+        mem.set_core(core)
+        fn()
+    return find_conflicts(mem.stop_recording())
+
+
+class TestSpinLock:
+    def test_mutual_exclusion_traffic(self):
+        mem = Memory()
+        lock = SpinLock(mem, "l")
+        conflicts = record(
+            mem, (1, lambda: (lock.acquire(), lock.release())),
+            (2, lambda: (lock.acquire(), lock.release())),
+        )
+        assert conflicts, "two acquires must contend on the lock line"
+
+    def test_context_manager(self):
+        mem = Memory()
+        lock = SpinLock(mem, "l")
+        with lock:
+            pass
+
+
+class TestSeqLock:
+    def test_reader_is_conflict_free_with_reader(self):
+        mem = Memory()
+        seq = SeqLock(mem, "s")
+        conflicts = record(
+            mem,
+            (1, lambda: seq.read_retry(seq.read_begin())),
+            (2, lambda: seq.read_retry(seq.read_begin())),
+        )
+        assert conflicts == []
+
+    def test_writer_invalidates_reader(self):
+        mem = Memory()
+        seq = SeqLock(mem, "s")
+        v = seq.read_begin()
+        seq.write_begin()
+        seq.write_end()
+        assert seq.read_retry(v)
+
+    def test_stable_read_does_not_retry(self):
+        mem = Memory()
+        seq = SeqLock(mem, "s")
+        v = seq.read_begin()
+        assert not seq.read_retry(v)
+
+
+class TestRefcache:
+    def test_adjust_and_read(self):
+        mem = Memory(ncores=4)
+        rc = Refcache(mem, "rc", 4, initial=5)
+        mem.set_core(0)
+        rc.adjust(mem, 2)
+        mem.set_core(3)
+        rc.adjust(mem, -1)
+        assert rc.read() == 6
+
+    def test_adjusts_on_different_cores_conflict_free(self):
+        mem = Memory(ncores=4)
+        rc = Refcache(mem, "rc", 4)
+        conflicts = record(
+            mem, (1, lambda: rc.adjust(mem, 1)), (2, lambda: rc.adjust(mem, 1))
+        )
+        assert conflicts == []
+
+    def test_reads_are_conflict_free_with_each_other(self):
+        mem = Memory(ncores=4)
+        rc = Refcache(mem, "rc", 4)
+        mem.set_core(1)
+        rc.adjust(mem, 1)
+        conflicts = record(mem, (2, rc.read), (3, rc.read))
+        assert conflicts == []
+
+    def test_read_conflicts_with_concurrent_adjust(self):
+        mem = Memory(ncores=4)
+        rc = Refcache(mem, "rc", 4)
+        mem.set_core(1)
+        rc.adjust(mem, 1)  # materialize core 1's delta line
+        conflicts = record(
+            mem, (1, lambda: rc.adjust(mem, 1)), (2, rc.read)
+        )
+        assert conflicts
+
+    def test_flush_reconciles(self):
+        mem = Memory(ncores=4)
+        rc = Refcache(mem, "rc", 4, initial=1)
+        mem.set_core(2)
+        rc.adjust(mem, 3)
+        rc.flush()
+        assert rc.read_base() == 4
+        assert rc.read() == 4
+
+
+class TestPerCore:
+    def test_counter_ids_unique_across_cores(self):
+        mem = Memory(ncores=4)
+        counter = PerCoreCounter(mem, "c", 4)
+        ids = set()
+        for core in range(4):
+            mem.set_core(core)
+            for _ in range(5):
+                ids.add(counter.alloc(mem))
+        assert len(ids) == 20
+
+    def test_counter_allocs_conflict_free(self):
+        mem = Memory(ncores=4)
+        counter = PerCoreCounter(mem, "c", 4)
+        conflicts = record(
+            mem,
+            (1, lambda: counter.alloc(mem)),
+            (2, lambda: counter.alloc(mem)),
+        )
+        assert conflicts == []
+
+    def test_partition_allocates_in_own_range(self):
+        mem = Memory(ncores=4)
+        part = PerCorePartition(mem, "p", 4, 16)
+        taken = set()
+        mem.set_core(2)
+        i = part.alloc(mem, lambda x: x in taken)
+        assert i in part.range_for(2)
+
+    def test_partition_falls_back_when_full(self):
+        mem = Memory(ncores=4)
+        part = PerCorePartition(mem, "p", 4, 8)
+        own = set(part.range_for(1))
+        mem.set_core(1)
+        got = part.alloc(mem, lambda x: x in own)
+        assert got is not None and got not in own
+
+    def test_partition_exhausted_returns_none(self):
+        mem = Memory(ncores=2)
+        part = PerCorePartition(mem, "p", 2, 4)
+        mem.set_core(0)
+        assert part.alloc(mem, lambda x: True) is None
+
+
+class TestRadixArray:
+    def test_set_get_remove(self):
+        mem = Memory()
+        radix = RadixArray(mem, "r")
+        assert radix.get(3) is None
+        radix.set(3, "v")
+        assert radix.get(3) == "v"
+        assert radix.contains(3)
+        radix.remove(3)
+        assert not radix.contains(3)
+
+    def test_distinct_slots_conflict_free(self):
+        mem = Memory()
+        radix = RadixArray(mem, "r")
+        conflicts = record(
+            mem, (1, lambda: radix.set(0, "a")), (2, lambda: radix.set(1, "b"))
+        )
+        assert conflicts == []
+
+    def test_same_slot_conflicts(self):
+        mem = Memory()
+        radix = RadixArray(mem, "r")
+        conflicts = record(
+            mem, (1, lambda: radix.set(0, "a")), (2, lambda: radix.get(0))
+        )
+        assert conflicts
+
+
+class TestHashDir:
+    def test_put_get_remove(self):
+        mem = Memory()
+        d = HashDir(mem, "d", 16)
+        d.put("a", 1)
+        assert d.get("a") == 1
+        assert d.contains("a")
+        d.remove("a")
+        assert d.get("a") is None
+
+    def test_distinct_names_conflict_free(self):
+        mem = Memory()
+        d = HashDir(mem, "d", 4096)
+        conflicts = record(
+            mem, (1, lambda: d.put("alpha", 1)), (2, lambda: d.put("beta", 2))
+        )
+        assert conflicts == []
+
+    def test_same_bucket_conflicts(self):
+        mem = Memory()
+        d = HashDir(mem, "d", 1)  # force a collision
+        conflicts = record(
+            mem, (1, lambda: d.put("alpha", 1)), (2, lambda: d.put("beta", 2))
+        )
+        assert conflicts
+
+    def test_lookup_conflict_free_with_unrelated_insert(self):
+        mem = Memory()
+        d = HashDir(mem, "d", 4096)
+        d.put("hot", 7)
+        conflicts = record(
+            mem, (1, lambda: d.get("hot")), (2, lambda: d.put("cold", 1))
+        )
+        assert conflicts == []
+
+    def test_keys_enumeration(self):
+        mem = Memory()
+        d = HashDir(mem, "d", 8)
+        d.put("a", 1)
+        d.put("b", 2)
+        assert sorted(d.keys()) == ["a", "b"]

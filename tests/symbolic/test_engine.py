@@ -1,0 +1,286 @@
+"""Tests for the forking executor and symbolic types."""
+
+import pytest
+
+from repro.symbolic import terms as T
+from repro.symbolic.engine import Executor, SymbolicFailure
+from repro.symbolic.solver import Solver
+from repro.symbolic.symtypes import (
+    SBool,
+    SInt,
+    SRef,
+    SymMap,
+    SymStruct,
+    VarFactory,
+    values_equal,
+)
+
+FNAME = T.uninterpreted_sort("EFilename")
+
+
+def explore(fn, **kw):
+    return Executor(Solver(), **kw).explore(fn)
+
+
+def test_single_path():
+    results = explore(lambda ex: 42)
+    assert len(results) == 1
+    assert results[0].value == 42
+    assert results[0].path_condition == ()
+
+
+def test_fork_two_paths():
+    f = VarFactory()
+    p = f.fresh_bool("p")
+
+    def body(ex):
+        if p:
+            return "yes"
+        return "no"
+
+    results = explore(body)
+    assert sorted(r.value for r in results) == ["no", "yes"]
+
+
+def test_nested_forks_four_paths():
+    f = VarFactory()
+    p = f.fresh_bool("p")
+    q = f.fresh_bool("q")
+
+    def body(ex):
+        return (bool(p), bool(q))
+
+    results = explore(body)
+    assert sorted(r.value for r in results) == [
+        (False, False),
+        (False, True),
+        (True, False),
+        (True, True),
+    ]
+
+
+def test_infeasible_branch_pruned():
+    f = VarFactory()
+    x = f.fresh_int("x")
+
+    def body(ex):
+        ex.assume((x == 3).term)
+        if x == 3:
+            return "three"
+        return "other"
+
+    results = explore(body)
+    assert [r.value for r in results] == ["three"]
+
+
+def test_assume_false_kills_path():
+    f = VarFactory()
+    p = f.fresh_bool("p")
+
+    def body(ex):
+        if p:
+            ex.assume(False)
+            return "dead"
+        return "alive"
+
+    results = explore(body)
+    assert [r.value for r in results] == ["alive"]
+
+
+def test_concretize():
+    f = VarFactory()
+    x = f.fresh_int("x")
+
+    def body(ex):
+        ex.assume((x > 0).term)
+        ex.assume((x < 4).term)
+        return x.concretize(range(0, 6))
+
+    results = explore(body)
+    assert sorted(r.value for r in results) == [1, 2, 3]
+
+
+def test_symint_comparison_forks():
+    f = VarFactory()
+    x = f.fresh_int("x")
+    y = f.fresh_int("y")
+
+    def body(ex):
+        if x < y:
+            return "lt"
+        if x == y:
+            return "eq"
+        return "gt"
+
+    results = explore(body)
+    assert sorted(r.value for r in results) == ["eq", "gt", "lt"]
+
+
+def test_path_condition_recorded():
+    f = VarFactory()
+    p = f.fresh_bool("p")
+
+    def body(ex):
+        if p:
+            return 1
+        return 0
+
+    results = explore(body)
+    for r in results:
+        if r.value == 1:
+            assert p.term in r.path_condition
+        else:
+            assert T.not_(p.term) in r.path_condition
+
+
+def test_symmap_unconstrained_contains_forks():
+    def body(ex):
+        f = VarFactory("t1")
+        m = SymMap.any(f, "m", FNAME, lambda n: f.fresh_int(n))
+        k = f.fresh_ref("k", FNAME)
+        if m.contains(k):
+            return "present"
+        return "absent"
+
+    results = explore(body)
+    assert sorted(r.value for r in results) == ["absent", "present"]
+
+
+def test_symmap_write_then_read_consistent():
+    def body(ex):
+        f = VarFactory("t2")
+        m = SymMap.any(f, "m", FNAME, lambda n: f.fresh_int(n))
+        k = f.fresh_ref("k", FNAME)
+        m[k] = SInt(T.const(7))
+        v = m[k]
+        return v.concretize(range(0, 10))
+
+    results = explore(body)
+    assert [r.value for r in results] == [7]
+
+
+def test_symmap_aliasing_forks():
+    """Writing k1 then reading k2 must distinguish k1==k2 from k1!=k2."""
+
+    def body(ex):
+        f = VarFactory("t3")
+        m = SymMap.empty(f, "m", FNAME)
+        k1 = f.fresh_ref("k1", FNAME)
+        k2 = f.fresh_ref("k2", FNAME)
+        m[k1] = SInt(T.const(5))
+        if m.contains(k2):
+            return "aliased"
+        return "separate"
+
+    results = explore(body)
+    assert sorted(r.value for r in results) == ["aliased", "separate"]
+
+
+def test_symmap_delete():
+    def body(ex):
+        f = VarFactory("t4")
+        m = SymMap.any(f, "m", FNAME, lambda n: f.fresh_int(n))
+        k = f.fresh_ref("k", FNAME)
+        if not m.contains(k):
+            return "skip"
+        del m[k]
+        return "deleted" if not m.contains(k) else "still-there"
+
+    results = explore(body)
+    assert sorted(r.value for r in results) == ["deleted", "skip"]
+
+
+def test_symmap_copies_share_initial_contents():
+    """Two copies of one map must discover the same initial values."""
+
+    def body(ex):
+        f = VarFactory("t5")
+        m = SymMap.any(f, "m", FNAME, lambda n: f.fresh_int(n))
+        k = f.fresh_ref("k", FNAME)
+        c1 = m.copy()
+        c2 = m.copy()
+        if not c1.contains(k):
+            return "absent-in-both" if not c2.contains(k) else "inconsistent"
+        v1 = c1[k]
+        v2 = c2[k]
+        return "same" if values_equal(v1, v2) else "different"
+
+    results = explore(body)
+    assert set(r.value for r in results) == {"absent-in-both", "same"}
+
+
+def test_symmap_copies_do_not_share_mutations():
+    def body(ex):
+        f = VarFactory("t6")
+        m = SymMap.empty(f, "m", FNAME)
+        k = f.fresh_ref("k", FNAME)
+        c1 = m.copy()
+        c2 = m.copy()
+        c1[k] = SInt(T.const(1))
+        return "leaked" if c2.contains(k) else "isolated"
+
+    results = explore(body)
+    assert [r.value for r in results] == ["isolated"]
+
+
+def test_symstruct_copy_isolated():
+    def body(ex):
+        f = VarFactory("t7")
+        s = SymStruct(nlink=f.fresh_int("nlink"))
+        c = s.copy()
+        c.nlink = c.nlink + 1
+        return values_equal(s.nlink, c.nlink)
+
+    results = explore(body)
+    assert [r.value for r in results] == [False]
+
+
+def test_values_equal_forks_on_symbolic():
+    def body(ex):
+        f = VarFactory("t8")
+        x = f.fresh_int("x")
+        y = f.fresh_int("y")
+        return values_equal(x, y)
+
+    results = explore(body)
+    assert sorted(r.value for r in results) == [False, True]
+
+
+def test_values_equal_structs():
+    def body(ex):
+        f = VarFactory("t9")
+        a = SymStruct(n=SInt(T.const(1)), m=SInt(T.const(2)))
+        b = SymStruct(n=SInt(T.const(1)), m=SInt(T.const(2)))
+        return values_equal(a, b)
+
+    results = explore(body)
+    assert [r.value for r in results] == [True]
+
+
+def test_max_depth_guard():
+    f = VarFactory()
+    p = f.fresh_bool("p")
+
+    def body(ex):
+        while True:
+            ex.choose([T.true, T.true])
+
+    with pytest.raises(SymbolicFailure):
+        Executor(Solver(), max_depth=50).explore(body)
+
+
+def test_int_keyed_map_constant_keys_do_not_fork():
+    """fd-table style maps with concrete int keys stay single-path."""
+
+    def body(ex):
+        f = VarFactory("t10")
+        m = SymMap.empty(f, "fds", T.INT)
+        m[0] = "a"
+        m[1] = "b"
+        assert m.contains(0)
+        assert m.contains(1)
+        assert not m.contains(2)
+        return "done"
+
+    results = explore(body)
+    assert len(results) == 1

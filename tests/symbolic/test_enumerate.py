@@ -1,0 +1,72 @@
+"""Tests for isomorphism-grouped model enumeration (TESTGEN core)."""
+
+from repro.symbolic import terms as T
+from repro.symbolic.enumerate import IsomorphismGroups, enumerate_models
+from repro.symbolic.solver import Solver
+
+FNAME = T.uninterpreted_sort("NFilename")
+
+
+def test_enumerates_distinct_patterns():
+    a = T.var("en.a", FNAME)
+    b = T.var("en.b", FNAME)
+    groups = IsomorphismGroups()
+    groups.add("names", [a, b])
+    models = list(enumerate_models(Solver(), [], groups))
+    # Two names: either equal or distinct — exactly two patterns.
+    assert len(models) == 2
+    patterns = {m.eval(a) == m.eval(b) for m in models}
+    assert patterns == {True, False}
+
+
+def test_constraint_restricts_patterns():
+    a = T.var("en2.a", FNAME)
+    b = T.var("en2.b", FNAME)
+    groups = IsomorphismGroups()
+    groups.add("names", [a, b])
+    models = list(enumerate_models(Solver(), [T.ne(a, b)], groups))
+    assert len(models) == 1
+    assert models[0].eval(a) != models[0].eval(b)
+
+
+def test_three_way_patterns():
+    xs = [T.var(f"en3.x{i}", FNAME) for i in range(3)]
+    groups = IsomorphismGroups()
+    groups.add("names", xs)
+    models = list(enumerate_models(Solver(), [], groups))
+    # Bell number B(3) = 5 partitions of three elements.
+    assert len(models) == 5
+
+
+def test_anchored_group_distinguishes_constants():
+    a = T.var("en4.a", FNAME)
+    anchor = T.uval(FNAME, 0)
+    groups = IsomorphismGroups()
+    groups.add("names", [a, anchor])
+    models = list(enumerate_models(Solver(), [], groups))
+    assert len(models) == 2  # a == anchor, a != anchor
+
+
+def test_limit_respected():
+    xs = [T.var(f"en5.x{i}", FNAME) for i in range(4)]
+    groups = IsomorphismGroups()
+    groups.add("names", xs)
+    models = list(enumerate_models(Solver(), [], groups, limit=3))
+    assert len(models) == 3
+
+
+def test_int_group_patterns():
+    x = T.var("en6.x", T.INT)
+    y = T.var("en6.y", T.INT)
+    groups = IsomorphismGroups()
+    groups.add("ints", [x, y])
+    models = list(enumerate_models(Solver(), [T.le(T.const(0), x)], groups))
+    assert len(models) == 2
+
+
+def test_no_groups_yields_single_model():
+    x = T.var("en7.x", T.INT)
+    groups = IsomorphismGroups()
+    models = list(enumerate_models(Solver(), [T.eq(x, T.const(2))], groups))
+    assert len(models) == 1
+    assert models[0].eval(x) == 2

@@ -1,0 +1,136 @@
+"""Property-based tests for the term language and solver.
+
+The solver is the foundation of every result in this reproduction, so we
+check it against brute force: on randomly generated formulas over a small
+vocabulary, ``Solver.check`` must agree with exhaustive enumeration, and
+produced models must actually satisfy the constraints.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.symbolic import terms as T
+from repro.symbolic.solver import Model, Solver, UVal
+
+SORT = T.uninterpreted_sort("PFoo")
+
+INT_VARS = [T.var(f"pi{i}", T.INT) for i in range(3)]
+BOOL_VARS = [T.var(f"pb{i}", T.BOOL) for i in range(2)]
+REF_VARS = [T.var(f"pr{i}", SORT) for i in range(3)]
+INT_RANGE = (0, 3)
+
+
+def atoms():
+    int_term = st.one_of(
+        st.sampled_from(INT_VARS),
+        st.integers(*INT_RANGE).map(T.const),
+    )
+    ref_term = st.one_of(
+        st.sampled_from(REF_VARS),
+        st.integers(0, 2).map(lambda i: T.uval(SORT, i)),
+    )
+    return st.one_of(
+        st.sampled_from(BOOL_VARS),
+        st.builds(T.eq, int_term, int_term),
+        st.builds(T.lt, int_term, int_term),
+        st.builds(T.le, int_term, int_term),
+        st.builds(T.eq, ref_term, ref_term),
+    )
+
+
+def formulas(depth=2):
+    return st.recursive(
+        atoms(),
+        lambda children: st.one_of(
+            st.builds(lambda a, b: T.and_(a, b), children, children),
+            st.builds(lambda a, b: T.or_(a, b), children, children),
+            children.map(T.not_),
+        ),
+        max_leaves=6,
+    )
+
+
+def brute_force_satisfiable(formula: T.Term) -> bool:
+    int_values = range(INT_RANGE[0], INT_RANGE[1] + 1)
+    ref_values = [UVal(SORT, i) for i in range(4)]
+    bool_values = (False, True)
+    for ints in itertools.product(int_values, repeat=len(INT_VARS)):
+        for refs in itertools.product(ref_values, repeat=len(REF_VARS)):
+            for bools in itertools.product(bool_values, repeat=len(BOOL_VARS)):
+                assignment = {}
+                assignment.update(zip(INT_VARS, ints))
+                assignment.update(zip(REF_VARS, refs))
+                assignment.update(zip(BOOL_VARS, bools))
+                if Model(assignment).eval(formula):
+                    return True
+    return False
+
+
+@settings(max_examples=150, deadline=None)
+@given(formulas())
+def test_solver_agrees_with_brute_force(formula):
+    solver = Solver(int_min=INT_RANGE[0], int_max=INT_RANGE[1])
+    assert solver.check([formula]) == brute_force_satisfiable(formula)
+
+
+@settings(max_examples=150, deadline=None)
+@given(formulas())
+def test_models_satisfy_constraints(formula):
+    solver = Solver(int_min=INT_RANGE[0], int_max=INT_RANGE[1])
+    model = solver.model([formula])
+    if model is not None:
+        assert model.eval(formula) is True
+
+
+@settings(max_examples=100, deadline=None)
+@given(formulas(), formulas())
+def test_conjunction_soundness(f1, f2):
+    """sat(f1 ∧ f2) implies sat(f1) and sat(f2)."""
+    solver = Solver(int_min=INT_RANGE[0], int_max=INT_RANGE[1])
+    if solver.check([f1, f2]):
+        assert solver.check([f1])
+        assert solver.check([f2])
+
+
+@settings(max_examples=100, deadline=None)
+@given(formulas())
+def test_excluded_middle(f):
+    solver = Solver(int_min=INT_RANGE[0], int_max=INT_RANGE[1])
+    assert solver.check([T.or_(f, T.not_(f))])
+    assert not solver.check([T.and_(f, T.not_(f))])
+
+
+@settings(max_examples=100, deadline=None)
+@given(formulas())
+def test_negation_flips_unsat(f):
+    solver = Solver(int_min=INT_RANGE[0], int_max=INT_RANGE[1])
+    if not solver.check([f]):
+        assert solver.check([T.not_(f)])
+
+
+@settings(max_examples=200, deadline=None)
+@given(formulas(), formulas())
+def test_simplifier_preserves_semantics(f1, f2):
+    """Constructor simplification (and_/or_/not_) must be semantics-
+    preserving: built formulas evaluate like their parts."""
+    combined = T.and_(T.or_(f1, f2), T.not_(T.and_(f1, f2)))
+    int_values = range(INT_RANGE[0], INT_RANGE[1] + 1)
+    assignment = {v: 1 for v in INT_VARS}
+    assignment.update({v: UVal(SORT, 0) for v in REF_VARS})
+    assignment.update({v: True for v in BOOL_VARS})
+    model = Model(assignment)
+    expected = model.eval(f1) != model.eval(f2)  # xor
+    assert model.eval(combined) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.sampled_from(REF_VARS + [T.uval(SORT, 0)]), min_size=2,
+                max_size=3, unique=True))
+def test_distinct_forces_distinct_model_values(vars_):
+    solver = Solver()
+    constraint = T.distinct(vars_)
+    model = solver.model([constraint])
+    assert model is not None
+    values = [model.eval(v) for v in vars_]
+    assert len(set(values)) == len(values)

@@ -1,0 +1,148 @@
+"""Unit tests for the SMT-lite solver."""
+
+import pytest
+
+from repro.symbolic import terms as T
+from repro.symbolic.solver import Model, Solver, UVal
+
+FNAME = T.uninterpreted_sort("TFilename")
+
+
+@pytest.fixture()
+def solver():
+    return Solver(int_min=-1, int_max=16)
+
+
+def test_trivial(solver):
+    assert solver.check([])
+    assert solver.check([T.true])
+    assert not solver.check([T.false])
+
+
+def test_bool_vars(solver):
+    p = T.var("p", T.BOOL)
+    q = T.var("q", T.BOOL)
+    assert solver.check([p, q])
+    assert solver.check([T.or_(p, q), T.not_(p)])
+    assert not solver.check([p, T.not_(p)])
+    assert not solver.check([T.or_(p, q), T.not_(p), T.not_(q)])
+
+
+def test_bool_model(solver):
+    p = T.var("p", T.BOOL)
+    q = T.var("q", T.BOOL)
+    m = solver.model([T.or_(p, q), T.not_(p)])
+    assert m is not None
+    assert m.eval(p) is False
+    assert m.eval(q) is True
+
+
+def test_uninterpreted_equalities(solver):
+    a = T.var("a", FNAME)
+    b = T.var("b", FNAME)
+    c = T.var("c", FNAME)
+    assert solver.check([T.eq(a, b)])
+    assert solver.check([T.ne(a, b)])
+    assert not solver.check([T.eq(a, b), T.ne(a, b)])
+    assert not solver.check([T.eq(a, b), T.eq(b, c), T.ne(a, c)])
+    assert solver.check([T.eq(a, b), T.ne(b, c)])
+
+
+def test_uval_pinning(solver):
+    a = T.var("a", FNAME)
+    f0 = T.uval(FNAME, 0)
+    f1 = T.uval(FNAME, 1)
+    assert not solver.check([T.eq(a, f0), T.eq(a, f1)])
+    assert solver.check([T.eq(a, f0), T.ne(a, f1)])
+    m = solver.model([T.eq(a, f0)])
+    assert m.eval(a) == UVal(FNAME, 0)
+
+
+def test_uninterpreted_model_distinctness(solver):
+    a = T.var("a", FNAME)
+    b = T.var("b", FNAME)
+    c = T.var("c", FNAME)
+    m = solver.model([T.ne(a, b), T.eq(b, c)])
+    assert m.eval(a) != m.eval(b)
+    assert m.eval(b) == m.eval(c)
+
+
+def test_int_comparisons(solver):
+    x = T.var("x", T.INT)
+    y = T.var("y", T.INT)
+    assert solver.check([T.lt(x, y)])
+    assert not solver.check([T.lt(x, y), T.lt(y, x)])
+    assert not solver.check([T.lt(x, x)])
+    assert solver.check([T.le(x, y), T.le(y, x)])
+    m = solver.model([T.le(x, y), T.le(y, x)])
+    assert m.eval(x) == m.eval(y)
+
+
+def test_int_bounds():
+    tight = Solver(int_min=0, int_max=3)
+    x = T.var("x", T.INT)
+    assert tight.check([T.eq(x, T.const(3))])
+    assert not tight.check([T.eq(x, T.const(4))])
+    # Chain that only fits if the domain is wide enough.
+    vars_ = [T.var(f"v{i}", T.INT) for i in range(5)]
+    chain = [T.lt(vars_[i], vars_[i + 1]) for i in range(4)]
+    assert not tight.check(chain)
+    assert Solver(int_min=0, int_max=7).check(chain)
+
+
+def test_int_arithmetic(solver):
+    x = T.var("x", T.INT)
+    y = T.var("y", T.INT)
+    assert solver.check([T.eq(T.add(x, T.const(1)), y)])
+    assert not solver.check(
+        [T.eq(T.add(x, T.const(1)), y), T.eq(x, y)]
+    )
+    m = solver.model([T.eq(T.add(x, T.const(2)), y), T.eq(x, T.const(3))])
+    assert m.eval(y) == 5
+
+
+def test_disjunction_splitting(solver):
+    x = T.var("x", T.INT)
+    c = T.or_(T.eq(x, T.const(1)), T.eq(x, T.const(2)))
+    assert solver.check([c])
+    assert solver.check([c, T.ne(x, T.const(1))])
+    assert not solver.check([c, T.ne(x, T.const(1)), T.ne(x, T.const(2))])
+
+
+def test_ite_lifting(solver):
+    p = T.var("p", T.BOOL)
+    x = T.var("x", T.INT)
+    cond = T.eq(T.ite(p, T.const(1), T.const(2)), x)
+    assert solver.check([cond, T.eq(x, T.const(1))])
+    assert solver.check([cond, T.eq(x, T.const(2))])
+    assert not solver.check([cond, T.eq(x, T.const(3))])
+    m = solver.model([cond, T.eq(x, T.const(2))])
+    assert m.eval(p) is False
+
+
+def test_mixed_sorts(solver):
+    a = T.var("a", FNAME)
+    b = T.var("b", FNAME)
+    x = T.var("x", T.INT)
+    c = T.or_(T.eq(a, b), T.lt(x, T.const(0)))
+    assert solver.check([c, T.ne(a, b)])
+    assert not solver.check([c, T.ne(a, b), T.le(T.const(0), x)])
+
+
+def test_check_cache(solver):
+    a = T.var("a", FNAME)
+    b = T.var("b", FNAME)
+    assert solver.check([T.eq(a, b)])
+    before = solver.stats["cache_hits"]
+    assert solver.check([T.eq(a, b)])
+    assert solver.stats["cache_hits"] == before + 1
+
+
+def test_model_eval_defaults(solver):
+    m = Model({})
+    x = T.var("x", T.INT)
+    p = T.var("p", T.BOOL)
+    a = T.var("a", FNAME)
+    assert m.eval(x) == 0
+    assert m.eval(p) is False
+    assert isinstance(m.eval(a), UVal)

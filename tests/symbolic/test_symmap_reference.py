@@ -1,0 +1,73 @@
+"""SymMap against a reference dict, under hypothesis-generated programs.
+
+With concrete keys and values a SymMap must behave exactly like a Python
+dict (single path, no forking): this pins the overlay/slot machinery
+against an executable specification.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.symbolic import terms as T
+from repro.symbolic.engine import Executor
+from repro.symbolic.solver import Solver
+from repro.symbolic.symtypes import SymMap, VarFactory
+
+KEYS = st.integers(0, 4)
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("set"), KEYS, st.integers(0, 9)),
+        st.tuples(st.just("del"), KEYS),
+        st.tuples(st.just("get"), KEYS),
+        st.tuples(st.just("contains"), KEYS),
+    ),
+    max_size=20,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(OPS)
+def test_symmap_matches_dict_on_concrete_programs(ops):
+    observed_map = []
+    observed_dict = []
+
+    def body(ex):
+        factory = VarFactory("ref")
+        m = SymMap.empty(factory, "m", T.INT)
+        d = {}
+        for op in ops:
+            if op[0] == "set":
+                m[op[1]] = op[2]
+                d[op[1]] = op[2]
+            elif op[0] == "del":
+                del m[op[1]]
+                d.pop(op[1], None)
+            elif op[0] == "get":
+                observed_map.append(m.get(op[1], "missing"))
+                observed_dict.append(d.get(op[1], "missing"))
+            else:
+                observed_map.append(m.contains(op[1]))
+                observed_dict.append(op[1] in d)
+        return True
+
+    results = Executor(Solver()).explore(body)
+    assert len(results) == 1  # concrete keys: no forking
+    assert observed_map == observed_dict
+
+
+@settings(max_examples=50, deadline=None)
+@given(OPS)
+def test_symmap_copies_are_independent(ops):
+    def body(ex):
+        factory = VarFactory("ref2")
+        m = SymMap.empty(factory, "m", T.INT)
+        m[0] = "base"
+        snapshot = m.copy()
+        for op in ops:
+            if op[0] == "set":
+                m[op[1]] = op[2]
+            elif op[0] == "del":
+                del m[op[1]]
+        return snapshot.get(0)
+
+    results = Executor(Solver()).explore(body)
+    assert [r.value for r in results] == ["base"]

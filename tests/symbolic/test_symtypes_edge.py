@@ -1,0 +1,182 @@
+"""Edge cases of the symbolic-type layer that the model relies on."""
+
+import pytest
+
+from repro.symbolic import terms as T
+from repro.symbolic.engine import Executor, SymbolicFailure
+from repro.symbolic.solver import Solver
+from repro.symbolic.symtypes import (
+    SBool,
+    SInt,
+    SymMap,
+    SymStruct,
+    VarFactory,
+    copy_value,
+    symand,
+    symbolic_not,
+    symor,
+    values_equal,
+)
+
+SORT = T.uninterpreted_sort("EdgeSort")
+
+
+def explore(fn):
+    return Executor(Solver()).explore(fn)
+
+
+class TestRequire:
+    def test_require_constrains_presence(self):
+        def body(ex):
+            f = VarFactory("rq")
+            m = SymMap.any(f, "m", SORT, lambda n: f.fresh_int(n))
+            k = f.fresh_ref("k", SORT)
+            m.require(k)       # no fork: single path
+            return m.contains(k)
+
+        results = explore(body)
+        assert [r.value for r in results] == [True]
+
+    def test_require_after_delete_kills_path(self):
+        def body(ex):
+            f = VarFactory("rq2")
+            m = SymMap.any(f, "m", SORT, lambda n: f.fresh_int(n))
+            k = f.fresh_ref("k", SORT)
+            m.require(k)
+            del m[k]
+            m.require(k)  # contradiction: path must die
+            return "alive"
+
+        assert explore(body) == []
+
+    def test_require_absent(self):
+        def body(ex):
+            f = VarFactory("rq3")
+            m = SymMap.any(f, "m", SORT, lambda n: f.fresh_int(n))
+            k = f.fresh_ref("k", SORT)
+            m.require_absent(k)
+            return m.contains(k)
+
+        results = explore(body)
+        assert [r.value for r in results] == [False]
+
+    def test_require_absent_then_set_is_fine(self):
+        def body(ex):
+            f = VarFactory("rq4")
+            m = SymMap.any(f, "m", SORT, lambda n: f.fresh_int(n))
+            k = f.fresh_ref("k", SORT)
+            m.require_absent(k)
+            m[k] = SInt(T.const(3))
+            return m[k].concretize(range(5))
+
+        results = explore(body)
+        assert [r.value for r in results] == [3]
+
+    def test_require_absent_on_written_key_kills_path(self):
+        def body(ex):
+            f = VarFactory("rq5")
+            m = SymMap.empty(f, "m", SORT)
+            k = f.fresh_ref("k", SORT)
+            m[k] = 1
+            m.require_absent(k)
+            return "alive"
+
+        assert explore(body) == []
+
+
+class TestFootprint:
+    def test_footprint_lists_resolved_slots(self):
+        def body(ex):
+            f = VarFactory("fp")
+            m = SymMap.empty(f, "m", SORT)
+            k1 = f.fresh_ref("k1", SORT)
+            k2 = f.fresh_ref("k2", SORT)
+            ex.assume(T.ne(k1.term, k2.term))
+            m[k1] = 1
+            m[k2] = 2
+            del m[k1]
+            fp = m.footprint()
+            return sorted((present, value) for _, present, value in fp)
+
+        results = explore(body)
+        assert results[0].value == [(False, None), (True, 2)]
+
+
+class TestOperators:
+    def test_symand_symor_not(self):
+        def body(ex):
+            f = VarFactory("ops")
+            p = f.fresh_bool("p")
+            q = f.fresh_bool("q")
+            ex.assume(p.term)
+            ex.assume(T.not_(q.term))
+            return (bool(symand(p, True)), bool(symor(q, False)),
+                    bool(symbolic_not(q)))
+
+        results = explore(body)
+        assert results[0].value == (True, False, True)
+
+    def test_sbool_bitwise(self):
+        def body(ex):
+            f = VarFactory("ops2")
+            p = f.fresh_bool("p")
+            ex.assume(p.term)
+            return bool(p & True), bool(p | False), bool(~p)
+
+        results = explore(body)
+        assert results[0].value == (True, True, False)
+
+    def test_sint_reflected_comparisons(self):
+        def body(ex):
+            f = VarFactory("ops3")
+            x = f.fresh_int("x")
+            ex.assume(T.eq(x.term, T.const(2)))
+            return (bool(1 < x), bool(3 > x), bool(2 <= x), bool(2 >= x),
+                    (1 + x).concretize(range(10)), (x - 1).concretize(range(10)))
+
+        results = explore(body)
+        assert results[0].value == (True, True, True, True, 3, 1)
+
+    def test_symbolic_values_not_hashable(self):
+        f = VarFactory("ops4")
+        x = f.fresh_int("x")
+        with pytest.raises(TypeError):
+            hash(x)
+
+
+class TestCopyValue:
+    def test_copy_value_isolates_nested(self):
+        def body(ex):
+            f = VarFactory("cv")
+            inner = SymStruct(n=SInt(T.const(1)))
+            outer = [inner, (inner,)]
+            dup = copy_value(outer)
+            dup[0].n = SInt(T.const(9))
+            return values_equal(outer[0].n, dup[0].n)
+
+        results = explore(body)
+        assert [r.value for r in results] == [False]
+
+    def test_values_equal_mixed_lengths(self):
+        def body(ex):
+            return (values_equal((1, 2), (1, 2, 3)),
+                    values_equal((1, 2), (1, 2)),
+                    values_equal(None, None),
+                    values_equal(None, 1),
+                    values_equal("a", "a"),
+                    values_equal("a", "b"))
+
+        results = explore(body)
+        assert results[0].value == (False, True, True, False, True, False)
+
+
+class TestStructApi:
+    def test_field_names_and_repr(self):
+        s = SymStruct(a=1, b=2)
+        assert s.field_names() == ["a", "b"]
+        assert "a=1" in repr(s)
+
+    def test_missing_field_raises(self):
+        s = SymStruct(a=1)
+        with pytest.raises(AttributeError):
+            s.missing

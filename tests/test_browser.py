@@ -1,0 +1,77 @@
+"""The evaluation-data browser (python -m repro.browser)."""
+
+import json
+
+import pytest
+
+from repro import browser
+
+
+@pytest.fixture()
+def data_file(tmp_path):
+    raw = {
+        "kernels": ["mono", "scalefs"],
+        "ops": ["open", "link"],
+        "elapsed": 12.0,
+        "total": 30,
+        "conflict_free": {"mono": 20, "scalefs": 29},
+        "cells": [
+            {"op0": "open", "op1": "open", "total": 10,
+             "fails": {"mono": 6, "scalefs": 1}, "mismatches": {}},
+            {"op0": "open", "op1": "link", "total": 12,
+             "fails": {"mono": 3, "scalefs": 0}, "mismatches": {}},
+            {"op0": "link", "op1": "link", "total": 8,
+             "fails": {"mono": 1, "scalefs": 0}, "mismatches": {}},
+        ],
+        "residues": {"scalefs": {"page-slots": 1}},
+    }
+    path = tmp_path / "heatmap.json"
+    path.write_text(json.dumps(raw))
+    return str(path)
+
+
+def run(args, capsys):
+    assert browser.main(args) == 0
+    return capsys.readouterr().out
+
+
+def test_summary(data_file, capsys):
+    out = run(["--data", data_file, "summary"], capsys)
+    assert "30 commutative test cases" in out
+    assert "scalefs" in out and "96.7%" in out
+
+
+def test_cell(data_file, capsys):
+    out = run(["--data", data_file, "cell", "open", "link"], capsys)
+    assert "12 commutative tests" in out
+    assert "mono" in out
+
+
+def test_cell_symmetric_lookup(data_file, capsys):
+    out = run(["--data", data_file, "cell", "link", "open"], capsys)
+    assert "12 commutative tests" in out
+
+
+def test_cell_unknown_op(data_file, capsys):
+    with pytest.raises(SystemExit):
+        browser.main(["--data", data_file, "cell", "open", "bogus"])
+
+
+def test_row(data_file, capsys):
+    out = run(["--data", data_file, "row", "open"], capsys)
+    assert "link" in out
+
+
+def test_worst(data_file, capsys):
+    out = run(["--data", data_file, "worst", "mono", "--top", "2"], capsys)
+    assert "open/open: 6/10" in out
+
+
+def test_residues(data_file, capsys):
+    out = run(["--data", data_file, "residues", "scalefs"], capsys)
+    assert "page-slots" in out
+
+
+def test_residues_unknown_kernel(data_file):
+    with pytest.raises(SystemExit):
+        browser.main(["--data", data_file, "residues", "nope"])

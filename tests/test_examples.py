@@ -1,0 +1,37 @@
+"""The example scripts run end-to-end (the fast ones, in-process)."""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def load(name):
+    path = os.path.join(EXAMPLES, name)
+    spec = importlib.util.spec_from_file_location(name[:-3], path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart(capsys):
+    load("quickstart.py").main()
+    out = capsys.readouterr().out
+    assert "paths commute" in out
+    assert "conflict-free" in out
+
+
+def test_rename_analysis(capsys):
+    load("rename_analysis.py").main()
+    out = capsys.readouterr().out
+    assert "hard links" in out
+    assert "void setup_" in out
+
+
+def test_interface_redesign(capsys):
+    load("interface_redesign.py").main()
+    out = capsys.readouterr().out
+    assert "posix_spawn : conflict-free" in out

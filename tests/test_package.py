@@ -1,0 +1,25 @@
+"""Top-level package API and the errors module."""
+
+import repro
+from repro import errors
+
+
+def test_public_api_importable():
+    assert callable(repro.analyze_pair)
+    assert callable(repro.generate_for_pair)
+    assert callable(repro.run_testcase)
+    assert repro.__version__
+
+
+def test_errno_names():
+    assert errors.errno_name(errors.ENOENT) == "ENOENT"
+    assert errors.errno_name(errors.EMFILE) == "EMFILE"
+    assert errors.errno_name(9999) == "E#9999"
+
+
+def test_error_conventions():
+    assert errors.err(errors.ENOENT) == -2
+    assert errors.is_error(-errors.EBADF)
+    assert not errors.is_error(0)
+    assert not errors.is_error(3)
+    assert not errors.is_error("SIGSEGV")

@@ -1,0 +1,87 @@
+"""Unit tests for the model-to-concrete translation (casegen)."""
+
+from repro.analyzer import analyze_pair
+from repro.model.base import KIND_FILE, KIND_PIPE_R
+from repro.model.posix import PosixState, posix_state_equal, op_by_name
+from repro.symbolic.solver import Solver
+from repro.testgen.casegen import concrete_value, setup_from_model, _Names
+from repro.symbolic.solver import UVal
+from repro.model.base import DATABYTE, FILENAME
+
+
+def test_names_are_stable_and_canonical():
+    names = _Names()
+    f0 = names.token(UVal(FILENAME, 3))
+    f0_again = names.token(UVal(FILENAME, 3))
+    f1 = names.token(UVal(FILENAME, 7))
+    assert f0 == f0_again == "f0"
+    assert f1 == "f1"
+
+
+def test_zero_byte_token():
+    names = _Names()
+    assert names.token(UVal(DATABYTE, 0)) == "zero"
+    assert names.token(UVal(DATABYTE, 5)) == "b0"
+
+
+def test_concrete_value_tuples():
+    names = _Names()
+    model = Solver().model([])
+    assert concrete_value((1, "x", UVal(FILENAME, 0)), model, names) == (
+        1, "x", "f0"
+    )
+
+
+def test_setup_from_model_round_trip():
+    """Walk a real analyzer path: the setup must reflect its model."""
+    pair = analyze_pair(
+        PosixState, posix_state_equal,
+        op_by_name("link"), op_by_name("unlink"),
+    )
+    solver = Solver()
+    checked = 0
+    for path in pair.commutative_paths:
+        model = solver.model(list(path.path_condition))
+        names = _Names()
+        setup = setup_from_model(path.initial_state, model, names)
+        # Closed world: every dir entry has an inode.
+        for fname, inum in setup.dir.items():
+            assert inum in setup.inodes
+            assert setup.inodes[inum].nlink >= 1
+        checked += 1
+    assert checked > 0
+
+
+def test_setup_fd_kinds_match_model():
+    pair = analyze_pair(
+        PosixState, posix_state_equal,
+        op_by_name("read"), op_by_name("read"),
+    )
+    solver = Solver()
+    kinds_seen = set()
+    for path in pair.commutative_paths:
+        model = solver.model(list(path.path_condition))
+        setup = setup_from_model(path.initial_state, model, _Names())
+        for proc in setup.procs:
+            for fd, spec in proc.fds.items():
+                kinds_seen.add(spec.kind)
+                if spec.kind == KIND_FILE:
+                    assert spec.obj in setup.inodes
+                else:
+                    assert spec.obj in setup.pipes
+    assert KIND_FILE in kinds_seen
+    assert KIND_PIPE_R in kinds_seen
+
+
+def test_inode_pages_bounded_by_length():
+    pair = analyze_pair(
+        PosixState, posix_state_equal,
+        op_by_name("pread"), op_by_name("pread"),
+    )
+    solver = Solver()
+    for path in pair.commutative_paths:
+        model = solver.model(list(path.path_condition))
+        setup = setup_from_model(path.initial_state, model, _Names())
+        for spec in setup.inodes.values():
+            for page in spec.pages:
+                assert 0 <= page < max(spec.length, 1)

@@ -1,0 +1,50 @@
+"""Figure-5-style C rendering."""
+
+from repro.testgen.casegen import (
+    ConcreteSetup, FdSpec, InodeSpec, OpCall, PipeSpec, ProcSpec, VmaSpec,
+)
+from repro.testgen.render import render_c_testcase
+
+
+def test_render_file_setup():
+    setup = ConcreteSetup()
+    setup.dir = {"f0": 0, "f1": 0}
+    setup.inodes = {0: InodeSpec(nlink=2, length=1, pages={0: "b0"})}
+    ops = (
+        OpCall("rename", {"src": "f0", "dst": "f0"}),
+        OpCall("rename", {"src": "f1", "dst": "f0"}),
+    )
+    text = render_c_testcase("demo", setup, ops)
+    assert 'open("f0", O_CREAT|O_RDWR, 0666)' in text
+    assert 'link("f0", "f1");' in text
+    assert 'rename("f0", "f0")' in text
+    assert "test_demo_op0" in text
+    assert "test_demo_op1" in text
+
+
+def test_render_orphan_inode():
+    setup = ConcreteSetup()
+    setup.inodes = {3: InodeSpec(nlink=0, length=0)}
+    setup.procs[0].fds[1] = FdSpec(kind=0, obj=3, offset=0)
+    text = render_c_testcase("orphan", setup, (OpCall("fstat", {"fd": 1}),))
+    assert "__orphan3" in text
+    assert "unlink" in text
+
+
+def test_render_pipe_and_vma():
+    setup = ConcreteSetup()
+    setup.pipes = {0: PipeSpec(nbytes=1, data={0: "b0"})}
+    setup.procs[0].fds[0] = FdSpec(kind=1, obj=0)
+    setup.procs[1].vmas[2] = VmaSpec(anon=True, writable=True)
+    text = render_c_testcase(
+        "pipevma", setup, (OpCall("read", {"pid": 0, "fd": 0}),)
+    )
+    assert "pipe 0" in text
+    assert "MAP_ANON" in text
+
+
+def test_render_empty_setup():
+    text = render_c_testcase(
+        "empty", ConcreteSetup(), (OpCall("pipe", {"pid": 0}),)
+    )
+    assert "empty initial state" in text
