@@ -1,10 +1,11 @@
 """Figure 6: conflict-freedom matrix for commutative syscall pairs.
 
-The full 18×18 matrix takes ~4 minutes (the paper reports 8 for its
-pipeline); the benchmark times a representative 6-operation slice and
+The full 18×18 matrix takes ~4 minutes serially (the paper reports 8 for
+its pipeline); the benchmark times a representative 6-operation slice and
 prints its matrix plus, when present, the stored full-matrix results from
 ``results/fig6_heatmap.json`` (regenerate those with
-``python examples/posix_commuter.py --full``).
+``python -m repro heatmap --workers 0``, which shards the sweep across
+all cores and caches per-pair results for incremental re-runs).
 """
 
 import json

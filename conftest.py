@@ -1,0 +1,17 @@
+"""Repo-root pytest configuration.
+
+Makes ``python -m pytest`` work from a bare checkout: the package uses a
+``src/`` layout, so when ``repro`` is not pip-installed (editable or
+otherwise) the source tree is put on ``sys.path`` directly.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+
+try:
+    import repro  # noqa: F401
+except ImportError:
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)

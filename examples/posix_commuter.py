@@ -3,12 +3,18 @@
 
 By default this runs a representative subset of the 18-call model so it
 finishes in under a minute; pass ``--full`` for the complete matrix
-(≈4–5 minutes, the paper reports 8 minutes for its version).
+(≈4–5 minutes serially, the paper reports 8 minutes for its version).
+``--workers N`` shards pairs across a process pool (0 = all cores) and
+``--cache PATH`` makes re-runs incremental — the same knobs as the
+unified CLI, which also writes the JSON artifact the data browser reads:
 
-Run:  python examples/posix_commuter.py [--full]
+    python -m repro heatmap --workers 0 --cache results/pipeline-cache.json
+    python -m repro browse summary
+
+Run:  python examples/posix_commuter.py [--full] [--workers N] [--cache PATH]
 """
 
-import sys
+import argparse
 
 from repro.bench.heatmap import run_heatmap
 from repro.bench.report import render_heatmap, render_residues
@@ -18,14 +24,28 @@ SUBSET = ["open", "link", "unlink", "rename", "stat", "fstat", "read",
           "write", "close"]
 
 
-def main():
-    full = "--full" in sys.argv
-    ops = POSIX_OPS if full else [op_by_name(n) for n in SUBSET]
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="the complete 18x18 matrix")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool width (0 = all cores)")
+    parser.add_argument("--cache", default=None, metavar="PATH",
+                        help="persistent result cache")
+    args = parser.parse_args(argv)
+
+    ops = POSIX_OPS if args.full else [op_by_name(n) for n in SUBSET]
     print(f"Analyzing {len(ops)} operations "
           f"({len(ops) * (len(ops) + 1) // 2} pairs)...\n")
-    result = run_heatmap(ops=ops, on_progress=lambda s: print("  " + s))
+    result = run_heatmap(
+        ops=ops, on_progress=lambda s: print("  " + s),
+        workers=args.workers, cache=args.cache,
+    )
     print()
     print(result.summary())
+    if result.cached_pairs:
+        print(f"({result.cached_pairs} pairs served from the cache, "
+              f"{result.computed_pairs} computed)")
     print()
     for kernel in result.kernels:
         print(render_heatmap(result, kernel))

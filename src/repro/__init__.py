@@ -11,14 +11,16 @@ The public API mirrors the paper's pipeline (Figure 3):
 
 The §3 formalism lives in :mod:`repro.formal`; the evaluation harness
 (Figure 6 and Figure 7) in :mod:`repro.bench`; the two kernels under test
-in :mod:`repro.kernels`.
+in :mod:`repro.kernels`.  The sweep over the whole pair matrix — job
+sharding across processes, the persistent result cache, and the
+``python -m repro`` command line — lives in :mod:`repro.pipeline`.
 """
 
 from repro.analyzer import analyze_interface, analyze_pair
 from repro.mtrace import Memory, find_conflicts, run_testcase
 from repro.testgen import generate_for_pair, generate_suite
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analyze_interface",

@@ -1,0 +1,12 @@
+"""``python -m repro`` — the unified pipeline command line.
+
+See :mod:`repro.pipeline` for subcommands, options, and artifact
+schemas.
+"""
+
+import sys
+
+from repro.pipeline.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

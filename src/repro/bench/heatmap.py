@@ -6,6 +6,11 @@ paper's matrix: per pair, how many generated commutative tests are *not*
 conflict-free on each kernel, plus aggregate totals (paper: Linux scales
 for 9,389 of 13,664; sv6 for 13,528).
 
+Execution is delegated to :mod:`repro.pipeline`: each pair is an
+independent end-to-end job, so the sweep shards across a process pool
+(``workers``), skips pairs whose fingerprint matches a persistent JSON
+``cache``, and still returns cells in deterministic matrix order.
+
 The residue classifier buckets the scalable kernel's remaining conflicts
 into §6.4's categories (idempotent updates, pipe fd reference counts,
 same-fd file offsets, length updates).
@@ -13,29 +18,20 @@ same-fd file offsets, length updates).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
-from repro.analyzer import analyze_interface
-from repro.model.posix import POSIX_OPS, PosixState, posix_state_equal
-from repro.mtrace.runner import (
-    MtraceResult,
-    mono_factory,
-    run_testcase,
-    scalefs_factory,
+from repro.pipeline.jobs import (
+    RESIDUE_RULES as _RESIDUE_RULES,  # re-exported for compatibility
+    PairCellData,
+    classify_residue as _classify_residue,
 )
-from repro.testgen import generate_for_pair
-from repro.testgen.testgen import TestCase
+from repro.pipeline.sweep import run_sweep
 
-
-@dataclass
-class PairCells:
-    op0: str
-    op1: str
-    total: int = 0
-    not_conflict_free: dict[str, int] = field(default_factory=dict)
-    mismatches: dict[str, int] = field(default_factory=dict)
+#: One matrix cell.  The pipeline's plain-data record already carries
+#: exactly the fields the heatmap needs (plus path accounting), so the
+#: historical name is an alias rather than a parallel dataclass.
+PairCells = PairCellData
 
 
 @dataclass
@@ -45,6 +41,9 @@ class HeatmapResult:
     residues: dict[str, dict[str, int]]
     elapsed_seconds: float
     op_names: list[str] = field(default_factory=list)
+    workers: int = 1
+    cached_pairs: int = 0
+    computed_pairs: int = 0
 
     @property
     def total_tests(self) -> int:
@@ -70,78 +69,40 @@ def run_heatmap(
     kernels: Optional[dict[str, Callable]] = None,
     tests_per_path: int = 1,
     on_progress: Optional[Callable[[str], None]] = None,
+    workers: Optional[int] = None,
+    cache=None,
+    driver=None,
+    pair_filter=None,
 ) -> HeatmapResult:
-    """The full Figure 6 pipeline (8 minutes in the paper; similar here)."""
-    if ops is None:
-        ops = POSIX_OPS
-    if kernels is None:
-        kernels = {"mono": mono_factory, "scalefs": scalefs_factory}
-    start = time.time()
-    cells: list[PairCells] = []
-    residues: dict[str, dict[str, int]] = {
-        name: {} for name in kernels
-    }
-
-    def handle_pair(pair):
-        cases = generate_for_pair(pair, tests_per_path=tests_per_path)
-        cell = PairCells(pair.op0.name, pair.op1.name, total=len(cases))
-        for kernel_name, factory in kernels.items():
-            bad = 0
-            mismatched = 0
-            for case in cases:
-                result = run_testcase(factory, case)
-                if not result.conflict_free:
-                    bad += 1
-                    _classify_residue(
-                        residues[kernel_name], result
-                    )
-                if result.mismatch is not None:
-                    mismatched += 1
-            cell.not_conflict_free[kernel_name] = bad
-            cell.mismatches[kernel_name] = mismatched
-        cells.append(cell)
-        if on_progress is not None:
-            on_progress(
-                f"{cell.op0}/{cell.op1}: {cell.total} tests, "
-                + ", ".join(
-                    f"{k} fails {cell.not_conflict_free[k]}"
-                    for k in kernels
-                )
-            )
-
-    analyze_interface(
-        PosixState, posix_state_equal, list(ops), on_pair=handle_pair
+    """The full Figure 6 pipeline (8 minutes in the paper; similar here
+    serially — ``workers`` shards pairs across processes, ``cache``
+    makes re-runs incremental)."""
+    sweep = run_sweep(
+        ops=ops,
+        kernels=None if kernels is None else tuple(kernels.items()),
+        tests_per_path=tests_per_path,
+        workers=workers,
+        driver=driver,
+        cache=cache,
+        pair_filter=pair_filter,
+        on_progress=on_progress,
     )
     return HeatmapResult(
-        kernels=tuple(kernels),
-        cells=cells,
-        residues=residues,
-        elapsed_seconds=time.time() - start,
-        op_names=[op.name for op in ops],
+        kernels=sweep.kernels,
+        cells=sweep.cells,
+        residues=sweep.residues,
+        elapsed_seconds=sweep.elapsed_seconds,
+        op_names=sweep.op_names,
+        workers=sweep.workers,
+        cached_pairs=sweep.cached_pairs,
+        computed_pairs=sweep.computed_pairs,
     )
 
 
-_RESIDUE_RULES = (
-    ("pipe-refcounts", ("p_readers", "p_writers", "readers", "writers")),
-    ("file-offset", ("f_pos",)),
-    ("file-length", ("len", "i_size")),
-    ("page-slots", ("present", "value", "pte", "data")),
-    ("fd-table", ("fd", "chain")),
-    ("locks", ("lock", "mmap_sem", "i_mutex")),
-    ("refcounts", ("d_count", "f_count", "ref", "nlink")),
-)
-
-
-def _classify_residue(bucket: dict[str, int], result: MtraceResult) -> None:
-    """Bucket a conflicting test by what it conflicted on (§6.4 taxonomy)."""
-    labels = set()
-    for conflict in result.conflicts:
-        cell_names = " ".join(sorted(conflict.cells))
-        for label, needles in _RESIDUE_RULES:
-            if any(needle in cell_names for needle in needles):
-                labels.add(label)
-                break
-        else:
-            labels.add("other")
-    for label in labels:
-        bucket[label] = bucket.get(label, 0) + 1
+__all__ = [
+    "HeatmapResult",
+    "PairCells",
+    "run_heatmap",
+    "_RESIDUE_RULES",
+    "_classify_residue",
+]

@@ -72,3 +72,64 @@ def render_series(title: str, series_list: Iterable[BenchSeries],
             f"{s.scaling_factor():.1f}x from {cores[0]} to {cores[-1]} cores"
         )
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Machine-readable artifacts (the schema repro.browser reads)
+
+
+def heatmap_to_dict(result: HeatmapResult) -> dict:
+    """The Figure 6 artifact: totals, per-pair cells, residues."""
+    return {
+        "schema": "repro.heatmap/1",
+        "kernels": list(result.kernels),
+        "ops": list(result.op_names),
+        "elapsed": result.elapsed_seconds,
+        "workers": result.workers,
+        "cached_pairs": result.cached_pairs,
+        "computed_pairs": result.computed_pairs,
+        "total": result.total_tests,
+        "conflict_free": {
+            kernel: result.conflict_free_total(kernel)
+            for kernel in result.kernels
+        },
+        "cells": [
+            {
+                "op0": cell.op0,
+                "op1": cell.op1,
+                "total": cell.total,
+                "fails": dict(cell.not_conflict_free),
+                "mismatches": dict(cell.mismatches),
+            }
+            for cell in result.cells
+        ],
+        "residues": {k: dict(v) for k, v in result.residues.items()},
+    }
+
+
+def series_to_dict(series: BenchSeries) -> dict:
+    """One Figure 7 curve."""
+    return {
+        "label": series.label,
+        "cores": list(series.cores),
+        "per_core": list(series.per_core),
+        "scaling_factor": series.scaling_factor(),
+    }
+
+
+def bench_to_dict(name: str, series_list: Iterable[BenchSeries],
+                  unit: str = "ops/Mcycle/core") -> dict:
+    """A Figure 7 benchmark artifact: every mode's curve plus the unit."""
+    return {
+        "schema": "repro.bench/1",
+        "benchmark": name,
+        "unit": unit,
+        "series": [series_to_dict(s) for s in series_list],
+    }
+
+
+def write_artifact(path: str, payload: dict) -> str:
+    """Write a JSON artifact, creating the results/ directory as needed."""
+    from repro.pipeline.cache import atomic_write_json
+
+    return atomic_write_json(path, payload)

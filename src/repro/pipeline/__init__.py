@@ -1,0 +1,123 @@
+"""Parallel COMMUTER pipeline: sharded pair jobs, drivers, result cache.
+
+The paper ran its ANALYZER → TESTGEN → MTRACE sweep over all 18×18 POSIX
+operation pairs on a 48-core machine; this package is that sweep's
+execution layer.  Pair jobs are independent — they commute — so the
+scalable commutativity rule applies to our own tooling: any execution
+order (and any sharding across workers) must produce identical results,
+and the test suite holds the serial and parallel drivers to bitwise
+parity.
+
+Layers
+======
+
+:mod:`repro.pipeline.jobs`
+    :class:`PairJob` — one op pair end-to-end — and its plain-data
+    results (:class:`PairCellData`, :class:`PairSummary`), which cross
+    process boundaries and the JSON cache without symbolic state.
+:mod:`repro.pipeline.drivers`
+    :class:`SerialDriver` and :class:`ParallelDriver` (a
+    ``ProcessPoolExecutor`` shard), both mapping jobs to results in
+    input order.
+:mod:`repro.pipeline.cache`
+    :class:`ResultCache`, a persistent JSON cache keyed by pair name and
+    guarded by a SHA-256 fingerprint of the op definitions, model
+    equivalence functions, kernels, and pipeline infrastructure — so
+    re-runs only recompute pairs whose inputs changed.
+:mod:`repro.pipeline.sweep`
+    :func:`run_sweep` / :func:`run_analysis`, the orchestration that
+    the public entry points (:func:`repro.bench.heatmap.run_heatmap`,
+    :func:`repro.analyzer.analyze_interface`, and the CLI) build on.
+:mod:`repro.pipeline.cli`
+    The unified ``python -m repro`` command line.
+
+Command line
+============
+
+``python -m repro <command> [options]``:
+
+``analyze``
+    ANALYZER over the pair matrix; writes per-pair path counts and
+    commutativity conditions to ``results/analyze.json``.
+``heatmap``
+    The full Figure 6 pipeline; writes ``results/fig6_heatmap.json``
+    in the schema :mod:`repro.browser` reads.
+``testgen``
+    TESTGEN case counts (optionally rendered Figure-5-style C) to
+    ``results/testgen.json``.
+``bench``
+    The Figure 7 microbenchmarks (statbench / openbench / mailserver)
+    to ``results/bench_<suite>.json``.
+``browse``
+    The terminal browser over a saved heatmap artifact.
+
+Shared options: ``--workers N`` (process-pool width; ``0`` = all cores),
+``--cache PATH`` (persistent result cache), ``--pairs a,b`` (repeatable
+pair filter), ``--ops a,b,c`` (matrix restriction), ``--out PATH``
+(artifact location, default under ``results/``).
+
+Cache layout
+============
+
+The cache is one JSON file (default ``results/pipeline-cache.json``)::
+
+    {"version": 1,
+     "entries": {"open|rename": {"fingerprint": "<sha256>",
+                                 "cell": {...PairCellData...}}}}
+
+Editing one op's model body changes that op's fingerprint and
+invalidates exactly the row/column of pairs that use it; editing the
+analyzer, solver, testgen, mtrace, or kernel sources invalidates
+everything.  Delete the file (or pass a fresh ``--cache``) to force a
+full recompute.
+"""
+
+from repro.pipeline.cache import ResultCache, job_fingerprint, op_fingerprint
+from repro.pipeline.drivers import (
+    Driver,
+    ParallelDriver,
+    SerialDriver,
+    default_workers,
+    driver_for,
+)
+from repro.pipeline.jobs import (
+    PairCellData,
+    PairJob,
+    PairSummary,
+    classify_residue,
+    merge_residues,
+    run_analyze_job,
+    run_pair_job,
+)
+from repro.pipeline.sweep import (
+    AnalysisSweep,
+    SweepResult,
+    iter_pairs,
+    make_pair_filter,
+    run_analysis,
+    run_sweep,
+)
+
+__all__ = [
+    "AnalysisSweep",
+    "Driver",
+    "PairCellData",
+    "PairJob",
+    "PairSummary",
+    "ParallelDriver",
+    "ResultCache",
+    "SerialDriver",
+    "SweepResult",
+    "classify_residue",
+    "default_workers",
+    "driver_for",
+    "iter_pairs",
+    "job_fingerprint",
+    "make_pair_filter",
+    "merge_residues",
+    "op_fingerprint",
+    "run_analysis",
+    "run_analyze_job",
+    "run_pair_job",
+    "run_sweep",
+]

@@ -1,0 +1,248 @@
+"""Persistent, content-addressed result cache for the pair sweep.
+
+Incremental analysis: every cache entry is keyed by the pair's names and
+guarded by a *fingerprint* — a SHA-256 over the things that determine the
+pair's result:
+
+* each operation's definition (name, parameter kinds, and the source of
+  its symbolic body, so editing one op's model invalidates exactly the
+  pairs that use it);
+* the state constructor and equivalence function sources;
+* the kernels under test (factory identity and the source of the kernel,
+  mtrace, testgen, and analyzer infrastructure — an infrastructure change
+  invalidates everything, as it must);
+* the TESTGEN ``tests_per_path`` knob.
+
+File layout (JSON, human-inspectable)::
+
+    {
+      "version": 1,
+      "entries": {
+        "open|rename": {"fingerprint": "ab12...", "cell": {...PairCellData}}
+      }
+    }
+
+A fingerprint mismatch is treated as a miss and overwritten on ``put``;
+a corrupt or missing file starts an empty cache.  ``save()`` writes
+atomically (tmp file + rename) so an interrupted sweep never destroys
+the previous cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import os
+import sys
+import tempfile
+from functools import lru_cache
+from typing import Optional
+
+from repro.model.base import OpDef
+from repro.pipeline.jobs import PairJob
+
+CACHE_VERSION = 1
+
+
+def atomic_write_json(path: str, payload: dict) -> str:
+    """Write JSON via tmp file + rename, creating parent directories.
+
+    Used for the cache and every ``results/`` artifact: an interrupted
+    write never destroys the previous file, and a per-writer tmp name
+    (``mkstemp``) keeps concurrent writers to one path from trampling
+    each other's half-written files.
+    """
+    path = str(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as f:
+            json.dump(payload, f, indent=1)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):  # json.dump raised; don't litter
+            os.unlink(tmp)
+        raise
+    return path
+
+#: Modules whose source feeds the infrastructure part of the fingerprint.
+#: Anything that changes what a pair job computes belongs here.
+_CONTEXT_MODULES = (
+    "repro.analyzer.analyzer",
+    "repro.symbolic.engine",
+    "repro.symbolic.solver",
+    "repro.symbolic.symtypes",
+    "repro.symbolic.terms",
+    "repro.symbolic.enumerate",
+    "repro.testgen.testgen",
+    "repro.testgen.casegen",
+    "repro.mtrace.memory",
+    "repro.mtrace.machine",
+    "repro.mtrace.runner",
+    "repro.kernels.base",
+    "repro.kernels.mono",
+    "repro.kernels.scalefs",
+    "repro.model.base",
+    "repro.pipeline.jobs",
+)
+
+#: Model modules are hashed with their registered op bodies *removed*:
+#: op bodies are fingerprinted per-op (so editing one op invalidates only
+#: its pairs) while the shared helpers around them (``fd_lookup``,
+#: ``get_inode``, state classes, ...) invalidate everything.
+_MODEL_MODULES = (
+    "repro.model.fs",
+    "repro.model.vm",
+    "repro.model.posix",
+    "repro.model.sockets",
+)
+
+
+def _source_of(obj) -> str:
+    """Best-effort source text of a function/class; falls back to bytecode
+    so dynamically built ops still get a content hash."""
+    try:
+        return inspect.getsource(obj)
+    except (OSError, TypeError):
+        code = getattr(obj, "__code__", None)
+        if code is not None:
+            return code.co_code.hex() + repr(code.co_consts)
+        return repr(obj)
+
+
+def op_fingerprint(op: OpDef) -> str:
+    """Content hash of one operation definition."""
+    h = hashlib.sha256()
+    h.update(op.name.encode())
+    for param in op.params:
+        h.update(f"|{param.name}:{param.kind}".encode())
+    h.update(b"|")
+    h.update(_source_of(op.fn).encode())
+    return h.hexdigest()
+
+
+def _import(name: str):
+    module = sys.modules.get(name)
+    if module is not None:
+        return module
+    try:
+        return __import__(name, fromlist=["_"])
+    except ImportError:  # pragma: no cover - partial installs
+        return None
+
+
+def _module_source_without_ops(module) -> str:
+    """Module source with every registered op body stripped.
+
+    Op bodies are hashed per-op by :func:`op_fingerprint`; removing them
+    here keeps the model-module hash sensitive to shared helpers and
+    state classes but *not* to individual op edits, which is what makes
+    the cache incremental at pair granularity.
+    """
+    source = _source_of(module)
+    for value in vars(module).values():
+        if not isinstance(value, list):
+            continue
+        for op in value:
+            if not isinstance(op, OpDef):
+                continue
+            if getattr(op.fn, "__module__", None) != module.__name__:
+                continue
+            source = source.replace(_source_of(op.fn), "")
+    return source
+
+
+@lru_cache(maxsize=None)
+def _context_hash() -> str:
+    h = hashlib.sha256()
+    for name in _CONTEXT_MODULES:
+        module = _import(name)
+        if module is None:
+            h.update(f"missing:{name}".encode())
+            continue
+        h.update(name.encode())
+        h.update(_source_of(module).encode())
+    for name in _MODEL_MODULES:
+        module = _import(name)
+        if module is None:
+            h.update(f"missing:{name}".encode())
+            continue
+        h.update(name.encode())
+        h.update(_module_source_without_ops(module).encode())
+    return h.hexdigest()
+
+
+def job_fingerprint(job: PairJob) -> str:
+    """Fingerprint guarding one pair's cached result.
+
+    Op fingerprints enter in canonical order, matching
+    :attr:`PairJob.key`: a pair requested as (a, b) hits the entry a
+    previous (b, a) run stored.
+    """
+    h = hashlib.sha256()
+    for fp in sorted((op_fingerprint(job.op0), op_fingerprint(job.op1))):
+        h.update(fp.encode())
+    h.update(_source_of(job.build_state).encode())
+    h.update(_source_of(job.state_equal).encode())
+    h.update(str(job.tests_per_path).encode())
+    for name, factory in job.kernels:
+        h.update(name.encode())
+        h.update(
+            f"{getattr(factory, '__module__', '')}."
+            f"{getattr(factory, '__qualname__', repr(factory))}".encode()
+        )
+        h.update(_source_of(factory).encode())
+    h.update(_context_hash().encode())
+    return h.hexdigest()
+
+
+class ResultCache:
+    """JSON-backed pair-result cache with hit/miss accounting."""
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        self._entries: dict[str, dict] = {}
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            with open(self.path) as f:
+                raw = json.load(f)
+        except (OSError, ValueError):
+            return
+        if not isinstance(raw, dict) or raw.get("version") != CACHE_VERSION:
+            return
+        entries = raw.get("entries")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str, fingerprint: str) -> Optional[dict]:
+        """The cached cell dict, or None on a miss or stale fingerprint."""
+        entry = self._entries.get(key)
+        if entry is not None and entry.get("fingerprint") == fingerprint:
+            self.hits += 1
+            return entry.get("cell")
+        self.misses += 1
+        return None
+
+    def put(self, key: str, fingerprint: str, cell: dict) -> None:
+        self._entries[key] = {"fingerprint": fingerprint, "cell": cell}
+        self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        atomic_write_json(
+            self.path, {"version": CACHE_VERSION, "entries": self._entries}
+        )
+        self._dirty = False

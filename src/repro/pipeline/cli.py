@@ -1,0 +1,348 @@
+"""The unified ``python -m repro`` command line.
+
+Subcommands mirror the toolchain's stages (see the package docstring for
+the artifact schemas): ``analyze``, ``heatmap``, ``testgen``, ``bench``,
+and ``browse``.  Every stage writes a machine-readable JSON artifact
+under ``results/`` and prints a human summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+DEFAULT_HEATMAP_OUT = "results/fig6_heatmap.json"
+DEFAULT_PARTIAL_OUT = "results/heatmap_partial.json"
+DEFAULT_ANALYZE_OUT = "results/analyze.json"
+DEFAULT_TESTGEN_OUT = "results/testgen.json"
+DEFAULT_CACHE = "results/pipeline-cache.json"
+
+
+def _parse_names(raw: Optional[str]) -> Optional[list[str]]:
+    if raw is None:
+        return None
+    names = [part.strip() for part in raw.split(",") if part.strip()]
+    return names or None
+
+
+def _parse_pairs(raw: Optional[Sequence[str]]) -> Optional[list[tuple[str, str]]]:
+    if not raw:
+        return None
+    pairs = []
+    for item in raw:
+        parts = [p.strip() for p in item.split(",") if p.strip()]
+        if len(parts) != 2:
+            raise SystemExit(
+                f"--pairs expects 'op0,op1' (e.g. open,rename), got {item!r}"
+            )
+        pairs.append((parts[0], parts[1]))
+    return pairs
+
+
+def _resolve_matrix(args):
+    """Ops list and pair filter from --ops/--pairs (validated names)."""
+    from repro.model.posix import POSIX_OPS, op_by_name
+    from repro.pipeline.sweep import make_pair_filter
+
+    pairs = _parse_pairs(getattr(args, "pairs", None))
+    op_names = _parse_names(getattr(args, "ops", None))
+    if op_names is None and pairs is not None:
+        seen: list[str] = []
+        for a, b in pairs:
+            for name in (a, b):
+                if name not in seen:
+                    seen.append(name)
+        op_names = seen
+    if op_names is None:
+        ops = list(POSIX_OPS)
+    else:
+        try:
+            ops = [op_by_name(name) for name in op_names]
+        except KeyError as exc:
+            raise SystemExit(
+                f"unknown operation {exc.args[0].split()[-1]}: "
+                "run 'python -m repro analyze --help' and see "
+                "repro.model.posix for valid names"
+            ) from exc
+    pair_filter = make_pair_filter(pairs) if pairs is not None else None
+    return ops, pair_filter
+
+
+def _worker_count(raw: str) -> int:
+    value = int(raw)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (0 = all cores), got {value}"
+        )
+    return value
+
+
+def _progress(args):
+    if getattr(args, "quiet", False):
+        return None
+    return lambda line: print("  " + line, flush=True)
+
+
+def _add_matrix_options(parser, cache: bool = False):
+    parser.add_argument(
+        "--ops", metavar="a,b,c",
+        help="restrict the matrix to these operations",
+    )
+    parser.add_argument(
+        "--pairs", metavar="a,b", action="append",
+        help="restrict to one pair (repeatable; order-insensitive)",
+    )
+    parser.add_argument(
+        "--workers", type=_worker_count, default=1, metavar="N",
+        help="process-pool width; 1 = serial, 0 = all cores (default 1)",
+    )
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-pair progress lines")
+    if cache:
+        parser.add_argument(
+            "--cache", default=DEFAULT_CACHE, metavar="PATH",
+            help=f"persistent result cache (default {DEFAULT_CACHE})",
+        )
+        parser.add_argument("--no-cache", action="store_true",
+                            help="recompute every pair")
+
+
+def cmd_analyze(args) -> int:
+    from repro.bench.report import write_artifact
+    from repro.pipeline.sweep import run_analysis
+
+    ops, pair_filter = _resolve_matrix(args)
+    result = run_analysis(
+        ops=ops,
+        workers=args.workers,
+        pair_filter=pair_filter,
+        on_progress=_progress(args),
+        condition_chars=args.condition_chars,
+    )
+    payload = {
+        "schema": "repro.analyze/1",
+        "ops": result.op_names,
+        "elapsed": result.elapsed_seconds,
+        "workers": result.workers,
+        "pairs": [s.to_dict() for s in result.summaries],
+    }
+    path = write_artifact(args.out, payload)
+    print(
+        f"{len(result.summaries)} pairs analyzed "
+        f"({result.commutative_pairs} with commutative paths) "
+        f"in {result.elapsed_seconds:.1f}s -> {path}"
+    )
+    return 0
+
+
+def cmd_heatmap(args) -> int:
+    from repro.bench.heatmap import run_heatmap
+    from repro.bench.report import heatmap_to_dict, render_heatmap, \
+        render_residues, write_artifact
+
+    ops, pair_filter = _resolve_matrix(args)
+    if args.out is None:
+        # A filtered run must not clobber the full-matrix artifact that
+        # the browser and Figure 6 benchmark read by default.
+        filtered = args.ops is not None or args.pairs
+        args.out = DEFAULT_PARTIAL_OUT if filtered else DEFAULT_HEATMAP_OUT
+    cache = None if args.no_cache else args.cache
+    result = run_heatmap(
+        ops=ops,
+        tests_per_path=args.tests_per_path,
+        on_progress=_progress(args),
+        workers=args.workers,
+        cache=cache,
+        pair_filter=pair_filter,
+    )
+    path = write_artifact(args.out, heatmap_to_dict(result))
+    if args.render:
+        for kernel in result.kernels:
+            print(render_heatmap(result, kernel))
+            print(render_residues(result, kernel))
+            print()
+    print(result.summary())
+    print(
+        f"{result.computed_pairs} pairs computed, "
+        f"{result.cached_pairs} cached, workers={result.workers}, "
+        f"{result.elapsed_seconds:.1f}s -> {path}"
+    )
+    return 0
+
+
+def cmd_testgen(args) -> int:
+    from functools import partial
+
+    from repro.bench.report import write_artifact
+    from repro.pipeline.drivers import driver_for
+    from repro.pipeline.jobs import PairJob, run_testgen_job
+    from repro.pipeline.sweep import iter_pairs
+
+    ops, pair_filter = _resolve_matrix(args)
+    jobs = [
+        PairJob(a, b, tests_per_path=args.tests_per_path)
+        for a, b in iter_pairs(ops, pair_filter)
+    ]
+    progress = _progress(args)
+
+    def report(job, result):
+        if progress is not None:
+            progress(f"{result['op0']}/{result['op1']}: "
+                     f"{result['cases']} cases")
+
+    driver = driver_for(args.workers)
+    results = driver.map(
+        partial(run_testgen_job, render=args.render), jobs, on_result=report
+    )
+    if args.render:
+        for result in results:
+            for text in result.get("rendered", []):
+                print(text)
+                print()
+    payload = {
+        "schema": "repro.testgen/1",
+        "ops": [op.name for op in ops],
+        "total": sum(r["cases"] for r in results),
+        "pairs": [
+            {k: v for k, v in r.items() if k != "rendered"} for r in results
+        ],
+    }
+    path = write_artifact(args.out, payload)
+    print(f"{payload['total']} test cases across {len(results)} pairs "
+          f"-> {path}")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.bench.mailserver import run_mailserver
+    from repro.bench.openbench import (
+        run_openbench,
+        run_openbench_linux_baseline,
+    )
+    from repro.bench.report import bench_to_dict, render_series, \
+        write_artifact
+    from repro.bench.statbench import (
+        run_statbench,
+        run_statbench_linux_baseline,
+    )
+
+    cores = tuple(int(n) for n in _parse_names(args.cores) or ())
+    if not cores:
+        cores = (1, 4, 16)
+    suites = (
+        ("statbench", "openbench", "mailserver")
+        if args.suite == "all" else (args.suite,)
+    )
+    for suite in suites:
+        if suite == "statbench":
+            series = [
+                run_statbench(mode, cores=cores, duration=args.duration)
+                for mode in ("fstatx", "fstat-shared", "fstat-refcache")
+            ]
+            payload = bench_to_dict(suite, series)
+            payload["linux_baseline_1core"] = run_statbench_linux_baseline(
+                duration=args.duration
+            )
+        elif suite == "openbench":
+            series = [
+                run_openbench(mode, cores=cores, duration=args.duration)
+                for mode in ("anyfd", "lowest")
+            ]
+            payload = bench_to_dict(suite, series)
+            payload["linux_baseline_1core"] = run_openbench_linux_baseline(
+                duration=args.duration
+            )
+        else:
+            series = [
+                run_mailserver(mode, cores=cores, duration=args.duration)
+                for mode in ("commutative", "regular")
+            ]
+            payload = bench_to_dict(suite, series,
+                                    unit="emails/Mcycle/core")
+        out = args.out or f"results/bench_{suite}.json"
+        path = write_artifact(out, payload)
+        print(render_series(f"{suite} (cores={list(cores)})", series,
+                            unit=payload["unit"]))
+        print(f"-> {path}\n")
+    return 0
+
+
+def cmd_browse(argv: Sequence[str]) -> int:
+    from repro import browser
+
+    return browser.main(list(argv))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="COMMUTER reproduction pipeline "
+                    "(ANALYZER / TESTGEN / MTRACE / benchmarks)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="commutativity conditions per pair")
+    _add_matrix_options(p)
+    p.add_argument("--out", default=DEFAULT_ANALYZE_OUT, metavar="PATH")
+    p.add_argument("--condition-chars", type=int, default=4000,
+                   help="truncate rendered conditions (<=0: unlimited)")
+    p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser("heatmap",
+                       help="full Figure 6 pipeline (analyze+testgen+mtrace)")
+    _add_matrix_options(p, cache=True)
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help=f"artifact path (default {DEFAULT_HEATMAP_OUT}; "
+                        f"{DEFAULT_PARTIAL_OUT} for --ops/--pairs runs)")
+    p.add_argument("--tests-per-path", type=int, default=1)
+    p.add_argument("--render", action="store_true",
+                   help="print the ASCII matrix and residue tables")
+    p.set_defaults(fn=cmd_heatmap)
+
+    p = sub.add_parser("testgen", help="concrete test cases per pair")
+    _add_matrix_options(p)
+    p.add_argument("--out", default=DEFAULT_TESTGEN_OUT, metavar="PATH")
+    p.add_argument("--tests-per-path", type=int, default=1)
+    p.add_argument("--render", action="store_true",
+                   help="print Figure-5-style C for every case")
+    p.set_defaults(fn=cmd_testgen)
+
+    p = sub.add_parser("bench", help="Figure 7 microbenchmarks")
+    p.add_argument("--suite", default="all",
+                   choices=("statbench", "openbench", "mailserver", "all"))
+    p.add_argument("--cores", default="1,4,16", metavar="a,b,c")
+    p.add_argument("--duration", type=float, default=30_000.0)
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="artifact path (default results/bench_<suite>.json)")
+    p.set_defaults(fn=cmd_bench)
+
+    sub.add_parser(
+        "browse", add_help=False,
+        help="terminal browser over a heatmap JSON (args pass through "
+             "to repro.browser)",
+    )
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    # argparse.REMAINDER cannot forward a leading option flag, so the
+    # browser passthrough dispatches before parsing.
+    if argv and argv[0] == "browse":
+        return cmd_browse(argv[1:])
+    args = build_parser().parse_args(argv)
+    if getattr(args, "condition_chars", None) is not None \
+            and args.command == "analyze" and args.condition_chars <= 0:
+        args.condition_chars = None
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

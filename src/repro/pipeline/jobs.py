@@ -1,0 +1,226 @@
+"""The unit of work the sweep drivers schedule: one op pair, end-to-end.
+
+A :class:`PairJob` carries everything one ANALYZER → TESTGEN → MTRACE run
+needs — the two operation definitions, the state constructors, and the
+kernels under test — and :func:`run_pair_job` executes it and returns a
+:class:`PairCellData`, a plain-data record that crosses process
+boundaries (and the JSON cache) without dragging symbolic state along.
+
+Everything in a job must be picklable for the parallel driver: the POSIX
+model's operations and kernel factories are module-level objects, so the
+default pipeline parallelizes out of the box; ad-hoc ops or factories
+defined inside a function still work with the serial driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.analyzer.analyzer import analyze_pair
+from repro.model.base import OpDef
+from repro.model.fs import PosixState
+from repro.model.posix import posix_state_equal
+from repro.mtrace.runner import (
+    MtraceResult,
+    mono_factory,
+    run_testcase,
+    scalefs_factory,
+)
+from repro.testgen import generate_for_pair
+
+#: The default kernels under test, by name (picklable module-level refs).
+DEFAULT_KERNELS: tuple[tuple[str, Callable], ...] = (
+    ("mono", mono_factory),
+    ("scalefs", scalefs_factory),
+)
+
+
+@dataclass
+class PairJob:
+    """One syscall pair through the whole pipeline."""
+
+    op0: OpDef
+    op1: OpDef
+    tests_per_path: int = 1
+    kernels: tuple[tuple[str, Callable], ...] = DEFAULT_KERNELS
+    build_state: Callable = PosixState
+    state_equal: Callable = posix_state_equal
+
+    @property
+    def key(self) -> str:
+        """Cache key: the pair's names, canonically ordered — the matrix
+        is unordered, so (a, b) and (b, a) share one cache entry."""
+        return "|".join(sorted((self.op0.name, self.op1.name)))
+
+
+@dataclass
+class PairCellData:
+    """Plain-data result of one pair job (JSON- and pickle-safe)."""
+
+    op0: str
+    op1: str
+    total: int = 0
+    not_conflict_free: dict = field(default_factory=dict)
+    mismatches: dict = field(default_factory=dict)
+    residues: dict = field(default_factory=dict)
+    explored_paths: int = 0
+    commutative_paths: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "op0": self.op0,
+            "op1": self.op1,
+            "total": self.total,
+            "not_conflict_free": dict(self.not_conflict_free),
+            "mismatches": dict(self.mismatches),
+            "residues": {k: dict(v) for k, v in self.residues.items()},
+            "explored_paths": self.explored_paths,
+            "commutative_paths": self.commutative_paths,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "PairCellData":
+        return cls(
+            op0=raw["op0"],
+            op1=raw["op1"],
+            total=raw["total"],
+            not_conflict_free=dict(raw.get("not_conflict_free", {})),
+            mismatches=dict(raw.get("mismatches", {})),
+            residues={
+                k: dict(v) for k, v in raw.get("residues", {}).items()
+            },
+            explored_paths=raw.get("explored_paths", 0),
+            commutative_paths=raw.get("commutative_paths", 0),
+        )
+
+
+def run_pair_job(job: PairJob) -> PairCellData:
+    """ANALYZER → TESTGEN → MTRACE for one pair, on every kernel."""
+    pair = analyze_pair(job.build_state, job.state_equal, job.op0, job.op1)
+    cases = generate_for_pair(pair, tests_per_path=job.tests_per_path)
+    cell = PairCellData(
+        op0=job.op0.name,
+        op1=job.op1.name,
+        total=len(cases),
+        explored_paths=len(pair.paths),
+        commutative_paths=len(pair.commutative_paths),
+    )
+    for kernel_name, factory in job.kernels:
+        bad = 0
+        mismatched = 0
+        bucket: dict[str, int] = {}
+        for case in cases:
+            result = run_testcase(factory, case)
+            if not result.conflict_free:
+                bad += 1
+                classify_residue(bucket, result)
+            if result.mismatch is not None:
+                mismatched += 1
+        cell.not_conflict_free[kernel_name] = bad
+        cell.mismatches[kernel_name] = mismatched
+        cell.residues[kernel_name] = bucket
+    return cell
+
+
+@dataclass
+class PairSummary:
+    """Plain-data ANALYZER result for one pair (the ``analyze`` CLI)."""
+
+    op0: str
+    op1: str
+    explored_paths: int
+    commutative_paths: int
+    condition: str
+
+    def to_dict(self) -> dict:
+        return {
+            "op0": self.op0,
+            "op1": self.op1,
+            "explored_paths": self.explored_paths,
+            "commutative_paths": self.commutative_paths,
+            "condition": self.condition,
+        }
+
+
+def run_analyze_job(
+    job: PairJob, condition_chars: Optional[int] = 4000
+) -> PairSummary:
+    """ANALYZER only; the commutativity condition is rendered to text so
+    the result stays serializable."""
+    pair = analyze_pair(job.build_state, job.state_equal, job.op0, job.op1)
+    condition = repr(pair.commutativity_condition())
+    if condition_chars is not None and len(condition) > condition_chars:
+        condition = condition[:condition_chars] + "...(truncated)"
+    return PairSummary(
+        op0=job.op0.name,
+        op1=job.op1.name,
+        explored_paths=len(pair.paths),
+        commutative_paths=len(pair.commutative_paths),
+        condition=condition,
+    )
+
+
+def run_testgen_job(job: PairJob, render: bool = False) -> dict:
+    """ANALYZER → TESTGEN for one pair; counts, case names, optional C."""
+    pair = analyze_pair(job.build_state, job.state_equal, job.op0, job.op1)
+    cases = generate_for_pair(pair, tests_per_path=job.tests_per_path)
+    out = {
+        "op0": job.op0.name,
+        "op1": job.op1.name,
+        "explored_paths": len(pair.paths),
+        "commutative_paths": len(pair.commutative_paths),
+        "cases": len(cases),
+        "names": [case.name for case in cases],
+    }
+    if render:
+        from repro.testgen.render import render_c_testcase
+        out["rendered"] = [
+            render_c_testcase(case.name, case.setup, case.ops)
+            for case in cases
+        ]
+    return out
+
+
+# ----------------------------------------------------------------------
+# §6.4 residue taxonomy (previously private to bench.heatmap)
+
+RESIDUE_RULES = (
+    ("pipe-refcounts", ("p_readers", "p_writers", "readers", "writers")),
+    ("file-offset", ("f_pos",)),
+    ("file-length", ("len", "i_size")),
+    ("page-slots", ("present", "value", "pte", "data")),
+    ("fd-table", ("fd", "chain")),
+    ("locks", ("lock", "mmap_sem", "i_mutex")),
+    ("refcounts", ("d_count", "f_count", "ref", "nlink")),
+)
+
+
+def classify_residue(bucket: dict, result: MtraceResult) -> None:
+    """Bucket a conflicting test by what it conflicted on (§6.4 taxonomy)."""
+    labels = set()
+    for conflict in result.conflicts:
+        cell_names = " ".join(sorted(conflict.cells))
+        for label, needles in RESIDUE_RULES:
+            if any(needle in cell_names for needle in needles):
+                labels.add(label)
+                break
+        else:
+            labels.add("other")
+    for label in labels:
+        bucket[label] = bucket.get(label, 0) + 1
+
+
+def merge_residues(cells: list) -> dict:
+    """Combine per-pair residue buckets into per-kernel totals.
+
+    Residue counts are per-test increments, so summation over pairs is
+    order-independent — exactly why the serial and parallel drivers agree.
+    """
+    merged: dict[str, dict[str, int]] = {}
+    for cell in cells:
+        for kernel, bucket in cell.residues.items():
+            out = merged.setdefault(kernel, {})
+            for label, count in bucket.items():
+                out[label] = out.get(label, 0) + count
+    return merged

@@ -1,0 +1,221 @@
+"""Sweep orchestration: pair matrix → jobs → cache → driver → cells.
+
+This is the seam every scaling PR builds on: the matrix of unordered op
+pairs is turned into independent :class:`~repro.pipeline.jobs.PairJob`
+units, cached results are split off by fingerprint, the remainder is
+mapped through a driver (serial or process pool), and the merged cells
+come back in deterministic matrix order regardless of execution order.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from functools import partial
+from typing import Callable, Optional, Sequence
+
+from repro.model.base import OpDef
+from repro.pipeline.cache import ResultCache, job_fingerprint
+from repro.pipeline.drivers import Driver, driver_for
+from repro.pipeline.jobs import (
+    DEFAULT_KERNELS,
+    PairCellData,
+    PairJob,
+    PairSummary,
+    merge_residues,
+    run_analyze_job,
+    run_pair_job,
+)
+
+
+@dataclass
+class SweepResult:
+    """The full matrix in plain data, plus execution accounting."""
+
+    cells: list[PairCellData]
+    kernels: tuple[str, ...]
+    op_names: list[str]
+    elapsed_seconds: float
+    workers: int = 1
+    cached_pairs: int = 0
+    computed_pairs: int = 0
+
+    @property
+    def total_tests(self) -> int:
+        return sum(c.total for c in self.cells)
+
+    @property
+    def residues(self) -> dict:
+        merged = merge_residues(self.cells)
+        for kernel in self.kernels:
+            merged.setdefault(kernel, {})
+        return merged
+
+    def conflict_free_total(self, kernel: str) -> int:
+        return self.total_tests - sum(
+            c.not_conflict_free.get(kernel, 0) for c in self.cells
+        )
+
+
+def iter_pairs(
+    ops: Sequence[OpDef],
+    pair_filter: Optional[Callable[[OpDef, OpDef], bool]] = None,
+) -> list[tuple[OpDef, OpDef]]:
+    """Every unordered pair (including self-pairs), in matrix order."""
+    pairs = []
+    for i, a in enumerate(ops):
+        for b in ops[i:]:
+            if pair_filter is not None and not pair_filter(a, b):
+                continue
+            pairs.append((a, b))
+    return pairs
+
+
+def make_pair_filter(
+    pairs: Sequence[tuple[str, str]],
+) -> Callable[[OpDef, OpDef], bool]:
+    """Filter restricting the matrix to named pairs (order-insensitive)."""
+    wanted = {frozenset(p) for p in pairs}
+    return lambda a, b: frozenset((a.name, b.name)) in wanted
+
+
+def run_sweep(
+    ops: Optional[Sequence[OpDef]] = None,
+    kernels: Optional[Sequence[tuple[str, Callable]]] = None,
+    tests_per_path: int = 1,
+    workers: Optional[int] = None,
+    driver: Optional[Driver] = None,
+    cache: Optional[object] = None,
+    pair_filter: Optional[Callable[[OpDef, OpDef], bool]] = None,
+    on_progress: Optional[Callable[[str], None]] = None,
+    build_state: Optional[Callable] = None,
+    state_equal: Optional[Callable] = None,
+) -> SweepResult:
+    """The Figure 6 pipeline over the pair matrix.
+
+    ``cache`` is a path or a :class:`ResultCache`; pairs whose fingerprint
+    matches a stored entry are not recomputed.  ``driver`` (or ``workers``)
+    picks the execution strategy; results are identical for every choice.
+    """
+    if ops is None:
+        from repro.model.posix import POSIX_OPS
+        ops = POSIX_OPS
+    ops = list(ops)
+    kernel_items = tuple(kernels) if kernels is not None else DEFAULT_KERNELS
+    start = time.time()
+    job_kwargs = {}
+    if build_state is not None:
+        job_kwargs["build_state"] = build_state
+    if state_equal is not None:
+        job_kwargs["state_equal"] = state_equal
+    jobs = [
+        PairJob(a, b, tests_per_path=tests_per_path, kernels=kernel_items,
+                **job_kwargs)
+        for a, b in iter_pairs(ops, pair_filter)
+    ]
+
+    if isinstance(cache, (str, bytes)) or hasattr(cache, "__fspath__"):
+        cache = ResultCache(cache)
+
+    cells: list[Optional[PairCellData]] = [None] * len(jobs)
+    todo: list[int] = []
+    fingerprints: dict[int, str] = {}
+    for index, job in enumerate(jobs):
+        if cache is not None:
+            fingerprints[index] = job_fingerprint(job)
+            hit = cache.get(job.key, fingerprints[index])
+            if hit is not None:
+                cells[index] = PairCellData.from_dict(hit)
+                if on_progress is not None:
+                    on_progress(
+                        f"{job.op0.name}/{job.op1.name}: cached "
+                        f"({cells[index].total} tests)"
+                    )
+                continue
+        todo.append(index)
+
+    fingerprint_of = {id(jobs[i]): fingerprints.get(i) for i in todo}
+
+    def report(job: PairJob, cell: PairCellData) -> None:
+        if cache is not None:
+            # Persist as results arrive so an interrupted or failing
+            # sweep keeps every pair already computed (the point of the
+            # cache); the write is atomic, so this is always safe.
+            cache.put(job.key, fingerprint_of[id(job)], cell.to_dict())
+            cache.save()
+        if on_progress is not None:
+            on_progress(
+                f"{cell.op0}/{cell.op1}: {cell.total} tests, "
+                + ", ".join(
+                    f"{k} fails {cell.not_conflict_free.get(k, 0)}"
+                    for k, _ in kernel_items
+                )
+            )
+
+    resolved = driver_for(workers, driver)
+    computed = resolved.map(
+        run_pair_job, [jobs[i] for i in todo], on_result=report
+    )
+    for index, cell in zip(todo, computed):
+        cells[index] = cell
+
+    return SweepResult(
+        cells=list(cells),
+        kernels=tuple(name for name, _ in kernel_items),
+        op_names=[op.name for op in ops],
+        elapsed_seconds=time.time() - start,
+        workers=resolved.workers,
+        cached_pairs=len(jobs) - len(todo),
+        computed_pairs=len(todo),
+    )
+
+
+@dataclass
+class AnalysisSweep:
+    """ANALYZER-only sweep output (the ``analyze`` CLI)."""
+
+    summaries: list[PairSummary]
+    op_names: list[str]
+    elapsed_seconds: float
+    workers: int = 1
+
+    @property
+    def commutative_pairs(self) -> int:
+        return sum(1 for s in self.summaries if s.commutative_paths)
+
+
+def run_analysis(
+    ops: Optional[Sequence[OpDef]] = None,
+    workers: Optional[int] = None,
+    driver: Optional[Driver] = None,
+    pair_filter: Optional[Callable[[OpDef, OpDef], bool]] = None,
+    on_progress: Optional[Callable[[str], None]] = None,
+    condition_chars: Optional[int] = 4000,
+) -> AnalysisSweep:
+    """ANALYZER over the pair matrix, summaries only (no TESTGEN/MTRACE)."""
+    if ops is None:
+        from repro.model.posix import POSIX_OPS
+        ops = POSIX_OPS
+    ops = list(ops)
+    start = time.time()
+    jobs = [PairJob(a, b) for a, b in iter_pairs(ops, pair_filter)]
+
+    def report(job: PairJob, summary: PairSummary) -> None:
+        if on_progress is not None:
+            on_progress(
+                f"{summary.op0}/{summary.op1}: "
+                f"{summary.commutative_paths}/{summary.explored_paths} "
+                f"paths commute"
+            )
+
+    resolved = driver_for(workers, driver)
+    summaries = resolved.map(
+        partial(run_analyze_job, condition_chars=condition_chars),
+        jobs, on_result=report,
+    )
+    return AnalysisSweep(
+        summaries=summaries,
+        op_names=[op.name for op in ops],
+        elapsed_seconds=time.time() - start,
+        workers=resolved.workers,
+    )

@@ -43,6 +43,11 @@ class Sort:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        # Re-enter __new__ on unpickle so sorts stay interned (identity
+        # comparison must survive a trip through a worker process).
+        return (Sort, (self.name,))
+
     @property
     def is_uninterpreted(self) -> bool:
         return self not in (BOOL, INT)
@@ -102,6 +107,11 @@ class Term:
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __reduce__(self):
+        # Rebuild through __new__ so unpickled terms re-intern: structural
+        # equality collapses back to identity in the receiving process.
+        return (Term, (self.kind, self.args, self.payload, self.sort))
 
     # Interning makes default identity-based __eq__ correct.
 

@@ -1,0 +1,2 @@
+"""Test package (keeps same-basename modules like test_properties.py
+importable from multiple directories)."""

@@ -1,0 +1,178 @@
+"""The persistent result cache: content-hash keying and incrementality.
+
+The fingerprint must change exactly when a pair's inputs change — an op
+body edit invalidates that op's pairs and nothing else; infrastructure
+and knob changes invalidate everything.
+"""
+
+import json
+
+from repro.model.base import OpDef, Param
+from repro.model.posix import op_by_name
+from repro.pipeline import (
+    PairJob,
+    ResultCache,
+    SerialDriver,
+    job_fingerprint,
+    op_fingerprint,
+    run_sweep,
+)
+
+OPS = ("link", "unlink", "stat")
+
+
+def _ops():
+    return [op_by_name(name) for name in OPS]
+
+
+def _body_v1(s, ex, rt, pid):
+    return 0
+
+
+def _body_v2(s, ex, rt, pid):
+    return 1
+
+
+def _stat_variant(s, ex, rt, **kwargs):
+    # Same observable behavior as stat, different source text: the
+    # fingerprint must treat this as a different operation.
+    return op_by_name("stat").fn(s, ex, rt, **kwargs)
+
+
+class TestFingerprints:
+    def test_stable_for_same_op(self):
+        assert op_fingerprint(op_by_name("open")) == \
+            op_fingerprint(op_by_name("open"))
+
+    def test_changes_with_op_body(self):
+        a = OpDef("probe", [Param("pid", "pid")], _body_v1)
+        b = OpDef("probe", [Param("pid", "pid")], _body_v2)
+        assert op_fingerprint(a) != op_fingerprint(b)
+
+    def test_changes_with_params(self):
+        a = OpDef("probe", [Param("pid", "pid")], _body_v1)
+        b = OpDef("probe", [Param("fd", "fd")], _body_v1)
+        assert op_fingerprint(a) != op_fingerprint(b)
+
+    def test_job_fingerprint_changes_with_tests_per_path(self):
+        link = op_by_name("link")
+        assert job_fingerprint(PairJob(link, link, tests_per_path=1)) != \
+            job_fingerprint(PairJob(link, link, tests_per_path=2))
+
+    def test_job_fingerprint_stable(self):
+        link, stat = op_by_name("link"), op_by_name("stat")
+        assert job_fingerprint(PairJob(link, stat)) == \
+            job_fingerprint(PairJob(link, stat))
+
+    def test_pair_key_and_fingerprint_are_order_insensitive(self):
+        link, stat = op_by_name("link"), op_by_name("stat")
+        assert PairJob(link, stat).key == PairJob(stat, link).key
+        assert job_fingerprint(PairJob(link, stat)) == \
+            job_fingerprint(PairJob(stat, link))
+
+    def test_model_context_excludes_op_bodies(self):
+        import repro.model.fs as fs
+        from repro.pipeline.cache import _module_source_without_ops
+
+        stripped = _module_source_without_ops(fs)
+        # Shared helpers stay in the hash input; op bodies do not.
+        assert "def fd_lookup" in stripped
+        for op in fs.FS_OPS:
+            assert f"def {op.fn.__name__}" not in stripped
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = ResultCache(path)
+        assert cache.get("open|close", "f1") is None
+        cache.put("open|close", "f1", {"total": 3})
+        cache.save()
+        reloaded = ResultCache(path)
+        assert reloaded.get("open|close", "f1") == {"total": 3}
+        assert reloaded.hits == 1
+
+    def test_stale_fingerprint_is_a_miss(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = ResultCache(path)
+        cache.put("open|close", "old", {"total": 3})
+        assert cache.get("open|close", "new") is None
+        assert cache.misses == 1
+
+    def test_corrupt_file_starts_empty(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{not json")
+        cache = ResultCache(str(path))
+        assert len(cache) == 0
+
+    def test_save_is_atomic_and_versioned(self, tmp_path):
+        path = str(tmp_path / "sub" / "cache.json")
+        cache = ResultCache(path)
+        cache.put("a|b", "f", {"total": 0})
+        cache.save()
+        raw = json.loads(open(path).read())
+        assert raw["version"] == 1
+        assert "a|b" in raw["entries"]
+
+
+class TestIncrementalSweep:
+    def test_second_run_skips_all_unchanged_pairs(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        first = run_sweep(ops=_ops(), cache=path)
+        second = run_sweep(ops=_ops(), cache=path)
+        assert first.computed_pairs == 6 and first.cached_pairs == 0
+        assert second.computed_pairs == 0 and second.cached_pairs == 6
+        assert [c.to_dict() for c in first.cells] == \
+            [c.to_dict() for c in second.cells]
+
+    def test_op_edit_invalidates_only_its_pairs(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        ops = _ops()
+        run_sweep(ops=ops, cache=path)
+
+        stat = op_by_name("stat")
+        edited = OpDef("stat", stat.params, _stat_variant)
+        ops_after_edit = [op_by_name("link"), op_by_name("unlink"), edited]
+        incremental = run_sweep(
+            ops=ops_after_edit, cache=path, driver=SerialDriver()
+        )
+        # link|link, link|unlink, unlink|unlink stay cached; the three
+        # pairs involving the edited stat recompute.
+        assert incremental.cached_pairs == 3
+        assert incremental.computed_pairs == 3
+        # The variant is semantically identical, so the matrix agrees.
+        baseline = run_sweep(ops=ops, driver=SerialDriver())
+        assert [c.to_dict() for c in incremental.cells] == \
+            [c.to_dict() for c in baseline.cells]
+
+    def test_reordered_pair_request_hits_the_cache(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        link, rename = op_by_name("link"), op_by_name("rename")
+        run_sweep(ops=[link, rename], cache=path)
+        reordered = run_sweep(ops=[rename, link], cache=path)
+        assert reordered.computed_pairs == 0
+        assert reordered.cached_pairs == 3
+
+    def test_results_persist_as_the_sweep_progresses(self, tmp_path):
+        """An interrupted sweep must keep every pair already computed:
+        the cache file on disk gains entries pair by pair, not only at
+        the end of the run."""
+        path = str(tmp_path / "cache.json")
+        entries_seen = []
+
+        def spy(_line):
+            try:
+                with open(path) as f:
+                    entries_seen.append(len(json.load(f)["entries"]))
+            except OSError:
+                entries_seen.append(0)
+
+        run_sweep(ops=_ops(), cache=path, on_progress=spy)
+        assert entries_seen == [1, 2, 3, 4, 5, 6]
+
+    def test_cache_object_can_be_passed_directly(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache.json"))
+        run_sweep(ops=[op_by_name("link")], cache=cache)
+        assert len(cache) == 1
+        result = run_sweep(ops=[op_by_name("link")], cache=cache)
+        assert result.cached_pairs == 1
