@@ -11,11 +11,14 @@ all cores and caches per-pair results for incremental re-runs).
 import json
 import os
 
+from repro.analyzer import analyzer as _analyzer
 from repro.bench.heatmap import run_heatmap
-from repro.bench.report import render_heatmap, render_residues
+from repro.bench.report import heatmap_to_dict, render_heatmap, \
+    render_residues, strip_volatile_heatmap
 from repro.model.posix import op_by_name
 
 SLICE = ["open", "link", "unlink", "rename", "stat", "fstat"]
+COMPARE_SLICE = ["link", "unlink", "stat"]
 RESULTS = os.path.join(os.path.dirname(__file__), "..", "results",
                        "fig6_heatmap.json")
 
@@ -47,3 +50,32 @@ def test_fig6_heatmap_slice(benchmark):
                 for k, v in full["conflict_free"].items()
             )
         )
+
+
+def test_fig6_solver_before_after(benchmark):
+    """Before/after the incremental-solver rework: the scoped engine must
+    produce a bitwise-identical heatmap artifact while spending at least
+    2x fewer solver decisions than full path-condition re-submission."""
+    ops = [op_by_name(n) for n in COMPARE_SLICE]
+    after = benchmark.pedantic(
+        lambda: run_heatmap(ops=ops), iterations=1, rounds=1
+    )
+    assert _analyzer.INCREMENTAL_DEFAULT is True
+    _analyzer.INCREMENTAL_DEFAULT = False
+    try:
+        before = run_heatmap(ops=ops)
+    finally:
+        _analyzer.INCREMENTAL_DEFAULT = True
+    assert strip_volatile_heatmap(heatmap_to_dict(after)) == \
+        strip_volatile_heatmap(heatmap_to_dict(before))
+    decisions_after = after.solver_totals["decisions"]
+    decisions_before = before.solver_totals["decisions"]
+    ratio = decisions_before / decisions_after
+    print(
+        f"\nheatmap artifact identical; solver decisions "
+        f"{decisions_before} -> {decisions_after} ({ratio:.1f}x fewer)"
+    )
+    benchmark.extra_info["decisions_before"] = decisions_before
+    benchmark.extra_info["decisions_after"] = decisions_after
+    benchmark.extra_info["decision_reduction_x"] = round(ratio, 2)
+    assert ratio >= 2.0

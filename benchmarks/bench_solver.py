@@ -1,0 +1,134 @@
+"""Solver microbenchmarks: incrementality, canonicalization, memo reuse.
+
+The headline measurement backs the incremental-solver rework: ANALYZER
+driving the scoped assert-on-branch API must spend at least 2x fewer full
+solver decisions than the historical re-submit-the-whole-path-condition
+mode, on the same pair matrix, with identical path sets.  The quick run
+uses the 6-operation slice the other benchmarks use (21 pairs); set
+``REPRO_BENCH_FULL=1`` to sweep the full 18-operation POSIX matrix
+(171 pairs, several minutes).
+
+Counters recorded in ``extra_info`` flow into ``BENCH_*.json`` reports
+(see ``conftest.py``); ``decisions_incremental`` and the reduction ratio
+are deterministic, so CI gates on them tightly.
+"""
+
+import os
+
+from repro.analyzer.analyzer import analyze_pair
+from repro.model.fs import PosixState
+from repro.model.posix import POSIX_OPS, op_by_name, posix_state_equal
+from repro.pipeline.jobs import merge_solver_stats
+from repro.pipeline.sweep import iter_pairs
+from repro.symbolic import terms as T
+from repro.symbolic.solver import Solver
+
+SLICE = ["open", "link", "unlink", "rename", "stat", "fstat"]
+
+
+def _pairs():
+    if os.environ.get("REPRO_BENCH_FULL"):
+        return iter_pairs(list(POSIX_OPS))
+    return iter_pairs([op_by_name(n) for n in SLICE])
+
+
+def _analyze_all(incremental):
+    all_stats = []
+    shapes = []
+    for op0, op1 in _pairs():
+        pair = analyze_pair(
+            PosixState,
+            posix_state_equal,
+            op0,
+            op1,
+            incremental=incremental,
+        )
+        shapes.append((len(pair.paths), len(pair.commutative_paths)))
+        all_stats.append(pair.solver_stats)
+    return merge_solver_stats(all_stats), shapes
+
+
+def test_solver_decisions_pair_slice(benchmark):
+    """Scoped exploration vs full re-submission on the pair matrix."""
+    incremental, shapes = benchmark.pedantic(
+        lambda: _analyze_all(incremental=True), iterations=1, rounds=1
+    )
+    legacy, legacy_shapes = _analyze_all(incremental=False)
+    assert shapes == legacy_shapes, "modes must explore identical path sets"
+    ratio = legacy["decisions"] / incremental["decisions"]
+    pair_count = len(_pairs())
+    print(
+        f"\n{pair_count} pairs: {legacy['decisions']} legacy decisions -> "
+        f"{incremental['decisions']} incremental ({ratio:.1f}x fewer), "
+        f"scope reuse {incremental['scope_reuse']} of "
+        f"{incremental['scope_reuse'] + incremental['scope_asserts']} prefix decisions"
+    )
+    benchmark.extra_info["pairs"] = pair_count
+    benchmark.extra_info["decisions_incremental"] = incremental["decisions"]
+    benchmark.extra_info["decisions_legacy"] = legacy["decisions"]
+    benchmark.extra_info["decision_reduction_x"] = round(ratio, 2)
+    benchmark.extra_info["scope_reuse"] = incremental["scope_reuse"]
+    assert ratio >= 2.0, f"expected >=2x fewer decisions, got {ratio:.2f}x"
+
+
+def test_solver_scoped_chain(benchmark):
+    """Deep literal chains: one assert per decision vs full re-checks."""
+    depth = 60
+    xs = [T.var(f"bs.x{i}", T.INT) for i in range(depth)]
+    names = [T.var(f"bs.n{i}", T.uninterpreted_sort("BSName")) for i in range(depth)]
+    literals = []
+    for i in range(depth - 1):
+        literals.append(T.le(xs[i], xs[i + 1]))
+        literals.append(T.ne(names[i], names[i + 1]))
+
+    def scoped():
+        solver = Solver()
+        for lit in literals:
+            solver.push()
+            solver.assert_term(lit)
+            assert solver.check_asserted()
+        return solver.stats["decisions"]
+
+    scoped_decisions = benchmark.pedantic(scoped, iterations=1, rounds=3)
+
+    flat_solver = Solver()
+    prefix = []
+    for lit in literals:
+        prefix.append(lit)
+        assert flat_solver.check(prefix)
+    flat_decisions = flat_solver.stats["decisions"]
+    benchmark.extra_info["scoped_decisions"] = scoped_decisions
+    benchmark.extra_info["flat_decisions"] = flat_decisions
+    assert flat_decisions >= 2 * scoped_decisions
+
+
+def test_solver_canonical_memo(benchmark):
+    """Reordered-but-equal conjunctions must share one memo entry.
+
+    ``and_(p, q)`` and ``and_(q, p)`` intern to *different* terms; only
+    canonicalization maps them to the same memo key."""
+    import itertools
+
+    sort = T.uninterpreted_sort("BCName")
+    a, b, c = (T.var(f"bc.{n}", sort) for n in "abc")
+    x = T.var("bc.x", T.INT)
+    base = [
+        T.ne(a, b),
+        T.eq(b, c),
+        T.le(T.const(0), x),
+        T.or_(T.eq(a, c), T.lt(x, T.const(2))),
+    ]
+    variants = [T.and_(*perm) for perm in itertools.permutations(base)]
+    assert len(set(variants)) > 1  # genuinely distinct interned terms
+
+    def check_variants():
+        solver = Solver()
+        for variant in variants:
+            assert solver.check([variant])
+        return solver.stats
+
+    stats = benchmark.pedantic(check_variants, iterations=1, rounds=3)
+    benchmark.extra_info["checks"] = stats["checks"]
+    benchmark.extra_info["cache_hits"] = stats["cache_hits"]
+    assert stats["checks"] == 1
+    assert stats["cache_hits"] == len(variants) - 1

@@ -3,4 +3,35 @@
 Every figure/table benchmark prints the rows it regenerates (run with
 ``pytest benchmarks/ --benchmark-only -s`` to see them) and records them in
 ``benchmark.extra_info`` so saved benchmark JSON carries the series.
+
+Every benchmark that used the ``benchmark`` fixture also emits a
+``BENCH_<name>.json`` report (schema ``{name, wall_s, counters}`` via
+``repro.bench.report.write_bench_report``) into ``results/`` — or the
+directory named by ``$BENCH_REPORT_DIR`` — where CI uploads them and gates
+wall-clock and counter regressions against ``benchmarks/bench_baseline.json``.
 """
+
+import os
+
+import pytest
+
+from repro.bench.report import write_bench_report
+
+
+@pytest.fixture(autouse=True)
+def _bench_report_emitter(request):
+    yield
+    fixture = request.node.funcargs.get("benchmark")
+    if fixture is None:
+        return
+    stats = getattr(fixture, "stats", None)
+    if stats is None or getattr(stats, "stats", None) is None:
+        return  # fixture requested but never run (e.g. --benchmark-disable)
+    name = request.node.name.removeprefix("test_")
+    directory = os.environ.get("BENCH_REPORT_DIR", "results")
+    write_bench_report(
+        name,
+        wall_s=stats.stats.min,
+        counters=dict(fixture.extra_info),
+        directory=directory,
+    )

@@ -65,10 +65,14 @@ class PathVerdict:
 class PairResult:
     """All paths for one operation pair."""
 
-    def __init__(self, op0: OpDef, op1: OpDef, paths: list[PathVerdict]):
+    def __init__(self, op0: OpDef, op1: OpDef, paths: list[PathVerdict],
+                 solver_stats: Optional[dict] = None):
         self.op0 = op0
         self.op1 = op1
         self.paths = paths
+        #: Per-pair solver accounting (queries, cache hits, scope reuse);
+        #: flows into the pipeline's JSON artifacts.
+        self.solver_stats = dict(solver_stats) if solver_stats else {}
 
     @property
     def commutative_paths(self) -> list[PathVerdict]:
@@ -96,9 +100,18 @@ def analyze_pair(
     op1: OpDef,
     solver: Optional[Solver] = None,
     max_paths: int = 20000,
+    incremental: Optional[bool] = None,
+    solver_cache_size: Optional[int] = None,
 ) -> PairResult:
     """Symbolically execute both permutations of (op0, op1) and classify
-    every path as commutative or not."""
+    every path as commutative or not.
+
+    ``incremental`` selects the scoped (assert-on-branch) solver driving;
+    ``False`` re-submits full path conditions per probe — same verdicts,
+    kept for benchmarking the difference; ``None`` follows the module's
+    :data:`INCREMENTAL_DEFAULT` (used by the before/after benchmarks to
+    flip a whole pipeline run).  ``solver_cache_size`` bounds the solver
+    memo when no explicit ``solver`` is passed (0 = unbounded)."""
     state_factory = VarFactory("s")
     arg_factories = (VarFactory("a0"), VarFactory("a1"))
     rt_factories = (VarFactory("n0"), VarFactory("n1"))
@@ -131,10 +144,29 @@ def analyze_pair(
         return TrialOutcome(commutes, returns[0], state, args)
 
     executor = Executor(
-        solver if solver is not None else Solver(), max_paths=max_paths
+        _resolve_solver(solver, solver_cache_size),
+        max_paths=max_paths,
+        incremental=INCREMENTAL_DEFAULT if incremental is None else incremental,
     )
     paths = executor.explore(trial)
-    return PairResult(op0, op1, [PathVerdict(p) for p in paths])
+    return PairResult(op0, op1, [PathVerdict(p) for p in paths],
+                      solver_stats=executor.solver_stats())
+
+
+#: Engine mode when callers do not choose: scoped incremental solving.
+#: Flipped (rarely) by benchmarks/tests to run a full pipeline in the
+#: historical re-submit-everything mode for before/after comparisons.
+INCREMENTAL_DEFAULT = True
+
+
+def _resolve_solver(
+    solver: Optional[Solver], solver_cache_size: Optional[int]
+) -> Solver:
+    if solver is not None:
+        return solver
+    if solver_cache_size is None:
+        return Solver()
+    return Solver(cache_size=solver_cache_size)
 
 
 def analyze_set(
@@ -143,6 +175,7 @@ def analyze_set(
     ops: Sequence[OpDef],
     solver: Optional[Solver] = None,
     max_paths: int = 20000,
+    incremental: Optional[bool] = None,
 ) -> PairResult:
     """Commutativity of a set of N operations (§5.1's general case).
 
@@ -210,10 +243,13 @@ def analyze_set(
         return TrialOutcome(commutes, returns[0], state, args)
 
     executor = Executor(
-        solver if solver is not None else Solver(), max_paths=max_paths
+        solver if solver is not None else Solver(),
+        max_paths=max_paths,
+        incremental=INCREMENTAL_DEFAULT if incremental is None else incremental,
     )
     paths = executor.explore(trial)
-    result = PairResult(ops[0], ops[-1], [PathVerdict(p) for p in paths])
+    result = PairResult(ops[0], ops[-1], [PathVerdict(p) for p in paths],
+                        solver_stats=executor.solver_stats())
     return result
 
 

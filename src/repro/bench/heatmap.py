@@ -49,6 +49,11 @@ class HeatmapResult:
     def total_tests(self) -> int:
         return sum(c.total for c in self.cells)
 
+    @property
+    def solver_totals(self) -> dict:
+        from repro.pipeline.jobs import merge_solver_stats
+        return merge_solver_stats(self.cells)
+
     def conflict_free_total(self, kernel: str) -> int:
         return self.total_tests - sum(
             c.not_conflict_free.get(kernel, 0) for c in self.cells
@@ -73,6 +78,7 @@ def run_heatmap(
     cache=None,
     driver=None,
     pair_filter=None,
+    solver_cache_size: Optional[int] = None,
 ) -> HeatmapResult:
     """The full Figure 6 pipeline (8 minutes in the paper; similar here
     serially — ``workers`` shards pairs across processes, ``cache``
@@ -86,6 +92,7 @@ def run_heatmap(
         cache=cache,
         pair_filter=pair_filter,
         on_progress=on_progress,
+        solver_cache_size=solver_cache_size,
     )
     return HeatmapResult(
         kernels=sweep.kernels,

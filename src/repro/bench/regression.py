@@ -1,0 +1,170 @@
+"""Benchmark regression gate: BENCH_*.json reports vs a committed baseline.
+
+Every benchmark run emits a ``BENCH_<name>.json`` report (see
+``repro.bench.report.write_bench_report``).  This module compares a
+directory of such reports against a committed baseline file and fails —
+exit code 1 — when a benchmark's wall clock regresses past its tolerance
+(default: 25% over baseline) or a deterministic counter (solver decisions,
+explored paths, ...) drifts past its own, tighter tolerance.
+
+Baseline schema (``benchmarks/bench_baseline.json``)::
+
+    {
+      "schema": "repro.bench-baseline/1",
+      "wall_tolerance": 0.25,
+      "counter_tolerance": 0.10,
+      "benches": {
+        "<name>": {
+          "wall_s": 2.0,                  # gate: measured <= wall_s * (1 + tol)
+          "wall_tolerance": 0.5,          # optional per-bench override
+          "counters": {"decisions": 1234} # gate both directions (drift)
+        }
+      }
+    }
+
+A baseline entry with no matching report is itself a failure: the gate
+must not silently pass because a benchmark stopped running.  Reports with
+no baseline entry are listed but ignored, so new benchmarks can land
+before their baseline does.
+
+Run as ``python -m repro.bench.regression`` or via the
+``python -m repro bench-gate`` subcommand.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+from typing import Optional, Sequence
+
+BASELINE_SCHEMA = "repro.bench-baseline/1"
+DEFAULT_WALL_TOLERANCE = 0.25
+DEFAULT_COUNTER_TOLERANCE = 0.10
+
+
+def load_reports(directory: str) -> dict[str, dict]:
+    """All ``BENCH_*.json`` reports in ``directory``, keyed by bench name."""
+    reports: dict[str, dict] = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        try:
+            with open(path) as f:
+                raw = json.load(f)
+        except (OSError, ValueError):
+            continue
+        if not isinstance(raw, dict):
+            continue
+        name = raw.get("name")
+        if isinstance(name, str) and isinstance(raw.get("wall_s"), (int, float)):
+            reports[name] = raw
+    return reports
+
+
+def load_baseline(path: str) -> dict:
+    with open(path) as f:
+        raw = json.load(f)
+    if raw.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(f"{path}: expected schema {BASELINE_SCHEMA!r}")
+    return raw
+
+
+def check_regressions(reports: dict[str, dict], baseline: dict) -> list[str]:
+    """Failure messages for every gated regression; empty list = pass."""
+    wall_tolerance = baseline.get("wall_tolerance", DEFAULT_WALL_TOLERANCE)
+    counter_tolerance = baseline.get("counter_tolerance", DEFAULT_COUNTER_TOLERANCE)
+    failures: list[str] = []
+    for name, entry in sorted(baseline.get("benches", {}).items()):
+        report = reports.get(name)
+        if report is None:
+            failures.append(f"{name}: no BENCH_{name}.json report was emitted")
+            continue
+        allowed = entry.get("wall_tolerance", wall_tolerance)
+        limit = entry["wall_s"] * (1.0 + allowed)
+        measured = report["wall_s"]
+        if measured > limit:
+            failures.append(
+                f"{name}: wall {measured:.3f}s exceeds baseline "
+                f"{entry['wall_s']:.3f}s by more than {allowed:.0%} "
+                f"(limit {limit:.3f}s)"
+            )
+        measured_counters = report.get("counters", {})
+        for counter, expected in sorted(entry.get("counters", {}).items()):
+            got = measured_counters.get(counter)
+            if got is None:
+                failures.append(f"{name}: counter {counter!r} missing from report")
+                continue
+            slack = abs(expected) * counter_tolerance
+            if abs(got - expected) > slack:
+                failures.append(
+                    f"{name}: counter {counter!r} = {got} drifted from "
+                    f"baseline {expected} by more than {counter_tolerance:.0%}"
+                )
+    return failures
+
+
+def render_table(
+    reports: dict[str, dict],
+    baseline: dict,
+    failures: Optional[list[str]] = None,
+) -> str:
+    """Status table; each row's verdict comes from :func:`check_regressions`
+    (wall *and* counter gates), never re-derived here."""
+    if failures is None:
+        failures = check_regressions(reports, baseline)
+    failed = {f.split(":", 1)[0] for f in failures}
+    benches = baseline.get("benches", {})
+    lines = [f"{'benchmark':<40} {'wall_s':>10} {'baseline':>10}  status"]
+    for name in sorted(set(reports) | set(benches)):
+        report = reports.get(name)
+        entry = benches.get(name)
+        wall = f"{report['wall_s']:.3f}" if report else "-"
+        base = f"{entry['wall_s']:.3f}" if entry else "-"
+        if entry is None:
+            status = "ungated"
+        elif report is None:
+            status = "MISSING"
+        else:
+            status = "FAIL" if name in failed else "ok"
+        lines.append(f"{name:<40} {wall:>10} {base:>10}  {status}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench-gate",
+        description="Fail when BENCH_*.json reports regress past the baseline",
+    )
+    parser.add_argument(
+        "--reports",
+        default="results",
+        metavar="DIR",
+        help="directory holding BENCH_*.json reports (default results/)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default="benchmarks/bench_baseline.json",
+        metavar="PATH",
+        help="committed baseline file",
+    )
+    args = parser.parse_args(argv)
+    try:
+        baseline = load_baseline(args.baseline)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load baseline: {exc}", file=sys.stderr)
+        return 2
+    reports = load_reports(args.reports)
+    failures = check_regressions(reports, baseline)
+    print(render_table(reports, baseline, failures))
+    if failures:
+        print()
+        for failure in failures:
+            print(f"REGRESSION: {failure}")
+        return 1
+    print(f"\n{len(baseline.get('benches', {}))} gated benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

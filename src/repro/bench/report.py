@@ -3,7 +3,7 @@ series) and a machine-readable dump for EXPERIMENTS.md."""
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional
 
 from repro.bench.heatmap import HeatmapResult
 from repro.bench.statbench import BenchSeries
@@ -100,10 +100,12 @@ def heatmap_to_dict(result: HeatmapResult) -> dict:
                 "total": cell.total,
                 "fails": dict(cell.not_conflict_free),
                 "mismatches": dict(cell.mismatches),
+                "solver": dict(cell.solver_stats),
             }
             for cell in result.cells
         ],
         "residues": {k: dict(v) for k, v in result.residues.items()},
+        "solver_totals": result.solver_totals,
     }
 
 
@@ -133,3 +135,66 @@ def write_artifact(path: str, payload: dict) -> str:
     from repro.pipeline.cache import atomic_write_json
 
     return atomic_write_json(path, payload)
+
+
+_VOLATILE_HEATMAP_KEYS = (
+    "elapsed", "solver_totals", "workers", "cached_pairs", "computed_pairs",
+)
+
+
+def strip_volatile_heatmap(artifact: dict) -> dict:
+    """The *result* content of a heatmap artifact: everything except
+    timing, execution, cache, and solver accounting, which legitimately
+    differ between runs, worker counts, cache states, and solver modes.
+    The parity tests and before/after benchmarks compare artifacts
+    through this projection."""
+    out = {
+        k: v for k, v in artifact.items()
+        if k not in _VOLATILE_HEATMAP_KEYS
+    }
+    out["cells"] = [
+        {k: v for k, v in cell.items() if k != "solver"}
+        for cell in artifact["cells"]
+    ]
+    return out
+
+
+# ----------------------------------------------------------------------
+# Benchmark reports (the CI regression gate's input)
+
+BENCH_REPORT_SCHEMA = "repro.bench-report/1"
+
+
+def bench_report_name(raw: str) -> str:
+    """Sanitize a benchmark name for use in a ``BENCH_<name>.json`` path."""
+    import re
+
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", raw).strip("_")
+
+
+def write_bench_report(
+    name: str,
+    wall_s: float,
+    counters: Optional[dict] = None,
+    directory: str = "results",
+) -> str:
+    """Emit one ``BENCH_<name>.json``: ``{name, wall_s, counters}``.
+
+    Every benchmark run writes one of these (see ``benchmarks/conftest.py``);
+    CI uploads them as artifacts and gates on regressions against the
+    committed baseline via :mod:`repro.bench.regression`.
+    """
+    safe = bench_report_name(name)
+    payload = {
+        "schema": BENCH_REPORT_SCHEMA,
+        "name": safe,
+        "wall_s": float(wall_s),
+        "counters": {
+            k: v
+            for k, v in (counters or {}).items()
+            if isinstance(v, (int, float)) and not isinstance(v, bool)
+        },
+    }
+    import os
+
+    return write_artifact(os.path.join(directory, f"BENCH_{safe}.json"), payload)

@@ -99,6 +99,11 @@ def _add_matrix_options(parser, cache: bool = False):
     )
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-pair progress lines")
+    parser.add_argument(
+        "--solver-cache-size", type=int, default=None, metavar="N",
+        help="bound each pair's solver memo caches to N entries "
+             "(0 = unbounded; default: the solver's built-in bound)",
+    )
     if cache:
         parser.add_argument(
             "--cache", default=DEFAULT_CACHE, metavar="PATH",
@@ -119,6 +124,7 @@ def cmd_analyze(args) -> int:
         pair_filter=pair_filter,
         on_progress=_progress(args),
         condition_chars=args.condition_chars,
+        solver_cache_size=args.solver_cache_size,
     )
     payload = {
         "schema": "repro.analyze/1",
@@ -126,6 +132,7 @@ def cmd_analyze(args) -> int:
         "elapsed": result.elapsed_seconds,
         "workers": result.workers,
         "pairs": [s.to_dict() for s in result.summaries],
+        "solver_totals": result.solver_totals,
     }
     path = write_artifact(args.out, payload)
     print(
@@ -155,6 +162,7 @@ def cmd_heatmap(args) -> int:
         workers=args.workers,
         cache=cache,
         pair_filter=pair_filter,
+        solver_cache_size=args.solver_cache_size,
     )
     path = write_artifact(args.out, heatmap_to_dict(result))
     if args.render:
@@ -181,7 +189,8 @@ def cmd_testgen(args) -> int:
 
     ops, pair_filter = _resolve_matrix(args)
     jobs = [
-        PairJob(a, b, tests_per_path=args.tests_per_path)
+        PairJob(a, b, tests_per_path=args.tests_per_path,
+                solver_cache_size=args.solver_cache_size)
         for a, b in iter_pairs(ops, pair_filter)
     ]
     progress = _progress(args)
@@ -268,6 +277,14 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_bench_gate(args) -> int:
+    from repro.bench import regression
+
+    return regression.main(
+        ["--reports", args.reports, "--baseline", args.baseline]
+    )
+
+
 def cmd_browse(argv: Sequence[str]) -> int:
     from repro import browser
 
@@ -319,6 +336,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None, metavar="PATH",
                    help="artifact path (default results/bench_<suite>.json)")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "bench-gate",
+        help="compare BENCH_*.json reports against the committed baseline",
+    )
+    p.add_argument("--reports", default="results", metavar="DIR")
+    p.add_argument("--baseline", default="benchmarks/bench_baseline.json",
+                   metavar="PATH")
+    p.set_defaults(fn=cmd_bench_gate)
 
     sub.add_parser(
         "browse", add_help=False,

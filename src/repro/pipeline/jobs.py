@@ -46,6 +46,10 @@ class PairJob:
     kernels: tuple[tuple[str, Callable], ...] = DEFAULT_KERNELS
     build_state: Callable = PosixState
     state_equal: Callable = posix_state_equal
+    #: Bound on the per-pair solver's memo caches (None = solver default,
+    #: 0 = unbounded).  Deliberately outside the cache fingerprint: it
+    #: changes how fast a pair computes, never what it computes.
+    solver_cache_size: Optional[int] = None
 
     @property
     def key(self) -> str:
@@ -66,6 +70,7 @@ class PairCellData:
     residues: dict = field(default_factory=dict)
     explored_paths: int = 0
     commutative_paths: int = 0
+    solver_stats: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -77,6 +82,7 @@ class PairCellData:
             "residues": {k: dict(v) for k, v in self.residues.items()},
             "explored_paths": self.explored_paths,
             "commutative_paths": self.commutative_paths,
+            "solver_stats": dict(self.solver_stats),
         }
 
     @classmethod
@@ -92,12 +98,14 @@ class PairCellData:
             },
             explored_paths=raw.get("explored_paths", 0),
             commutative_paths=raw.get("commutative_paths", 0),
+            solver_stats=dict(raw.get("solver_stats", {})),
         )
 
 
 def run_pair_job(job: PairJob) -> PairCellData:
     """ANALYZER → TESTGEN → MTRACE for one pair, on every kernel."""
-    pair = analyze_pair(job.build_state, job.state_equal, job.op0, job.op1)
+    pair = analyze_pair(job.build_state, job.state_equal, job.op0, job.op1,
+                        solver_cache_size=job.solver_cache_size)
     cases = generate_for_pair(pair, tests_per_path=job.tests_per_path)
     cell = PairCellData(
         op0=job.op0.name,
@@ -105,6 +113,7 @@ def run_pair_job(job: PairJob) -> PairCellData:
         total=len(cases),
         explored_paths=len(pair.paths),
         commutative_paths=len(pair.commutative_paths),
+        solver_stats=dict(pair.solver_stats),
     )
     for kernel_name, factory in job.kernels:
         bad = 0
@@ -132,6 +141,7 @@ class PairSummary:
     explored_paths: int
     commutative_paths: int
     condition: str
+    solver_stats: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -140,6 +150,7 @@ class PairSummary:
             "explored_paths": self.explored_paths,
             "commutative_paths": self.commutative_paths,
             "condition": self.condition,
+            "solver_stats": dict(self.solver_stats),
         }
 
 
@@ -148,7 +159,8 @@ def run_analyze_job(
 ) -> PairSummary:
     """ANALYZER only; the commutativity condition is rendered to text so
     the result stays serializable."""
-    pair = analyze_pair(job.build_state, job.state_equal, job.op0, job.op1)
+    pair = analyze_pair(job.build_state, job.state_equal, job.op0, job.op1,
+                        solver_cache_size=job.solver_cache_size)
     condition = repr(pair.commutativity_condition())
     if condition_chars is not None and len(condition) > condition_chars:
         condition = condition[:condition_chars] + "...(truncated)"
@@ -158,12 +170,14 @@ def run_analyze_job(
         explored_paths=len(pair.paths),
         commutative_paths=len(pair.commutative_paths),
         condition=condition,
+        solver_stats=dict(pair.solver_stats),
     )
 
 
 def run_testgen_job(job: PairJob, render: bool = False) -> dict:
     """ANALYZER → TESTGEN for one pair; counts, case names, optional C."""
-    pair = analyze_pair(job.build_state, job.state_equal, job.op0, job.op1)
+    pair = analyze_pair(job.build_state, job.state_equal, job.op0, job.op1,
+                        solver_cache_size=job.solver_cache_size)
     cases = generate_for_pair(pair, tests_per_path=job.tests_per_path)
     out = {
         "op0": job.op0.name,
@@ -172,6 +186,7 @@ def run_testgen_job(job: PairJob, render: bool = False) -> dict:
         "commutative_paths": len(pair.commutative_paths),
         "cases": len(cases),
         "names": [case.name for case in cases],
+        "solver_stats": dict(pair.solver_stats),
     }
     if render:
         from repro.testgen.render import render_c_testcase
@@ -209,6 +224,27 @@ def classify_residue(bucket: dict, result: MtraceResult) -> None:
             labels.add("other")
     for label in labels:
         bucket[label] = bucket.get(label, 0) + 1
+
+
+def merge_solver_stats(cells: list) -> dict:
+    """Merge per-pair solver counters into sweep-level totals.
+
+    Accepts anything with a ``solver_stats`` dict (cells, summaries,
+    :class:`~repro.analyzer.analyzer.PairResult`) or bare stats dicts.
+    Counters sum; ``max_scope_depth`` is a high-water mark and merges by
+    maximum.
+    """
+    totals: dict[str, int] = {}
+    for cell in cells:
+        stats = cell if isinstance(cell, dict) else cell.solver_stats
+        for key, value in stats.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            if key == "max_scope_depth":
+                totals[key] = max(totals.get(key, 0), value)
+            else:
+                totals[key] = totals.get(key, 0) + value
+    return totals
 
 
 def merge_residues(cells: list) -> dict:

@@ -23,6 +23,7 @@ from repro.pipeline.jobs import (
     PairJob,
     PairSummary,
     merge_residues,
+    merge_solver_stats,
     run_analyze_job,
     run_pair_job,
 )
@@ -55,6 +56,11 @@ class SweepResult:
         return self.total_tests - sum(
             c.not_conflict_free.get(kernel, 0) for c in self.cells
         )
+
+    @property
+    def solver_totals(self) -> dict:
+        """Sweep-wide solver counters (decisions, cache hits, scope reuse)."""
+        return merge_solver_stats(self.cells)
 
 
 def iter_pairs(
@@ -90,12 +96,14 @@ def run_sweep(
     on_progress: Optional[Callable[[str], None]] = None,
     build_state: Optional[Callable] = None,
     state_equal: Optional[Callable] = None,
+    solver_cache_size: Optional[int] = None,
 ) -> SweepResult:
     """The Figure 6 pipeline over the pair matrix.
 
     ``cache`` is a path or a :class:`ResultCache`; pairs whose fingerprint
     matches a stored entry are not recomputed.  ``driver`` (or ``workers``)
     picks the execution strategy; results are identical for every choice.
+    ``solver_cache_size`` bounds each pair's solver memo (0 = unbounded).
     """
     if ops is None:
         from repro.model.posix import POSIX_OPS
@@ -110,7 +118,7 @@ def run_sweep(
         job_kwargs["state_equal"] = state_equal
     jobs = [
         PairJob(a, b, tests_per_path=tests_per_path, kernels=kernel_items,
-                **job_kwargs)
+                solver_cache_size=solver_cache_size, **job_kwargs)
         for a, b in iter_pairs(ops, pair_filter)
     ]
 
@@ -183,6 +191,10 @@ class AnalysisSweep:
     def commutative_pairs(self) -> int:
         return sum(1 for s in self.summaries if s.commutative_paths)
 
+    @property
+    def solver_totals(self) -> dict:
+        return merge_solver_stats(self.summaries)
+
 
 def run_analysis(
     ops: Optional[Sequence[OpDef]] = None,
@@ -191,6 +203,7 @@ def run_analysis(
     pair_filter: Optional[Callable[[OpDef, OpDef], bool]] = None,
     on_progress: Optional[Callable[[str], None]] = None,
     condition_chars: Optional[int] = 4000,
+    solver_cache_size: Optional[int] = None,
 ) -> AnalysisSweep:
     """ANALYZER over the pair matrix, summaries only (no TESTGEN/MTRACE)."""
     if ops is None:
@@ -198,7 +211,10 @@ def run_analysis(
         ops = POSIX_OPS
     ops = list(ops)
     start = time.time()
-    jobs = [PairJob(a, b) for a, b in iter_pairs(ops, pair_filter)]
+    jobs = [
+        PairJob(a, b, solver_cache_size=solver_cache_size)
+        for a, b in iter_pairs(ops, pair_filter)
+    ]
 
     def report(job: PairJob, summary: PairSummary) -> None:
         if on_progress is not None:

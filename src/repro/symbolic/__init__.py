@@ -27,6 +27,7 @@ from repro.symbolic.terms import (
     Term,
     add,
     and_,
+    canonical,
     const,
     distinct,
     eq,
@@ -65,6 +66,7 @@ __all__ = [
     "Term",
     "add",
     "and_",
+    "canonical",
     "const",
     "distinct",
     "eq",

@@ -13,6 +13,17 @@ decision sequence (the model and kernel code we run satisfies this — no
 wall-clock, no iteration over unordered containers of symbolic values), and
 it must create symbolic variables through a factory whose naming is
 deterministic, so re-executions rebuild identical (interned) terms.
+
+Exploration drives the solver's *scoped* API by default: every decision
+pushes one solver scope and asserts that branch's literal, so a
+feasibility probe near the end of a deep path re-solves only the probe —
+the path prefix lives in scope snapshots.  Because consecutive runs share
+long decision prefixes (the frontier is depth-first), the executor also
+keeps the scope stack alive *across* runs and only pops back to the first
+diverging decision — the ``scope_reuse`` statistic counts prefix decisions
+replayed without any solver work at all.  ``incremental=False`` restores
+the historical behavior (each probe re-submits the whole path condition);
+both modes explore identical path sets, which the parity tests pin.
 """
 
 from __future__ import annotations
@@ -59,16 +70,27 @@ class Executor:
         base_constraints: Sequence[Term] = (),
         max_paths: int = 20000,
         max_depth: int = 2000,
+        incremental: bool = True,
     ):
         self.solver = solver if solver is not None else Solver()
         self.base_constraints = list(base_constraints)
         self.max_paths = max_paths
         self.max_depth = max_depth
+        self.incremental = incremental
+        self.stats = {"runs": 0, "scope_reuse": 0, "scope_reuse_depth": 0}
+        # Solver counters at the start of the last explore(): solver_stats()
+        # reports deltas, so a solver shared across executors still yields
+        # honest per-exploration accounting.
+        self._solver_stats_base = dict(self.solver.stats)
         # Per-run state.
         self._pc: list[Term] = []
         self._trace: list[tuple[int, list[int]]] = []
         self._prefix: Sequence[int] = ()
         self._depth = 0
+        # Scope mirror: constraints currently asserted above the solver's
+        # base scope (one scope per constraint), shared across runs.
+        self._scope_terms: list[Term] = []
+        self._pos = 0
 
     # ------------------------------------------------------------------
     # Exploration driver
@@ -82,33 +104,50 @@ class Executor:
     def explore(self, fn: Callable[["Executor"], object]) -> list[PathResult]:
         """Run ``fn`` along every feasible path; collect one result per path."""
         global _CURRENT
+        self.stats = {"runs": 0, "scope_reuse": 0, "scope_reuse_depth": 0}
+        # High-water marks restart per exploration; counters report deltas.
+        self.solver.stats["max_scope_depth"] = 0
+        self._solver_stats_base = dict(self.solver.stats)
+        if self.incremental:
+            self.solver.reset_scopes()
+            self._scope_terms = []
+            for c in self.base_constraints:
+                self.solver.assert_term(c)
         frontier: list[list[int]] = [[]]
         results: list[PathResult] = []
-        while frontier:
-            if len(results) > self.max_paths:
-                raise SymbolicFailure(f"more than {self.max_paths} paths")
-            prefix = frontier.pop()
-            self._pc = list(self.base_constraints)
-            self._trace = []
-            self._prefix = prefix
-            self._depth = 0
-            previous = _CURRENT
-            _CURRENT = self
-            try:
-                value = fn(self)
-                feasible_path = True
-            except Infeasible:
-                feasible_path = False
-            finally:
-                _CURRENT = previous
-            chosen = tuple(entry[0] for entry in self._trace)
-            if feasible_path:
-                results.append(PathResult(tuple(self._pc), value, chosen))
-            for i in range(len(prefix), len(self._trace)):
-                _, untried = self._trace[i]
-                stem = [self._trace[j][0] for j in range(i)]
-                for alt in untried:
-                    frontier.append(stem + [alt])
+        try:
+            while frontier:
+                if len(results) > self.max_paths:
+                    raise SymbolicFailure(f"more than {self.max_paths} paths")
+                prefix = frontier.pop()
+                self._pc = list(self.base_constraints)
+                self._trace = []
+                self._prefix = prefix
+                self._depth = 0
+                self._pos = 0
+                self.stats["runs"] += 1
+                previous = _CURRENT
+                _CURRENT = self
+                try:
+                    value = fn(self)
+                    feasible_path = True
+                except Infeasible:
+                    feasible_path = False
+                finally:
+                    _CURRENT = previous
+                chosen = tuple(entry[0] for entry in self._trace)
+                if feasible_path:
+                    results.append(PathResult(tuple(self._pc), value, chosen))
+                for i in range(len(prefix), len(self._trace)):
+                    _, untried = self._trace[i]
+                    stem = [self._trace[j][0] for j in range(i)]
+                    for alt in untried:
+                        frontier.append(stem + [alt])
+        finally:
+            if self.incremental:
+                # Leave the solver clean for the next explore (or caller).
+                self.solver.reset_scopes()
+                self._scope_terms = []
         return results
 
     # ------------------------------------------------------------------
@@ -128,7 +167,7 @@ class Executor:
         feasible = [
             j
             for j, c in enumerate(options)
-            if self.solver.check(self._pc + [c])
+            if self._feasible(c)
         ]
         if not feasible:
             # Every alternative contradicts the path: dead path.  (Cannot
@@ -159,9 +198,9 @@ class Executor:
             return
         if cond is T.true:
             return
-        if cond is T.false or not self.solver.check(self._pc + [cond]):
+        if cond is T.false or not self._feasible(cond):
             raise Infeasible
-        self._pc.append(cond)
+        self._add(cond)
 
     def concretize(self, term: Term, values: Iterable[int]) -> int:
         """Force an integer term to a concrete value by branching over ``values``."""
@@ -174,9 +213,60 @@ class Executor:
 
     def is_feasible(self, cond: Term) -> bool:
         """Non-branching satisfiability probe against the current path."""
+        return self._feasible(cond)
+
+    def solver_stats(self) -> dict:
+        """Solver counters merged with the executor's own scope accounting
+        (the per-pair statistics the pipeline artifacts carry).
+
+        Solver counters are deltas since the last :meth:`explore`, so a
+        solver reused across pairs never leaks one pair's work into the
+        next pair's statistics."""
+        base = self._solver_stats_base
+        merged = {
+            k: v - base.get(k, 0)
+            if k != "max_scope_depth" and isinstance(v, (int, float))
+            else v
+            for k, v in self.solver.stats.items()
+        }
+        merged.update(self.stats)
+        merged["incremental"] = self.incremental
+        return merged
+
+    # ------------------------------------------------------------------
+    # Solver plumbing
+
+    def _feasible(self, cond: Term) -> bool:
+        if self.incremental:
+            # Query at this run's current depth; deeper scopes may be a
+            # previous run's suffix this run could still reuse, so they
+            # are left in place rather than popped.
+            return self.solver.check_asserted((cond,), depth=self._pos)
         return self.solver.check(self._pc + [cond])
+
+    def _sync_scopes(self) -> None:
+        """Pop scopes left over from a previous run's diverged suffix so a
+        new push lands at exactly ``_pos`` decisions."""
+        while self.solver.scope_depth > self._pos:
+            self.solver.pop()
+        del self._scope_terms[self._pos:]
 
     def _add(self, constraint: Term) -> None:
         if constraint is T.true:
             return
         self._pc.append(constraint)
+        if not self.incremental:
+            return
+        p = self._pos
+        if p < len(self._scope_terms) and self._scope_terms[p] is constraint:
+            # The previous run asserted this exact constraint at this
+            # depth; its scope snapshot (union-find, domains, int
+            # literals) is still valid — reuse it wholesale.
+            self.stats["scope_reuse"] += 1
+            self.stats["scope_reuse_depth"] += p + 1
+        else:
+            self._sync_scopes()
+            self.solver.push()
+            self.solver.assert_term(constraint)
+            self._scope_terms.append(constraint)
+        self._pos = p + 1

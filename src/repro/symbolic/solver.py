@@ -15,17 +15,40 @@ integer literals by backtracking search over bounded domains with
 forward-checking.  Satisfiable queries yield a :class:`Model` that assigns
 every relevant variable a concrete Python value.
 
-Queries are memoized on the set of constraints; path exploration re-checks
-many shared prefixes, so the cache is load-bearing for ANALYZER performance.
+Two query styles share one memo:
+
+* **One-shot** — :meth:`Solver.check` / :meth:`Solver.model` solve a full
+  constraint list from scratch (TESTGEN's model enumeration works this way).
+* **Scoped** — :meth:`Solver.push` / :meth:`Solver.assert_term` /
+  :meth:`Solver.check_asserted` / :meth:`Solver.pop` maintain a persistent
+  assertion stack.  Each scope snapshots the union-find, boolean valuation,
+  and integer domain bounds, so the engine's depth-first path exploration
+  asserts one branch literal per decision instead of re-submitting the whole
+  path condition; a pop restores the parent snapshot in O(1).  Literal
+  assertion detects contradictions eagerly (union-find merge failures,
+  boolean flips, emptied integer domains), so most UNSAT branches never
+  reach a search.
+
+Queries are memoized on the *canonical* constraint set
+(:func:`repro.symbolic.terms.canonical`), so structurally-equal conditions
+that accumulated their conjuncts in different orders share one entry; path
+exploration re-checks many shared prefixes, so the cache is load-bearing
+for ANALYZER performance.  The memo is a bounded LRU
+(``cache_size``, default :data:`DEFAULT_CACHE_SIZE` entries) so a long
+sweep cannot grow it monotonically.
 """
 
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from typing import Iterable, Optional, Sequence
 
 from repro.symbolic import terms as T
 from repro.symbolic.terms import Term
+
+#: Default bound on the check/int-component memo caches (entries per cache).
+DEFAULT_CACHE_SIZE = 4096
 
 
 class SolverError(Exception):
@@ -128,10 +151,56 @@ class Model:
         return f"Model({parts})"
 
 
-class _Theory:
-    """Accumulated literal state during a DPLL branch."""
+class _LRU:
+    """Bounded mapping with least-recently-used eviction.
 
-    __slots__ = ("bools", "parent", "rank", "diseq", "int_literals")
+    ``maxsize`` of 0 (or None) disables the bound — useful for short
+    exploratory sessions; the pipeline always passes a bound.
+    """
+
+    __slots__ = ("maxsize", "_data")
+
+    def __init__(self, maxsize: Optional[int]):
+        self.maxsize = maxsize if maxsize and maxsize > 0 else 0
+        self._data: OrderedDict = OrderedDict()
+
+    def get(self, key, default=None):
+        data = self._data
+        try:
+            value = data[key]
+        except KeyError:
+            return default
+        data.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> None:
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = value
+        if self.maxsize and len(data) > self.maxsize:
+            data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+class _Theory:
+    """Accumulated literal state during a DPLL branch or solver scope.
+
+    ``domains`` carries the per-scope integer pruning state: for every
+    integer variable bounded by a single-variable literal asserted so far,
+    the surviving ``(lo, hi, excluded)`` window.  An emptied window is an
+    eager UNSAT — no search needed.
+    """
+
+    __slots__ = ("bools", "parent", "rank", "diseq", "int_literals", "domains")
 
     def __init__(self):
         self.bools: dict[Term, bool] = {}
@@ -139,6 +208,7 @@ class _Theory:
         self.rank: dict[Term, int] = {}
         self.diseq: list[tuple[Term, Term]] = []
         self.int_literals: list[tuple[str, Term, Term]] = []
+        self.domains: dict[Term, tuple[int, int, frozenset]] = {}
 
     def clone(self) -> "_Theory":
         t = _Theory.__new__(_Theory)
@@ -147,6 +217,7 @@ class _Theory:
         t.rank = dict(self.rank)
         t.diseq = list(self.diseq)
         t.int_literals = list(self.int_literals)
+        t.domains = dict(self.domains)
         return t
 
     def find(self, x: Term) -> Term:
@@ -185,37 +256,86 @@ class _Theory:
         self.diseq.append((a, b))
         return True
 
+    def narrow(self, v: Term, op: str, c: int, lo0: int, hi0: int) -> bool:
+        """Intersect ``v``'s domain window with ``v <op> c``; False when the
+        window empties (eager UNSAT for the owning scope)."""
+        lo, hi, excluded = self.domains.get(v, (lo0, hi0, frozenset()))
+        if op == "ne":
+            excluded = excluded | {c}
+        else:
+            lo, hi = _shrink_window(op, c, lo, hi)
+        self.domains[v] = (lo, hi, excluded)
+        if lo > hi:
+            return False
+        if len(excluded) >= hi - lo + 1:
+            return any(x not in excluded for x in range(lo, hi + 1))
+        return True
+
+
+class _Scope:
+    """One frame of the scoped assertion stack."""
+
+    __slots__ = ("theory", "complex", "unsat", "key")
+
+    def __init__(self, theory: _Theory, unsat: bool, key: frozenset):
+        self.theory = theory
+        self.complex: list[Term] = []
+        self.unsat = unsat
+        self.key = key
+
 
 class Solver:
     """Satisfiability checks and model construction with memoization."""
 
-    def __init__(self, int_min: int = -1, int_max: int = 16):
+    def __init__(
+        self,
+        int_min: int = -1,
+        int_max: int = 16,
+        cache_size: Optional[int] = DEFAULT_CACHE_SIZE,
+    ):
         self.int_min = int_min
         self.int_max = int_max
-        self._check_cache: dict[frozenset, bool] = {}
-        self._int_cache: dict[frozenset, Optional[dict]] = {}
-        self.stats = {"checks": 0, "cache_hits": 0, "int_nodes": 0}
+        self.cache_size = cache_size
+        self._check_cache = _LRU(cache_size)
+        self._int_cache = _LRU(cache_size)
+        self.stats = {
+            "checks": 0,
+            "cache_hits": 0,
+            "int_nodes": 0,
+            "decisions": 0,
+            "scope_asserts": 0,
+            "scope_pushes": 0,
+            "max_scope_depth": 0,
+        }
+        self._scopes: list[_Scope] = [
+            _Scope(_Theory(), unsat=False, key=frozenset())
+        ]
 
     # ------------------------------------------------------------------
-    # Public API
+    # One-shot API
 
     def check(self, constraints: Iterable[Term]) -> bool:
         """True when the conjunction of ``constraints`` is satisfiable."""
-        formulas = _prepare(constraints)
+        formulas = _prepare(T.canonical(c) for c in constraints)
         if formulas is None:
             return False
-        key = frozenset(id(f) for f in formulas)
-        hit = self._check_cache.get(key)
-        if hit is not None:
+        key = frozenset(formulas)
+        hit = self._check_cache.get(key, _MISSING)
+        if hit is not _MISSING:
             self.stats["cache_hits"] += 1
             return hit
         self.stats["checks"] += 1
         result = self._solve(list(formulas), _Theory(), want_model=False) is not None
-        self._check_cache[key] = result
+        self._check_cache.put(key, result)
         return result
 
     def model(self, constraints: Iterable[Term]) -> Optional[Model]:
-        """A satisfying :class:`Model`, or None when unsatisfiable."""
+        """A satisfying :class:`Model`, or None when unsatisfiable.
+
+        Deliberately *not* canonicalized: model construction order decides
+        which satisfying assignment is found, and TESTGEN's generated cases
+        must stay byte-identical to the pre-incremental pipeline.
+        """
         formulas = _prepare(constraints)
         if formulas is None:
             return None
@@ -223,6 +343,135 @@ class Solver:
         if theory is None:
             return None
         return self._build_model(theory)
+
+    # ------------------------------------------------------------------
+    # Scoped API (incremental path exploration)
+
+    @property
+    def scope_depth(self) -> int:
+        """Number of scopes above the base frame."""
+        return len(self._scopes) - 1
+
+    def push(self) -> None:
+        """Open a scope: subsequent assertions are undone by :meth:`pop`.
+
+        The new scope snapshots the parent's union-find, boolean valuation,
+        and integer domain windows, so assertion work done in the parent is
+        never redone.
+        """
+        top = self._scopes[-1]
+        self._scopes.append(_Scope(top.theory.clone(), top.unsat, top.key))
+        self.stats["scope_pushes"] += 1
+        depth = self.scope_depth
+        if depth > self.stats["max_scope_depth"]:
+            self.stats["max_scope_depth"] = depth
+
+    def pop(self) -> None:
+        """Close the current scope, restoring the parent snapshot."""
+        if len(self._scopes) == 1:
+            raise SolverError("cannot pop the base scope")
+        self._scopes.pop()
+
+    def reset_scopes(self) -> None:
+        """Drop every scope and all base assertions; caches survive."""
+        self._scopes = [_Scope(_Theory(), unsat=False, key=frozenset())]
+
+    def assert_term(self, constraint: Term) -> bool:
+        """Add ``constraint`` to the current scope.
+
+        Returns False when the scope is now known unsatisfiable (eager
+        detection: boolean flips, union-find merge conflicts, emptied
+        integer domains).  True does *not* promise satisfiability —
+        :meth:`check_asserted` gives the full verdict.
+        """
+        self.stats["scope_asserts"] += 1
+        scope = self._scopes[-1]
+        c = T.canonical(constraint)
+        if c is not T.true:
+            scope.key = scope.key | frozenset((c,))
+        if scope.unsat:
+            return False
+        self._absorb(c, scope)
+        return not scope.unsat
+
+    def _absorb(self, c: Term, scope: _Scope) -> None:
+        if c is T.true:
+            return
+        if c is T.false:
+            scope.unsat = True
+            return
+        if c.kind == T.AND:
+            for part in c.args:
+                self._absorb(part, scope)
+                if scope.unsat:
+                    return
+            return
+        if _is_plain_literal(c):
+            self.stats["decisions"] += 1
+            if not self._assert_literal(c, scope.theory):
+                scope.unsat = True
+                return
+            bound = _literal_bound(c)
+            if bound is not None:
+                v, op, value = bound
+                if not scope.theory.narrow(
+                    v, op, value, self.int_min, self.int_max
+                ):
+                    scope.unsat = True
+            return
+        scope.complex.append(c)
+
+    def check_asserted(
+        self, extra: Sequence[Term] = (), depth: Optional[int] = None
+    ) -> bool:
+        """Satisfiability of the scoped assertion stack plus ``extra``.
+
+        The verdict equals ``check(all asserted ++ extra)`` — and shares
+        its memo entry with it — but only the non-literal residue is
+        re-solved: literal assertions live in the scope snapshots and
+        integer components are memoized individually.
+
+        ``depth`` queries against an inner frame (``0`` = base scope)
+        while leaving deeper scopes untouched — the engine uses this to
+        probe mid-prefix without discarding a previous run's suffix
+        snapshots it may still reuse.
+        """
+        if depth is None:
+            scope = self._scopes[-1]
+            frames = self._scopes
+        else:
+            if not 0 <= depth <= self.scope_depth:
+                raise SolverError(
+                    f"depth {depth} outside scope stack (0..{self.scope_depth})"
+                )
+            scope = self._scopes[depth]
+            frames = self._scopes[: depth + 1]
+        if scope.unsat:
+            return False
+        extras = []
+        for t in extra:
+            c = T.canonical(t)
+            if c is T.false:
+                return False
+            if c is not T.true:
+                extras.append(c)
+        key = scope.key | frozenset(extras)
+        hit = self._check_cache.get(key, _MISSING)
+        if hit is not _MISSING:
+            self.stats["cache_hits"] += 1
+            return hit
+        self.stats["checks"] += 1
+        pending = [f for s in frames for f in s.complex]
+        pending.extend(extras)
+        if pending:
+            result = (
+                self._solve(pending, scope.theory.clone(), want_model=False)
+                is not None
+            )
+        else:
+            result = self._int_check(scope.theory, assign_out=None)
+        self._check_cache.put(key, result)
+        return result
 
     # ------------------------------------------------------------------
     # DPLL core
@@ -234,6 +483,7 @@ class Solver:
             f = pending.pop()
             f = _lift_ite(f)
             k = f.kind
+            self.stats["decisions"] += 1
             if f is T.true:
                 continue
             if f is T.false:
@@ -325,7 +575,7 @@ class Solver:
             cached = self._int_cache.get(key, _MISSING)
             if cached is _MISSING:
                 cached = self._solve_int_component(component)
-                self._int_cache[key] = cached
+                self._int_cache.put(key, cached)
             if cached is None:
                 return False
             if assign_out is not None:
@@ -342,7 +592,7 @@ class Solver:
         for lit in literals:
             lit_vars = frozenset(T.term_variables(lit[1], T.term_variables(lit[2])))
             lit_infos.append((lit, lit_vars))
-            for v in lit_vars:
+            for v in sorted(lit_vars, key=T.order_key):
                 if v not in seen:
                     seen.add(v)
                     variables.append(v)
@@ -357,7 +607,9 @@ class Solver:
         domains = {v: self._narrow_domain(v, by_var[v]) for v in variables}
         if any(not d for d in domains.values()):
             return None
-        # Assign most-constrained variables first: fail fast.
+        # Assign most-constrained variables first: fail fast.  The insertion
+        # order above is deterministic (structural keys), so ties — and with
+        # them ``int_nodes`` counts — are stable across processes.
         variables.sort(key=lambda v: (len(domains[v]), -len(by_var[v])))
         assignment: dict[Term, int] = {}
 
@@ -406,19 +658,10 @@ class Solver:
             if bound is None:
                 continue
             op, c = bound
-            if op == "eq":
-                lo = max(lo, c)
-                hi = min(hi, c)
-            elif op == "ne":
+            if op == "ne":
                 excluded.add(c)
-            elif op == "lt":
-                hi = min(hi, c - 1)
-            elif op == "le":
-                hi = min(hi, c)
-            elif op == "gt":
-                lo = max(lo, c + 1)
-            elif op == "ge":
-                lo = max(lo, c)
+            else:
+                lo, hi = _shrink_window(op, c, lo, hi)
         return [x for x in range(lo, hi + 1) if x not in excluded]
 
     # ------------------------------------------------------------------
@@ -464,6 +707,72 @@ def _class_sort_key(root: Term):
 
 
 _MISSING = object()
+
+
+def _shrink_window(op: str, c: int, lo: int, hi: int) -> tuple[int, int]:
+    """Intersect the interval ``[lo, hi]`` with ``value <op> c``.
+
+    The single encoding of comparison semantics shared by the per-scope
+    domain windows (:meth:`_Theory.narrow`) and the search-time domain
+    materialization (:meth:`Solver._narrow_domain`).  ``ne`` is handled by
+    the callers' exclusion sets, not an interval.
+    """
+    if op == "eq":
+        return max(lo, c), min(hi, c)
+    if op == "lt":
+        return lo, min(hi, c - 1)
+    if op == "le":
+        return lo, min(hi, c)
+    if op == "gt":
+        return max(lo, c + 1), hi
+    if op == "ge":
+        return max(lo, c), hi
+    raise SolverError(f"unknown bound op: {op}")
+
+
+def _is_plain_literal(c: Term) -> bool:
+    """True when ``c`` can be absorbed into a theory directly: a (possibly
+    negated) boolean variable or atom, with no embedded non-boolean ``ite``
+    waiting to be lifted."""
+    k = c.kind
+    if k == T.NOT:
+        inner = c.args[0]
+        if inner.kind == T.VAR:
+            return inner.sort is T.BOOL
+        return inner.kind == T.EQ and _find_ite(inner) is None
+    if k == T.VAR:
+        return c.sort is T.BOOL
+    if k in (T.EQ, T.LT, T.LE):
+        return _find_ite(c) is None
+    return False
+
+
+def _literal_bound(c: Term):
+    """``(variable, op, constant)`` when the literal bounds a single integer
+    variable, else None — feeds the per-scope domain windows."""
+    positive = True
+    if c.kind == T.NOT:
+        positive = False
+        c = c.args[0]
+    if c.kind not in (T.EQ, T.LT, T.LE):
+        return None
+    a, b = c.args
+    if a.sort is not T.INT:
+        return None
+    op = {T.EQ: "eq", T.LT: "lt", T.LE: "le"}[c.kind]
+    if not positive:
+        # Canonical forms only negate eq; lt/le negations are rewritten.
+        if op != "eq":
+            return None
+        op = "ne"
+    lit_vars = T.term_variables(a, T.term_variables(b))
+    if len(lit_vars) != 1:
+        return None
+    v = next(iter(lit_vars))
+    bound = _single_var_bound((op, a, b), v)
+    if bound is None:
+        return None
+    return (v, bound[0], bound[1])
 
 
 def _int_components(literals: list) -> list[list]:

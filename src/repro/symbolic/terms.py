@@ -292,6 +292,174 @@ def ite(cond: Term, then: Term, other: Term) -> Term:
     return Term(ITE, (cond, then, other), None, then.sort)
 
 
+# ----------------------------------------------------------------------
+# Canonicalization
+#
+# The constructors simplify *locally* (constant folding, flattening, unit
+# elimination) but preserve argument order, so `and_(p, q)` and
+# `and_(q, p)` intern to different terms even though they are the same
+# constraint.  The solver memoizes on constraint sets; without a canonical
+# form, structurally-equal path conditions that merely accumulated their
+# conjuncts in different orders miss the cache.  :func:`canonical` closes
+# that gap: negation normal form (negations pushed to the atoms, with
+# ``!(a < b)`` rewritten to ``b <= a`` so ordered atoms need no negation
+# at all), commutative arguments sorted by a deterministic structural
+# key, add-chains flattened and re-associated, and cheap contradiction /
+# tautology detection over ordered-comparison pairs.
+
+_ORDER_KEY_CACHE: dict[int, tuple] = {}
+_CANON_CACHE: dict[int, "Term"] = {}
+_CANON_NEG_CACHE: dict[int, "Term"] = {}
+
+#: Safety valve for the three id-keyed caches above.  Their natural bound
+#: is the interning table (one entry per distinct term, which the
+#: ``_interned`` registry keeps alive, so ids never go stale) — but a
+#: pathological sweep that interns tens of millions of terms would drag
+#: the caches along with it.  Past this size they are simply cleared;
+#: every entry is recomputable.
+_CANON_CACHE_LIMIT = 1_000_000
+
+
+def _enforce_cache_limit() -> None:
+    for cache in (_ORDER_KEY_CACHE, _CANON_CACHE, _CANON_NEG_CACHE):
+        if len(cache) > _CANON_CACHE_LIMIT:
+            cache.clear()
+
+
+def order_key(t: Term) -> tuple:
+    """Deterministic structural sort key (stable across processes, unlike
+    ``id()``-based ordering)."""
+    hit = _ORDER_KEY_CACHE.get(id(t))
+    if hit is None:
+        hit = (
+            t.kind,
+            t.sort.name,
+            repr(t.payload),
+            tuple(order_key(a) for a in t.args),
+        )
+        _enforce_cache_limit()
+        _ORDER_KEY_CACHE[id(t)] = hit
+    return hit
+
+
+def canonical(t: Term) -> Term:
+    """The canonical form of ``t``: NNF, sorted commutative arguments,
+    flattened add-chains, folded constants.  Idempotent; equal-modulo-
+    commutativity constraints map to one interned term."""
+    hit = _CANON_CACHE.get(id(t))
+    if hit is not None:
+        return hit
+    k = t.kind
+    if k == NOT:
+        result = _canonical_negated(t.args[0])
+    elif k == AND:
+        result = _canon_junction(AND, and_, t.args, negate=False)
+    elif k == OR:
+        result = _canon_junction(OR, or_, t.args, negate=False)
+    elif k == EQ:
+        result = eq(canonical(t.args[0]), canonical(t.args[1]))
+    elif k == LT:
+        result = lt(canonical(t.args[0]), canonical(t.args[1]))
+    elif k == LE:
+        result = le(canonical(t.args[0]), canonical(t.args[1]))
+    elif k == ADD:
+        result = _canon_add(t)
+    elif k == ITE:
+        cond = canonical(t.args[0])
+        then, other = canonical(t.args[1]), canonical(t.args[2])
+        if cond.kind == NOT:
+            cond, then, other = cond.args[0], other, then
+        result = ite(cond, then, other)
+    else:
+        result = t
+    _enforce_cache_limit()
+    _CANON_CACHE[id(t)] = result
+    # Canonicalization is idempotent by construction; pin the result so
+    # re-canonicalizing it is a dict hit.
+    _CANON_CACHE.setdefault(id(result), result)
+    return result
+
+
+def _canonical_negated(t: Term) -> Term:
+    """Canonical form of ``not t`` with the negation pushed inward."""
+    hit = _CANON_NEG_CACHE.get(id(t))
+    if hit is not None:
+        return hit
+    k = t.kind
+    if k == NOT:
+        result = canonical(t.args[0])
+    elif k == AND:
+        result = _canon_junction(OR, or_, t.args, negate=True)
+    elif k == OR:
+        result = _canon_junction(AND, and_, t.args, negate=True)
+    elif k == LT:
+        # !(a < b)  <=>  b <= a: ordered atoms never carry a negation.
+        result = le(canonical(t.args[1]), canonical(t.args[0]))
+    elif k == LE:
+        result = lt(canonical(t.args[1]), canonical(t.args[0]))
+    else:
+        result = not_(canonical(t))
+    _enforce_cache_limit()
+    _CANON_NEG_CACHE[id(t)] = result
+    _CANON_CACHE.setdefault(id(result), result)
+    return result
+
+
+def _canon_junction(kind: str, ctor, args, negate: bool) -> Term:
+    parts = [
+        _canonical_negated(a) if negate else canonical(a) for a in args
+    ]
+    joined = ctor(*parts)
+    if joined.kind != kind:
+        return joined
+    members = sorted(joined.args, key=order_key)
+    # Ordered-comparison contradictions (AND) / tautologies (OR) that the
+    # complement check in the constructors cannot see syntactically:
+    # a < b conflicts with b <= a, b < a, and a == b; a < b joined with
+    # b <= a covers everything.
+    mset = set(members)
+    for m in members:
+        if m.kind != LT:
+            continue
+        a, b = m.args
+        if kind == AND:
+            if le(b, a) in mset or lt(b, a) in mset or eq(a, b) in mset:
+                return false
+        else:
+            if le(b, a) in mset:
+                return true
+    if tuple(members) == joined.args:
+        return joined
+    return Term(kind, tuple(members), None, BOOL)
+
+
+def _canon_add(t: Term) -> Term:
+    constant = 0
+    leaves: list[Term] = []
+    stack = [t]
+    while stack:
+        n = stack.pop()
+        if n.kind == ADD:
+            stack.extend(n.args)
+            continue
+        n = canonical(n)
+        if n.kind == ICONST:
+            constant += n.payload
+        elif n.kind == ADD:
+            stack.extend(n.args)
+        else:
+            leaves.append(n)
+    leaves.sort(key=order_key)
+    result: Optional[Term] = None
+    for leaf in leaves:
+        result = leaf if result is None else Term(ADD, (result, leaf), None, INT)
+    if result is None:
+        return const(constant)
+    if constant:
+        result = Term(ADD, (result, const(constant)), None, INT)
+    return result
+
+
 _VARS_CACHE: dict[int, frozenset] = {}
 
 

@@ -1,0 +1,92 @@
+"""Parity: scoped incremental exploration vs full-re-submission mode.
+
+The acceptance bar for the incremental solver rework — identical SAT/UNSAT
+verdicts, identical path sets, identical pipeline artifacts; only the
+solver accounting may differ between modes.
+"""
+
+import pytest
+
+from repro.analyzer.analyzer import analyze_pair
+from repro.analyzer import analyzer as analyzer_module
+from repro.bench.heatmap import run_heatmap
+from repro.bench.report import heatmap_to_dict, strip_volatile_heatmap
+from repro.model.fs import PosixState
+from repro.model.posix import op_by_name, posix_state_equal
+
+PAIRS = [("stat", "stat"), ("link", "unlink"), ("open", "fstat")]
+
+
+@pytest.mark.parametrize("name0,name1", PAIRS)
+def test_identical_paths_and_conditions(name0, name1):
+    op0, op1 = op_by_name(name0), op_by_name(name1)
+    fast = analyze_pair(PosixState, posix_state_equal, op0, op1,
+                        incremental=True)
+    slow = analyze_pair(PosixState, posix_state_equal, op0, op1,
+                        incremental=False)
+    assert len(fast.paths) == len(slow.paths)
+    for pf, ps in zip(fast.paths, slow.paths):
+        assert pf.commutes == ps.commutes
+        assert pf.decisions == ps.decisions
+        assert pf.path_condition == ps.path_condition
+    assert repr(fast.commutativity_condition()) == \
+        repr(slow.commutativity_condition())
+
+
+def test_incremental_does_less_work():
+    op = op_by_name("rename")
+    fast = analyze_pair(PosixState, posix_state_equal, op, op,
+                        incremental=True)
+    slow = analyze_pair(PosixState, posix_state_equal, op, op,
+                        incremental=False)
+    assert fast.solver_stats["decisions"] * 2 <= slow.solver_stats["decisions"]
+    assert fast.solver_stats["scope_reuse"] > 0
+    assert slow.solver_stats["scope_pushes"] == 0
+
+
+def test_solver_stats_flow_into_results():
+    op = op_by_name("stat")
+    pair = analyze_pair(PosixState, posix_state_equal, op, op)
+    stats = pair.solver_stats
+    for key in ("checks", "cache_hits", "decisions", "scope_reuse",
+                "scope_asserts", "runs", "incremental"):
+        assert key in stats
+    assert stats["incremental"] is True
+    # Dead paths mean runs can exceed surviving paths, never trail them.
+    assert stats["runs"] >= len(pair.paths)
+
+
+def test_reused_solver_reports_per_pair_deltas():
+    """A solver shared across pairs must not leak one pair's counters
+    into the next pair's statistics."""
+    from repro.symbolic.solver import Solver
+
+    op = op_by_name("stat")
+    shared = Solver()
+    first = analyze_pair(PosixState, posix_state_equal, op, op,
+                         solver=shared)
+    second = analyze_pair(PosixState, posix_state_equal, op, op,
+                          solver=shared)
+    fresh = analyze_pair(PosixState, posix_state_equal, op, op)
+    # The first exploration on a fresh shared solver matches a private one.
+    assert first.solver_stats == fresh.solver_stats
+    # The repeat run reports only its own (memo-warmed) work — not the
+    # cumulative totals, which would at least double every counter.
+    assert second.solver_stats["checks"] < first.solver_stats["checks"]
+    assert second.solver_stats["decisions"] <= first.solver_stats["decisions"]
+    assert second.solver_stats["runs"] == first.solver_stats["runs"]
+
+
+def test_heatmap_artifact_identical_across_modes():
+    """The full pipeline (ANALYZER -> TESTGEN -> MTRACE) must emit a
+    bitwise-identical artifact whichever solver driving is used."""
+    ops = [op_by_name("link"), op_by_name("unlink")]
+    fast = run_heatmap(ops=ops)
+    assert analyzer_module.INCREMENTAL_DEFAULT is True
+    analyzer_module.INCREMENTAL_DEFAULT = False
+    try:
+        slow = run_heatmap(ops=ops)
+    finally:
+        analyzer_module.INCREMENTAL_DEFAULT = True
+    assert strip_volatile_heatmap(heatmap_to_dict(fast)) == \
+        strip_volatile_heatmap(heatmap_to_dict(slow))

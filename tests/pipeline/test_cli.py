@@ -115,6 +115,34 @@ class TestInProcessCommands:
             ("link", "link"), ("link", "unlink"), ("unlink", "unlink"),
         ]
 
+    def test_solver_cache_size_flag(self, tmp_path, capsys):
+        out = str(tmp_path / "analyze.json")
+        rc = cli.main(["analyze", "--pairs", "stat,stat", "--out", out,
+                       "--quiet", "--solver-cache-size", "64"])
+        assert rc == 0
+        raw = json.load(open(out))
+        (pair,) = raw["pairs"]
+        # Solver accounting flows into the artifact; the tiny cache still
+        # produces the same analysis.
+        assert pair["solver_stats"]["decisions"] > 0
+        assert pair["solver_stats"]["incremental"] is True
+        assert raw["solver_totals"]["checks"] > 0
+
+    def test_solver_cache_size_does_not_change_results(self, tmp_path,
+                                                       capsys):
+        outs = []
+        for i, size in enumerate(("8", "0")):
+            out = str(tmp_path / f"a{i}.json")
+            rc = cli.main(["analyze", "--pairs", "link,stat", "--out", out,
+                           "--quiet", "--solver-cache-size", size])
+            assert rc == 0
+            raw = json.load(open(out))
+            outs.append([
+                {k: v for k, v in p.items() if k != "solver_stats"}
+                for p in raw["pairs"]
+            ])
+        assert outs[0] == outs[1]
+
     def test_bad_pair_spec_exits(self):
         with pytest.raises(SystemExit):
             cli.main(["heatmap", "--pairs", "open", "--quiet"])

@@ -70,3 +70,115 @@ def test_no_groups_yields_single_model():
     models = list(enumerate_models(Solver(), [T.eq(x, T.const(2))], groups))
     assert len(models) == 1
     assert models[0].eval(x) == 2
+
+
+def test_unsatisfiable_condition_yields_nothing():
+    a = T.var("en8.a", FNAME)
+    b = T.var("en8.b", FNAME)
+    groups = IsomorphismGroups()
+    groups.add("names", [a, b])
+    models = list(
+        enumerate_models(Solver(), [T.eq(a, b), T.ne(a, b)], groups)
+    )
+    assert models == []
+
+
+def test_single_member_groups_are_dropped():
+    a = T.var("en9.a", FNAME)
+    groups = IsomorphismGroups()
+    groups.add("solo", [a])
+    groups.add("dup", [a, a])  # duplicates collapse -> single member
+    assert len(groups) == 0
+    assert groups.names() == []
+    assert groups.all_pairs() == []
+
+
+def test_mixed_sort_groups_pair_only_within_sort():
+    other = T.uninterpreted_sort("NOther")
+    a = T.var("en10.a", FNAME)
+    b = T.var("en10.b", FNAME)
+    o = T.var("en10.o", other)
+    groups = IsomorphismGroups()
+    groups.add("mixed", [a, b, o])
+    # Only the like-sorted pair is comparable.
+    assert groups.all_pairs() == [(a, b)]
+
+
+def test_free_pairs_skips_decided_pairs():
+    a = T.var("en11.a", FNAME)
+    b = T.var("en11.b", FNAME)
+    c = T.var("en11.c", FNAME)
+    groups = IsomorphismGroups()
+    groups.add("names", [a, b, c])
+    solver = Solver()
+    # a == b is forced; only pairs involving c remain free.
+    free = groups.free_pairs(solver, [T.eq(a, b)])
+    assert (a, b) not in free
+    assert set(free) == {(a, c), (b, c)}
+
+
+def test_free_pairs_cap_respected():
+    xs = [T.var(f"en12.x{i}", FNAME) for i in range(8)]
+    groups = IsomorphismGroups()
+    groups.add("names", xs)
+    free = groups.free_pairs(Solver(), [], cap=3)
+    assert len(free) == 3
+
+
+def test_pattern_constraint_pins_model_pattern():
+    a = T.var("en13.a", FNAME)
+    b = T.var("en13.b", FNAME)
+    groups = IsomorphismGroups()
+    groups.add("names", [a, b])
+    solver = Solver()
+    model = solver.model([T.eq(a, b)])
+    pinned = groups.pattern_constraint(model)
+    # The pattern constraint forces the same equal/distinct shape.
+    assert not solver.check([pinned, T.ne(a, b)])
+    assert solver.check([pinned, T.eq(a, b)])
+
+
+def test_pattern_key_distinguishes_anchored_values():
+    a = T.var("en14.a", FNAME)
+    anchor0 = T.uval(FNAME, 0)
+    anchor1 = T.uval(FNAME, 1)
+    groups = IsomorphismGroups()
+    groups.add("names", [a, anchor0, anchor1])
+    solver = Solver()
+    keys = {
+        groups.pattern_key(solver.model([T.eq(a, anchor0)])),
+        groups.pattern_key(solver.model([T.eq(a, anchor1)])),
+        groups.pattern_key(solver.model([T.ne(a, anchor0), T.ne(a, anchor1)])),
+    }
+    assert len(keys) == 3
+
+
+def test_enumeration_with_bounded_solver_cache():
+    """A tiny LRU bound must not change what gets enumerated."""
+    xs = [T.var(f"en15.x{i}", FNAME) for i in range(3)]
+    groups = IsomorphismGroups()
+    groups.add("names", xs)
+    unbounded = {
+        groups.pattern_key(m)
+        for m in enumerate_models(Solver(), [], groups)
+    }
+    bounded = {
+        groups.pattern_key(m)
+        for m in enumerate_models(Solver(cache_size=4), [], groups)
+    }
+    assert bounded == unbounded
+    assert len(bounded) == 5  # Bell number B(3)
+
+
+def test_int_groups_with_add_chain_members():
+    x = T.var("en16.x", T.INT)
+    y = T.var("en16.y", T.INT)
+    groups = IsomorphismGroups()
+    groups.add("ints", [x, T.add(y, T.const(1))])
+    models = list(
+        enumerate_models(Solver(), [T.le(T.const(0), x)], groups)
+    )
+    # x == y+1 and x != y+1: two patterns.
+    assert len(models) == 2
+    shapes = {m.eval(x) == m.eval(y) + 1 for m in models}
+    assert shapes == {True, False}

@@ -1,0 +1,169 @@
+"""Tests for the solver's scoped assertion stack (push/assert/check/pop)."""
+
+import pytest
+
+from repro.symbolic import terms as T
+from repro.symbolic.solver import Solver, SolverError
+
+SORT = T.uninterpreted_sort("ScopeName")
+
+a = T.var("sc.a", SORT)
+b = T.var("sc.b", SORT)
+c = T.var("sc.c", SORT)
+p = T.var("sc.p", T.BOOL)
+x = T.var("sc.x", T.INT)
+y = T.var("sc.y", T.INT)
+
+
+@pytest.fixture()
+def solver():
+    return Solver(int_min=-1, int_max=16)
+
+
+def test_empty_stack_sat(solver):
+    assert solver.check_asserted()
+    assert solver.scope_depth == 0
+
+
+def test_assert_and_pop_restores(solver):
+    solver.assert_term(T.eq(a, b))
+    assert solver.check_asserted()
+    solver.push()
+    solver.assert_term(T.ne(a, b))
+    assert not solver.check_asserted()
+    solver.pop()
+    # The contradiction died with its scope.
+    assert solver.check_asserted()
+    assert solver.check_asserted((T.ne(b, c),))
+
+
+def test_union_find_snapshot_isolated_per_scope(solver):
+    solver.assert_term(T.eq(a, b))
+    solver.push()
+    solver.assert_term(T.eq(b, c))
+    assert not solver.check_asserted((T.ne(a, c),))
+    solver.pop()
+    # a==c is no longer forced once b==c is popped.
+    assert solver.check_asserted((T.ne(a, c),))
+
+
+def test_eager_unsat_on_bool_flip(solver):
+    solver.assert_term(p)
+    solver.push()
+    assert solver.assert_term(T.not_(p)) is False
+    assert not solver.check_asserted()
+    # Sticky within the scope, even for trivially-true extras.
+    assert not solver.check_asserted((T.true,))
+    solver.pop()
+    assert solver.check_asserted()
+
+
+def test_eager_unsat_on_domain_exhaustion(solver):
+    solver.assert_term(T.le(T.const(3), x))
+    solver.push()
+    # x >= 3 and x < 3: the domain window empties at assert time.
+    assert solver.assert_term(T.lt(x, T.const(3))) is False
+    assert not solver.check_asserted()
+    solver.pop()
+    assert solver.check_asserted()
+
+
+def test_domain_window_with_exclusions(solver):
+    tight = Solver(int_min=0, int_max=2)
+    tight.assert_term(T.ne(x, T.const(0)))
+    tight.assert_term(T.ne(x, T.const(1)))
+    assert tight.check_asserted()
+    assert tight.assert_term(T.ne(x, T.const(2))) is False
+    assert not tight.check_asserted()
+
+
+def test_cannot_pop_base_scope(solver):
+    with pytest.raises(SolverError):
+        solver.pop()
+
+
+def test_reset_scopes_clears_assertions(solver):
+    solver.push()
+    solver.assert_term(T.false)
+    assert not solver.check_asserted()
+    solver.reset_scopes()
+    assert solver.scope_depth == 0
+    assert solver.check_asserted()
+
+
+def test_complex_formulas_per_scope(solver):
+    disj = T.or_(T.eq(x, T.const(1)), T.eq(x, T.const(2)))
+    solver.assert_term(disj)
+    assert solver.check_asserted()
+    solver.push()
+    solver.assert_term(T.ne(x, T.const(1)))
+    assert solver.check_asserted()
+    solver.push()
+    solver.assert_term(T.ne(x, T.const(2)))
+    assert not solver.check_asserted()
+    solver.pop()
+    assert solver.check_asserted()
+
+
+def test_depth_query_ignores_deeper_scopes(solver):
+    solver.assert_term(T.eq(a, b))
+    solver.push()
+    solver.assert_term(T.ne(b, c))
+    solver.push()
+    solver.assert_term(T.eq(b, c))  # contradicts depth-1 scope
+    assert not solver.check_asserted()
+    # Depth 1 ignores the contradiction above it...
+    assert solver.check_asserted(depth=1)
+    # ...and extras combine with just that prefix.
+    assert not solver.check_asserted((T.eq(b, c),), depth=1)
+    assert solver.check_asserted((T.eq(b, c),), depth=0)
+    # Deeper scopes were untouched by the shallow queries.
+    assert solver.scope_depth == 2
+    with pytest.raises(SolverError):
+        solver.check_asserted(depth=5)
+
+
+def test_scoped_matches_flat_check(solver):
+    """Scoped assertion must agree with one-shot check on every prefix."""
+    literals = [
+        T.eq(a, b),
+        T.or_(T.ne(b, c), T.lt(x, y)),
+        T.le(y, T.const(3)),
+        T.eq(b, c),
+        T.le(T.const(3), x),
+        T.eq(x, y),
+    ]
+    flat = Solver()
+    prefix = []
+    for lit in literals:
+        solver.push()
+        solver.assert_term(lit)
+        prefix.append(lit)
+        assert solver.check_asserted() == flat.check(prefix)
+
+
+def test_scoped_and_flat_share_memo(solver):
+    solver.assert_term(T.eq(a, b))
+    solver.assert_term(T.ne(b, c))
+    assert solver.check_asserted()
+    before = solver.stats["cache_hits"]
+    # The flat query over the same (canonical) set is a memo hit.
+    assert solver.check([T.ne(b, c), T.eq(a, b)])
+    assert solver.stats["cache_hits"] == before + 1
+
+
+def test_conjunction_assertion_splits_into_literals(solver):
+    solver.assert_term(T.and_(T.eq(a, b), T.eq(b, c), T.lt(x, y)))
+    assert not solver.check_asserted((T.ne(a, c),))
+    assert not solver.check_asserted((T.le(y, x),))
+    assert solver.check_asserted((T.eq(a, c),))
+
+
+def test_stats_track_scopes(solver):
+    solver.push()
+    solver.assert_term(T.eq(a, b))
+    solver.push()
+    solver.assert_term(T.ne(b, c))
+    assert solver.stats["scope_pushes"] == 2
+    assert solver.stats["scope_asserts"] == 2
+    assert solver.stats["max_scope_depth"] == 2

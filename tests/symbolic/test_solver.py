@@ -146,3 +146,123 @@ def test_model_eval_defaults(solver):
     assert m.eval(x) == 0
     assert m.eval(p) is False
     assert isinstance(m.eval(a), UVal)
+
+
+# ----------------------------------------------------------------------
+# Fragment edges: uninterpreted-sorted ite, domain exhaustion, add-chains
+
+
+def test_ite_over_uninterpreted_sorts(solver):
+    """Non-boolean ite on an uninterpreted sort must lift and split."""
+    p = T.var("p", T.BOOL)
+    a = T.var("ia", FNAME)
+    b = T.var("ib", FNAME)
+    c = T.var("ic", FNAME)
+    picked = T.ite(p, a, b)
+    assert solver.check([T.eq(picked, c)])
+    assert solver.check([T.eq(picked, c), T.ne(a, c)])
+    assert not solver.check([T.eq(picked, c), T.ne(a, c), T.ne(b, c)])
+    m = solver.model([T.eq(picked, c), T.ne(a, c)])
+    assert m.eval(p) is False
+    assert m.eval(b) == m.eval(c)
+
+
+def test_nested_ite_over_uninterpreted_sorts(solver):
+    p = T.var("p2", T.BOOL)
+    q = T.var("q2", T.BOOL)
+    a = T.var("na", FNAME)
+    b = T.var("nb", FNAME)
+    c = T.var("nc", FNAME)
+    picked = T.ite(p, a, T.ite(q, b, c))
+    assert solver.check([T.ne(picked, a), T.ne(picked, b)])
+    m = solver.model([T.ne(picked, a), T.ne(picked, b)])
+    assert m.eval(p) is False and m.eval(q) is False
+
+
+def test_domain_exhaustion_unsat():
+    """A distinct chain longer than the integer domain is UNSAT."""
+    tight = Solver(int_min=0, int_max=3)
+    vars_ = [T.var(f"dx{i}", T.INT) for i in range(5)]
+    pairwise = [
+        T.ne(vars_[i], vars_[j])
+        for i in range(5)
+        for j in range(i + 1, 5)
+    ]
+    assert not tight.check(pairwise)  # 5 distinct values in a 4-value domain
+    assert Solver(int_min=0, int_max=4).check(pairwise)
+
+
+def test_domain_exhaustion_via_bounds(solver):
+    x = T.var("bx", T.INT)
+    assert not solver.check([
+        T.le(T.const(5), x), T.lt(x, T.const(5)),
+    ])
+    assert not solver.check([
+        T.le(T.const(5), x), T.le(x, T.const(5)), T.ne(x, T.const(5)),
+    ])
+
+
+def test_mixed_add_chains(solver):
+    x = T.var("mx", T.INT)
+    y = T.var("my", T.INT)
+    z = T.var("mz", T.INT)
+    # x + y + 1 == y + x + 1 regardless of association/order.
+    lhs = T.add(T.add(x, y), T.const(1))
+    rhs = T.add(y, T.add(x, T.const(1)))
+    assert solver.check([T.eq(lhs, rhs)])
+    assert not solver.check([T.ne(lhs, rhs)])
+    # Chains relate distinct variables through shared middles.
+    assert solver.check([
+        T.eq(T.add(x, T.const(2)), y),
+        T.eq(T.add(y, T.const(2)), z),
+        T.eq(x, T.const(0)),
+        T.eq(z, T.const(4)),
+    ])
+    assert not solver.check([
+        T.eq(T.add(x, T.const(2)), y),
+        T.eq(T.add(y, T.const(2)), z),
+        T.eq(x, T.const(0)),
+        T.eq(z, T.const(5)),
+    ])
+
+
+def test_add_chain_bound_propagation(solver):
+    x = T.var("px", T.INT)
+    y = T.var("py", T.INT)
+    # x + 3 <= y with both near the top of the domain.
+    assert solver.check([T.le(T.add(x, T.const(3)), y)])
+    assert not solver.check([
+        T.le(T.add(x, T.const(3)), y),
+        T.le(T.const(14), x),
+    ])
+
+
+# ----------------------------------------------------------------------
+# Bounded memo (LRU)
+
+
+def test_lru_cache_bound_evicts():
+    small = Solver(cache_size=2)
+    terms = [
+        [T.eq(T.var(f"l{i}", FNAME), T.var(f"r{i}", FNAME))] for i in range(4)
+    ]
+    for ts in terms:
+        assert small.check(ts)
+    assert len(small._check_cache) == 2
+    # The oldest entry was evicted: re-checking it is a fresh solve...
+    checks = small.stats["checks"]
+    assert small.check(terms[0])
+    assert small.stats["checks"] == checks + 1
+    # ...while the newest is still a hit.
+    hits = small.stats["cache_hits"]
+    assert small.check(terms[3])
+    assert small.stats["cache_hits"] == hits + 1
+
+
+def test_unbounded_cache_with_zero():
+    unbounded = Solver(cache_size=0)
+    for i in range(10):
+        assert unbounded.check(
+            [T.eq(T.var(f"u{i}", FNAME), T.var(f"v{i}", FNAME))]
+        )
+    assert len(unbounded._check_cache) == 10
