@@ -1,0 +1,49 @@
+"""§4.3 sockets sweep benchmark: both interfaces, ANALYZER → MTRACE.
+
+A quick end-to-end run of the ordered and unordered socket matrices (6
+pairs total) through the full pipeline.  The counters are deterministic —
+path counts, generated tests, and per-kernel conflict-free totals — so
+CI gates them tightly; the headline assertion is the §4.3 claim itself:
+the unordered interface commutes more broadly and the scalable kernel is
+conflict-free for every one of its commutative tests.
+"""
+
+from repro.pipeline.sweep import run_sweep, summarize_interface_sweep
+
+
+def _sweep_both():
+    return {
+        name: summarize_interface_sweep(run_sweep(interface=name))
+        for name in ("sockets-ordered", "sockets-unordered")
+    }
+
+
+def test_sockets_sweep(benchmark):
+    summaries = benchmark.pedantic(_sweep_both, iterations=1, rounds=1)
+    ordered = summaries["sockets-ordered"]
+    unordered = summaries["sockets-unordered"]
+
+    assert unordered["commutative_fraction"] > ordered["commutative_fraction"]
+    assert unordered["conflict_free"]["scalefs"] == unordered["total_tests"]
+    assert ordered["conflict_free"]["scalefs"] == 0
+    assert all(m == 0 for s in summaries.values()
+               for m in s["mismatches"].values())
+
+    benchmark.extra_info.update({
+        "pairs": ordered["pairs"] + unordered["pairs"],
+        "ordered_tests": ordered["total_tests"],
+        "unordered_tests": unordered["total_tests"],
+        "ordered_commutative_paths": ordered["commutative_paths"],
+        "unordered_commutative_paths": unordered["commutative_paths"],
+        "unordered_scalefs_conflict_free":
+            unordered["conflict_free"]["scalefs"],
+    })
+    print(
+        f"\nsockets sweep: ordered {ordered['commutative_paths']}/"
+        f"{ordered['explored_paths']} paths commute, scalefs conflict-free "
+        f"{ordered['conflict_free']['scalefs']}/{ordered['total_tests']}; "
+        f"unordered {unordered['commutative_paths']}/"
+        f"{unordered['explored_paths']} paths commute, scalefs "
+        f"conflict-free {unordered['conflict_free']['scalefs']}/"
+        f"{unordered['total_tests']}"
+    )

@@ -44,6 +44,8 @@ class HeatmapResult:
     workers: int = 1
     cached_pairs: int = 0
     computed_pairs: int = 0
+    interface: str = "posix"
+    ncores: int = 4
 
     @property
     def total_tests(self) -> int:
@@ -79,10 +81,13 @@ def run_heatmap(
     driver=None,
     pair_filter=None,
     solver_cache_size: Optional[int] = None,
+    interface: str = "posix",
+    ncores: int = 4,
 ) -> HeatmapResult:
     """The full Figure 6 pipeline (8 minutes in the paper; similar here
     serially — ``workers`` shards pairs across processes, ``cache``
-    makes re-runs incremental)."""
+    makes re-runs incremental).  ``interface`` selects a registered
+    interface bundle (see :mod:`repro.model.registry`)."""
     sweep = run_sweep(
         ops=ops,
         kernels=None if kernels is None else tuple(kernels.items()),
@@ -93,6 +98,8 @@ def run_heatmap(
         pair_filter=pair_filter,
         on_progress=on_progress,
         solver_cache_size=solver_cache_size,
+        interface=interface,
+        ncores=ncores,
     )
     return HeatmapResult(
         kernels=sweep.kernels,
@@ -103,6 +110,8 @@ def run_heatmap(
         workers=sweep.workers,
         cached_pairs=sweep.cached_pairs,
         computed_pairs=sweep.computed_pairs,
+        interface=sweep.interface,
+        ncores=sweep.ncores,
     )
 
 

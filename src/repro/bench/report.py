@@ -79,8 +79,13 @@ def render_series(title: str, series_list: Iterable[BenchSeries],
 
 
 def heatmap_to_dict(result: HeatmapResult) -> dict:
-    """The Figure 6 artifact: totals, per-pair cells, residues."""
-    return {
+    """The Figure 6 artifact: totals, per-pair cells, residues.
+
+    Non-POSIX interface runs carry an ``interface`` key; the default
+    POSIX artifact keeps its historical schema byte-for-byte (existing
+    consumers and parity comparisons depend on it).
+    """
+    out = {
         "schema": "repro.heatmap/1",
         "kernels": list(result.kernels),
         "ops": list(result.op_names),
@@ -107,6 +112,15 @@ def heatmap_to_dict(result: HeatmapResult) -> dict:
         "residues": {k: dict(v) for k, v in result.residues.items()},
         "solver_totals": result.solver_totals,
     }
+    # Results depend on both (they are part of the cache fingerprint);
+    # the default POSIX 4-core artifact keeps its historical key set.
+    interface = getattr(result, "interface", "posix")
+    ncores = getattr(result, "ncores", 4)
+    if interface != "posix":
+        out["interface"] = interface
+    if interface != "posix" or ncores != 4:
+        out["ncores"] = ncores
+    return out
 
 
 def series_to_dict(series: BenchSeries) -> dict:

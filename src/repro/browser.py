@@ -12,7 +12,10 @@ Usage::
     python -m repro.browser worst scalefs --top 10
     python -m repro.browser residues scalefs
 
-All commands accept ``--data PATH`` (default results/fig6_heatmap.json).
+All commands accept ``--data PATH`` (default results/fig6_heatmap.json)
+or ``--interface NAME``, which resolves the default artifact the heatmap
+pipeline writes for that interface (e.g. ``--interface sockets-unordered``
+reads results/fig6_heatmap_sockets-unordered.json).
 """
 
 from __future__ import annotations
@@ -104,7 +107,17 @@ def main(argv=None) -> int:
         prog="repro.browser", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    parser.add_argument("--data", default=DEFAULT_DATA)
+    parser.add_argument("--data", default=None)
+    parser.add_argument(
+        "--interface", default="posix",
+        help="read the named interface's default heatmap artifact "
+             "(ignored when --data is given)",
+    )
+    parser.add_argument(
+        "--ncores", type=int, default=4,
+        help="read the artifact of a non-default-ncores heatmap run "
+             "(ignored when --data is given)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("summary")
     p = sub.add_parser("cell")
@@ -118,6 +131,19 @@ def main(argv=None) -> int:
     p = sub.add_parser("residues")
     p.add_argument("kernel")
     args = parser.parse_args(argv)
+    if args.data is None:
+        # Resolve through the same suffixing helper the pipeline writes
+        # with, so the browser always finds the matching artifact.
+        from repro.model.registry import UnknownInterfaceError, get_interface
+        from repro.pipeline.cli import interface_artifact_path
+
+        try:
+            get_interface(args.interface)
+        except UnknownInterfaceError as exc:
+            raise SystemExit(str(exc.args[0])) from exc
+        args.data = interface_artifact_path(
+            DEFAULT_DATA, args.interface, args.ncores
+        )
     data = HeatmapData.load(args.data)
     handler = {
         "summary": cmd_summary,

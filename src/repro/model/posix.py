@@ -44,10 +44,16 @@ POSIX_EXT_OPS: list[OpDef] = []
 
 
 def op_by_name(name: str) -> OpDef:
-    for op in POSIX_OPS + POSIX_EXT_OPS:
-        if op.name == name:
-            return op
-    raise KeyError(f"no model operation named {name!r}")
+    """Resolve a POSIX (or §4-extension) op name.
+
+    Resolution is interface-scoped through :mod:`repro.model.registry`:
+    names from other interfaces (the socket models, say) fail with an
+    error listing this interface's valid names rather than silently
+    falling through.
+    """
+    from repro.model.registry import get_interface
+
+    return get_interface("posix-ext").op_by_name(name)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,174 @@
+"""The interface registry: named, analyzable interface bundles.
+
+§4's central argument is about *interfaces*: whether an operation pair can
+scale is decided by the interface specification, before any implementation
+exists.  An :class:`Interface` bundles everything the pipeline needs to
+analyze one interface end-to-end — its operations, the symbolic
+initial-state constructor, the state-equivalence predicate, the kernels
+under test, and the TESTGEN concretization hooks — and the registry names
+them so every pipeline stage (``analyze``/``heatmap``/``testgen``/
+``browse``) can be pointed at an interface with ``--interface``.
+
+Registered instances:
+
+========================= ==============================================
+name                      interface
+========================= ==============================================
+``posix``                 the paper's 18-call POSIX model (Figure 6)
+``posix-ext``             POSIX plus the §4 commutative extensions
+                          (``fstatx``, ``openany``)
+``sockets-ordered``       §4.3's ordered datagram socket (``send``/
+                          ``recv`` over one FIFO)
+``sockets-unordered``     §4.3's redesign: unordered datagram socket
+                          (``usend``/``urecv`` over a bounded bag)
+========================= ==============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.model.base import OpDef
+
+
+class UnknownInterfaceError(KeyError):
+    """An ``--interface`` name that is not registered."""
+
+
+class UnknownOperationError(KeyError):
+    """An op name that does not exist in the requested interface."""
+
+
+@dataclass(frozen=True)
+class Interface:
+    """One analyzable interface: ops, state, equivalence, kernels, TESTGEN.
+
+    ``setup_builder(state, model, names)`` concretizes a path's symbolic
+    initial state into a :class:`~repro.testgen.casegen.ConcreteSetup`;
+    ``groups_builder(path)`` picks the isomorphism groups TESTGEN
+    enumerates over (``None`` uses TESTGEN's POSIX default).
+    """
+
+    name: str
+    description: str
+    ops: tuple[OpDef, ...]
+    build_state: Callable
+    state_equal: Callable
+    kernels: tuple[tuple[str, Callable], ...]
+    setup_builder: Callable
+    groups_builder: Optional[Callable] = None
+
+    @property
+    def op_names(self) -> list[str]:
+        return [op.name for op in self.ops]
+
+    def op_by_name(self, name: str) -> OpDef:
+        """Resolve an op name within this interface, or fail helpfully."""
+        for op in self.ops:
+            if op.name == name:
+                return op
+        raise UnknownOperationError(
+            f"unknown operation {name!r} in interface {self.name!r}; "
+            f"valid names: {', '.join(self.op_names)}"
+        )
+
+
+_REGISTRY: dict[str, Interface] = {}
+
+
+def register_interface(interface: Interface) -> Interface:
+    """Add (or replace) a named interface; returns it for chaining."""
+    _REGISTRY[interface.name] = interface
+    return interface
+
+
+def interface_names() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def get_interface(name: str) -> Interface:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownInterfaceError(
+            f"no interface named {name!r}; registered interfaces: "
+            f"{', '.join(interface_names())}"
+        ) from None
+
+
+def resolve_ops(interface: str, names: Optional[list[str]] = None) -> list[OpDef]:
+    """Ops of ``interface``, optionally restricted to ``names`` (validated
+    against the interface, with a helpful error otherwise)."""
+    iface = get_interface(interface)
+    if names is None:
+        return list(iface.ops)
+    return [iface.op_by_name(name) for name in names]
+
+
+# ----------------------------------------------------------------------
+# Built-in interfaces.  Imports live here (not at module top) only where
+# needed to keep import cycles out of repro.model.base users.
+
+def _register_builtins() -> None:
+    from repro.model.fs import PosixState
+    from repro.model.posix import POSIX_EXT_OPS, POSIX_OPS, posix_state_equal
+    from repro.model.sockets import (
+        ORDERED_SOCKET_OPS,
+        SocketState,
+        UNORDERED_SOCKET_OPS,
+        UnorderedSocketState,
+        ordered_socket_equal,
+        unordered_socket_equal,
+    )
+    from repro.mtrace.runner import mono_factory, scalefs_factory
+    from repro.testgen.casegen import setup_from_model
+    from repro.testgen.sockets import (
+        socket_groups_for_path,
+        socket_setup_from_model,
+    )
+
+    kernels = (("mono", mono_factory), ("scalefs", scalefs_factory))
+    register_interface(Interface(
+        name="posix",
+        description="the paper's 18-call POSIX model (13 fs + 5 vm calls)",
+        ops=tuple(POSIX_OPS),
+        build_state=PosixState,
+        state_equal=posix_state_equal,
+        kernels=kernels,
+        setup_builder=setup_from_model,
+    ))
+    register_interface(Interface(
+        name="posix-ext",
+        description="POSIX plus the §4 commutative extensions "
+                    "(fstatx, openany)",
+        ops=tuple(POSIX_OPS + POSIX_EXT_OPS),
+        build_state=PosixState,
+        state_equal=posix_state_equal,
+        kernels=kernels,
+        setup_builder=setup_from_model,
+    ))
+    register_interface(Interface(
+        name="sockets-ordered",
+        description="§4.3 ordered datagram socket: send/recv over one FIFO",
+        ops=tuple(ORDERED_SOCKET_OPS),
+        build_state=SocketState,
+        state_equal=ordered_socket_equal,
+        kernels=kernels,
+        setup_builder=socket_setup_from_model,
+        groups_builder=socket_groups_for_path,
+    ))
+    register_interface(Interface(
+        name="sockets-unordered",
+        description="§4.3 redesign: unordered datagram socket "
+                    "(usend/urecv over a bounded bag)",
+        ops=tuple(UNORDERED_SOCKET_OPS),
+        build_state=UnorderedSocketState,
+        state_equal=unordered_socket_equal,
+        kernels=kernels,
+        setup_builder=socket_setup_from_model,
+        groups_builder=socket_groups_for_path,
+    ))
+
+
+_register_builtins()

@@ -149,7 +149,7 @@ def _recv(s: SocketState):
     return ("msg", value)
 
 
-@defop(ORDERED_SOCKET_OPS, "send", Param("msg", "byte"))
+@defop(ORDERED_SOCKET_OPS, "send", Param("msg", "ref", sort=MESSAGE))
 def ordered_send(s, ex, rt, msg):
     return _send(s, msg)
 
@@ -159,7 +159,7 @@ def ordered_recv(s, ex, rt):
     return _recv(s)
 
 
-@defop(UNORDERED_SOCKET_OPS, "usend", Param("msg", "byte"))
+@defop(UNORDERED_SOCKET_OPS, "usend", Param("msg", "ref", sort=MESSAGE))
 def unordered_send(s, ex, rt, msg):
     if s.total >= CAPACITY:
         return -errors.EAGAIN  # no free space
@@ -192,19 +192,8 @@ def socket_op(name: str) -> OpDef:
     for op in ORDERED_SOCKET_OPS + UNORDERED_SOCKET_OPS:
         if op.name == name:
             return op
-    raise KeyError(name)
-
-
-def _patch_param_sorts() -> None:
-    """The msg parameter uses the Message sort, not DataByte."""
-    for ops in (ORDERED_SOCKET_OPS, UNORDERED_SOCKET_OPS):
-        for op in ops:
-            for param in op.params:
-                if param.name == "msg":
-                    param.make = (
-                        lambda factory, p=param:
-                        factory.fresh_ref(p.name, MESSAGE)
-                    )
-
-
-_patch_param_sorts()
+    valid = [op.name for op in ORDERED_SOCKET_OPS + UNORDERED_SOCKET_OPS]
+    raise KeyError(
+        f"no socket operation named {name!r}; valid names: "
+        + ", ".join(valid)
+    )

@@ -96,6 +96,7 @@ from repro.pipeline.sweep import (
     make_pair_filter,
     run_analysis,
     run_sweep,
+    summarize_interface_sweep,
 )
 
 __all__ = [
@@ -120,4 +121,5 @@ __all__ = [
     "run_analyze_job",
     "run_pair_job",
     "run_sweep",
+    "summarize_interface_sweep",
 ]

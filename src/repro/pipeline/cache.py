@@ -87,6 +87,8 @@ _CONTEXT_MODULES = (
     "repro.kernels.mono",
     "repro.kernels.scalefs",
     "repro.model.base",
+    "repro.model.registry",
+    "repro.testgen.sockets",
     "repro.pipeline.jobs",
 )
 
@@ -120,6 +122,9 @@ def op_fingerprint(op: OpDef) -> str:
     h.update(op.name.encode())
     for param in op.params:
         h.update(f"|{param.name}:{param.kind}".encode())
+        sort = getattr(param, "sort", None)
+        if sort is not None:
+            h.update(f"[{sort.name}]".encode())
     h.update(b"|")
     h.update(_source_of(op.fn).encode())
     return h.hexdigest()
@@ -189,6 +194,10 @@ def job_fingerprint(job: PairJob) -> str:
     h.update(_source_of(job.build_state).encode())
     h.update(_source_of(job.state_equal).encode())
     h.update(str(job.tests_per_path).encode())
+    # The interface picks the TESTGEN concretization hooks; the core
+    # count sizes per-core kernel structures — both change results.
+    h.update(job.interface.encode())
+    h.update(str(job.ncores).encode())
     for name, factory in job.kernels:
         h.update(name.encode())
         h.update(

@@ -17,6 +17,23 @@ DEFAULT_PARTIAL_OUT = "results/heatmap_partial.json"
 DEFAULT_ANALYZE_OUT = "results/analyze.json"
 DEFAULT_TESTGEN_OUT = "results/testgen.json"
 DEFAULT_CACHE = "results/pipeline-cache.json"
+DEFAULT_COMPARISON_OUT = "results/sockets_comparison.json"
+
+
+def interface_artifact_path(default: str, interface: str,
+                            ncores: int = 4) -> str:
+    """Suffixed default artifact path: the historical POSIX 4-core
+    artifacts keep their names; other interfaces get ``_<interface>``
+    and non-default core counts ``_ncores<N>``, so no run silently
+    clobbers an artifact produced under different parameters.  The
+    browser resolves ``--interface``/``--ncores`` through the same
+    helper, so it always finds what the pipeline wrote."""
+    stem, ext = default.rsplit(".", 1)
+    if interface != "posix":
+        stem = f"{stem}_{interface}"
+    if ncores != 4:
+        stem = f"{stem}_ncores{ncores}"
+    return f"{stem}.{ext}"
 
 
 def _parse_names(raw: Optional[str]) -> Optional[list[str]]:
@@ -40,11 +57,22 @@ def _parse_pairs(raw: Optional[Sequence[str]]) -> Optional[list[tuple[str, str]]
     return pairs
 
 
+def _resolve_interface(name: str):
+    from repro.model.registry import UnknownInterfaceError, get_interface
+
+    try:
+        return get_interface(name)
+    except UnknownInterfaceError as exc:
+        raise SystemExit(str(exc.args[0])) from exc
+
+
 def _resolve_matrix(args):
-    """Ops list and pair filter from --ops/--pairs (validated names)."""
-    from repro.model.posix import POSIX_OPS, op_by_name
+    """Interface, ops list, and pair filter from --interface/--ops/--pairs
+    (all names validated against the interface's registry entry)."""
+    from repro.model.registry import UnknownOperationError, resolve_ops
     from repro.pipeline.sweep import make_pair_filter
 
+    iface = _resolve_interface(getattr(args, "interface", "posix"))
     pairs = _parse_pairs(getattr(args, "pairs", None))
     op_names = _parse_names(getattr(args, "ops", None))
     if op_names is None and pairs is not None:
@@ -54,19 +82,12 @@ def _resolve_matrix(args):
                 if name not in seen:
                     seen.append(name)
         op_names = seen
-    if op_names is None:
-        ops = list(POSIX_OPS)
-    else:
-        try:
-            ops = [op_by_name(name) for name in op_names]
-        except KeyError as exc:
-            raise SystemExit(
-                f"unknown operation {exc.args[0].split()[-1]}: "
-                "run 'python -m repro analyze --help' and see "
-                "repro.model.posix for valid names"
-            ) from exc
+    try:
+        ops = resolve_ops(iface.name, op_names)
+    except UnknownOperationError as exc:
+        raise SystemExit(str(exc.args[0])) from exc
     pair_filter = make_pair_filter(pairs) if pairs is not None else None
-    return ops, pair_filter
+    return iface, ops, pair_filter
 
 
 def _worker_count(raw: str) -> int:
@@ -84,7 +105,29 @@ def _progress(args):
     return lambda line: print("  " + line, flush=True)
 
 
+def _ncores(raw: str) -> int:
+    value = int(raw)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_ncores_option(parser):
+    # Only meaningful for stages that run MTRACE (heatmap, sockets-compare):
+    # per-core kernel structures change sharing behavior with the count.
+    parser.add_argument(
+        "--ncores", type=_ncores, default=4, metavar="N",
+        help="core count for the kernels under test (default 4; changes "
+             "sharing behavior of per-core structures)",
+    )
+
+
 def _add_matrix_options(parser, cache: bool = False):
+    parser.add_argument(
+        "--interface", default="posix", metavar="NAME",
+        help="registered interface to analyze (posix, posix-ext, "
+             "sockets-ordered, sockets-unordered; default posix)",
+    )
     parser.add_argument(
         "--ops", metavar="a,b,c",
         help="restrict the matrix to these operations",
@@ -117,7 +160,7 @@ def cmd_analyze(args) -> int:
     from repro.bench.report import write_artifact
     from repro.pipeline.sweep import run_analysis
 
-    ops, pair_filter = _resolve_matrix(args)
+    iface, ops, pair_filter = _resolve_matrix(args)
     result = run_analysis(
         ops=ops,
         workers=args.workers,
@@ -125,6 +168,7 @@ def cmd_analyze(args) -> int:
         on_progress=_progress(args),
         condition_chars=args.condition_chars,
         solver_cache_size=args.solver_cache_size,
+        interface=iface.name,
     )
     payload = {
         "schema": "repro.analyze/1",
@@ -134,9 +178,13 @@ def cmd_analyze(args) -> int:
         "pairs": [s.to_dict() for s in result.summaries],
         "solver_totals": result.solver_totals,
     }
+    if iface.name != "posix":
+        payload["interface"] = iface.name
+    if args.out is None:
+        args.out = interface_artifact_path(DEFAULT_ANALYZE_OUT, iface.name)
     path = write_artifact(args.out, payload)
     print(
-        f"{len(result.summaries)} pairs analyzed "
+        f"[{iface.name}] {len(result.summaries)} pairs analyzed "
         f"({result.commutative_pairs} with commutative paths) "
         f"in {result.elapsed_seconds:.1f}s -> {path}"
     )
@@ -148,12 +196,13 @@ def cmd_heatmap(args) -> int:
     from repro.bench.report import heatmap_to_dict, render_heatmap, \
         render_residues, write_artifact
 
-    ops, pair_filter = _resolve_matrix(args)
+    iface, ops, pair_filter = _resolve_matrix(args)
     if args.out is None:
         # A filtered run must not clobber the full-matrix artifact that
         # the browser and Figure 6 benchmark read by default.
         filtered = args.ops is not None or args.pairs
-        args.out = DEFAULT_PARTIAL_OUT if filtered else DEFAULT_HEATMAP_OUT
+        default = DEFAULT_PARTIAL_OUT if filtered else DEFAULT_HEATMAP_OUT
+        args.out = interface_artifact_path(default, iface.name, args.ncores)
     cache = None if args.no_cache else args.cache
     result = run_heatmap(
         ops=ops,
@@ -163,6 +212,8 @@ def cmd_heatmap(args) -> int:
         cache=cache,
         pair_filter=pair_filter,
         solver_cache_size=args.solver_cache_size,
+        interface=iface.name,
+        ncores=args.ncores,
     )
     path = write_artifact(args.out, heatmap_to_dict(result))
     if args.render:
@@ -187,10 +238,12 @@ def cmd_testgen(args) -> int:
     from repro.pipeline.jobs import PairJob, run_testgen_job
     from repro.pipeline.sweep import iter_pairs
 
-    ops, pair_filter = _resolve_matrix(args)
+    iface, ops, pair_filter = _resolve_matrix(args)
     jobs = [
         PairJob(a, b, tests_per_path=args.tests_per_path,
-                solver_cache_size=args.solver_cache_size)
+                solver_cache_size=args.solver_cache_size,
+                build_state=iface.build_state, state_equal=iface.state_equal,
+                kernels=tuple(iface.kernels), interface=iface.name)
         for a, b in iter_pairs(ops, pair_filter)
     ]
     progress = _progress(args)
@@ -217,6 +270,10 @@ def cmd_testgen(args) -> int:
             {k: v for k, v in r.items() if k != "rendered"} for r in results
         ],
     }
+    if iface.name != "posix":
+        payload["interface"] = iface.name
+    if args.out is None:
+        args.out = interface_artifact_path(DEFAULT_TESTGEN_OUT, iface.name)
     path = write_artifact(args.out, payload)
     print(f"{payload['total']} test cases across {len(results)} pairs "
           f"-> {path}")
@@ -277,6 +334,73 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_sockets_compare(args) -> int:
+    from repro.bench.report import write_artifact
+    from repro.pipeline.sweep import run_sweep, summarize_interface_sweep
+
+    interfaces = ("sockets-ordered", "sockets-unordered")
+    summaries = {}
+    for name in interfaces:
+        sweep = run_sweep(
+            interface=name,
+            tests_per_path=args.tests_per_path,
+            workers=args.workers,
+            cache=None if args.no_cache else args.cache,
+            on_progress=_progress(args),
+            solver_cache_size=args.solver_cache_size,
+            ncores=args.ncores,
+        )
+        summaries[name] = summarize_interface_sweep(sweep)
+    ordered, unordered = (summaries[n] for n in interfaces)
+    claim = {
+        "text": "§4.3: the unordered socket interface commutes more "
+                "broadly than the ordered one, and the scalable kernel "
+                "is conflict-free for a larger fraction of its "
+                "commutative tests",
+        "commutative_fraction_higher":
+            unordered["commutative_fraction"] > ordered["commutative_fraction"],
+        "conflict_free_fraction_higher": {
+            kernel: unordered["conflict_free_fraction"][kernel]
+            > ordered["conflict_free_fraction"][kernel]
+            for kernel in unordered["conflict_free_fraction"]
+        },
+    }
+    claim["holds"] = bool(
+        claim["commutative_fraction_higher"]
+        and claim["conflict_free_fraction_higher"].get("scalefs")
+    )
+    payload = {
+        "schema": "repro.sockets-comparison/1",
+        "ncores": args.ncores,
+        "tests_per_path": args.tests_per_path,
+        "interfaces": summaries,
+        "claim": claim,
+    }
+    if args.out is None:
+        # Non-default core counts get their own artifact, like heatmap.
+        args.out = interface_artifact_path(
+            DEFAULT_COMPARISON_OUT, "posix", args.ncores
+        )
+    path = write_artifact(args.out, payload)
+    print("§4.3 ordered vs unordered datagram sockets "
+          "(ANALYZER → TESTGEN → MTRACE):")
+    for name in interfaces:
+        s = summaries[name]
+        cf = ", ".join(
+            f"{k} {s['conflict_free'][k]}/{s['total_tests']} "
+            f"({100 * s['conflict_free_fraction'][k]:.0f}%)"
+            for k in sorted(s["conflict_free"])
+        )
+        print(f"  {name:18s} commutative paths "
+              f"{s['commutative_paths']}/{s['explored_paths']} "
+              f"({100 * s['commutative_fraction']:.0f}%); "
+              f"conflict-free: {cf}")
+    verdict = "HOLDS" if claim["holds"] else "DOES NOT HOLD"
+    print(f"  claim {verdict}: unordered commutes more broadly and is "
+          f"more conflict-free on the scalable kernel -> {path}")
+    return 0 if claim["holds"] else 1
+
+
 def cmd_bench_gate(args) -> int:
     from repro.bench import regression
 
@@ -304,7 +428,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("analyze", help="commutativity conditions per pair")
     _add_matrix_options(p)
-    p.add_argument("--out", default=DEFAULT_ANALYZE_OUT, metavar="PATH")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help=f"artifact path (default {DEFAULT_ANALYZE_OUT}, "
+                        "interface-suffixed for non-posix runs)")
     p.add_argument("--condition-chars", type=int, default=4000,
                    help="truncate rendered conditions (<=0: unlimited)")
     p.set_defaults(fn=cmd_analyze)
@@ -312,6 +438,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("heatmap",
                        help="full Figure 6 pipeline (analyze+testgen+mtrace)")
     _add_matrix_options(p, cache=True)
+    _add_ncores_option(p)
     p.add_argument("--out", default=None, metavar="PATH",
                    help=f"artifact path (default {DEFAULT_HEATMAP_OUT}; "
                         f"{DEFAULT_PARTIAL_OUT} for --ops/--pairs runs)")
@@ -322,7 +449,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("testgen", help="concrete test cases per pair")
     _add_matrix_options(p)
-    p.add_argument("--out", default=DEFAULT_TESTGEN_OUT, metavar="PATH")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help=f"artifact path (default {DEFAULT_TESTGEN_OUT}, "
+                        "interface-suffixed for non-posix runs)")
     p.add_argument("--tests-per-path", type=int, default=1)
     p.add_argument("--render", action="store_true",
                    help="print Figure-5-style C for every case")
@@ -336,6 +465,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None, metavar="PATH",
                    help="artifact path (default results/bench_<suite>.json)")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "sockets-compare",
+        help="§4.3 end-to-end: ordered vs unordered sockets through "
+             "ANALYZER/TESTGEN/MTRACE, with the commutativity claim checked",
+    )
+    _add_ncores_option(p)
+    p.add_argument(
+        "--workers", type=_worker_count, default=1, metavar="N",
+        help="process-pool width; 1 = serial, 0 = all cores (default 1)",
+    )
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-pair progress lines")
+    p.add_argument("--tests-per-path", type=int, default=1)
+    p.add_argument(
+        "--solver-cache-size", type=int, default=None, metavar="N",
+        help="bound each pair's solver memo caches to N entries",
+    )
+    p.add_argument(
+        "--cache", default=DEFAULT_CACHE, metavar="PATH",
+        help=f"persistent result cache (default {DEFAULT_CACHE})",
+    )
+    p.add_argument("--no-cache", action="store_true",
+                   help="recompute every pair")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help=f"artifact path (default {DEFAULT_COMPARISON_OUT}, "
+                        "ncores-suffixed for non-default --ncores)")
+    p.set_defaults(fn=cmd_sockets_compare)
 
     p = sub.add_parser(
         "bench-gate",

@@ -50,12 +50,29 @@ class PairJob:
     #: 0 = unbounded).  Deliberately outside the cache fingerprint: it
     #: changes how fast a pair computes, never what it computes.
     solver_cache_size: Optional[int] = None
+    #: Registered interface the pair belongs to: selects the TESTGEN
+    #: concretization hooks and labels artifacts.  The name (a string)
+    #: is what crosses process boundaries; workers re-resolve it.
+    interface: str = "posix"
+    #: Core count for the kernels under test (per-core structures change
+    #: sharing behavior); 4 keeps the committed artifacts stable.
+    ncores: int = 4
 
     @property
     def key(self) -> str:
         """Cache key: the pair's names, canonically ordered — the matrix
-        is unordered, so (a, b) and (b, a) share one cache entry."""
-        return "|".join(sorted((self.op0.name, self.op1.name)))
+        is unordered, so (a, b) and (b, a) share one cache entry.
+
+        Non-default interface/ncores runs get their own key space so
+        alternating parameterizations against one cache file coexist
+        instead of evicting each other (the fingerprint would reject the
+        other run's entry anyway); the default POSIX 4-core keys keep
+        their historical format.
+        """
+        pair = "|".join(sorted((self.op0.name, self.op1.name)))
+        if self.interface == "posix" and self.ncores == 4:
+            return pair
+        return f"{self.interface}|ncores{self.ncores}|{pair}"
 
 
 @dataclass
@@ -102,11 +119,24 @@ class PairCellData:
         )
 
 
+def _testgen_hooks(job: PairJob) -> dict:
+    """The interface's TESTGEN concretization hooks, resolved by name
+    (jobs only carry the interface *name* across process boundaries)."""
+    from repro.model.registry import get_interface
+
+    iface = get_interface(job.interface)
+    return {
+        "setup_builder": iface.setup_builder,
+        "groups_builder": iface.groups_builder,
+    }
+
+
 def run_pair_job(job: PairJob) -> PairCellData:
     """ANALYZER → TESTGEN → MTRACE for one pair, on every kernel."""
     pair = analyze_pair(job.build_state, job.state_equal, job.op0, job.op1,
                         solver_cache_size=job.solver_cache_size)
-    cases = generate_for_pair(pair, tests_per_path=job.tests_per_path)
+    cases = generate_for_pair(pair, tests_per_path=job.tests_per_path,
+                              **_testgen_hooks(job))
     cell = PairCellData(
         op0=job.op0.name,
         op1=job.op1.name,
@@ -120,7 +150,7 @@ def run_pair_job(job: PairJob) -> PairCellData:
         mismatched = 0
         bucket: dict[str, int] = {}
         for case in cases:
-            result = run_testcase(factory, case)
+            result = run_testcase(factory, case, ncores=job.ncores)
             if not result.conflict_free:
                 bad += 1
                 classify_residue(bucket, result)
@@ -178,7 +208,8 @@ def run_testgen_job(job: PairJob, render: bool = False) -> dict:
     """ANALYZER → TESTGEN for one pair; counts, case names, optional C."""
     pair = analyze_pair(job.build_state, job.state_equal, job.op0, job.op1,
                         solver_cache_size=job.solver_cache_size)
-    cases = generate_for_pair(pair, tests_per_path=job.tests_per_path)
+    cases = generate_for_pair(pair, tests_per_path=job.tests_per_path,
+                              **_testgen_hooks(job))
     out = {
         "op0": job.op0.name,
         "op1": job.op1.name,
@@ -204,6 +235,7 @@ RESIDUE_RULES = (
     ("pipe-refcounts", ("p_readers", "p_writers", "readers", "writers")),
     ("file-offset", ("f_pos",)),
     ("file-length", ("len", "i_size")),
+    ("sockets", ("s_lock", "s_count", "s_payload", "credits")),
     ("page-slots", ("present", "value", "pte", "data")),
     ("fd-table", ("fd", "chain")),
     ("locks", ("lock", "mmap_sem", "i_mutex")),

@@ -18,7 +18,6 @@ from repro.model.base import OpDef
 from repro.pipeline.cache import ResultCache, job_fingerprint
 from repro.pipeline.drivers import Driver, driver_for
 from repro.pipeline.jobs import (
-    DEFAULT_KERNELS,
     PairCellData,
     PairJob,
     PairSummary,
@@ -40,6 +39,8 @@ class SweepResult:
     workers: int = 1
     cached_pairs: int = 0
     computed_pairs: int = 0
+    interface: str = "posix"
+    ncores: int = 4
 
     @property
     def total_tests(self) -> int:
@@ -97,6 +98,8 @@ def run_sweep(
     build_state: Optional[Callable] = None,
     state_equal: Optional[Callable] = None,
     solver_cache_size: Optional[int] = None,
+    interface: str = "posix",
+    ncores: int = 4,
 ) -> SweepResult:
     """The Figure 6 pipeline over the pair matrix.
 
@@ -104,21 +107,29 @@ def run_sweep(
     matches a stored entry are not recomputed.  ``driver`` (or ``workers``)
     picks the execution strategy; results are identical for every choice.
     ``solver_cache_size`` bounds each pair's solver memo (0 = unbounded).
+    ``interface`` selects a registered interface bundle: its ops, state
+    constructor, equivalence, kernels and TESTGEN hooks (explicit ``ops``/
+    ``kernels``/``build_state``/``state_equal`` arguments still override).
+    ``ncores`` sizes the kernels under test (default 4 for artifact
+    stability).
     """
+    from repro.model.registry import get_interface
+
+    iface = get_interface(interface)
     if ops is None:
-        from repro.model.posix import POSIX_OPS
-        ops = POSIX_OPS
+        ops = iface.ops
     ops = list(ops)
-    kernel_items = tuple(kernels) if kernels is not None else DEFAULT_KERNELS
+    kernel_items = tuple(kernels) if kernels is not None \
+        else tuple(iface.kernels)
     start = time.time()
-    job_kwargs = {}
-    if build_state is not None:
-        job_kwargs["build_state"] = build_state
-    if state_equal is not None:
-        job_kwargs["state_equal"] = state_equal
     jobs = [
         PairJob(a, b, tests_per_path=tests_per_path, kernels=kernel_items,
-                solver_cache_size=solver_cache_size, **job_kwargs)
+                solver_cache_size=solver_cache_size,
+                build_state=build_state if build_state is not None
+                else iface.build_state,
+                state_equal=state_equal if state_equal is not None
+                else iface.state_equal,
+                interface=interface, ncores=ncores)
         for a, b in iter_pairs(ops, pair_filter)
     ]
 
@@ -175,7 +186,41 @@ def run_sweep(
         workers=resolved.workers,
         cached_pairs=len(jobs) - len(todo),
         computed_pairs=len(todo),
+        interface=interface,
+        ncores=ncores,
     )
+
+
+def summarize_interface_sweep(sweep: SweepResult) -> dict:
+    """Plain-data summary of one interface's sweep: path and test totals,
+    commutative fraction, and per-kernel conflict-freedom fractions (the
+    quantities the §4.3 ordered-vs-unordered comparison reports)."""
+    explored = sum(c.explored_paths for c in sweep.cells)
+    commutative = sum(c.commutative_paths for c in sweep.cells)
+    total = sweep.total_tests
+    conflict_free = {
+        kernel: sweep.conflict_free_total(kernel) for kernel in sweep.kernels
+    }
+    mismatches = {
+        kernel: sum(c.mismatches.get(kernel, 0) for c in sweep.cells)
+        for kernel in sweep.kernels
+    }
+    return {
+        "interface": sweep.interface,
+        "ops": list(sweep.op_names),
+        "pairs": len(sweep.cells),
+        "explored_paths": explored,
+        "commutative_paths": commutative,
+        "commutative_fraction":
+            commutative / explored if explored else 0.0,
+        "total_tests": total,
+        "conflict_free": conflict_free,
+        "conflict_free_fraction": {
+            kernel: (count / total if total else 0.0)
+            for kernel, count in conflict_free.items()
+        },
+        "mismatches": mismatches,
+    }
 
 
 @dataclass
@@ -186,6 +231,7 @@ class AnalysisSweep:
     op_names: list[str]
     elapsed_seconds: float
     workers: int = 1
+    interface: str = "posix"
 
     @property
     def commutative_pairs(self) -> int:
@@ -204,15 +250,20 @@ def run_analysis(
     on_progress: Optional[Callable[[str], None]] = None,
     condition_chars: Optional[int] = 4000,
     solver_cache_size: Optional[int] = None,
+    interface: str = "posix",
 ) -> AnalysisSweep:
     """ANALYZER over the pair matrix, summaries only (no TESTGEN/MTRACE)."""
+    from repro.model.registry import get_interface
+
+    iface = get_interface(interface)
     if ops is None:
-        from repro.model.posix import POSIX_OPS
-        ops = POSIX_OPS
+        ops = iface.ops
     ops = list(ops)
     start = time.time()
     jobs = [
-        PairJob(a, b, solver_cache_size=solver_cache_size)
+        PairJob(a, b, solver_cache_size=solver_cache_size,
+                build_state=iface.build_state, state_equal=iface.state_equal,
+                interface=interface)
         for a, b in iter_pairs(ops, pair_filter)
     ]
 
@@ -234,4 +285,5 @@ def run_analysis(
         op_names=[op.name for op in ops],
         elapsed_seconds=time.time() - start,
         workers=resolved.workers,
+        interface=interface,
     )

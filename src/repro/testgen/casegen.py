@@ -60,11 +60,27 @@ class ProcSpec:
 
 
 @dataclass
+class SocketSpec:
+    """One datagram socket's initial state (the §4.3 sockets interfaces).
+
+    ``messages`` are the queued payload tokens in delivery order (for the
+    ordered variant) or an arbitrary enumeration of the pending bag (for
+    the unordered one); ``capacity`` bounds the queue like the model's
+    CAPACITY, ``None`` meaning unbounded (the mail-server workload).
+    """
+
+    ordered: bool = True
+    messages: list[str] = field(default_factory=list)
+    capacity: Optional[int] = None
+
+
+@dataclass
 class ConcreteSetup:
     dir: dict[str, int] = field(default_factory=dict)
     inodes: dict[int, InodeSpec] = field(default_factory=dict)
     pipes: dict[int, PipeSpec] = field(default_factory=dict)
     procs: list[ProcSpec] = field(default_factory=lambda: [ProcSpec() for _ in range(NPROCS)])
+    sockets: dict[int, SocketSpec] = field(default_factory=dict)
 
 
 @dataclass

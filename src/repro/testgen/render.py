@@ -81,6 +81,12 @@ def _render_setup(setup: ConcreteSetup) -> list[str]:
             f"/* pipe {pipeid}: {pipe.nbytes} page(s) queued, "
             f"{pipe.nread} read fd(s), {pipe.nwrite} write fd(s) */"
         )
+    for sid, sock in sorted(setup.sockets.items()):
+        kind = "ordered" if sock.ordered else "unordered"
+        cap = "unbounded" if sock.capacity is None else sock.capacity
+        out.append(f"/* {kind} datagram socket {sid}, capacity {cap} */")
+        for message in sock.messages:
+            out.append(f'sendto(sock{sid}, "{message}", 1, 0, &addr, alen);')
     if not out:
         out.append("/* empty initial state */")
     return out

@@ -1,0 +1,129 @@
+"""TESTGEN concretization for the §4.3 socket interfaces.
+
+The POSIX half of TESTGEN lives in :mod:`repro.testgen.casegen`; this is
+the model-specific half for the two socket models: turning a satisfying
+assignment over a :class:`~repro.model.sockets.SocketState` (FIFO) or
+:class:`~repro.model.sockets.UnorderedSocketState` (bag) into a
+:class:`~repro.testgen.casegen.ConcreteSetup` holding one pre-loaded
+socket, plus the isomorphism groups whose aliasing patterns distinguish
+socket test cases (message identities, queue positions and counts).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.model.sockets import (
+    CAPACITY,
+    MESSAGE,
+    SocketState,
+    UnorderedSocketState,
+)
+from repro.symbolic import terms as T
+from repro.symbolic.enumerate import IsomorphismGroups
+from repro.symbolic.solver import Model
+from repro.symbolic.symtypes import SValue
+from repro.testgen.casegen import (
+    ConcreteSetup,
+    SocketSpec,
+    _Names,
+    concrete_value,
+    ev_key,
+)
+
+_GROUP_CAP = 8
+
+
+def _present(slot, model: Model) -> bool:
+    if slot.initial_present is False:
+        return False
+    return bool(model.eval(slot.initial_present))
+
+
+def socket_setup_from_model(
+    state, model: Model, names: Optional[_Names] = None
+) -> ConcreteSetup:
+    """Concrete initial world for either socket model: one loaded socket."""
+    if names is None:
+        names = _Names()
+    if isinstance(state, SocketState):
+        spec = _ordered_spec(state, model, names)
+    elif isinstance(state, UnorderedSocketState):
+        spec = _unordered_spec(state, model, names)
+    else:
+        raise TypeError(
+            f"socket_setup_from_model cannot concretize {type(state).__name__}"
+        )
+    setup = ConcreteSetup()
+    setup.sockets[0] = spec
+    return setup
+
+
+def _ordered_spec(state: SocketState, model: Model, names: _Names) -> SocketSpec:
+    head = model.eval(state.head.term)
+    tail = model.eval(state.tail.term)
+    by_pos: dict[int, str] = {}
+    for slot in state.buffer.base.slots:
+        if _present(slot, model):
+            by_pos[model.eval(slot.key)] = concrete_value(
+                slot.initial_value, model, names
+            )
+    # Positions the path never inspected are unconstrained; any payload
+    # distinct from the named ones preserves the model's assignment.
+    messages = [by_pos.get(pos, f"_fill{pos}") for pos in range(head, tail)]
+    return SocketSpec(ordered=True, messages=messages, capacity=CAPACITY)
+
+
+def _unordered_spec(
+    state: UnorderedSocketState, model: Model, names: _Names
+) -> SocketSpec:
+    total = model.eval(state.total.term)
+    pending: list[str] = []
+    for slot in state.counts.base.slots:
+        if _present(slot, model):
+            token = ev_key(slot.key, model, names)
+            count = concrete_value(slot.initial_value, model, names)
+            pending.extend([token] * max(int(count), 0))
+    # The model constrains the total and each present count separately;
+    # the bag installed in the kernel carries exactly ``total`` messages
+    # so capacity behavior matches the model's EAGAIN branches.
+    messages = pending[:total]
+    while len(messages) < total:
+        messages.append(f"_fill{len(messages)}")
+    return SocketSpec(ordered=False, messages=messages, capacity=CAPACITY)
+
+
+def socket_groups_for_path(path) -> IsomorphismGroups:
+    """Value groups for socket test identity: messages, positions/counts."""
+    state = path.initial_state
+    messages: list[T.Term] = []
+    ints: list[T.Term] = []
+
+    for args in path.args:
+        for value in args.values():
+            if not isinstance(value, SValue):
+                continue
+            sort = value.term.sort
+            if sort is MESSAGE:
+                messages.append(value.term)
+            elif sort is T.INT:
+                ints.append(value.term)
+
+    if isinstance(state, SocketState):
+        ints.append(state.head.term)
+        ints.append(state.tail.term)
+        for slot in state.buffer.base.slots:
+            ints.append(slot.key)
+            if slot.initial_value is not None:
+                messages.append(slot.initial_value.term)
+    elif isinstance(state, UnorderedSocketState):
+        ints.append(state.total.term)
+        for slot in state.counts.base.slots:
+            messages.append(slot.key)
+            if slot.initial_value is not None:
+                ints.append(slot.initial_value.term)
+
+    groups = IsomorphismGroups()
+    groups.add("messages", messages[:_GROUP_CAP])
+    groups.add("ints", ints[:_GROUP_CAP])
+    return groups

@@ -12,7 +12,7 @@ different data-structure access patterns in an implementation).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.analyzer.analyzer import PairResult, PathVerdict
 from repro.model.base import DATABYTE, FILENAME
@@ -51,20 +51,31 @@ def generate_for_pair(
     pair: PairResult,
     solver: Optional[Solver] = None,
     tests_per_path: int = 8,
+    setup_builder: Optional[Callable] = None,
+    groups_builder: Optional[Callable] = None,
 ) -> list[TestCase]:
-    """Concrete test cases for every commutative path of a pair."""
+    """Concrete test cases for every commutative path of a pair.
+
+    ``setup_builder`` and ``groups_builder`` are the model-specific
+    concretization hooks (see :class:`repro.model.registry.Interface`);
+    the defaults are the POSIX model's.
+    """
     solver = solver if solver is not None else Solver()
+    if setup_builder is None:
+        setup_builder = setup_from_model
+    if groups_builder is None:
+        groups_builder = _groups_for_path
     cases: list[TestCase] = []
     for path_index, path in enumerate(pair.paths):
         if not path.commutes:
             continue
-        groups = _groups_for_path(path)
+        groups = groups_builder(path)
         models = enumerate_models(
             solver, list(path.path_condition), groups, limit=tests_per_path
         )
         for test_index, model in enumerate(models):
             names = _Names()
-            setup = setup_from_model(path.initial_state, model, names)
+            setup = setup_builder(path.initial_state, model, names)
             ops = tuple(
                 OpCall(op.name, {
                     k: concrete_value(v, model, names)

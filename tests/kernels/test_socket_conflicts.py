@@ -1,0 +1,188 @@
+"""§4.3 sockets end-to-end: ANALYZER verdicts and MTRACE conflict-freedom.
+
+The paper's flagship redesign story, checked at both layers:
+
+* ANALYZER — ordered send/recv pairs are non-commutative outside error
+  cases; unordered usend/urecv pairs are SIM-commutative whenever there
+  is both free space and pending messages;
+* MTRACE — the scalable kernel's per-core unordered socket is
+  conflict-free for commutative balanced cases, while the ordered FIFO
+  (and the Linux-like kernel's single-queue socket, ordered or not)
+  conflicts.
+"""
+
+from repro import errors
+from repro.analyzer import analyze_pair
+from repro.model.registry import get_interface
+from repro.model.sockets import CAPACITY
+from repro.mtrace.runner import (
+    mono_factory,
+    run_testcase,
+    scalefs_factory,
+)
+from repro.pipeline.jobs import PairJob, run_pair_job
+from repro.testgen.casegen import ConcreteSetup, SocketSpec
+from repro.testgen.testgen import OpCall, TestCase
+
+
+def analyze(interface: str, n0: str, n1: str):
+    iface = get_interface(interface)
+    return analyze_pair(iface.build_state, iface.state_equal,
+                        iface.op_by_name(n0), iface.op_by_name(n1))
+
+
+def socket_case(name, ops, expected, messages, ordered):
+    setup = ConcreteSetup()
+    setup.sockets[0] = SocketSpec(
+        ordered=ordered, messages=list(messages), capacity=CAPACITY
+    )
+    return TestCase(
+        name=name, pair=(ops[0].op, ops[1].op), setup=setup,
+        ops=tuple(ops), expected=tuple(expected),
+        path_index=0, test_index=0,
+    )
+
+
+class TestAnalyzerVerdicts:
+    def test_ordered_send_recv_non_commutative_on_empty_queue(self):
+        """recv-first EAGAINs, recv-after-send sees the message."""
+        from repro.symbolic.solver import Solver
+
+        pair = analyze("sockets-ordered", "send", "recv")
+        solver = Solver()
+        for path in pair.non_commutative_paths:
+            if path.returns[0] != 0:
+                continue
+            model = solver.model(list(path.path_condition))
+            state = path.initial_state
+            if model.eval(state.head.term) == model.eval(state.tail.term):
+                return  # initially empty queue, successful send
+        raise AssertionError("empty-queue send/recv must be order-sensitive")
+
+    def test_ordered_sends_of_distinct_messages_non_commutative(self):
+        pair = analyze("sockets-ordered", "send", "send")
+        assert pair.non_commutative_paths, "FIFO order must be observable"
+
+    def test_unordered_send_recv_sim_commutative_with_space_and_pending(self):
+        pair = analyze("sockets-unordered", "usend", "urecv")
+        good = [
+            p for p in pair.commutative_paths
+            if p.returns[0] == 0 and isinstance(p.returns[1], tuple)
+        ]
+        assert good, "usend/urecv must commute when neither full nor empty"
+
+    def test_unordered_sends_commute_whenever_space(self):
+        pair = analyze("sockets-unordered", "usend", "usend")
+        successes = [p for p in pair.paths if p.returns == (0, 0)]
+        assert successes
+        assert all(p.commutes for p in successes)
+
+
+class TestMtraceConflicts:
+    def test_scalefs_unordered_balanced_send_recv_conflict_free(self):
+        case = socket_case(
+            "usend_urecv_balanced",
+            (OpCall("usend", {"msg": "m0"}), OpCall("urecv", {})),
+            (0, ("msg", "m1")),
+            messages=["m1", "m2"], ordered=False,
+        )
+        result = run_testcase(scalefs_factory, case)
+        assert result.conflict_free, result.conflicts
+        assert result.mismatch is None
+
+    def test_scalefs_unordered_two_recvs_conflict_free(self):
+        case = socket_case(
+            "urecv_urecv_balanced",
+            (OpCall("urecv", {}), OpCall("urecv", {})),
+            (("msg", "m0"), ("msg", "m1")),
+            messages=["m0", "m1"], ordered=False,
+        )
+        result = run_testcase(scalefs_factory, case)
+        assert result.conflict_free, result.conflicts
+        assert result.mismatch is None
+
+    def test_scalefs_full_socket_sends_fail_conflict_free(self):
+        """A globally full socket EAGAINs both sends after a read-only
+        probe of the credit lines — still commutative, still scalable."""
+        case = socket_case(
+            "usend_usend_full",
+            (OpCall("usend", {"msg": "x"}), OpCall("usend", {"msg": "y"})),
+            (-errors.EAGAIN, -errors.EAGAIN),
+            messages=["a", "b", "c"], ordered=False,
+        )
+        result = run_testcase(scalefs_factory, case)
+        assert result.conflict_free, result.conflicts
+        assert result.mismatch is None
+
+    def test_scalefs_ordered_fifo_conflicts(self):
+        case = socket_case(
+            "send_recv_ordered",
+            (OpCall("send", {"msg": "m0"}), OpCall("recv", {})),
+            (0, ("msg", "m1")),
+            messages=["m1"], ordered=True,
+        )
+        result = run_testcase(scalefs_factory, case)
+        assert not result.conflict_free
+        assert result.mismatch is None
+
+    def test_mono_conflicts_even_for_the_unordered_interface(self):
+        """The commutative interface alone is not enough: the baseline's
+        single-queue implementation still serializes."""
+        case = socket_case(
+            "usend_urecv_mono",
+            (OpCall("usend", {"msg": "m0"}), OpCall("urecv", {})),
+            (0, ("msg", "m1")),
+            messages=["m1", "m2"], ordered=False,
+        )
+        result = run_testcase(mono_factory, case)
+        assert not result.conflict_free
+        assert result.mismatch is None
+
+    def test_mono_capacity_matches_model(self):
+        case = socket_case(
+            "usend_full_mono",
+            (OpCall("usend", {"msg": "x"}), OpCall("urecv", {})),
+            (-errors.EAGAIN, ("msg", "a")),
+            messages=["a", "b", "c"], ordered=False,
+        )
+        result = run_testcase(mono_factory, case)
+        assert result.mismatch is None
+
+
+class TestEndToEndPairJobs:
+    def test_unordered_beats_ordered_through_the_whole_pipeline(self):
+        fails = {}
+        totals = {}
+        for name, a, b in (
+            ("sockets-ordered", "send", "recv"),
+            ("sockets-unordered", "usend", "urecv"),
+        ):
+            iface = get_interface(name)
+            cell = run_pair_job(PairJob(
+                iface.op_by_name(a), iface.op_by_name(b),
+                build_state=iface.build_state, state_equal=iface.state_equal,
+                kernels=tuple(iface.kernels), interface=name,
+            ))
+            assert cell.total > 0
+            assert all(m == 0 for m in cell.mismatches.values())
+            fails[name] = cell.not_conflict_free["scalefs"]
+            totals[name] = cell.total
+        # Ordered: every commutative test conflicts on the FIFO lock.
+        assert fails["sockets-ordered"] == totals["sockets-ordered"]
+        # Unordered: the per-core implementation is conflict-free.
+        assert fails["sockets-unordered"] == 0
+
+    def test_ncores_threads_through_to_the_kernels(self):
+        iface = get_interface("sockets-unordered")
+        case = socket_case(
+            "usend_usend_ncores",
+            (OpCall("usend", {"msg": "x"}), OpCall("usend", {"msg": "y"})),
+            (0, 0),
+            messages=[], ordered=False,
+        )
+        for ncores in (3, 8):
+            result = run_testcase(scalefs_factory, case, ncores=ncores)
+            assert result.mismatch is None
+        # Degenerate 2-core machines fold both ops onto core 1.
+        result = run_testcase(scalefs_factory, case, ncores=2)
+        assert result.mismatch is None

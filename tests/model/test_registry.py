@@ -1,0 +1,118 @@
+"""The interface registry: scoped op resolution and first-class sorts.
+
+Covers the two bugfixes that motivated the registry: ``op_by_name``
+silently ignoring non-POSIX interfaces, and the sockets model's post-hoc
+``Param.make`` monkey-patch (now a ``sort=`` argument on ``Param``).
+"""
+
+import pytest
+
+from repro.model import sockets
+from repro.model.base import Param
+from repro.model.posix import POSIX_OPS, op_by_name
+from repro.model.registry import (
+    Interface,
+    UnknownInterfaceError,
+    UnknownOperationError,
+    get_interface,
+    interface_names,
+    resolve_ops,
+)
+from repro.model.sockets import MESSAGE
+from repro.pipeline.cache import op_fingerprint
+from repro.symbolic.engine import Executor
+from repro.symbolic.solver import Solver
+from repro.symbolic.symtypes import VarFactory
+
+
+class TestRegistry:
+    def test_builtin_interfaces_registered(self):
+        assert interface_names() == [
+            "posix", "posix-ext", "sockets-ordered", "sockets-unordered",
+        ]
+
+    def test_posix_interface_matches_model(self):
+        iface = get_interface("posix")
+        assert iface.op_names == [op.name for op in POSIX_OPS]
+
+    def test_posix_ext_extends_posix(self):
+        base = set(get_interface("posix").op_names)
+        ext = set(get_interface("posix-ext").op_names)
+        assert ext - base == {"fstatx", "openany"}
+
+    def test_socket_interfaces_carry_socket_ops(self):
+        assert get_interface("sockets-ordered").op_names == ["send", "recv"]
+        assert get_interface("sockets-unordered").op_names == \
+            ["usend", "urecv"]
+
+    def test_unknown_interface_lists_registered_names(self):
+        with pytest.raises(UnknownInterfaceError, match="sockets-ordered"):
+            get_interface("sockets")
+
+    def test_op_resolution_is_interface_scoped(self):
+        send = get_interface("sockets-ordered").op_by_name("send")
+        assert send.name == "send"
+        with pytest.raises(UnknownOperationError):
+            get_interface("posix").op_by_name("send")
+
+    def test_unknown_op_error_lists_valid_names(self):
+        with pytest.raises(UnknownOperationError) as excinfo:
+            get_interface("sockets-unordered").op_by_name("open")
+        message = str(excinfo.value)
+        assert "usend" in message and "urecv" in message
+        assert "sockets-unordered" in message
+
+    def test_resolve_ops_defaults_to_whole_interface(self):
+        assert len(resolve_ops("sockets-ordered")) == 2
+        names = [op.name for op in resolve_ops("posix", ["open", "close"])]
+        assert names == ["open", "close"]
+
+    def test_posix_op_by_name_routes_through_registry(self):
+        assert op_by_name("fstatx").name == "fstatx"
+        with pytest.raises(KeyError, match="valid names"):
+            op_by_name("usend")
+
+    def test_interfaces_bundle_kernels_and_hooks(self):
+        for name in interface_names():
+            iface = get_interface(name)
+            assert isinstance(iface, Interface)
+            assert dict(iface.kernels).keys() == {"mono", "scalefs"}
+            assert callable(iface.setup_builder)
+            assert callable(iface.build_state)
+            assert callable(iface.state_equal)
+
+
+class TestParamSort:
+    def test_monkey_patch_is_gone(self):
+        assert not hasattr(sockets, "_patch_param_sorts")
+
+    def test_msg_params_carry_message_sort(self):
+        for opname in ("send", "usend"):
+            op = sockets.socket_op(opname)
+            (param,) = [p for p in op.params if p.name == "msg"]
+            assert param.sort is MESSAGE
+
+    def test_ref_param_makes_value_of_its_sort(self):
+        ex = Executor(Solver())
+        values = ex.explore(
+            lambda _: Param("msg", "ref", sort=MESSAGE).make(VarFactory("a"))
+        )
+        assert values[0].value.term.sort is MESSAGE
+
+    def test_ref_kind_requires_sort(self):
+        with pytest.raises(ValueError, match="requires an explicit sort"):
+            Param("msg", "ref")
+
+    def test_int_kinds_reject_sort(self):
+        with pytest.raises(ValueError, match="cannot carry"):
+            Param("fd", "fd", sort=MESSAGE)
+
+    def test_sort_enters_op_fingerprint(self):
+        from repro.model.base import DATABYTE, OpDef
+
+        def body(s, ex, rt, msg):
+            return 0
+
+        a = OpDef("probe", [Param("msg", "ref", sort=MESSAGE)], body)
+        b = OpDef("probe", [Param("msg", "ref", sort=DATABYTE)], body)
+        assert op_fingerprint(a) != op_fingerprint(b)
