@@ -1,0 +1,49 @@
+"""Redesign-comparison benchmark: ``compare sockets`` end-to-end.
+
+One generic-engine run of the §4.3 comparison — both socket interfaces
+through ANALYZER → TESTGEN → MTRACE, claim evaluated.  The counters are
+deterministic (test totals, commutative path counts, checks passed), so
+CI gates them tightly; the headline assertion is that the claim holds
+through the declarative ``Redesign`` spec exactly as it did through the
+bespoke command it replaced.
+"""
+
+from repro.compare import run_compare
+
+
+def _compare_sockets():
+    return run_compare("sockets")
+
+
+def test_compare_sweep(benchmark):
+    result = benchmark.pedantic(_compare_sockets, iterations=1, rounds=1)
+
+    assert result.holds
+    ordered = result.summaries["baseline"]
+    unordered = result.summaries["redesigned"]
+    assert unordered["conflict_free"]["scalefs"] == unordered["total_tests"]
+    assert ordered["conflict_free"]["scalefs"] == 0
+
+    benchmark.extra_info.update({
+        "checks": len(result.claim["checks"]),
+        "checks_passed": sum(c["holds"] for c in result.claim["checks"]),
+        "baseline_tests": ordered["total_tests"],
+        "redesigned_tests": unordered["total_tests"],
+        "baseline_commutative_paths": ordered["commutative_paths"],
+        "redesigned_commutative_paths": unordered["commutative_paths"],
+        "redesigned_scalefs_conflict_free":
+            unordered["conflict_free"]["scalefs"],
+    })
+    print(
+        f"\ncompare sweep [sockets]: baseline "
+        f"{ordered['commutative_paths']}/{ordered['explored_paths']} paths "
+        f"commute, scalefs conflict-free "
+        f"{ordered['conflict_free']['scalefs']}/{ordered['total_tests']}; "
+        f"redesigned {unordered['commutative_paths']}/"
+        f"{unordered['explored_paths']} paths commute, scalefs "
+        f"conflict-free {unordered['conflict_free']['scalefs']}/"
+        f"{unordered['total_tests']}; claim "
+        f"{'HOLDS' if result.holds else 'DOES NOT HOLD'} "
+        f"({sum(c['holds'] for c in result.claim['checks'])}/"
+        f"{len(result.claim['checks'])} checks)"
+    )

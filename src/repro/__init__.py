@@ -14,13 +14,15 @@ The §3 formalism lives in :mod:`repro.formal`; the evaluation harness
 in :mod:`repro.kernels`.  The sweep over the whole pair matrix — job
 sharding across processes, the persistent result cache, and the
 ``python -m repro`` command line — lives in :mod:`repro.pipeline`.
+§4.3-style interface-redesign comparisons (baseline vs redesigned
+interface, claim-checked end-to-end) live in :mod:`repro.compare`.
 """
 
 from repro.analyzer import analyze_interface, analyze_pair
 from repro.mtrace import Memory, find_conflicts, run_testcase
 from repro.testgen import generate_for_pair, generate_suite
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "analyze_interface",

@@ -11,11 +11,15 @@ Usage::
     python -m repro.browser row mmap
     python -m repro.browser worst scalefs --top 10
     python -m repro.browser residues scalefs
+    python -m repro.browser compare posix posix-ext
+    python -m repro.browser compare results/a.json results/b.json
 
 All commands accept ``--data PATH`` (default results/fig6_heatmap.json)
 or ``--interface NAME``, which resolves the default artifact the heatmap
 pipeline writes for that interface (e.g. ``--interface sockets-unordered``
-reads results/fig6_heatmap_sockets-unordered.json).
+reads results/fig6_heatmap_sockets-unordered.json).  ``compare`` instead
+takes two heatmap artifacts — file paths or registered interface names
+(resolved the same way) — and diffs them cell by cell.
 """
 
 from __future__ import annotations
@@ -102,6 +106,90 @@ def cmd_residues(data: HeatmapData, args) -> None:
         print(f"  {label:16s} {count}")
 
 
+def _pair_key(cell: dict) -> tuple:
+    return tuple(sorted((cell["op0"], cell["op1"])))
+
+
+def _label(data: HeatmapData, path: str) -> str:
+    interface = data.raw.get("interface", "posix")
+    return f"{path} [{interface}]"
+
+
+def cmd_compare(data_a: HeatmapData, data_b: HeatmapData, args) -> None:
+    """Cell-by-cell diff of two heatmap artifacts (interface redesigns,
+    ncores sweeps, or before/after runs of one interface)."""
+    print(f"A: {_label(data_a, args.artifact_a)}")
+    print(f"B: {_label(data_b, args.artifact_b)}")
+    kernels = list(dict.fromkeys(data_a.kernels + data_b.kernels))
+    total_a, total_b = data_a.raw["total"], data_b.raw["total"]
+    print(f"total commutative tests {total_a} -> {total_b}")
+    for kernel in kernels:
+        ok_a = data_a.raw["conflict_free"].get(kernel)
+        ok_b = data_b.raw["conflict_free"].get(kernel)
+        parts = []
+        for ok, total in ((ok_a, total_a), (ok_b, total_b)):
+            parts.append(
+                "-" if ok is None else
+                f"{ok}/{total} ({100 * ok / total:.1f}%)" if total else
+                f"{ok}/{total}"
+            )
+        print(f"  {kernel:12s} conflict-free {parts[0]} -> {parts[1]}")
+
+    cells_a = {_pair_key(c): c for c in data_a.cells}
+    cells_b = {_pair_key(c): c for c in data_b.cells}
+    changed = 0
+    for key in sorted(set(cells_a) | set(cells_b)):
+        a, b = cells_a.get(key), cells_b.get(key)
+        if a is None or b is None:
+            present, missing = ("B", "A") if a is None else ("A", "B")
+            cell = b if a is None else a
+            fails = ", ".join(
+                f"{k} {v}" for k, v in cell["fails"].items()
+            ) or "none"
+            print(f"  {key[0]}/{key[1]}: only in {present} "
+                  f"({cell['total']} tests, fails: {fails}; "
+                  f"no cell in {missing})")
+            changed += 1
+            continue
+        deltas = []
+        if a["total"] != b["total"]:
+            deltas.append(f"tests {a['total']} -> {b['total']}")
+        for kernel in kernels:
+            fa = a["fails"].get(kernel)
+            fb = b["fails"].get(kernel)
+            if fa != fb:
+                deltas.append(f"{kernel} fails {fa} -> {fb}")
+        if deltas:
+            print(f"  {key[0]}/{key[1]}: " + "; ".join(deltas))
+            changed += 1
+    if not changed:
+        print("  every shared cell is identical")
+
+
+def _resolve_artifact(token: str, ncores: int) -> str:
+    """A heatmap artifact from a file path or a registered interface
+    name (resolved to that interface's default artifact path)."""
+    if os.path.exists(token):
+        return token
+    from repro.model.registry import UnknownInterfaceError, get_interface
+    from repro.pipeline.cli import interface_artifact_path
+
+    try:
+        get_interface(token)
+    except UnknownInterfaceError:
+        raise SystemExit(
+            f"{token!r} is neither an artifact file nor a registered "
+            f"interface name"
+        ) from None
+    path = interface_artifact_path(DEFAULT_DATA, token, ncores)
+    if not os.path.exists(path):
+        raise SystemExit(
+            f"no artifact at {path}; run `python -m repro heatmap "
+            f"--interface {token}` first"
+        )
+    return path
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.browser", description=__doc__,
@@ -130,7 +218,18 @@ def main(argv=None) -> int:
     p.add_argument("--top", type=int, default=10)
     p = sub.add_parser("residues")
     p.add_argument("kernel")
+    p = sub.add_parser("compare")
+    p.add_argument("artifact_a",
+                   help="heatmap artifact path or interface name")
+    p.add_argument("artifact_b",
+                   help="heatmap artifact path or interface name")
     args = parser.parse_args(argv)
+    if args.command == "compare":
+        args.artifact_a = _resolve_artifact(args.artifact_a, args.ncores)
+        args.artifact_b = _resolve_artifact(args.artifact_b, args.ncores)
+        cmd_compare(HeatmapData.load(args.artifact_a),
+                    HeatmapData.load(args.artifact_b), args)
+        return 0
     if args.data is None:
         # Resolve through the same suffixing helper the pipeline writes
         # with, so the browser always finds the matching artifact.

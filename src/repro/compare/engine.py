@@ -1,0 +1,168 @@
+"""The generic comparison engine: two sweeps, one claim, one artifact.
+
+:func:`run_compare` drives the existing :func:`repro.pipeline.sweep.run_sweep`
+seam — ANALYZER → TESTGEN → MTRACE through :class:`~repro.pipeline.jobs.PairJob`,
+the serial/parallel drivers and the fingerprinted result cache — once per
+side of a :class:`~repro.compare.spec.Redesign`, summarizes both sweeps,
+and evaluates the claim.  :func:`compare_to_dict` renders the result as
+the schema-versioned ``results/compare_<name>.json`` artifact;
+:func:`legacy_sockets_payload` reshapes the sockets comparison into the
+historical ``repro.sockets-comparison/1`` artifact the deprecated
+``sockets-compare`` command keeps emitting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from repro.compare.spec import SIDES, Redesign, get_redesign
+from repro.pipeline.sweep import (
+    SweepResult,
+    run_sweep,
+    summarize_interface_sweep,
+)
+
+COMPARE_SCHEMA = "repro.compare/1"
+LEGACY_SOCKETS_SCHEMA = "repro.sockets-comparison/1"
+
+
+@dataclass
+class CompareResult:
+    """Both sides' sweeps and summaries, plus the evaluated claim."""
+
+    redesign: Redesign
+    sweeps: dict[str, SweepResult]
+    summaries: dict[str, dict]
+    claim: dict
+    ncores: int
+    tests_per_path: int
+    elapsed_seconds: float
+
+    @property
+    def holds(self) -> bool:
+        return bool(self.claim["holds"])
+
+
+def run_compare(
+    redesign: Union[str, Redesign],
+    tests_per_path: int = 1,
+    workers: Optional[int] = None,
+    cache: Optional[object] = None,
+    ncores: int = 4,
+    on_progress: Optional[Callable[[str], None]] = None,
+    solver_cache_size: Optional[int] = None,
+) -> CompareResult:
+    """Run one registered comparison end-to-end.
+
+    ``redesign`` is a registered name or a :class:`Redesign` instance.
+    The remaining knobs are the sweep's: ``cache`` is shared across both
+    sides (pair fingerprints already carry interface and ncores, so a
+    compare run reuses — and feeds — the same entries as plain
+    ``heatmap`` sweeps of the same interfaces).
+    """
+    if isinstance(redesign, str):
+        redesign = get_redesign(redesign)
+    if isinstance(cache, (str, bytes)) or hasattr(cache, "__fspath__"):
+        # One ResultCache for both sides (and both loads of it), rather
+        # than letting each run_sweep re-parse the cache file.
+        from repro.pipeline.cache import ResultCache
+
+        cache = ResultCache(cache)
+    start = time.time()
+    sweeps: dict[str, SweepResult] = {}
+    for side_name in SIDES:
+        side = redesign.sides[side_name]
+        ops, pair_filter = side.resolve()
+        if on_progress is not None:
+            on_progress(f"[{side_name}: {side.interface}] "
+                        f"{len(ops)} ops")
+        sweeps[side_name] = run_sweep(
+            ops=ops,
+            pair_filter=pair_filter,
+            interface=side.interface,
+            tests_per_path=tests_per_path,
+            workers=workers,
+            cache=cache,
+            ncores=ncores,
+            on_progress=on_progress,
+            solver_cache_size=solver_cache_size,
+        )
+    summaries = {
+        name: summarize_interface_sweep(sweep)
+        for name, sweep in sweeps.items()
+    }
+    claim = redesign.claim.evaluate(
+        summaries["baseline"], summaries["redesigned"]
+    )
+    return CompareResult(
+        redesign=redesign,
+        sweeps=sweeps,
+        summaries=summaries,
+        claim=claim,
+        ncores=ncores,
+        tests_per_path=tests_per_path,
+        elapsed_seconds=time.time() - start,
+    )
+
+
+def compare_to_dict(result: CompareResult) -> dict:
+    """The ``repro.compare/1`` artifact: spec, both summaries, claim."""
+    sides = {}
+    for side_name in SIDES:
+        record = result.redesign.sides[side_name].to_dict()
+        record["summary"] = result.summaries[side_name]
+        sides[side_name] = record
+    return {
+        "schema": COMPARE_SCHEMA,
+        "name": result.redesign.name,
+        "description": result.redesign.description,
+        "ncores": result.ncores,
+        "tests_per_path": result.tests_per_path,
+        "elapsed": result.elapsed_seconds,
+        "baseline": sides["baseline"],
+        "redesigned": sides["redesigned"],
+        "claim": result.claim,
+    }
+
+
+def legacy_sockets_payload(result: CompareResult) -> dict:
+    """The historical ``repro.sockets-comparison/1`` artifact, derived
+    from a generic ``sockets`` comparison run.
+
+    Shape and numbers match what the pre-registry ``sockets-compare``
+    command wrote (summaries keyed by interface name; the claim holds
+    iff the unordered side commutes more broadly *and* the scalable
+    kernel's conflict-free fraction is higher), so existing CI gates and
+    docs keep working against the deprecated alias.
+    """
+    ordered = result.summaries["baseline"]
+    unordered = result.summaries["redesigned"]
+    claim = {
+        "text": "§4.3: the unordered socket interface commutes more "
+                "broadly than the ordered one, and the scalable kernel "
+                "is conflict-free for a larger fraction of its "
+                "commutative tests",
+        "commutative_fraction_higher":
+            unordered["commutative_fraction"] > ordered["commutative_fraction"],
+        "conflict_free_fraction_higher": {
+            kernel: unordered["conflict_free_fraction"][kernel]
+            > ordered["conflict_free_fraction"][kernel]
+            for kernel in unordered["conflict_free_fraction"]
+        },
+    }
+    claim["holds"] = bool(
+        claim["commutative_fraction_higher"]
+        and claim["conflict_free_fraction_higher"].get("scalefs")
+    )
+    return {
+        "schema": LEGACY_SOCKETS_SCHEMA,
+        "ncores": result.ncores,
+        "tests_per_path": result.tests_per_path,
+        "interfaces": {
+            ordered["interface"]: ordered,
+            unordered["interface"]: unordered,
+        },
+        "claim": claim,
+    }

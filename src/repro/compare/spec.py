@@ -1,0 +1,274 @@
+"""Declarative redesign-comparison specs: the §4.3 method, generalized.
+
+The paper's §4.3 payoff is a *method*, not the sockets story alone: take
+an interface, find its non-commutative operation pairs, redesign the ops
+(``fstat`` → ``fstatx``, ``open`` → ``openany``, ordered → unordered
+sockets), and show the redesign commutes more broadly — and that a
+scalable implementation is conflict-free for the new commutative cases.
+
+A :class:`Redesign` captures one such comparison declaratively: a
+*baseline* :class:`Side` and a *redesigned* :class:`Side` (each a
+registered interface, optionally restricted to the ops or pairs the
+redesign is about) plus a :class:`Claim`, a conjunction of
+:class:`Check` predicates over the two sides' sweep summaries (the
+verdict/conflict counts :func:`repro.pipeline.sweep.summarize_interface_sweep`
+produces).  Redesigns are registered by name next to the interface
+registry, so ``python -m repro compare <name>`` can run any of them
+end-to-end through ANALYZER → TESTGEN → MTRACE and exit nonzero when
+the claim fails — every future interface redesign is a ~30-line spec
+instead of a bespoke command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.model.base import OpDef
+
+
+class UnknownRedesignError(KeyError):
+    """A comparison name that is not registered."""
+
+
+class UnknownCheckKindError(ValueError):
+    """A :class:`Check` kind outside the supported vocabulary."""
+
+
+#: The two sides of a comparison, as they appear in specs and artifacts.
+SIDES = ("baseline", "redesigned")
+
+
+@dataclass(frozen=True)
+class Side:
+    """One side of a comparison: an interface, optionally restricted.
+
+    ``ops`` restricts the sweep matrix to the named operations; ``pairs``
+    restricts it further to the named unordered pairs (ops defaults to
+    the operations the pairs mention).  Both are validated against the
+    interface's registry entry at resolution time, so a bad spec fails
+    with an error listing the valid names rather than sweeping nothing.
+    """
+
+    interface: str
+    ops: Optional[tuple[str, ...]] = None
+    pairs: Optional[tuple[tuple[str, str], ...]] = None
+
+    def resolve(self) -> tuple[list[OpDef], Optional[Callable]]:
+        """The side's op list and pair filter, registry-validated."""
+        from repro.model.registry import resolve_ops
+        from repro.pipeline.sweep import make_pair_filter
+
+        op_names = list(self.ops) if self.ops is not None else None
+        if op_names is None and self.pairs is not None:
+            op_names = []
+            for a, b in self.pairs:
+                for name in (a, b):
+                    if name not in op_names:
+                        op_names.append(name)
+        ops = resolve_ops(self.interface, op_names)
+        if self.pairs is not None and self.ops is not None:
+            allowed = {op.name for op in ops}
+            for pair in self.pairs:
+                outside = [name for name in pair if name not in allowed]
+                if outside:
+                    raise ValueError(
+                        f"pair {pair!r} references {', '.join(outside)} "
+                        f"outside the side's ops restriction "
+                        f"({', '.join(sorted(allowed))}); the sweep "
+                        f"would be empty"
+                    )
+        pair_filter = (
+            make_pair_filter(self.pairs) if self.pairs is not None else None
+        )
+        return ops, pair_filter
+
+    def to_dict(self) -> dict:
+        out: dict = {"interface": self.interface}
+        if self.ops is not None:
+            out["ops"] = list(self.ops)
+        if self.pairs is not None:
+            out["pairs"] = [list(p) for p in self.pairs]
+        return out
+
+
+#: ``kind`` → predicate over (baseline summary, redesigned summary).
+#: Summaries are the plain dicts ``summarize_interface_sweep`` returns.
+_CHECKS: dict[str, Callable] = {}
+
+
+def _check(kind: str):
+    def wrap(fn: Callable) -> Callable:
+        _CHECKS[kind] = fn
+        return fn
+    return wrap
+
+
+@_check("commutative_fraction_higher")
+def _commutative_fraction_higher(check: "Check", baseline: dict,
+                                 redesigned: dict) -> bool:
+    """The redesigned interface commutes in a larger fraction of paths."""
+    return (redesigned["commutative_fraction"]
+            > baseline["commutative_fraction"])
+
+
+@_check("conflict_free_fraction_higher")
+def _conflict_free_fraction_higher(check: "Check", baseline: dict,
+                                   redesigned: dict) -> bool:
+    """``check.kernel`` is conflict-free for a larger fraction of the
+    redesigned side's commutative tests than of the baseline's."""
+    return (redesigned["conflict_free_fraction"][check.kernel]
+            > baseline["conflict_free_fraction"][check.kernel])
+
+
+@_check("conflict_free_all")
+def _conflict_free_all(check: "Check", baseline: dict,
+                       redesigned: dict) -> bool:
+    """``check.kernel`` is conflict-free for *every* commutative test of
+    ``check.side`` (the rule's strong form: commutative ⇒ scalable)."""
+    summary = {"baseline": baseline, "redesigned": redesigned}[check.side]
+    return (summary["total_tests"] > 0
+            and summary["conflict_free"][check.kernel]
+            == summary["total_tests"])
+
+
+@_check("conflicted")
+def _conflicted(check: "Check", baseline: dict, redesigned: dict) -> bool:
+    """``check.kernel`` conflicts on at least one of ``check.side``'s
+    tests (the interface or implementation limit the redesign removes)."""
+    summary = {"baseline": baseline, "redesigned": redesigned}[check.side]
+    return (summary["conflict_free"][check.kernel]
+            < summary["total_tests"])
+
+
+@_check("no_mismatches")
+def _no_mismatches(check: "Check", baseline: dict, redesigned: dict) -> bool:
+    """Every kernel returned the model's expected results on both sides
+    (§6.1's semantic check; a conflict-free but wrong kernel proves
+    nothing)."""
+    return all(
+        count == 0
+        for summary in (baseline, redesigned)
+        for count in summary["mismatches"].values()
+    )
+
+
+def check_kinds() -> list[str]:
+    return sorted(_CHECKS)
+
+
+#: Parameters each check kind requires; validated at construction so a
+#: malformed spec fails immediately, not after both sweeps have run.
+_REQUIRED_PARAMS: dict[str, tuple[str, ...]] = {
+    "commutative_fraction_higher": (),
+    "conflict_free_fraction_higher": ("kernel",),
+    "conflict_free_all": ("kernel", "side"),
+    "conflicted": ("kernel", "side"),
+    "no_mismatches": (),
+}
+
+
+@dataclass(frozen=True)
+class Check:
+    """One predicate over the two sides' sweep summaries.
+
+    ``kind`` picks the comparison (see :func:`check_kinds`); ``kernel``
+    and ``side`` parameterize it where the kind calls for them
+    (``side`` is ``"baseline"`` or ``"redesigned"``).
+    """
+
+    kind: str
+    kernel: Optional[str] = None
+    side: Optional[str] = None
+
+    def __post_init__(self):
+        if self.kind not in _CHECKS:
+            raise UnknownCheckKindError(
+                f"unknown check kind {self.kind!r}; "
+                f"valid kinds: {', '.join(check_kinds())}"
+            )
+        missing = [
+            param for param in _REQUIRED_PARAMS[self.kind]
+            if getattr(self, param) is None
+        ]
+        if missing:
+            raise ValueError(
+                f"check {self.kind!r} requires {', '.join(missing)}"
+            )
+        if self.side is not None and self.side not in SIDES:
+            raise ValueError(
+                f"check side must be one of {SIDES}, got {self.side!r}"
+            )
+
+    def evaluate(self, baseline: dict, redesigned: dict) -> dict:
+        """Plain-data verdict: the check's parameters plus ``holds``."""
+        out: dict = {"kind": self.kind}
+        if self.kernel is not None:
+            out["kernel"] = self.kernel
+        if self.side is not None:
+            out["side"] = self.side
+        out["holds"] = bool(_CHECKS[self.kind](self, baseline, redesigned))
+        return out
+
+
+@dataclass(frozen=True)
+class Claim:
+    """The redesign's §4-style statement: text plus its checks.
+
+    The claim holds iff every check holds; the engine exits nonzero
+    otherwise, which is what lets CI gate on a redesign staying true.
+    """
+
+    text: str
+    checks: tuple[Check, ...]
+
+    def evaluate(self, baseline: dict, redesigned: dict) -> dict:
+        results = [c.evaluate(baseline, redesigned) for c in self.checks]
+        return {
+            "text": self.text,
+            "checks": results,
+            "holds": all(r["holds"] for r in results),
+        }
+
+
+@dataclass(frozen=True)
+class Redesign:
+    """One registered interface-redesign comparison."""
+
+    name: str
+    description: str
+    baseline: Side
+    redesigned: Side
+    claim: Claim
+
+    @property
+    def sides(self) -> dict[str, Side]:
+        return {"baseline": self.baseline, "redesigned": self.redesigned}
+
+
+_REDESIGNS: dict[str, Redesign] = {}
+
+
+def register_redesign(redesign: Redesign) -> Redesign:
+    """Add (or replace) a named comparison; returns it for chaining."""
+    _REDESIGNS[redesign.name] = redesign
+    return redesign
+
+
+def unregister_redesign(name: str) -> None:
+    """Remove a registered comparison (tests register throwaway specs)."""
+    _REDESIGNS.pop(name, None)
+
+
+def redesign_names() -> list[str]:
+    return sorted(_REDESIGNS)
+
+
+def get_redesign(name: str) -> Redesign:
+    try:
+        return _REDESIGNS[name]
+    except KeyError:
+        raise UnknownRedesignError(
+            f"no redesign comparison named {name!r}; registered "
+            f"comparisons: {', '.join(redesign_names())}"
+        ) from None

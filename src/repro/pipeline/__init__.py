@@ -48,8 +48,15 @@ Command line
 ``bench``
     The Figure 7 microbenchmarks (statbench / openbench / mailserver)
     to ``results/bench_<suite>.json``.
+``compare``
+    A registered §4-style redesign comparison (see
+    :mod:`repro.compare`): both sides end-to-end, claim checked, to
+    ``results/compare_<name>.json`` — exit 1 when the claim fails.
+    ``sockets-compare`` survives as a deprecated alias that keeps the
+    historical ``results/sockets_comparison.json`` artifact.
 ``browse``
-    The terminal browser over a saved heatmap artifact.
+    The terminal browser over a saved heatmap artifact
+    (``browse compare A B`` diffs two artifacts cell by cell).
 
 Shared options: ``--workers N`` (process-pool width; ``0`` = all cores),
 ``--cache PATH`` (persistent result cache), ``--pairs a,b`` (repeatable

@@ -2,8 +2,8 @@
 
 Subcommands mirror the toolchain's stages (see the package docstring for
 the artifact schemas): ``analyze``, ``heatmap``, ``testgen``, ``bench``,
-and ``browse``.  Every stage writes a machine-readable JSON artifact
-under ``results/`` and prints a human summary.
+``compare``, and ``browse``.  Every stage writes a machine-readable JSON
+artifact under ``results/`` and prints a human summary.
 """
 
 from __future__ import annotations
@@ -113,7 +113,7 @@ def _ncores(raw: str) -> int:
 
 
 def _add_ncores_option(parser):
-    # Only meaningful for stages that run MTRACE (heatmap, sockets-compare):
+    # Only meaningful for stages that run MTRACE (heatmap, compare):
     # per-core kernel structures change sharing behavior with the count.
     parser.add_argument(
         "--ncores", type=_ncores, default=4, metavar="N",
@@ -334,48 +334,98 @@ def cmd_bench(args) -> int:
     return 0
 
 
-def cmd_sockets_compare(args) -> int:
-    from repro.bench.report import write_artifact
-    from repro.pipeline.sweep import run_sweep, summarize_interface_sweep
-
-    interfaces = ("sockets-ordered", "sockets-unordered")
-    summaries = {}
-    for name in interfaces:
-        sweep = run_sweep(
-            interface=name,
-            tests_per_path=args.tests_per_path,
-            workers=args.workers,
-            cache=None if args.no_cache else args.cache,
-            on_progress=_progress(args),
-            solver_cache_size=args.solver_cache_size,
-            ncores=args.ncores,
-        )
-        summaries[name] = summarize_interface_sweep(sweep)
-    ordered, unordered = (summaries[n] for n in interfaces)
-    claim = {
-        "text": "§4.3: the unordered socket interface commutes more "
-                "broadly than the ordered one, and the scalable kernel "
-                "is conflict-free for a larger fraction of its "
-                "commutative tests",
-        "commutative_fraction_higher":
-            unordered["commutative_fraction"] > ordered["commutative_fraction"],
-        "conflict_free_fraction_higher": {
-            kernel: unordered["conflict_free_fraction"][kernel]
-            > ordered["conflict_free_fraction"][kernel]
-            for kernel in unordered["conflict_free_fraction"]
-        },
-    }
-    claim["holds"] = bool(
-        claim["commutative_fraction_higher"]
-        and claim["conflict_free_fraction_higher"].get("scalefs")
+def _summary_line(summary: dict) -> str:
+    """One side's totals, as the comparison commands print them."""
+    cf = ", ".join(
+        f"{k} {summary['conflict_free'][k]}/{summary['total_tests']} "
+        f"({100 * summary['conflict_free_fraction'][k]:.0f}%)"
+        for k in sorted(summary["conflict_free"])
     )
-    payload = {
-        "schema": "repro.sockets-comparison/1",
-        "ncores": args.ncores,
-        "tests_per_path": args.tests_per_path,
-        "interfaces": summaries,
-        "claim": claim,
-    }
+    return (
+        f"commutative paths "
+        f"{summary['commutative_paths']}/{summary['explored_paths']} "
+        f"({100 * summary['commutative_fraction']:.0f}%); "
+        f"conflict-free: {cf}"
+    )
+
+
+def _run_compare_cli(args, redesign):
+    from repro.compare import run_compare
+
+    return run_compare(
+        redesign,
+        tests_per_path=args.tests_per_path,
+        workers=args.workers,
+        cache=None if args.no_cache else args.cache,
+        ncores=args.ncores,
+        on_progress=_progress(args),
+        solver_cache_size=args.solver_cache_size,
+    )
+
+
+def cmd_compare(args) -> int:
+    from repro.bench.report import write_artifact
+    from repro.compare import (
+        UnknownRedesignError,
+        compare_to_dict,
+        get_redesign,
+        redesign_names,
+    )
+
+    if args.list:
+        for name in redesign_names():
+            print(f"{name:18s} {get_redesign(name).description}")
+        return 0
+    if args.name is None:
+        raise SystemExit(
+            "compare: a comparison name (or --list) is required; "
+            f"registered comparisons: {', '.join(redesign_names())}"
+        )
+    try:
+        redesign = get_redesign(args.name)
+    except UnknownRedesignError as exc:
+        raise SystemExit(str(exc.args[0])) from exc
+    result = _run_compare_cli(args, redesign)
+    if args.out is None:
+        # Non-default core counts get their own artifact, like heatmap.
+        args.out = interface_artifact_path(
+            f"results/compare_{redesign.name}.json", "posix", args.ncores
+        )
+    path = write_artifact(args.out, compare_to_dict(result))
+    print(f"{redesign.name}: {redesign.description}")
+    print("  (baseline vs redesigned, ANALYZER → TESTGEN → MTRACE)")
+    for side_name in ("baseline", "redesigned"):
+        summary = result.summaries[side_name]
+        print(f"  {side_name:10s} [{summary['interface']}] "
+              + _summary_line(summary))
+    for check in result.claim["checks"]:
+        mark = "ok " if check["holds"] else "FAIL"
+        params = ", ".join(
+            f"{k}={v}" for k, v in check.items()
+            if k not in ("kind", "holds")
+        )
+        print(f"    [{mark}] {check['kind']}"
+              + (f" ({params})" if params else ""))
+    verdict = "HOLDS" if result.holds else "DOES NOT HOLD"
+    print(f"  claim {verdict} -> {path}")
+    return 0 if result.holds else 1
+
+
+def cmd_sockets_compare(args) -> int:
+    """Deprecated alias for ``compare sockets``: same sweep through the
+    generic engine, but the historical artifact path, JSON shape, and
+    stdout format, so existing CI gates and docs keep working."""
+    from repro.bench.report import write_artifact
+    from repro.compare import legacy_sockets_payload
+
+    print(
+        "sockets-compare is deprecated; use `python -m repro compare "
+        "sockets` (generic engine, schema repro.compare/1)",
+        file=sys.stderr,
+    )
+    result = _run_compare_cli(args, "sockets")
+    payload = legacy_sockets_payload(result)
+    claim = payload["claim"]
     if args.out is None:
         # Non-default core counts get their own artifact, like heatmap.
         args.out = interface_artifact_path(
@@ -384,21 +434,35 @@ def cmd_sockets_compare(args) -> int:
     path = write_artifact(args.out, payload)
     print("§4.3 ordered vs unordered datagram sockets "
           "(ANALYZER → TESTGEN → MTRACE):")
-    for name in interfaces:
-        s = summaries[name]
-        cf = ", ".join(
-            f"{k} {s['conflict_free'][k]}/{s['total_tests']} "
-            f"({100 * s['conflict_free_fraction'][k]:.0f}%)"
-            for k in sorted(s["conflict_free"])
-        )
-        print(f"  {name:18s} commutative paths "
-              f"{s['commutative_paths']}/{s['explored_paths']} "
-              f"({100 * s['commutative_fraction']:.0f}%); "
-              f"conflict-free: {cf}")
+    for name, summary in payload["interfaces"].items():
+        print(f"  {name:18s} " + _summary_line(summary))
     verdict = "HOLDS" if claim["holds"] else "DOES NOT HOLD"
     print(f"  claim {verdict}: unordered commutes more broadly and is "
           f"more conflict-free on the scalable kernel -> {path}")
     return 0 if claim["holds"] else 1
+
+
+def _add_compare_run_options(parser):
+    """The execution knobs the comparison commands share (the matrix is
+    fixed by the redesign spec, so no --interface/--ops/--pairs here)."""
+    _add_ncores_option(parser)
+    parser.add_argument(
+        "--workers", type=_worker_count, default=1, metavar="N",
+        help="process-pool width; 1 = serial, 0 = all cores (default 1)",
+    )
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-pair progress lines")
+    parser.add_argument("--tests-per-path", type=int, default=1)
+    parser.add_argument(
+        "--solver-cache-size", type=int, default=None, metavar="N",
+        help="bound each pair's solver memo caches to N entries",
+    )
+    parser.add_argument(
+        "--cache", default=DEFAULT_CACHE, metavar="PATH",
+        help=f"persistent result cache (default {DEFAULT_CACHE})",
+    )
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute every pair")
 
 
 def cmd_bench_gate(args) -> int:
@@ -467,28 +531,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(
+        "compare",
+        help="§4-style redesign comparison: baseline vs redesigned "
+             "interface through ANALYZER/TESTGEN/MTRACE, with the "
+             "claim checked (exit 1 if it fails)",
+    )
+    p.add_argument("name", nargs="?", default=None,
+                   help="registered comparison (see --list)")
+    p.add_argument("--list", action="store_true",
+                   help="list the registered comparisons and exit")
+    _add_compare_run_options(p)
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="artifact path (default results/compare_<name>.json, "
+                        "ncores-suffixed for non-default --ncores)")
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser(
         "sockets-compare",
-        help="§4.3 end-to-end: ordered vs unordered sockets through "
-             "ANALYZER/TESTGEN/MTRACE, with the commutativity claim checked",
+        help="deprecated alias for `compare sockets` (historical "
+             "artifact path and schema)",
     )
-    _add_ncores_option(p)
-    p.add_argument(
-        "--workers", type=_worker_count, default=1, metavar="N",
-        help="process-pool width; 1 = serial, 0 = all cores (default 1)",
-    )
-    p.add_argument("--quiet", action="store_true",
-                   help="suppress per-pair progress lines")
-    p.add_argument("--tests-per-path", type=int, default=1)
-    p.add_argument(
-        "--solver-cache-size", type=int, default=None, metavar="N",
-        help="bound each pair's solver memo caches to N entries",
-    )
-    p.add_argument(
-        "--cache", default=DEFAULT_CACHE, metavar="PATH",
-        help=f"persistent result cache (default {DEFAULT_CACHE})",
-    )
-    p.add_argument("--no-cache", action="store_true",
-                   help="recompute every pair")
+    _add_compare_run_options(p)
     p.add_argument("--out", default=None, metavar="PATH",
                    help=f"artifact path (default {DEFAULT_COMPARISON_OUT}, "
                         "ncores-suffixed for non-default --ncores)")

@@ -1,0 +1,211 @@
+"""The declarative Redesign/Claim vocabulary and its registry."""
+
+import pytest
+
+from repro.compare import (
+    Check,
+    Claim,
+    Redesign,
+    Side,
+    UnknownCheckKindError,
+    UnknownRedesignError,
+    check_kinds,
+    get_redesign,
+    redesign_names,
+    register_redesign,
+    unregister_redesign,
+)
+from repro.model.registry import UnknownInterfaceError, UnknownOperationError
+
+
+def summary(commutative_fraction=0.5, total=10, conflict_free=None,
+            mismatches=None):
+    conflict_free = conflict_free if conflict_free is not None \
+        else {"mono": 5, "scalefs": 10}
+    return {
+        "commutative_fraction": commutative_fraction,
+        "total_tests": total,
+        "conflict_free": conflict_free,
+        "conflict_free_fraction": {
+            k: (v / total if total else 0.0)
+            for k, v in conflict_free.items()
+        },
+        "mismatches": mismatches if mismatches is not None
+        else {k: 0 for k in conflict_free},
+    }
+
+
+class TestChecks:
+    def test_commutative_fraction_higher(self):
+        check = Check("commutative_fraction_higher")
+        assert check.evaluate(summary(0.4), summary(0.6))["holds"]
+        assert not check.evaluate(summary(0.6), summary(0.6))["holds"]
+
+    def test_conflict_free_fraction_higher(self):
+        check = Check("conflict_free_fraction_higher", kernel="scalefs")
+        low = summary(conflict_free={"scalefs": 5})
+        high = summary(conflict_free={"scalefs": 9})
+        assert check.evaluate(low, high)["holds"]
+        assert not check.evaluate(high, low)["holds"]
+
+    def test_conflict_free_all(self):
+        check = Check("conflict_free_all", kernel="scalefs",
+                      side="redesigned")
+        full = summary(conflict_free={"scalefs": 10})
+        partial = summary(conflict_free={"scalefs": 9})
+        assert check.evaluate(partial, full)["holds"]
+        assert not check.evaluate(full, partial)["holds"]
+
+    def test_conflict_free_all_rejects_empty_sweeps(self):
+        check = Check("conflict_free_all", kernel="scalefs",
+                      side="redesigned")
+        empty = summary(total=0, conflict_free={"scalefs": 0})
+        assert not check.evaluate(empty, empty)["holds"]
+
+    def test_conflicted(self):
+        check = Check("conflicted", kernel="mono", side="baseline")
+        conflicted = summary(conflict_free={"mono": 7})
+        clean = summary(conflict_free={"mono": 10})
+        assert check.evaluate(conflicted, clean)["holds"]
+        assert not check.evaluate(clean, conflicted)["holds"]
+
+    def test_no_mismatches(self):
+        check = Check("no_mismatches")
+        good = summary()
+        bad = summary(mismatches={"mono": 1, "scalefs": 0})
+        assert check.evaluate(good, good)["holds"]
+        assert not check.evaluate(good, bad)["holds"]
+        assert not check.evaluate(bad, good)["holds"]
+
+    def test_verdict_carries_parameters(self):
+        verdict = Check("conflicted", kernel="mono", side="baseline") \
+            .evaluate(summary(conflict_free={"mono": 7}), summary())
+        assert verdict == {"kind": "conflicted", "kernel": "mono",
+                           "side": "baseline", "holds": True}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(UnknownCheckKindError, match="valid kinds"):
+            Check("bogus")
+
+    def test_bad_side_rejected(self):
+        with pytest.raises(ValueError, match="side must be one of"):
+            Check("conflicted", kernel="mono", side="left")
+
+    def test_missing_required_params_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="requires kernel"):
+            Check("conflict_free_fraction_higher")
+        with pytest.raises(ValueError, match="requires side"):
+            Check("conflict_free_all", kernel="scalefs")
+        with pytest.raises(ValueError, match="requires kernel, side"):
+            Check("conflicted")
+
+    def test_required_params_cover_every_kind(self):
+        from repro.compare.spec import _REQUIRED_PARAMS
+
+        assert sorted(_REQUIRED_PARAMS) == check_kinds()
+
+    def test_kind_vocabulary(self):
+        assert check_kinds() == [
+            "commutative_fraction_higher",
+            "conflict_free_all",
+            "conflict_free_fraction_higher",
+            "conflicted",
+            "no_mismatches",
+        ]
+
+
+class TestClaim:
+    def test_holds_is_the_conjunction(self):
+        claim = Claim(text="both", checks=(
+            Check("commutative_fraction_higher"),
+            Check("no_mismatches"),
+        ))
+        verdict = claim.evaluate(summary(0.4), summary(0.6))
+        assert verdict["holds"]
+        assert [c["holds"] for c in verdict["checks"]] == [True, True]
+        verdict = claim.evaluate(summary(0.6), summary(0.4))
+        assert not verdict["holds"]
+        assert [c["holds"] for c in verdict["checks"]] == [False, True]
+
+
+class TestSide:
+    def test_resolves_all_interface_ops_by_default(self):
+        ops, pair_filter = Side(interface="sockets-ordered").resolve()
+        assert [op.name for op in ops] == ["send", "recv"]
+        assert pair_filter is None
+
+    def test_pairs_imply_ops_and_filter(self):
+        side = Side(interface="posix", pairs=(("fstat", "link"),))
+        ops, pair_filter = side.resolve()
+        assert [op.name for op in ops] == ["fstat", "link"]
+        fstat, link = ops
+        assert pair_filter(fstat, link)
+        assert pair_filter(link, fstat)
+        assert not pair_filter(link, link)
+
+    def test_pair_outside_ops_restriction_rejected(self):
+        side = Side(interface="posix", ops=("open",),
+                    pairs=(("fstat", "link"),))
+        with pytest.raises(ValueError, match="outside the side's ops"):
+            side.resolve()
+
+    def test_pairs_within_ops_restriction_accepted(self):
+        side = Side(interface="posix", ops=("open", "link"),
+                    pairs=(("open", "link"),))
+        ops, pair_filter = side.resolve()
+        assert [op.name for op in ops] == ["open", "link"]
+        assert pair_filter(*ops)
+
+    def test_unknown_op_fails_with_valid_names(self):
+        with pytest.raises(UnknownOperationError, match="valid names"):
+            Side(interface="sockets-ordered", ops=("open",)).resolve()
+
+    def test_unknown_interface_fails_with_registered_names(self):
+        with pytest.raises(UnknownInterfaceError,
+                           match="registered interfaces"):
+            Side(interface="bogus").resolve()
+
+    def test_to_dict_round_trip(self):
+        side = Side(interface="posix-ext",
+                    pairs=(("fstatx", "link"), ("fstatx", "unlink")))
+        assert side.to_dict() == {
+            "interface": "posix-ext",
+            "pairs": [["fstatx", "link"], ["fstatx", "unlink"]],
+        }
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert redesign_names() == [
+            "fstat-vs-fstatx", "open-vs-openany", "sockets",
+        ]
+
+    def test_unknown_name_lists_valid_comparisons(self):
+        with pytest.raises(UnknownRedesignError) as excinfo:
+            get_redesign("bogus")
+        message = str(excinfo.value.args[0])
+        for name in redesign_names():
+            assert name in message
+
+    def test_register_and_unregister(self):
+        spec = Redesign(
+            name="throwaway",
+            description="test only",
+            baseline=Side(interface="sockets-ordered"),
+            redesigned=Side(interface="sockets-unordered"),
+            claim=Claim(text="t", checks=(Check("no_mismatches"),)),
+        )
+        register_redesign(spec)
+        try:
+            assert get_redesign("throwaway") is spec
+        finally:
+            unregister_redesign("throwaway")
+        with pytest.raises(UnknownRedesignError):
+            get_redesign("throwaway")
+
+    def test_builtin_sides_resolve(self):
+        for name in redesign_names():
+            redesign = get_redesign(name)
+            for side in redesign.sides.values():
+                ops, _ = side.resolve()
+                assert ops

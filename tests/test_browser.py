@@ -75,3 +75,80 @@ def test_residues(data_file, capsys):
 def test_residues_unknown_kernel(data_file):
     with pytest.raises(SystemExit):
         browser.main(["--data", data_file, "residues", "nope"])
+
+
+@pytest.fixture()
+def other_data_file(tmp_path):
+    """A second heatmap fixture: one cell improved, one changed size, one
+    op (rename) only here, and link/link missing."""
+    raw = {
+        "interface": "posix-ext",
+        "kernels": ["mono", "scalefs"],
+        "ops": ["open", "link", "rename"],
+        "elapsed": 10.0,
+        "total": 40,
+        "conflict_free": {"mono": 33, "scalefs": 40},
+        "cells": [
+            {"op0": "open", "op1": "open", "total": 10,
+             "fails": {"mono": 4, "scalefs": 0}, "mismatches": {}},
+            {"op0": "open", "op1": "link", "total": 14,
+             "fails": {"mono": 3, "scalefs": 0}, "mismatches": {}},
+            {"op0": "rename", "op1": "rename", "total": 16,
+             "fails": {"mono": 0, "scalefs": 0}, "mismatches": {}},
+        ],
+        "residues": {},
+    }
+    path = tmp_path / "heatmap_b.json"
+    path.write_text(json.dumps(raw))
+    return str(path)
+
+
+def test_compare_diffs_cells(data_file, other_data_file, capsys):
+    out = run(["compare", data_file, other_data_file], capsys)
+    assert "total commutative tests 30 -> 40" in out
+    # Changed cells are reported with per-kernel fail deltas...
+    assert "open/open: mono fails 6 -> 4; scalefs fails 1 -> 0" in out
+    assert "link/open: tests 12 -> 14" in out
+    # ...and one-sided cells are flagged with their side.
+    assert "link/link: only in A" in out
+    assert "rename/rename: only in B" in out
+    # The interface label comes from the artifact.
+    assert "[posix-ext]" in out
+
+
+def test_compare_identical_artifacts(data_file, capsys):
+    out = run(["compare", data_file, data_file], capsys)
+    assert "every shared cell is identical" in out
+
+
+def test_compare_order_of_arguments_sets_direction(data_file,
+                                                   other_data_file, capsys):
+    out = run(["compare", other_data_file, data_file], capsys)
+    assert "total commutative tests 40 -> 30" in out
+    assert "link/link: only in B" in out
+
+
+def test_compare_rejects_unknown_artifact(data_file):
+    with pytest.raises(SystemExit, match="neither an artifact file"):
+        browser.main(["compare", data_file, "no-such-thing"])
+
+
+def test_compare_resolves_interface_names(data_file, tmp_path, monkeypatch,
+                                          capsys):
+    """An interface name resolves to its default artifact path (here the
+    sockets-unordered artifact the heatmap pipeline would have written)."""
+    monkeypatch.chdir(tmp_path)
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "fig6_heatmap_sockets-unordered.json").write_text(
+        open(data_file).read()
+    )
+    out = run(["compare", data_file, "sockets-unordered"], capsys)
+    assert "total commutative tests 30 -> 30" in out
+
+
+def test_compare_missing_interface_artifact_errors(tmp_path, monkeypatch,
+                                                   data_file):
+    monkeypatch.chdir(tmp_path)
+    with pytest.raises(SystemExit, match="no artifact at"):
+        browser.main(["compare", data_file, "sockets-unordered"])
