@@ -6,6 +6,14 @@ deterministic (test totals, commutative path counts, checks passed), so
 CI gates them tightly; the headline assertion is that the claim holds
 through the declarative ``Redesign`` spec exactly as it did through the
 bespoke command it replaced.
+
+The report additionally carries an interleaved-vs-sequential wall-clock
+pair (``interleaved_wall_ms``/``sequential_wall_ms``): the engine now
+submits both sides' pair jobs to one shared worker pool instead of
+sweeping sides back to back, and this benchmark records what each
+scheduling costs on the same matrix.  The wall counters are
+machine-dependent and deliberately *not* in the committed baseline —
+only the deterministic counts are gated.
 """
 
 from repro.compare import run_compare
@@ -24,6 +32,12 @@ def test_compare_sweep(benchmark):
     assert unordered["conflict_free"]["scalefs"] == unordered["total_tests"]
     assert ordered["conflict_free"]["scalefs"] == 0
 
+    # The scheduling comparison: same matrix, shared-pool interleaving
+    # vs the historical side-after-side execution (identical summaries,
+    # verified here as well as in tests/compare/test_interleaved.py).
+    sequential = run_compare("sockets", interleave=False)
+    assert sequential.summaries == result.summaries
+
     benchmark.extra_info.update({
         "checks": len(result.claim["checks"]),
         "checks_passed": sum(c["holds"] for c in result.claim["checks"]),
@@ -33,6 +47,8 @@ def test_compare_sweep(benchmark):
         "redesigned_commutative_paths": unordered["commutative_paths"],
         "redesigned_scalefs_conflict_free":
             unordered["conflict_free"]["scalefs"],
+        "interleaved_wall_ms": round(result.elapsed_seconds * 1000, 1),
+        "sequential_wall_ms": round(sequential.elapsed_seconds * 1000, 1),
     })
     print(
         f"\ncompare sweep [sockets]: baseline "
@@ -45,5 +61,40 @@ def test_compare_sweep(benchmark):
         f"{unordered['total_tests']}; claim "
         f"{'HOLDS' if result.holds else 'DOES NOT HOLD'} "
         f"({sum(c['holds'] for c in result.claim['checks'])}/"
-        f"{len(result.claim['checks'])} checks)"
+        f"{len(result.claim['checks'])} checks); "
+        f"interleaved {result.elapsed_seconds * 1000:.0f}ms vs "
+        f"sequential {sequential.elapsed_seconds * 1000:.0f}ms"
+    )
+
+
+def test_compare_fork_vs_posix_spawn(benchmark):
+    """§4's decomposition claim through the proc interface spec (the
+    CI gate runs the CLI; this pins the deterministic counts)."""
+    result = benchmark.pedantic(
+        lambda: run_compare("fork-vs-posix_spawn"),
+        iterations=1, rounds=1,
+    )
+
+    assert result.holds
+    baseline = result.summaries["baseline"]
+    redesigned = result.summaries["redesigned"]
+    assert redesigned["conflict_free"]["scalefs"] \
+        == redesigned["total_tests"]
+    assert redesigned["conflict_free"]["mono"] < redesigned["total_tests"]
+
+    benchmark.extra_info.update({
+        "checks_passed": sum(c["holds"] for c in result.claim["checks"]),
+        "baseline_explored_paths": baseline["explored_paths"],
+        "baseline_commutative_paths": baseline["commutative_paths"],
+        "redesigned_explored_paths": redesigned["explored_paths"],
+        "redesigned_commutative_paths": redesigned["commutative_paths"],
+        "redesigned_scalefs_conflict_free":
+            redesigned["conflict_free"]["scalefs"],
+    })
+    print(
+        f"\ncompare sweep [fork-vs-posix_spawn]: baseline "
+        f"{baseline['commutative_paths']}/{baseline['explored_paths']} "
+        f"paths commute; redesigned {redesigned['commutative_paths']}/"
+        f"{redesigned['explored_paths']}; claim "
+        f"{'HOLDS' if result.holds else 'DOES NOT HOLD'}"
     )

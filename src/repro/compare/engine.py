@@ -1,14 +1,22 @@
 """The generic comparison engine: two sweeps, one claim, one artifact.
 
-:func:`run_compare` drives the existing :func:`repro.pipeline.sweep.run_sweep`
-seam — ANALYZER → TESTGEN → MTRACE through :class:`~repro.pipeline.jobs.PairJob`,
-the serial/parallel drivers and the fingerprinted result cache — once per
-side of a :class:`~repro.compare.spec.Redesign`, summarizes both sweeps,
-and evaluates the claim.  :func:`compare_to_dict` renders the result as
-the schema-versioned ``results/compare_<name>.json`` artifact;
-:func:`legacy_sockets_payload` reshapes the sockets comparison into the
-historical ``repro.sockets-comparison/1`` artifact the deprecated
-``sockets-compare`` command keeps emitting.
+:func:`run_compare` drives the :mod:`repro.pipeline.sweep` seam —
+ANALYZER → TESTGEN → MTRACE through :class:`~repro.pipeline.jobs.PairJob`,
+the serial/parallel drivers and the fingerprinted result cache — for both
+sides of a :class:`~repro.compare.spec.Redesign`, summarizes both sweeps,
+and evaluates the claim.  Both sides' jobs are *interleaved* through one
+shared worker pool by default (each job carries its own interface, state
+hooks and kernels, so a heterogeneous batch schedules like any other):
+with ``--workers N``, a big baseline side no longer drains before the
+redesigned side's first job starts.  ``interleave=False`` keeps the
+historical one-side-at-a-time execution; summaries are identical either
+way, which ``tests/compare/test_interleaved.py`` pins.
+
+:func:`compare_to_dict` renders the result as the schema-versioned
+``results/compare_<name>.json`` artifact; :func:`legacy_sockets_payload`
+reshapes the sockets comparison into the historical
+``repro.sockets-comparison/1`` artifact the deprecated ``sockets-compare``
+command keeps emitting.
 """
 
 from __future__ import annotations
@@ -20,6 +28,8 @@ from typing import Callable, Optional, Union
 from repro.compare.spec import SIDES, Redesign, get_redesign
 from repro.pipeline.sweep import (
     SweepResult,
+    build_pair_jobs,
+    execute_jobs,
     run_sweep,
     summarize_interface_sweep,
 )
@@ -53,6 +63,7 @@ def run_compare(
     ncores: int = 4,
     on_progress: Optional[Callable[[str], None]] = None,
     solver_cache_size: Optional[int] = None,
+    interleave: bool = True,
 ) -> CompareResult:
     """Run one registered comparison end-to-end.
 
@@ -60,33 +71,29 @@ def run_compare(
     The remaining knobs are the sweep's: ``cache`` is shared across both
     sides (pair fingerprints already carry interface and ncores, so a
     compare run reuses — and feeds — the same entries as plain
-    ``heatmap`` sweeps of the same interfaces).
+    ``heatmap`` sweeps of the same interfaces).  ``interleave`` runs both
+    sides' pair jobs through one shared worker pool (the default);
+    ``False`` sweeps the sides sequentially — results are identical.
     """
     if isinstance(redesign, str):
         redesign = get_redesign(redesign)
     if isinstance(cache, (str, bytes)) or hasattr(cache, "__fspath__"):
         # One ResultCache for both sides (and both loads of it), rather
-        # than letting each run_sweep re-parse the cache file.
+        # than letting each sweep re-parse the cache file.
         from repro.pipeline.cache import ResultCache
 
         cache = ResultCache(cache)
     start = time.time()
-    sweeps: dict[str, SweepResult] = {}
-    for side_name in SIDES:
-        side = redesign.sides[side_name]
-        ops, pair_filter = side.resolve()
-        if on_progress is not None:
-            on_progress(f"[{side_name}: {side.interface}] "
-                        f"{len(ops)} ops")
-        sweeps[side_name] = run_sweep(
-            ops=ops,
-            pair_filter=pair_filter,
-            interface=side.interface,
-            tests_per_path=tests_per_path,
-            workers=workers,
-            cache=cache,
-            ncores=ncores,
-            on_progress=on_progress,
+    if interleave:
+        sweeps = _run_sides_interleaved(
+            redesign, tests_per_path=tests_per_path, workers=workers,
+            cache=cache, ncores=ncores, on_progress=on_progress,
+            solver_cache_size=solver_cache_size,
+        )
+    else:
+        sweeps = _run_sides_sequential(
+            redesign, tests_per_path=tests_per_path, workers=workers,
+            cache=cache, ncores=ncores, on_progress=on_progress,
             solver_cache_size=solver_cache_size,
         )
     summaries = {
@@ -105,6 +112,86 @@ def run_compare(
         tests_per_path=tests_per_path,
         elapsed_seconds=time.time() - start,
     )
+
+
+def _run_sides_sequential(
+    redesign: Redesign, tests_per_path, workers, cache, ncores,
+    on_progress, solver_cache_size,
+) -> dict[str, SweepResult]:
+    """The historical engine: one full sweep per side, in order."""
+    sweeps: dict[str, SweepResult] = {}
+    for side_name in SIDES:
+        side = redesign.sides[side_name]
+        ops, pair_filter = side.resolve()
+        if on_progress is not None:
+            on_progress(f"[{side_name}: {side.interface}] "
+                        f"{len(ops)} ops")
+        sweeps[side_name] = run_sweep(
+            ops=ops,
+            pair_filter=pair_filter,
+            interface=side.interface,
+            tests_per_path=tests_per_path,
+            workers=workers,
+            cache=cache,
+            ncores=ncores,
+            on_progress=on_progress,
+            solver_cache_size=solver_cache_size,
+        )
+    return sweeps
+
+
+def _run_sides_interleaved(
+    redesign: Redesign, tests_per_path, workers, cache, ncores,
+    on_progress, solver_cache_size,
+) -> dict[str, SweepResult]:
+    """Both sides' pair jobs through one shared worker pool.
+
+    Jobs carry their interface per unit, so the mixed batch schedules on
+    :func:`~repro.pipeline.sweep.execute_jobs` like any homogeneous one;
+    the combined cell list is split back into per-side
+    :class:`SweepResult`\\ s in matrix order afterwards.  Per-side
+    ``elapsed_seconds`` is the shared batch's wall clock — the pool is
+    shared, so there is no meaningful per-side split.
+    """
+    start = time.time()
+    resolved = {}
+    jobs = []
+    spans: dict[str, tuple[int, int]] = {}
+    for side_name in SIDES:
+        side = redesign.sides[side_name]
+        ops, pair_filter = side.resolve()
+        if on_progress is not None:
+            on_progress(f"[{side_name}: {side.interface}] "
+                        f"{len(ops)} ops")
+        side_jobs = build_pair_jobs(
+            ops=ops, pair_filter=pair_filter, interface=side.interface,
+            tests_per_path=tests_per_path, ncores=ncores,
+            solver_cache_size=solver_cache_size,
+        )
+        spans[side_name] = (len(jobs), len(jobs) + len(side_jobs))
+        jobs.extend(side_jobs)
+        resolved[side_name] = (side, ops)
+    executed = execute_jobs(
+        jobs, workers=workers, cache=cache, on_progress=on_progress,
+    )
+    elapsed = time.time() - start
+    sweeps: dict[str, SweepResult] = {}
+    for side_name in SIDES:
+        side, ops = resolved[side_name]
+        lo, hi = spans[side_name]
+        sweeps[side_name] = SweepResult(
+            cells=executed.cells[lo:hi],
+            kernels=tuple(name for name, _ in jobs[lo].kernels)
+            if hi > lo else (),
+            op_names=[op.name for op in ops],
+            elapsed_seconds=elapsed,
+            workers=executed.workers,
+            cached_pairs=sum(executed.cached[lo:hi]),
+            computed_pairs=(hi - lo) - sum(executed.cached[lo:hi]),
+            interface=side.interface,
+            ncores=ncores,
+        )
+    return sweeps
 
 
 def compare_to_dict(result: CompareResult) -> dict:

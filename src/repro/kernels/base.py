@@ -114,6 +114,9 @@ class Kernel(ABC):
     @abstractmethod
     def posix_spawn(self, pid: int) -> int: ...
 
+    @abstractmethod
+    def wait(self, pid: int, child_pid: int): ...
+
     # -- test plumbing ----------------------------------------------------
     @abstractmethod
     def install(self, setup: ConcreteSetup) -> None:
@@ -165,4 +168,13 @@ _DISPATCH = {
     "recv": lambda k, a: k.recvfrom(0),
     "usend": lambda k, a: k.sendto(0, a["msg"]),
     "urecv": lambda k, a: k.recvfrom(0),
+    # Stream sockets: one kernel socket per connection, installed from
+    # ConcreteSetup.sockets in the spec's component order.
+    "ssend": lambda k, a: k.sendto(a["conn"], a["msg"]),
+    "srecv": lambda k, a: k.recvfrom(a["conn"]),
+    # §4 process-creation interface (the fork-vs-posix_spawn redesign).
+    "fork": lambda k, a: k.fork(a["pid"]),
+    "exec": lambda k, a: k.exec(a["pid"]),
+    "posix_spawn": lambda k, a: k.posix_spawn(a["pid"]),
+    "wait": lambda k, a: k.wait(a["pid"], a["child"]),
 }

@@ -57,14 +57,18 @@ class Param:
     addr       integer in ``0..NVA`` (NVA itself exercises EINVAL)
     whence     integer in ``0..2`` (SEEK_SET/CUR/END)
     bool       boolean flag
+    int        integer in an explicit ``lo..hi`` range (spec-authored
+               interfaces declare their own typed ranges this way)
     ========== ============================================================
 
     ``sort`` overrides the uninterpreted sort a reference parameter draws
     from (the sockets model's ``Message`` arguments); it is only valid
-    with reference kinds (``filename``/``byte``/``ref``).
+    with reference kinds (``filename``/``byte``/``ref``).  ``lo``/``hi``
+    are only valid — and required — with kind ``int``.
     """
 
-    def __init__(self, name: str, kind: str, sort: Optional[T.Sort] = None):
+    def __init__(self, name: str, kind: str, sort: Optional[T.Sort] = None,
+                 lo: Optional[int] = None, hi: Optional[int] = None):
         self.name = name
         self.kind = kind
         if sort is not None and kind not in ("filename", "byte", "ref"):
@@ -73,7 +77,20 @@ class Param:
             )
         if kind == "ref" and sort is None:
             raise ValueError("parameter kind 'ref' requires an explicit sort")
+        if kind == "int":
+            if lo is None or hi is None:
+                raise ValueError(
+                    "parameter kind 'int' requires explicit lo and hi"
+                )
+            if lo > hi:
+                raise ValueError(f"empty int range [{lo}, {hi}]")
+        elif lo is not None or hi is not None:
+            raise ValueError(
+                f"parameter kind {kind!r} cannot carry an explicit range"
+            )
         self.sort = sort
+        self.lo = lo
+        self.hi = hi
 
     def make(self, factory: VarFactory):
         ex = Executor.current()
@@ -92,6 +109,8 @@ class Param:
         return value
 
     def int_range(self) -> tuple[int, int]:
+        if self.kind == "int":
+            return (self.lo, self.hi)
         ranges = {
             "fd": (0, NFD),
             "pid": (0, NPROCS - 1),
@@ -107,6 +126,8 @@ class Param:
     def __repr__(self) -> str:
         if self.sort is not None:
             return f"Param({self.name}:{self.kind}[{self.sort.name}])"
+        if self.kind == "int":
+            return f"Param({self.name}:int[{self.lo},{self.hi}])"
         return f"Param({self.name}:{self.kind})"
 
 

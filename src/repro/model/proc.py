@@ -1,0 +1,121 @@
+"""Process creation as an analyzable interface: §4's decomposition story.
+
+§4's flagship decomposition example: ``fork`` fails to commute with most
+operations in the same process because POSIX makes it a *compound*
+operation — it snapshots the parent's whole image and allocates child
+pids in order — while ``posix_spawn`` (create a fresh child running a
+new program) avoids both, so spawns commute with each other and with
+``exec``.  The model captures exactly the two non-commutative
+ingredients:
+
+* **ordered pid allocation** — ``fork`` returns ``next_pid`` and
+  increments it, so two forks return different values depending on
+  order; ``posix_spawn`` returns *any* unused pid (a matched fresh
+  variable required absent from the child table — the same
+  specification-nondeterminism mechanism as ``openany``'s fd choice);
+* **the image snapshot** — ``fork`` copies the parent's current image
+  into the child, so it does not commute with a same-process ``exec``
+  (unless the new image happens to equal the old); ``posix_spawn``'s
+  child starts with a fresh image and never reads the parent's.
+
+``wait`` reads a base process's status (always ``"running"`` in this
+world: the model has no ``exit``), which commutes with everything at the
+interface level — its role is the *implementation* contrast: the
+Linux-like kernel serializes ``wait`` on the global task-list lock while
+the scalable kernel reads only the child's own status line.
+
+State is declared through :mod:`repro.model.spec` components; the
+registry compiles the spec into the ``proc`` interface, and
+``repro.compare`` registers the ``fork-vs-posix_spawn`` redesign that
+machine-checks the decomposition claim.
+
+Bounds: the world holds ``NPROCS`` base processes (pids ``0..NPROCS-1``,
+always alive); ``next_pid`` starts anywhere in ``[NPROCS, MAX_PID]``
+(modeling prior forks) and ``wait`` targets base processes only — child
+statuses never change without an ``exit`` call, so the restriction loses
+no commutativity distinctions.
+"""
+
+from __future__ import annotations
+
+from repro.model.base import NPROCS, OpDef, Param, defop
+from repro.model.fs import concretize_pid
+from repro.model.spec import (
+    EmptyTable,
+    InterfaceSpec,
+    Ref,
+    Scalar,
+)
+from repro.symbolic import terms as T
+
+#: A process image (program + address space) as an opaque token.
+PIMAGE = T.uninterpreted_sort("ProcImage")
+
+#: Largest pid the bounded world can allocate.
+MAX_PID = 4
+
+PROC_OPS: list[OpDef] = []
+
+
+def _image(s, pid: int):
+    """The base process's current image (pid already concretized)."""
+    return (s.image0, s.image1)[pid]
+
+
+def _set_image(s, pid: int, image) -> None:
+    if pid == 0:
+        s.image0 = image
+    else:
+        s.image1 = image
+
+
+@defop(PROC_OPS, "fork", Param("pid", "pid"))
+def sys_fork(s, ex, rt, pid):
+    """POSIX fork: snapshot the parent's image into a child at the
+    *next* pid — both ingredients §4 blames for fork's non-commutativity."""
+    pid = concretize_pid(pid)
+    child = s.next_pid
+    s.children[child] = _image(s, pid)
+    s.next_pid = child + 1
+    return child
+
+
+@defop(PROC_OPS, "posix_spawn", Param("pid", "pid"))
+def sys_posix_spawn(s, ex, rt, pid):
+    """First-class spawn: a fresh child with a fresh image at *any*
+    unused pid (specification nondeterminism; the parent is never read)."""
+    child = rt.fresh_int("spawnpid")
+    ex.assume(T.le(T.const(NPROCS), child.term))
+    ex.assume(T.le(child.term, T.const(MAX_PID)))
+    s.children.require_absent(child)
+    s.children[child] = rt.fresh_ref("image", PIMAGE)
+    return child
+
+
+@defop(PROC_OPS, "exec", Param("pid", "pid"))
+def sys_exec(s, ex, rt, pid):
+    """Replace the process image with a fresh one."""
+    pid = concretize_pid(pid)
+    _set_image(s, pid, rt.fresh_ref("image", PIMAGE))
+    return 0
+
+
+@defop(PROC_OPS, "wait", Param("pid", "pid"), Param("child", "pid"))
+def sys_wait(s, ex, rt, pid, child):
+    """Read a base process's status (always running: no exit here)."""
+    return "running"
+
+
+PROC_SPEC = InterfaceSpec(
+    name="proc",
+    description="§4 process creation: fork (compound: pid order + image "
+                "snapshot) vs posix_spawn (fresh child, any pid), with "
+                "exec and wait",
+    state=(
+        Scalar("next_pid", NPROCS, MAX_PID, prefix="proc.next"),
+        Ref("image0", PIMAGE, prefix="proc.image0"),
+        Ref("image1", PIMAGE, prefix="proc.image1"),
+        EmptyTable("children", T.INT, prefix="proc.children"),
+    ),
+    ops=PROC_OPS,
+)

@@ -9,6 +9,13 @@ under test, and the TESTGEN concretization hooks — and the registry names
 them so every pipeline stage (``analyze``/``heatmap``/``testgen``/
 ``browse``) can be pointed at an interface with ``--interface``.
 
+Interfaces are *authored* as declarative
+:class:`~repro.model.spec.InterfaceSpec`\\ s; an :class:`Interface` is
+the compiled artifact of a spec (``spec.register()`` compiles and
+registers it here).  The POSIX model keeps its bespoke state through the
+spec's ``Opaque`` escape hatch, so its callables — and therefore its
+cache fingerprints and artifacts — are untouched by the migration.
+
 Registered instances:
 
 ========================= ==============================================
@@ -17,10 +24,15 @@ name                      interface
 ``posix``                 the paper's 18-call POSIX model (Figure 6)
 ``posix-ext``             POSIX plus the §4 commutative extensions
                           (``fstatx``, ``openany``)
+``proc``                  §4 process creation: ``fork``/``posix_spawn``/
+                          ``exec``/``wait`` (the decomposition story)
 ``sockets-ordered``       §4.3's ordered datagram socket (``send``/
                           ``recv`` over one FIFO)
 ``sockets-unordered``     §4.3's redesign: unordered datagram socket
                           (``usend``/``urecv`` over a bounded bag)
+``sockets-stream``        §4.3's stream socket: one FIFO per
+                          connection (``ssend``/``srecv``; ordering per
+                          connection, commutativity across)
 ========================= ==============================================
 """
 
@@ -107,68 +119,47 @@ def resolve_ops(interface: str, names: Optional[list[str]] = None) -> list[OpDef
 
 
 # ----------------------------------------------------------------------
-# Built-in interfaces.  Imports live here (not at module top) only where
-# needed to keep import cycles out of repro.model.base users.
+# Built-in interfaces, authored as InterfaceSpecs.  Imports live here
+# (not at module top) only where needed to keep import cycles out of
+# repro.model.base users.
 
 def _register_builtins() -> None:
     from repro.model.fs import PosixState
     from repro.model.posix import POSIX_EXT_OPS, POSIX_OPS, posix_state_equal
+    from repro.model.proc import PROC_SPEC
     from repro.model.sockets import (
-        ORDERED_SOCKET_OPS,
-        SocketState,
-        UNORDERED_SOCKET_OPS,
-        UnorderedSocketState,
-        ordered_socket_equal,
-        unordered_socket_equal,
+        SOCKETS_ORDERED_SPEC,
+        SOCKETS_STREAM_SPEC,
+        SOCKETS_UNORDERED_SPEC,
     )
-    from repro.mtrace.runner import mono_factory, scalefs_factory
+    from repro.model.spec import InterfaceSpec, Opaque
     from repro.testgen.casegen import setup_from_model
-    from repro.testgen.sockets import (
-        socket_groups_for_path,
-        socket_setup_from_model,
-    )
 
-    kernels = (("mono", mono_factory), ("scalefs", scalefs_factory))
-    register_interface(Interface(
+    # The POSIX model's bespoke state rides through the Opaque escape
+    # hatch: the compiled interface carries the original callables, so
+    # migrating to specs changed neither fingerprints nor artifacts.
+    posix_state = Opaque(
+        build=PosixState,
+        equal=posix_state_equal,
+        setup_builder=setup_from_model,
+    )
+    InterfaceSpec(
         name="posix",
         description="the paper's 18-call POSIX model (13 fs + 5 vm calls)",
-        ops=tuple(POSIX_OPS),
-        build_state=PosixState,
-        state_equal=posix_state_equal,
-        kernels=kernels,
-        setup_builder=setup_from_model,
-    ))
-    register_interface(Interface(
+        state=posix_state,
+        ops=POSIX_OPS,
+    ).register()
+    InterfaceSpec(
         name="posix-ext",
         description="POSIX plus the §4 commutative extensions "
                     "(fstatx, openany)",
-        ops=tuple(POSIX_OPS + POSIX_EXT_OPS),
-        build_state=PosixState,
-        state_equal=posix_state_equal,
-        kernels=kernels,
-        setup_builder=setup_from_model,
-    ))
-    register_interface(Interface(
-        name="sockets-ordered",
-        description="§4.3 ordered datagram socket: send/recv over one FIFO",
-        ops=tuple(ORDERED_SOCKET_OPS),
-        build_state=SocketState,
-        state_equal=ordered_socket_equal,
-        kernels=kernels,
-        setup_builder=socket_setup_from_model,
-        groups_builder=socket_groups_for_path,
-    ))
-    register_interface(Interface(
-        name="sockets-unordered",
-        description="§4.3 redesign: unordered datagram socket "
-                    "(usend/urecv over a bounded bag)",
-        ops=tuple(UNORDERED_SOCKET_OPS),
-        build_state=UnorderedSocketState,
-        state_equal=unordered_socket_equal,
-        kernels=kernels,
-        setup_builder=socket_setup_from_model,
-        groups_builder=socket_groups_for_path,
-    ))
+        state=posix_state,
+        ops=POSIX_OPS + POSIX_EXT_OPS,
+    ).register()
+    PROC_SPEC.register()
+    SOCKETS_ORDERED_SPEC.register()
+    SOCKETS_UNORDERED_SPEC.register()
+    SOCKETS_STREAM_SPEC.register()
 
 
 _register_builtins()

@@ -1,4 +1,4 @@
-"""§4's "permit weak ordering" case study as an analyzable model.
+"""§4's "permit weak ordering" case study, authored as interface specs.
 
 POSIX orders all messages on a local datagram socket, so send and recv on
 one socket never commute (except in error cases).  An unordered datagram
@@ -7,30 +7,59 @@ is the same either way), and send/recv commute "as long as there is both
 enough free space and enough pending messages" — §4's exact claim, which
 ``tests/model/test_socket_model.py`` verifies with ANALYZER.
 
-The model is a single datagram socket in two variants sharing one state
-shape: a FIFO position buffer.  The variants differ only in their state
-equivalence — the ordered spec compares the live region position by
-position, the unordered spec compares it as a bag.
+All three socket interfaces here are declarative
+:class:`~repro.model.spec.InterfaceSpec`\\ s over the spec component
+vocabulary — the state constructors, equivalence predicates and TESTGEN
+hooks are *derived* from the components rather than hand-written:
+
+* ``sockets-ordered`` — one :class:`~repro.model.spec.Fifo` (§4.3's
+  POSIX-ordered datagram socket);
+* ``sockets-unordered`` — one :class:`~repro.model.spec.Bag` (§4.3's
+  redesign: delivery order unspecified);
+* ``sockets-stream`` — one FIFO *per connection* (§4.3's stream-socket
+  observation: ordering per connection, commutativity across
+  connections — ``ssend``/``srecv`` on distinct connections commute
+  even though each connection is strictly ordered).
+
+``SocketState``/``UnorderedSocketState`` remain the concrete state
+classes (now subclasses of the generic component states) so existing
+imports, tests and the sweep artifacts stay byte-identical.
 """
 
 from __future__ import annotations
 
 from repro import errors
 from repro.model.base import OpDef, Param, defop
+from repro.model.spec import (
+    Bag,
+    BagState,
+    Fifo,
+    FifoState,
+    InterfaceSpec,
+)
 from repro.symbolic import terms as T
-from repro.symbolic.engine import Executor
-from repro.symbolic.symtypes import SymMap, VarFactory, values_equal
+from repro.symbolic.symtypes import SInt, VarFactory
 
 MESSAGE = T.uninterpreted_sort("Message")
 
 #: Bounded queue capacity (messages), like the paper's page-granularity cap.
 CAPACITY = 3
 
+#: Finitization bound on absolute FIFO positions (keeps TESTGEN's
+#: isomorphism enumeration tractable, exactly like the paper's page
+#: granularity restriction).
+MAX_POSITION = 4
+
+#: Connections in the stream-socket world (two suffice to distinguish
+#: same-connection ordering from cross-connection commutativity).
+NCONNS = 2
+
 ORDERED_SOCKET_OPS: list[OpDef] = []
 UNORDERED_SOCKET_OPS: list[OpDef] = []
+STREAM_SOCKET_OPS: list[OpDef] = []
 
 
-class SocketState:
+class SocketState(FifoState):
     """One datagram socket: an absolute-position buffer of messages.
 
     ``head`` and ``tail`` are positions in an unbounded stream; the live
@@ -38,28 +67,11 @@ class SocketState:
     """
 
     def __init__(self, factory: VarFactory):
-        ex = Executor.current()
-        self.head = factory.fresh_int("sock.head")
-        self.tail = factory.fresh_int("sock.tail")
-        ex.assume(T.le(T.const(0), self.head.term))
-        ex.assume(T.le(self.head.term, self.tail.term))
-        ex.assume(T.le(self.tail.term,
-                       T.add(self.head.term, T.const(CAPACITY))))
-        ex.assume(T.le(self.tail.term, T.const(4)))
-        self.buffer = SymMap.any(
-            factory, "sock.buf", T.INT,
-            lambda n: factory.fresh_ref(n, MESSAGE),
-        )
-
-    def copy(self) -> "SocketState":
-        new = object.__new__(SocketState)
-        new.head = self.head
-        new.tail = self.tail
-        new.buffer = self.buffer.copy()
-        return new
+        super().__init__(factory, name="sock", sort=MESSAGE,
+                         capacity=CAPACITY, max_position=MAX_POSITION)
 
 
-class UnorderedSocketState:
+class UnorderedSocketState(BagState):
     """The §4 redesign: a bounded *multiset* of messages.
 
     Delivery order is unspecified, so the state is per-message-value
@@ -69,71 +81,31 @@ class UnorderedSocketState:
     """
 
     def __init__(self, factory: VarFactory):
-        ex = Executor.current()
-        self.total = factory.fresh_int("usock.total")
-        ex.assume(T.le(T.const(0), self.total.term))
-        ex.assume(T.le(self.total.term, T.const(CAPACITY)))
-        self.counts = SymMap.any(
-            factory, "usock.counts", MESSAGE,
-            lambda n: self._make_count(factory, n),
-        )
+        super().__init__(factory, name="usock", sort=MESSAGE,
+                         capacity=CAPACITY)
 
-    def _make_count(self, factory: VarFactory, name: str):
-        ex = Executor.current()
-        count = factory.fresh_int(name)
-        ex.assume(T.le(T.const(1), count.term))
-        ex.assume(T.le(count.term, T.const(CAPACITY)))
-        return count
 
-    def copy(self) -> "UnorderedSocketState":
-        new = object.__new__(UnorderedSocketState)
-        new.total = self.total
-        new.counts = self.counts.copy()
-        return new
+#: The declarative state components the specs (and the compatibility
+#: equality functions below) are built from.  ``state_type`` keeps the
+#: historical state classes as the constructed values.
+ORDERED_QUEUE = Fifo("sock", sort=MESSAGE, capacity=CAPACITY,
+                     max_position=MAX_POSITION, state_type=SocketState)
+UNORDERED_BAG = Bag("usock", sort=MESSAGE, capacity=CAPACITY,
+                    state_type=UnorderedSocketState)
 
 
 def ordered_socket_equal(a: SocketState, b: SocketState) -> bool:
     """FIFO equivalence: same message at every live position."""
-    ex = Executor.current()
-    if not values_equal(a.head, b.head) or not values_equal(a.tail, b.tail):
-        return False
-    head = _term(a.head)
-    tail = _term(a.tail)
-    for i in range(a.buffer.slot_count()):
-        key = a.buffer.base.slots[i].key
-        ea = _effective(a, i)
-        eb = _effective(b, i)
-        outside = T.or_(T.lt(key, head), T.le(tail, key))
-        if not ex.fork_bool(T.or_(outside, T.eq(ea, eb))):
-            return False
-    return True
+    return ORDERED_QUEUE.equal(a, b)
 
 
 def unordered_socket_equal(a: UnorderedSocketState,
                            b: UnorderedSocketState) -> bool:
     """Bag equivalence: same total, same count for every message value."""
-    if not values_equal(a.total, b.total):
-        return False
-    for i in range(a.counts.slot_count()):
-        pa, va = a.counts.slot_state(i)
-        pb, vb = b.counts.slot_state(i)
-        ea = va if pa else 0
-        eb = vb if pb else 0
-        if not values_equal(ea, eb):
-            return False
-    return True
+    return UNORDERED_BAG.equal(a, b)
 
 
-def _term(x):
-    return T.const(x) if isinstance(x, int) else x.term
-
-
-def _effective(state: SocketState, slot_index: int):
-    present, value = state.buffer.slot_state(slot_index)
-    return value.term if present else T.uval(MESSAGE, 0)
-
-
-def _send(s: SocketState, msg):
+def _send(s: FifoState, msg):
     if s.tail >= s.head + CAPACITY:
         return -errors.EAGAIN  # no free space
     s.buffer[s.tail] = msg
@@ -141,7 +113,7 @@ def _send(s: SocketState, msg):
     return 0
 
 
-def _recv(s: SocketState):
+def _recv(s: FifoState):
     if s.head >= s.tail:
         return -errors.EAGAIN  # no pending messages
     value = s.buffer.require(s.head)
@@ -188,11 +160,68 @@ def unordered_recv(s, ex, rt):
     return ("msg", delivered)
 
 
+# ----------------------------------------------------------------------
+# Stream sockets: per-connection FIFOs.
+
+
+def _connection(s, conn) -> FifoState:
+    """The per-connection FIFO, with the connection index concretized."""
+    index = conn.concretize(range(NCONNS)) if isinstance(conn, SInt) else conn
+    return (s.conn0, s.conn1)[index]
+
+
+@defop(STREAM_SOCKET_OPS, "ssend",
+       Param("conn", "int", lo=0, hi=NCONNS - 1),
+       Param("msg", "ref", sort=MESSAGE))
+def stream_send(s, ex, rt, conn, msg):
+    return _send(_connection(s, conn), msg)
+
+
+@defop(STREAM_SOCKET_OPS, "srecv",
+       Param("conn", "int", lo=0, hi=NCONNS - 1))
+def stream_recv(s, ex, rt, conn):
+    return _recv(_connection(s, conn))
+
+
+# ----------------------------------------------------------------------
+# The interface specs (registered by repro.model.registry at import).
+
+SOCKETS_ORDERED_SPEC = InterfaceSpec(
+    name="sockets-ordered",
+    description="§4.3 ordered datagram socket: send/recv over one FIFO",
+    state=ORDERED_QUEUE,
+    ops=ORDERED_SOCKET_OPS,
+)
+
+SOCKETS_UNORDERED_SPEC = InterfaceSpec(
+    name="sockets-unordered",
+    description="§4.3 redesign: unordered datagram socket "
+                "(usend/urecv over a bounded bag)",
+    state=UNORDERED_BAG,
+    ops=UNORDERED_SOCKET_OPS,
+)
+
+SOCKETS_STREAM_SPEC = InterfaceSpec(
+    name="sockets-stream",
+    description="§4.3 stream socket: per-connection ordering, "
+                "cross-connection commutativity (ssend/srecv over one "
+                "FIFO per connection)",
+    state=(
+        Fifo("conn0", sort=MESSAGE, capacity=CAPACITY,
+             max_position=MAX_POSITION),
+        Fifo("conn1", sort=MESSAGE, capacity=CAPACITY,
+             max_position=MAX_POSITION),
+    ),
+    ops=STREAM_SOCKET_OPS,
+)
+
+
 def socket_op(name: str) -> OpDef:
-    for op in ORDERED_SOCKET_OPS + UNORDERED_SOCKET_OPS:
+    all_ops = ORDERED_SOCKET_OPS + UNORDERED_SOCKET_OPS + STREAM_SOCKET_OPS
+    for op in all_ops:
         if op.name == name:
             return op
-    valid = [op.name for op in ORDERED_SOCKET_OPS + UNORDERED_SOCKET_OPS]
+    valid = [op.name for op in all_ops]
     raise KeyError(
         f"no socket operation named {name!r}; valid names: "
         + ", ".join(valid)

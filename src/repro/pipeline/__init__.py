@@ -98,7 +98,10 @@ from repro.pipeline.jobs import (
 )
 from repro.pipeline.sweep import (
     AnalysisSweep,
+    ExecutedJobs,
     SweepResult,
+    build_pair_jobs,
+    execute_jobs,
     iter_pairs,
     make_pair_filter,
     run_analysis,
@@ -109,6 +112,7 @@ from repro.pipeline.sweep import (
 __all__ = [
     "AnalysisSweep",
     "Driver",
+    "ExecutedJobs",
     "PairCellData",
     "PairJob",
     "PairSummary",
@@ -116,9 +120,11 @@ __all__ = [
     "ResultCache",
     "SerialDriver",
     "SweepResult",
+    "build_pair_jobs",
     "classify_residue",
     "default_workers",
     "driver_for",
+    "execute_jobs",
     "iter_pairs",
     "job_fingerprint",
     "make_pair_filter",

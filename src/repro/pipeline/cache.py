@@ -31,7 +31,6 @@ the previous cache.
 from __future__ import annotations
 
 import hashlib
-import inspect
 import json
 import os
 import sys
@@ -39,7 +38,9 @@ import tempfile
 from functools import lru_cache
 from typing import Optional
 
+from repro.model import spec as model_spec
 from repro.model.base import OpDef
+from repro.model.spec import fingerprint_source
 from repro.pipeline.jobs import PairJob
 
 CACHE_VERSION = 1
@@ -88,6 +89,7 @@ _CONTEXT_MODULES = (
     "repro.kernels.scalefs",
     "repro.model.base",
     "repro.model.registry",
+    "repro.model.spec",
     "repro.testgen.sockets",
     "repro.pipeline.jobs",
 )
@@ -100,20 +102,19 @@ _MODEL_MODULES = (
     "repro.model.fs",
     "repro.model.vm",
     "repro.model.posix",
+    "repro.model.proc",
     "repro.model.sockets",
 )
 
 
-def _source_of(obj) -> str:
-    """Best-effort source text of a function/class; falls back to bytecode
-    so dynamically built ops still get a content hash."""
-    try:
-        return inspect.getsource(obj)
-    except (OSError, TypeError):
-        code = getattr(obj, "__code__", None)
-        if code is not None:
-            return code.co_code.hex() + repr(code.co_consts)
-        return repr(obj)
+# Best-effort source text of a function/class, falling back to bytecode
+# so dynamically built ops still get a content hash.  Spec-derived hooks
+# have no meaningful source of their own — they stand in their owning
+# spec's content hash via ``__fingerprint_source__``, so editing an
+# ``InterfaceSpec`` (or bumping the spec schema) invalidates exactly the
+# pairs derived from it.  One canonical implementation, shared with the
+# spec layer's own content hashing.
+_source_of = fingerprint_source
 
 
 def op_fingerprint(op: OpDef) -> str:
@@ -125,6 +126,8 @@ def op_fingerprint(op: OpDef) -> str:
         sort = getattr(param, "sort", None)
         if sort is not None:
             h.update(f"[{sort.name}]".encode())
+        if getattr(param, "lo", None) is not None:
+            h.update(f"[{param.lo},{param.hi}]".encode())
     h.update(b"|")
     h.update(_source_of(op.fn).encode())
     return h.hexdigest()
@@ -189,6 +192,10 @@ def job_fingerprint(job: PairJob) -> str:
     previous (b, a) run stored.
     """
     h = hashlib.sha256()
+    # The spec/registry schema version guards every entry: a derivation
+    # rule change invalidates the whole cache rather than silently
+    # reusing results computed under the old rules.
+    h.update(f"spec-schema:{model_spec.SPEC_SCHEMA_VERSION}".encode())
     for fp in sorted((op_fingerprint(job.op0), op_fingerprint(job.op1))):
         h.update(fp.encode())
     h.update(_source_of(job.build_state).encode())

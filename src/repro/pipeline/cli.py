@@ -125,8 +125,9 @@ def _add_ncores_option(parser):
 def _add_matrix_options(parser, cache: bool = False):
     parser.add_argument(
         "--interface", default="posix", metavar="NAME",
-        help="registered interface to analyze (posix, posix-ext, "
-             "sockets-ordered, sockets-unordered; default posix)",
+        help="registered interface to analyze (posix, posix-ext, proc, "
+             "sockets-ordered, sockets-unordered, sockets-stream; "
+             "default posix)",
     )
     parser.add_argument(
         "--ops", metavar="a,b,c",

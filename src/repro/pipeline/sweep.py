@@ -86,6 +86,137 @@ def make_pair_filter(
     return lambda a, b: frozenset((a.name, b.name)) in wanted
 
 
+def build_pair_jobs(
+    ops: Optional[Sequence[OpDef]] = None,
+    kernels: Optional[Sequence[tuple[str, Callable]]] = None,
+    tests_per_path: int = 1,
+    pair_filter: Optional[Callable[[OpDef, OpDef], bool]] = None,
+    build_state: Optional[Callable] = None,
+    state_equal: Optional[Callable] = None,
+    solver_cache_size: Optional[int] = None,
+    interface: str = "posix",
+    ncores: int = 4,
+) -> list[PairJob]:
+    """One interface's pair matrix as independent :class:`PairJob`\\ s.
+
+    Registry defaults (ops, kernels, state hooks) resolve exactly as in
+    :func:`run_sweep`; the job list is the unit :func:`execute_jobs`
+    schedules, so callers may concatenate lists from *different*
+    interfaces into one heterogeneous batch (the compare engine's
+    interleaved scheduling does).
+    """
+    from repro.model.registry import get_interface
+
+    iface = get_interface(interface)
+    if ops is None:
+        ops = iface.ops
+    kernel_items = tuple(kernels) if kernels is not None \
+        else tuple(iface.kernels)
+    return [
+        PairJob(a, b, tests_per_path=tests_per_path, kernels=kernel_items,
+                solver_cache_size=solver_cache_size,
+                build_state=build_state if build_state is not None
+                else iface.build_state,
+                state_equal=state_equal if state_equal is not None
+                else iface.state_equal,
+                interface=interface, ncores=ncores)
+        for a, b in iter_pairs(list(ops), pair_filter)
+    ]
+
+
+@dataclass
+class ExecutedJobs:
+    """The result of one (possibly heterogeneous) job batch."""
+
+    cells: list[PairCellData]
+    cached: list[bool]       # per job, in input order
+    workers: int
+
+    @property
+    def cached_pairs(self) -> int:
+        return sum(self.cached)
+
+    @property
+    def computed_pairs(self) -> int:
+        return len(self.cells) - self.cached_pairs
+
+
+def execute_jobs(
+    jobs: Sequence[PairJob],
+    workers: Optional[int] = None,
+    driver: Optional[Driver] = None,
+    cache: Optional[object] = None,
+    on_progress: Optional[Callable[[str], None]] = None,
+) -> ExecutedJobs:
+    """Run a batch of pair jobs: cache split, one driver pass, merge.
+
+    The batch may mix interfaces, core counts and kernels — each job
+    carries everything its worker needs, and every cache entry is keyed
+    and fingerprinted per job — so the two sides of a comparison (or any
+    number of sweeps) can share a single worker pool instead of draining
+    sequentially.  Results come back in input order regardless of
+    execution order.
+    """
+    jobs = list(jobs)
+    if isinstance(cache, (str, bytes)) or hasattr(cache, "__fspath__"):
+        cache = ResultCache(cache)
+
+    heterogeneous = len({job.interface for job in jobs}) > 1
+
+    def label(job: PairJob) -> str:
+        name = f"{job.op0.name}/{job.op1.name}"
+        return f"[{job.interface}] {name}" if heterogeneous else name
+
+    cells: list[Optional[PairCellData]] = [None] * len(jobs)
+    todo: list[int] = []
+    fingerprints: dict[int, str] = {}
+    for index, job in enumerate(jobs):
+        if cache is not None:
+            fingerprints[index] = job_fingerprint(job)
+            hit = cache.get(job.key, fingerprints[index])
+            if hit is not None:
+                cells[index] = PairCellData.from_dict(hit)
+                if on_progress is not None:
+                    on_progress(
+                        f"{label(job)}: cached "
+                        f"({cells[index].total} tests)"
+                    )
+                continue
+        todo.append(index)
+
+    fingerprint_of = {id(jobs[i]): fingerprints.get(i) for i in todo}
+
+    def report(job: PairJob, cell: PairCellData) -> None:
+        if cache is not None:
+            # Persist as results arrive so an interrupted or failing
+            # sweep keeps every pair already computed (the point of the
+            # cache); the write is atomic, so this is always safe.
+            cache.put(job.key, fingerprint_of[id(job)], cell.to_dict())
+            cache.save()
+        if on_progress is not None:
+            on_progress(
+                f"{label(job)}: {cell.total} tests, "
+                + ", ".join(
+                    f"{k} fails {cell.not_conflict_free.get(k, 0)}"
+                    for k, _ in job.kernels
+                )
+            )
+
+    resolved = driver_for(workers, driver)
+    computed = resolved.map(
+        run_pair_job, [jobs[i] for i in todo], on_result=report
+    )
+    for index, cell in zip(todo, computed):
+        cells[index] = cell
+
+    todo_set = set(todo)
+    return ExecutedJobs(
+        cells=list(cells),
+        cached=[i not in todo_set for i in range(len(jobs))],
+        workers=resolved.workers,
+    )
+
+
 def run_sweep(
     ops: Optional[Sequence[OpDef]] = None,
     kernels: Optional[Sequence[tuple[str, Callable]]] = None,
@@ -122,70 +253,24 @@ def run_sweep(
     kernel_items = tuple(kernels) if kernels is not None \
         else tuple(iface.kernels)
     start = time.time()
-    jobs = [
-        PairJob(a, b, tests_per_path=tests_per_path, kernels=kernel_items,
-                solver_cache_size=solver_cache_size,
-                build_state=build_state if build_state is not None
-                else iface.build_state,
-                state_equal=state_equal if state_equal is not None
-                else iface.state_equal,
-                interface=interface, ncores=ncores)
-        for a, b in iter_pairs(ops, pair_filter)
-    ]
-
-    if isinstance(cache, (str, bytes)) or hasattr(cache, "__fspath__"):
-        cache = ResultCache(cache)
-
-    cells: list[Optional[PairCellData]] = [None] * len(jobs)
-    todo: list[int] = []
-    fingerprints: dict[int, str] = {}
-    for index, job in enumerate(jobs):
-        if cache is not None:
-            fingerprints[index] = job_fingerprint(job)
-            hit = cache.get(job.key, fingerprints[index])
-            if hit is not None:
-                cells[index] = PairCellData.from_dict(hit)
-                if on_progress is not None:
-                    on_progress(
-                        f"{job.op0.name}/{job.op1.name}: cached "
-                        f"({cells[index].total} tests)"
-                    )
-                continue
-        todo.append(index)
-
-    fingerprint_of = {id(jobs[i]): fingerprints.get(i) for i in todo}
-
-    def report(job: PairJob, cell: PairCellData) -> None:
-        if cache is not None:
-            # Persist as results arrive so an interrupted or failing
-            # sweep keeps every pair already computed (the point of the
-            # cache); the write is atomic, so this is always safe.
-            cache.put(job.key, fingerprint_of[id(job)], cell.to_dict())
-            cache.save()
-        if on_progress is not None:
-            on_progress(
-                f"{cell.op0}/{cell.op1}: {cell.total} tests, "
-                + ", ".join(
-                    f"{k} fails {cell.not_conflict_free.get(k, 0)}"
-                    for k, _ in kernel_items
-                )
-            )
-
-    resolved = driver_for(workers, driver)
-    computed = resolved.map(
-        run_pair_job, [jobs[i] for i in todo], on_result=report
+    jobs = build_pair_jobs(
+        ops=ops, kernels=kernel_items, tests_per_path=tests_per_path,
+        pair_filter=pair_filter, build_state=build_state,
+        state_equal=state_equal, solver_cache_size=solver_cache_size,
+        interface=interface, ncores=ncores,
     )
-    for index, cell in zip(todo, computed):
-        cells[index] = cell
-
+    executed = execute_jobs(
+        jobs, workers=workers, driver=driver, cache=cache,
+        on_progress=on_progress,
+    )
     return SweepResult(
-        cells=list(cells),
+        cells=executed.cells,
         kernels=tuple(name for name, _ in kernel_items),
         op_names=[op.name for op in ops],
         elapsed_seconds=time.time() - start,
-        workers=resolved.workers,
-        cached_pairs=len(jobs) - len(todo),
-        computed_pairs=len(todo),
+        workers=executed.workers,
+        cached_pairs=executed.cached_pairs,
+        computed_pairs=executed.computed_pairs,
         interface=interface,
         ncores=ncores,
     )

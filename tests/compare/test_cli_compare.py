@@ -41,8 +41,30 @@ class TestCompareCli:
         rc = cli_main(["compare", "--list"])
         assert rc == 0
         out = capsys.readouterr().out
-        for name in ("sockets", "fstat-vs-fstatx", "open-vs-openany"):
+        for name in ("sockets", "fstat-vs-fstatx", "open-vs-openany",
+                     "fork-vs-posix_spawn"):
             assert name in out
+
+    def test_fork_vs_posix_spawn_claim_passes_with_exit_0(self, tmp_path,
+                                                          capsys):
+        out = str(tmp_path / "cmp.json")
+        rc = cli_main(["compare", "fork-vs-posix_spawn", "--no-cache",
+                       "--out", out, "--quiet"])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "claim HOLDS" in printed
+        raw = json.load(open(out))
+        assert raw["claim"]["holds"] is True
+        # §4's decomposition numbers: two forks never commute, every
+        # commutative spawn-side test conflict-free on the scalable
+        # kernel, the Linux-like fork+exec emulation still conflicted.
+        assert raw["redesigned"]["summary"]["commutative_fraction"] == 1.0
+        assert raw["baseline"]["summary"]["commutative_fraction"] < 1.0
+        redesigned = raw["redesigned"]["summary"]
+        assert redesigned["conflict_free"]["scalefs"] \
+            == redesigned["total_tests"]
+        assert redesigned["conflict_free"]["mono"] \
+            < redesigned["total_tests"]
 
     def test_missing_name_lists_comparisons(self, capsys):
         with pytest.raises(SystemExit, match="registered comparisons"):

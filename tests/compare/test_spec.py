@@ -177,7 +177,8 @@ class TestSide:
 class TestRegistry:
     def test_builtins_registered(self):
         assert redesign_names() == [
-            "fstat-vs-fstatx", "open-vs-openany", "sockets",
+            "fork-vs-posix_spawn", "fstat-vs-fstatx", "open-vs-openany",
+            "sockets",
         ]
 
     def test_unknown_name_lists_valid_comparisons(self):

@@ -28,7 +28,8 @@ from repro.symbolic.symtypes import VarFactory
 class TestRegistry:
     def test_builtin_interfaces_registered(self):
         assert interface_names() == [
-            "posix", "posix-ext", "sockets-ordered", "sockets-unordered",
+            "posix", "posix-ext", "proc", "sockets-ordered",
+            "sockets-stream", "sockets-unordered",
         ]
 
     def test_posix_interface_matches_model(self):

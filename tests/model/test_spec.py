@@ -1,0 +1,329 @@
+"""The declarative interface-authoring API (`repro.model.spec`).
+
+Covers the component vocabulary, spec compilation into `Interface`,
+the migration guarantees (POSIX passthrough; sockets hooks derived from
+components match the legacy hand-written hooks), hook picklability for
+the parallel driver, and the spec-schema guard in the cache fingerprint.
+"""
+
+import pickle
+
+import pytest
+
+from repro.model import sockets
+from repro.model.base import Param
+from repro.model.fs import PosixState
+from repro.model.posix import posix_state_equal
+from repro.model.registry import get_interface
+from repro.model.spec import (
+    SPEC_SCHEMA_VERSION,
+    Bag,
+    EmptyTable,
+    InterfaceSpec,
+    Opaque,
+    Ref,
+    Scalar,
+    SpecError,
+    SpecGroupsBuilder,
+    SpecSetupBuilder,
+    SpecStateBuilder,
+    SpecStateEqual,
+    UnknownKernelBindingError,
+    UnknownSpecError,
+    get_spec,
+    kernel_binding,
+    kernel_binding_names,
+    spec_names,
+)
+from repro.pipeline.cache import job_fingerprint
+from repro.pipeline.jobs import PairJob
+from repro.symbolic import terms as T
+from repro.testgen.casegen import setup_from_model
+
+
+class TestSpecValidation:
+    def test_rejects_empty_state(self):
+        with pytest.raises(SpecError, match="no state components"):
+            InterfaceSpec("x", "d", state=(), ops=sockets.ORDERED_SOCKET_OPS)
+
+    def test_rejects_empty_ops(self):
+        with pytest.raises(SpecError, match="no operations"):
+            InterfaceSpec("x", "d", state=Scalar("n", 0, 1), ops=())
+
+    def test_rejects_duplicate_attrs(self):
+        with pytest.raises(SpecError, match="duplicate"):
+            InterfaceSpec(
+                "x", "d",
+                state=(Scalar("n", 0, 1), Scalar("n", 0, 2)),
+                ops=sockets.ORDERED_SOCKET_OPS,
+            )
+
+    def test_rejects_opaque_among_components(self):
+        with pytest.raises(SpecError, match="sole"):
+            InterfaceSpec(
+                "x", "d",
+                state=(Opaque(PosixState, posix_state_equal,
+                              setup_builder=setup_from_model),
+                       Scalar("n", 0, 1)),
+                ops=sockets.ORDERED_SOCKET_OPS,
+            )
+
+    def test_rejects_non_identifier_attr(self):
+        with pytest.raises(SpecError, match="identifier"):
+            Scalar("not an attr", 0, 1)
+
+    def test_opaque_without_setup_builder_fails_at_compile(self):
+        spec = InterfaceSpec(
+            "x", "d",
+            state=Opaque(PosixState, posix_state_equal),
+            ops=sockets.ORDERED_SOCKET_OPS,
+        )
+        with pytest.raises(SpecError, match="setup_builder"):
+            spec.compile()
+
+
+class TestKernelBindings:
+    def test_builtin_bindings(self):
+        assert set(kernel_binding_names()) >= {"mono", "scalefs"}
+        assert callable(kernel_binding("mono"))
+
+    def test_unknown_binding_lists_names(self):
+        with pytest.raises(UnknownKernelBindingError, match="scalefs"):
+            kernel_binding("bogus")
+
+    def test_custom_binding_on_a_builtin_name_does_not_hide_others(
+            self, monkeypatch):
+        """Registering a binding named 'mono' before any builtin lookup
+        must not suppress the lazy registration of 'scalefs'."""
+        import repro.model.spec as spec_mod
+
+        def custom(mem):
+            raise NotImplementedError
+
+        monkeypatch.setattr(spec_mod, "_KERNEL_BINDINGS",
+                            {"mono": custom})
+        monkeypatch.setattr(spec_mod, "_builtin_kernels_loaded", False)
+        assert callable(kernel_binding("scalefs"))
+        assert kernel_binding("mono") is custom  # user binding kept
+
+    def test_explicit_factory_pairs_pass_through(self):
+        def factory(mem):
+            raise NotImplementedError
+
+        spec = InterfaceSpec(
+            "x", "d", state=sockets.ORDERED_QUEUE,
+            ops=sockets.ORDERED_SOCKET_OPS,
+            kernels=(("custom", factory),),
+        )
+        assert spec.compile().kernels == (("custom", factory),)
+
+
+class TestCompiledBuiltins:
+    def test_posix_is_an_opaque_passthrough(self):
+        """Migration guarantee: the POSIX interface's callables — and
+        therefore its cache fingerprints and artifacts — are the
+        original model functions, not derived wrappers."""
+        for name in ("posix", "posix-ext"):
+            iface = get_interface(name)
+            assert iface.build_state is PosixState
+            assert iface.state_equal is posix_state_equal
+            assert iface.setup_builder is setup_from_model
+            assert iface.groups_builder is None
+
+    def test_sockets_hooks_are_derived(self):
+        for name in ("sockets-ordered", "sockets-unordered",
+                     "sockets-stream", "proc"):
+            iface = get_interface(name)
+            assert isinstance(iface.build_state, SpecStateBuilder)
+            assert isinstance(iface.state_equal, SpecStateEqual)
+            assert isinstance(iface.setup_builder, SpecSetupBuilder)
+            assert isinstance(iface.groups_builder, SpecGroupsBuilder)
+
+    def test_specs_registered_alongside_interfaces(self):
+        assert spec_names() == [
+            "posix", "posix-ext", "proc", "sockets-ordered",
+            "sockets-stream", "sockets-unordered",
+        ]
+        assert get_spec("sockets-ordered").compile() \
+            is get_interface("sockets-ordered")
+
+    def test_unknown_spec_lists_names(self):
+        with pytest.raises(UnknownSpecError, match="sockets-ordered"):
+            get_spec("bogus")
+
+    def test_single_component_state_is_the_component_value(self):
+        """A sole standalone component *is* the state (the historical
+        flat SocketState shape), not a one-attribute wrapper."""
+        from repro.symbolic.engine import Executor
+        from repro.symbolic.solver import Solver
+        from repro.symbolic.symtypes import VarFactory
+
+        build = get_interface("sockets-ordered").build_state
+        paths = Executor(Solver()).explore(
+            lambda _: type(build(VarFactory("s"))).__name__
+        )
+        assert paths[0].value == "SocketState"
+
+
+class TestDerivedHooksMatchLegacy:
+    """The spec-derived TESTGEN hooks reproduce the hand-written
+    ``repro.testgen.sockets`` hooks — the migration proof at the level
+    of concrete setups and isomorphism groups."""
+
+    @pytest.fixture(scope="class", params=["sockets-ordered",
+                                           "sockets-unordered"])
+    def pair(self, request):
+        from repro.analyzer.analyzer import analyze_pair
+
+        iface = get_interface(request.param)
+        op0, op1 = iface.ops[0], iface.ops[1]
+        return iface, analyze_pair(
+            iface.build_state, iface.state_equal, op0, op1
+        )
+
+    def test_setups_and_groups_match(self, pair):
+        from repro.symbolic.enumerate import enumerate_models
+        from repro.symbolic.solver import Solver
+        from repro.testgen.casegen import _Names
+        from repro.testgen.sockets import (
+            socket_groups_for_path,
+            socket_setup_from_model,
+        )
+
+        iface, result = pair
+        solver = Solver()
+        checked = 0
+        for path in result.commutative_paths:
+            derived_groups = iface.groups_builder(path)
+            legacy_groups = socket_groups_for_path(path)
+            assert [m for _, m in derived_groups._groups] \
+                == [m for _, m in legacy_groups._groups]
+            models = enumerate_models(
+                solver, list(path.path_condition), derived_groups, limit=1
+            )
+            for model in models:
+                derived = iface.setup_builder(path.initial_state, model,
+                                              _Names())
+                legacy = socket_setup_from_model(path.initial_state, model,
+                                                 _Names())
+                assert derived.sockets == legacy.sockets
+                assert derived.dir == legacy.dir
+                checked += 1
+        assert checked > 0
+
+
+class TestHookPickling:
+    def test_hooks_round_trip_by_spec_name(self):
+        iface = get_interface("sockets-unordered")
+        for hook in (iface.build_state, iface.state_equal,
+                     iface.setup_builder, iface.groups_builder):
+            clone = pickle.loads(pickle.dumps(hook))
+            assert type(clone) is type(hook)
+            assert clone.spec is get_spec("sockets-unordered")
+
+    def test_jobs_with_derived_hooks_pickle(self):
+        iface = get_interface("sockets-unordered")
+        job = PairJob(iface.ops[0], iface.ops[1],
+                      build_state=iface.build_state,
+                      state_equal=iface.state_equal,
+                      kernels=tuple(iface.kernels),
+                      interface="sockets-unordered")
+        clone = pickle.loads(pickle.dumps(job))
+        assert clone.build_state.spec.name == "sockets-unordered"
+
+
+class TestFingerprints:
+    def _job(self, interface):
+        iface = get_interface(interface)
+        return PairJob(iface.ops[0], iface.ops[1],
+                       build_state=iface.build_state,
+                       state_equal=iface.state_equal,
+                       kernels=tuple(iface.kernels), interface=interface)
+
+    def test_derived_hooks_fingerprint_deterministically(self):
+        assert job_fingerprint(self._job("sockets-unordered")) \
+            == job_fingerprint(self._job("sockets-unordered"))
+
+    def test_spec_content_enters_the_fingerprint(self):
+        a = sockets.SOCKETS_UNORDERED_SPEC.fingerprint()
+        other = InterfaceSpec(
+            "sockets-unordered",  # same name, different capacity bound
+            "d", state=Bag("usock", sort=sockets.MESSAGE, capacity=7),
+            ops=sockets.UNORDERED_SOCKET_OPS,
+        )
+        assert other.fingerprint() != a
+
+    def test_schema_version_guards_the_job_fingerprint(self, monkeypatch):
+        before = job_fingerprint(self._job("sockets-unordered"))
+        import repro.model.spec as spec_mod
+
+        monkeypatch.setattr(spec_mod, "SPEC_SCHEMA_VERSION",
+                            SPEC_SCHEMA_VERSION + 1)
+        assert job_fingerprint(self._job("sockets-unordered")) != before
+
+    def test_int_param_range_enters_op_fingerprint(self):
+        from repro.pipeline.cache import op_fingerprint
+        from repro.model.base import OpDef
+
+        def body(s, ex, rt, conn):
+            return 0
+
+        a = OpDef("probe", [Param("conn", "int", lo=0, hi=1)], body)
+        b = OpDef("probe", [Param("conn", "int", lo=0, hi=3)], body)
+        assert op_fingerprint(a) != op_fingerprint(b)
+
+
+class TestTypedIntParam:
+    def test_int_kind_requires_range(self):
+        with pytest.raises(ValueError, match="requires explicit lo and hi"):
+            Param("conn", "int")
+
+    def test_other_kinds_reject_range(self):
+        with pytest.raises(ValueError, match="cannot carry"):
+            Param("fd", "fd", lo=0, hi=1)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            Param("conn", "int", lo=3, hi=1)
+
+    def test_make_bounds_the_value(self):
+        from repro.symbolic.engine import Executor
+        from repro.symbolic.solver import Solver
+        from repro.symbolic.symtypes import VarFactory
+
+        def trial(ex):
+            value = Param("conn", "int", lo=2, hi=5).make(VarFactory("a"))
+            return (ex.fork_bool(T.lt(value.term, T.const(2))),
+                    ex.fork_bool(T.lt(T.const(5), value.term)))
+
+        for path in Executor(Solver()).explore(trial):
+            assert path.value == (False, False)
+
+
+class TestMultiComponentState:
+    def test_spec_state_copy_is_independent(self):
+        from repro.symbolic.engine import Executor
+        from repro.symbolic.solver import Solver
+        from repro.symbolic.symtypes import VarFactory
+
+        spec = InterfaceSpec(
+            "probe-multi", "d",
+            state=(Scalar("count", 0, 3),
+                   Ref("token", T.uninterpreted_sort("ProbeTok")),
+                   EmptyTable("log", T.INT)),
+            ops=sockets.ORDERED_SOCKET_OPS,
+        )
+        builder = SpecStateBuilder(spec)
+        equal = SpecStateEqual(spec)
+
+        def trial(ex):
+            state = builder(VarFactory("s"))
+            copy = state.copy()
+            copy.count = copy.count + 1
+            copy.log[0] = 7
+            return (equal(state, state.copy()), equal(state, copy))
+
+        for path in Executor(Solver()).explore(trial):
+            same, mutated = path.value
+            assert same is True
+            assert mutated is False

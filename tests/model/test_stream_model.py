@@ -1,0 +1,96 @@
+"""ANALYZER verdicts for the stream-socket interface (``sockets-stream``).
+
+§4.3's stream-socket observation: ordering is a *per-connection*
+promise, so operations on distinct connections commute even though each
+connection is a strictly ordered FIFO — global commutativity without
+giving up ordering where applications rely on it.
+"""
+
+import pytest
+
+from repro.analyzer.analyzer import analyze_pair
+from repro.model.registry import get_interface
+
+
+def analyze(a: str, b: str):
+    iface = get_interface("sockets-stream")
+    return analyze_pair(
+        iface.build_state, iface.state_equal,
+        iface.op_by_name(a), iface.op_by_name(b),
+    )
+
+
+def _split_by_connection(pair):
+    """Commutative/non-commutative path counts, keyed by whether the two
+    ops hit the same connection.  The ops concretize their conn args, so
+    the path condition pins both; a solver model recovers the values."""
+    from repro.symbolic.solver import Solver
+
+    solver = Solver()
+    same = {"commutative": 0, "non_commutative": 0}
+    cross = {"commutative": 0, "non_commutative": 0}
+    for path in pair.paths:
+        model = solver.model(list(path.path_condition))
+        assert model is not None
+        conns = [model.eval(args["conn"].term) for args in path.args]
+        bucket = same if conns[0] == conns[1] else cross
+        bucket["commutative" if path.commutes else "non_commutative"] += 1
+    return same, cross
+
+
+class TestStreamSockets:
+    def test_same_connection_sends_do_not_commute(self):
+        """Each connection is a strict FIFO: two ssends on one
+        connection order the queue."""
+        pair = analyze("ssend", "ssend")
+        assert pair.non_commutative_paths
+
+    def test_cross_connection_operations_commute(self):
+        """The §4.3 redesign payoff: every path where the two ops hit
+        different connections commutes."""
+        for a, b in (("ssend", "ssend"), ("ssend", "srecv"),
+                     ("srecv", "srecv")):
+            pair = analyze(a, b)
+            same, cross = _split_by_connection(pair)
+            assert cross["non_commutative"] == 0
+            assert cross["commutative"] > 0
+
+    def test_same_connection_matches_the_ordered_socket(self):
+        """Restricted to one connection, the stream socket is the
+        ordered datagram socket: send/recv commute only on error paths."""
+        stream = analyze("ssend", "srecv")
+        same, _ = _split_by_connection(stream)
+        ordered_iface = get_interface("sockets-ordered")
+        ordered = analyze_pair(
+            ordered_iface.build_state, ordered_iface.state_equal,
+            ordered_iface.op_by_name("send"),
+            ordered_iface.op_by_name("recv"),
+        )
+        assert (same["commutative"] > 0) \
+            == (len(ordered.commutative_paths) > 0)
+        assert same["non_commutative"] > 0
+        assert ordered.non_commutative_paths
+
+
+class TestStreamKernels:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        from repro.pipeline.sweep import run_sweep, \
+            summarize_interface_sweep
+
+        return summarize_interface_sweep(
+            run_sweep(interface="sockets-stream")
+        )
+
+    def test_end_to_end_with_no_mismatches(self, sweep):
+        assert sweep["total_tests"] > 0
+        assert all(count == 0 for count in sweep["mismatches"].values())
+
+    def test_most_commutative_tests_conflict_free(self, sweep):
+        """Cross-connection tests run on distinct kernel sockets and are
+        conflict-free on both kernels; the residue is the same-connection
+        error cases, which share the one connection's lock (exactly the
+        ordered socket's behavior)."""
+        for kernel in ("mono", "scalefs"):
+            assert 0 < sweep["conflict_free"][kernel] \
+                < sweep["total_tests"]
