@@ -17,6 +17,7 @@ only the deterministic counts are gated.
 """
 
 from repro.compare import run_compare
+from repro.pipeline.backends import backend_names
 
 
 def _compare_sockets():
@@ -64,6 +65,54 @@ def test_compare_sweep(benchmark):
         f"{len(result.claim['checks'])} checks); "
         f"interleaved {result.elapsed_seconds * 1000:.0f}ms vs "
         f"sequential {sequential.elapsed_seconds * 1000:.0f}ms"
+    )
+
+
+def test_compare_backend_matrix(benchmark):
+    """The same §4.3 comparison through every registered execution
+    backend: identical summaries (the registry's core invariant) with
+    per-backend wall clocks recorded.  The wall counters
+    (``<backend>_wall_ms``) are machine-dependent and not in the
+    committed baseline; the gated counters are the backend count and
+    the parity verdict."""
+    import time
+
+    def matrix():
+        runs = {}
+        for name in backend_names():
+            start = time.perf_counter()
+            result = run_compare("sockets", backend=name, workers=2)
+            runs[name] = (result, time.perf_counter() - start)
+        return runs
+
+    runs = benchmark.pedantic(matrix, iterations=1, rounds=1)
+
+    summaries = [result.summaries for result, _ in runs.values()]
+    parity = all(summary == summaries[0] for summary in summaries)
+    assert parity
+    for name, (result, _) in runs.items():
+        assert result.holds
+        assert result.backend == name
+    stolen = runs["work-stealing"][0].backend_stats.get("jobs_stolen", 0)
+
+    benchmark.extra_info.update({
+        "backends_compared": len(runs),
+        "parity": int(parity),
+        "work_stealing_stole": int(stolen >= 1),
+        "work_stealing_jobs_stolen": stolen,  # reported, not gated
+        **{
+            f"{name.replace('-', '_')}_wall_ms": round(wall * 1000, 1)
+            for name, (_, wall) in runs.items()
+        },
+    })
+    print(
+        "\ncompare backend matrix [sockets]: "
+        + ", ".join(
+            f"{name} {wall * 1000:.0f}ms"
+            for name, (_, wall) in runs.items()
+        )
+        + f"; parity={'yes' if parity else 'NO'}; "
+        f"work-stealing stole {stolen}"
     )
 
 

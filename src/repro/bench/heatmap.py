@@ -46,6 +46,8 @@ class HeatmapResult:
     computed_pairs: int = 0
     interface: str = "posix"
     ncores: int = 4
+    backend: str = "serial"
+    backend_stats: dict = field(default_factory=dict)
 
     @property
     def total_tests(self) -> int:
@@ -83,11 +85,13 @@ def run_heatmap(
     solver_cache_size: Optional[int] = None,
     interface: str = "posix",
     ncores: int = 4,
+    backend=None,
 ) -> HeatmapResult:
     """The full Figure 6 pipeline (8 minutes in the paper; similar here
-    serially — ``workers`` shards pairs across processes, ``cache``
-    makes re-runs incremental).  ``interface`` selects a registered
-    interface bundle (see :mod:`repro.model.registry`)."""
+    serially — ``backend``/``workers`` pick the execution backend that
+    shards pairs, ``cache`` makes re-runs incremental).  ``interface``
+    selects a registered interface bundle (see
+    :mod:`repro.model.registry`)."""
     sweep = run_sweep(
         ops=ops,
         kernels=None if kernels is None else tuple(kernels.items()),
@@ -100,6 +104,7 @@ def run_heatmap(
         solver_cache_size=solver_cache_size,
         interface=interface,
         ncores=ncores,
+        backend=backend,
     )
     return HeatmapResult(
         kernels=sweep.kernels,
@@ -112,6 +117,8 @@ def run_heatmap(
         computed_pairs=sweep.computed_pairs,
         interface=sweep.interface,
         ncores=sweep.ncores,
+        backend=sweep.backend,
+        backend_stats=sweep.backend_stats,
     )
 
 

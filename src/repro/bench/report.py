@@ -82,8 +82,11 @@ def heatmap_to_dict(result: HeatmapResult) -> dict:
     """The Figure 6 artifact: totals, per-pair cells, residues.
 
     Non-POSIX interface runs carry an ``interface`` key; the default
-    POSIX artifact keeps its historical schema byte-for-byte (existing
-    consumers and parity comparisons depend on it).
+    POSIX artifact keeps its historical *result* keys unchanged.  The
+    execution-accounting keys (``workers``, ``backend``,
+    ``backend_stats``, ``elapsed``, cache counts) describe how the sweep
+    ran, are volatile by design, and are stripped by
+    :func:`strip_volatile_heatmap` before any parity comparison.
     """
     out = {
         "schema": "repro.heatmap/1",
@@ -91,6 +94,8 @@ def heatmap_to_dict(result: HeatmapResult) -> dict:
         "ops": list(result.op_names),
         "elapsed": result.elapsed_seconds,
         "workers": result.workers,
+        "backend": getattr(result, "backend", "serial"),
+        "backend_stats": dict(getattr(result, "backend_stats", {})),
         "cached_pairs": result.cached_pairs,
         "computed_pairs": result.computed_pairs,
         "total": result.total_tests,
@@ -153,15 +158,18 @@ def write_artifact(path: str, payload: dict) -> str:
 
 _VOLATILE_HEATMAP_KEYS = (
     "elapsed", "solver_totals", "workers", "cached_pairs", "computed_pairs",
+    "backend", "backend_stats",
 )
 
 
 def strip_volatile_heatmap(artifact: dict) -> dict:
     """The *result* content of a heatmap artifact: everything except
-    timing, execution, cache, and solver accounting, which legitimately
-    differ between runs, worker counts, cache states, and solver modes.
-    The parity tests and before/after benchmarks compare artifacts
-    through this projection."""
+    timing, execution (worker count, backend identity and stats), cache,
+    and solver accounting, which legitimately differ between runs,
+    execution backends, cache states, and solver modes.  The parity
+    tests and before/after benchmarks compare artifacts through this
+    projection — "byte-identical artifacts across backends" means byte
+    identity of this projection (see docs/artifacts.md)."""
     out = {
         k: v for k, v in artifact.items()
         if k not in _VOLATILE_HEATMAP_KEYS

@@ -22,10 +22,11 @@ command keeps emitting.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional, Union
 
 from repro.compare.spec import SIDES, Redesign, get_redesign
+from repro.pipeline.backends import resolve_backend
 from repro.pipeline.sweep import (
     SweepResult,
     build_pair_jobs,
@@ -49,6 +50,8 @@ class CompareResult:
     ncores: int
     tests_per_path: int
     elapsed_seconds: float
+    backend: str = "serial"
+    backend_stats: dict = field(default_factory=dict)
 
     @property
     def holds(self) -> bool:
@@ -64,6 +67,7 @@ def run_compare(
     on_progress: Optional[Callable[[str], None]] = None,
     solver_cache_size: Optional[int] = None,
     interleave: bool = True,
+    backend: Optional[object] = None,
 ) -> CompareResult:
     """Run one registered comparison end-to-end.
 
@@ -71,9 +75,13 @@ def run_compare(
     The remaining knobs are the sweep's: ``cache`` is shared across both
     sides (pair fingerprints already carry interface and ncores, so a
     compare run reuses — and feeds — the same entries as plain
-    ``heatmap`` sweeps of the same interfaces).  ``interleave`` runs both
-    sides' pair jobs through one shared worker pool (the default);
-    ``False`` sweeps the sides sequentially — results are identical.
+    ``heatmap`` sweeps of the same interfaces).  ``backend`` selects a
+    registered execution backend by name or instance (``workers`` sizes
+    it, or stands alone as the legacy serial/pool alias).  ``interleave``
+    runs both sides' pair jobs through one shared worker pool (the
+    default, when the backend's ``supports_interleave`` capability
+    allows it); ``False`` sweeps the sides sequentially — results are
+    identical either way.
     """
     if isinstance(redesign, str):
         redesign = get_redesign(redesign)
@@ -83,19 +91,28 @@ def run_compare(
         from repro.pipeline.cache import ResultCache
 
         cache = ResultCache(cache)
+    resolved = resolve_backend(workers, None, backend)
     start = time.time()
-    if interleave:
+    if interleave and resolved.supports_interleave:
         sweeps = _run_sides_interleaved(
-            redesign, tests_per_path=tests_per_path, workers=workers,
+            redesign, tests_per_path=tests_per_path, backend=resolved,
             cache=cache, ncores=ncores, on_progress=on_progress,
             solver_cache_size=solver_cache_size,
         )
+        backend_stats = resolved.stats()
     else:
         sweeps = _run_sides_sequential(
-            redesign, tests_per_path=tests_per_path, workers=workers,
+            redesign, tests_per_path=tests_per_path, backend=resolved,
             cache=cache, ncores=ncores, on_progress=on_progress,
             solver_cache_size=solver_cache_size,
         )
+        backend_stats = {
+            "backend": resolved.name,
+            "workers": resolved.workers,
+            "sides": {
+                name: sweep.backend_stats for name, sweep in sweeps.items()
+            },
+        }
     summaries = {
         name: summarize_interface_sweep(sweep)
         for name, sweep in sweeps.items()
@@ -111,11 +128,13 @@ def run_compare(
         ncores=ncores,
         tests_per_path=tests_per_path,
         elapsed_seconds=time.time() - start,
+        backend=resolved.name,
+        backend_stats=backend_stats,
     )
 
 
 def _run_sides_sequential(
-    redesign: Redesign, tests_per_path, workers, cache, ncores,
+    redesign: Redesign, tests_per_path, backend, cache, ncores,
     on_progress, solver_cache_size,
 ) -> dict[str, SweepResult]:
     """The historical engine: one full sweep per side, in order."""
@@ -131,7 +150,7 @@ def _run_sides_sequential(
             pair_filter=pair_filter,
             interface=side.interface,
             tests_per_path=tests_per_path,
-            workers=workers,
+            driver=backend,
             cache=cache,
             ncores=ncores,
             on_progress=on_progress,
@@ -141,7 +160,7 @@ def _run_sides_sequential(
 
 
 def _run_sides_interleaved(
-    redesign: Redesign, tests_per_path, workers, cache, ncores,
+    redesign: Redesign, tests_per_path, backend, cache, ncores,
     on_progress, solver_cache_size,
 ) -> dict[str, SweepResult]:
     """Both sides' pair jobs through one shared worker pool.
@@ -172,7 +191,7 @@ def _run_sides_interleaved(
         jobs.extend(side_jobs)
         resolved[side_name] = (side, ops)
     executed = execute_jobs(
-        jobs, workers=workers, cache=cache, on_progress=on_progress,
+        jobs, driver=backend, cache=cache, on_progress=on_progress,
     )
     elapsed = time.time() - start
     sweeps: dict[str, SweepResult] = {}
@@ -190,6 +209,8 @@ def _run_sides_interleaved(
             computed_pairs=(hi - lo) - sum(executed.cached[lo:hi]),
             interface=side.interface,
             ncores=ncores,
+            backend=executed.backend,
+            backend_stats=executed.backend_stats,
         )
     return sweeps
 
@@ -208,6 +229,13 @@ def compare_to_dict(result: CompareResult) -> dict:
         "ncores": result.ncores,
         "tests_per_path": result.tests_per_path,
         "elapsed": result.elapsed_seconds,
+        # Execution accounting (how the batch ran, never what it
+        # computed) — volatile like "elapsed"; strip it before parity
+        # comparisons (see docs/artifacts.md).
+        "execution": {
+            "backend": result.backend,
+            "stats": result.backend_stats,
+        },
         "baseline": sides["baseline"],
         "redesigned": sides["redesigned"],
         "claim": result.claim,

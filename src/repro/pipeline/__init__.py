@@ -15,10 +15,17 @@ Layers
     :class:`PairJob` — one op pair end-to-end — and its plain-data
     results (:class:`PairCellData`, :class:`PairSummary`), which cross
     process boundaries and the JSON cache without symbolic state.
-:mod:`repro.pipeline.drivers`
-    :class:`SerialDriver` and :class:`ParallelDriver` (a
-    ``ProcessPoolExecutor`` shard), both mapping jobs to results in
-    input order.
+:mod:`repro.pipeline.backends`
+    The named execution-backend registry (the driver/HAL split):
+    :class:`ExecutionBackend` plus the four registered backends —
+    ``serial``, ``pool`` (a ``ProcessPoolExecutor`` shard),
+    ``work-stealing`` (per-lane deques with idle-lane stealing), and
+    ``subprocess-shard`` (content-hash partition across worker
+    subprocesses over a stdio/JSON protocol).  All map jobs to results
+    in input order; which one ran is execution accounting, never part
+    of a result or a cache fingerprint.  :mod:`repro.pipeline.drivers`
+    survives as a compatibility shim (``SerialDriver``,
+    ``ParallelDriver``, :func:`driver_for`).
 :mod:`repro.pipeline.cache`
     :class:`ResultCache`, a persistent JSON cache keyed by pair name and
     guarded by a SHA-256 fingerprint of the op definitions, model
@@ -58,10 +65,14 @@ Command line
     The terminal browser over a saved heatmap artifact
     (``browse compare A B`` diffs two artifacts cell by cell).
 
-Shared options: ``--workers N`` (process-pool width; ``0`` = all cores),
-``--cache PATH`` (persistent result cache), ``--pairs a,b`` (repeatable
-pair filter), ``--ops a,b,c`` (matrix restriction), ``--out PATH``
-(artifact location, default under ``results/``).
+Shared options: ``--backend NAME`` (execution backend: ``serial``,
+``pool``, ``work-stealing``, ``subprocess-shard``), ``--workers N``
+(worker count, ``0`` = all cores; alone it keeps the legacy
+serial-vs-pool meaning), ``--cache PATH`` (persistent result cache),
+``--pairs a,b`` (repeatable pair filter), ``--ops a,b,c`` (matrix
+restriction), ``--out PATH`` (artifact location, default under
+``results/``).  ``python -m repro docs`` regenerates ``docs/cli.md``
+from the live argparse tree.
 
 Cache layout
 ============
@@ -79,6 +90,19 @@ everything.  Delete the file (or pass a fresh ``--cache``) to force a
 full recompute.
 """
 
+from repro.pipeline.backends import (
+    ExecutionBackend,
+    PoolBackend,
+    SerialBackend,
+    SubprocessShardBackend,
+    UnknownBackendError,
+    WorkStealingBackend,
+    backend_names,
+    get_backend,
+    normalize_workers,
+    register_backend,
+    resolve_backend,
+)
 from repro.pipeline.cache import ResultCache, job_fingerprint, op_fingerprint
 from repro.pipeline.drivers import (
     Driver,
@@ -113,18 +137,29 @@ __all__ = [
     "AnalysisSweep",
     "Driver",
     "ExecutedJobs",
+    "ExecutionBackend",
     "PairCellData",
     "PairJob",
     "PairSummary",
     "ParallelDriver",
+    "PoolBackend",
     "ResultCache",
+    "SerialBackend",
     "SerialDriver",
+    "SubprocessShardBackend",
     "SweepResult",
+    "UnknownBackendError",
+    "WorkStealingBackend",
+    "backend_names",
     "build_pair_jobs",
     "classify_residue",
     "default_workers",
     "driver_for",
     "execute_jobs",
+    "get_backend",
+    "normalize_workers",
+    "register_backend",
+    "resolve_backend",
     "iter_pairs",
     "job_fingerprint",
     "make_pair_filter",

@@ -112,6 +112,27 @@ def _ncores(raw: str) -> int:
     return value
 
 
+def _add_backend_options(parser):
+    """``--backend`` (the execution-backend registry) plus ``--workers``
+    (kept as a compatible alias: ``--workers N`` alone still means
+    serial for 1, the process pool otherwise — see docs/backends.md
+    for the 0/None/1 semantics table)."""
+    from repro.pipeline.backends import backend_names
+
+    parser.add_argument(
+        "--backend", default=None, choices=backend_names(), metavar="NAME",
+        help="execution backend: " + ", ".join(backend_names())
+             + " (default: serial, or pool when --workers selects "
+             "parallelism)",
+    )
+    parser.add_argument(
+        "--workers", type=_worker_count, default=None, metavar="N",
+        help="worker count for the backend (0 = all cores; default: all "
+             "cores with --backend, otherwise 1 = serial; --workers N "
+             "alone selects the process pool)",
+    )
+
+
 def _add_ncores_option(parser):
     # Only meaningful for stages that run MTRACE (heatmap, compare):
     # per-core kernel structures change sharing behavior with the count.
@@ -137,10 +158,7 @@ def _add_matrix_options(parser, cache: bool = False):
         "--pairs", metavar="a,b", action="append",
         help="restrict to one pair (repeatable; order-insensitive)",
     )
-    parser.add_argument(
-        "--workers", type=_worker_count, default=1, metavar="N",
-        help="process-pool width; 1 = serial, 0 = all cores (default 1)",
-    )
+    _add_backend_options(parser)
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-pair progress lines")
     parser.add_argument(
@@ -165,6 +183,7 @@ def cmd_analyze(args) -> int:
     result = run_analysis(
         ops=ops,
         workers=args.workers,
+        backend=args.backend,
         pair_filter=pair_filter,
         on_progress=_progress(args),
         condition_chars=args.condition_chars,
@@ -176,6 +195,7 @@ def cmd_analyze(args) -> int:
         "ops": result.op_names,
         "elapsed": result.elapsed_seconds,
         "workers": result.workers,
+        "backend": result.backend,
         "pairs": [s.to_dict() for s in result.summaries],
         "solver_totals": result.solver_totals,
     }
@@ -210,6 +230,7 @@ def cmd_heatmap(args) -> int:
         tests_per_path=args.tests_per_path,
         on_progress=_progress(args),
         workers=args.workers,
+        backend=args.backend,
         cache=cache,
         pair_filter=pair_filter,
         solver_cache_size=args.solver_cache_size,
@@ -226,8 +247,10 @@ def cmd_heatmap(args) -> int:
     print(
         f"{result.computed_pairs} pairs computed, "
         f"{result.cached_pairs} cached, workers={result.workers}, "
+        f"backend={result.backend}, "
         f"{result.elapsed_seconds:.1f}s -> {path}"
     )
+    _print_backend_stats(result.backend, result.backend_stats)
     return 0
 
 
@@ -235,7 +258,7 @@ def cmd_testgen(args) -> int:
     from functools import partial
 
     from repro.bench.report import write_artifact
-    from repro.pipeline.drivers import driver_for
+    from repro.pipeline.backends import resolve_backend
     from repro.pipeline.jobs import PairJob, run_testgen_job
     from repro.pipeline.sweep import iter_pairs
 
@@ -254,8 +277,8 @@ def cmd_testgen(args) -> int:
             progress(f"{result['op0']}/{result['op1']}: "
                      f"{result['cases']} cases")
 
-    driver = driver_for(args.workers)
-    results = driver.map(
+    resolved = resolve_backend(args.workers, backend=args.backend)
+    results = resolved.map(
         partial(run_testgen_job, render=args.render), jobs, on_result=report
     )
     if args.render:
@@ -335,6 +358,17 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def _print_backend_stats(backend: str, stats: dict) -> None:
+    """One indented line of execution accounting for a non-serial run
+    (jobs stolen, shard balance, queue depth — the knobs the backend
+    registry exists to expose)."""
+    from repro.pipeline.backends import format_backend_stats
+
+    if backend == "serial" or not stats:
+        return
+    print(f"  backend[{backend}]: {format_backend_stats(stats)}")
+
+
 def _summary_line(summary: dict) -> str:
     """One side's totals, as the comparison commands print them."""
     cf = ", ".join(
@@ -357,6 +391,7 @@ def _run_compare_cli(args, redesign):
         redesign,
         tests_per_path=args.tests_per_path,
         workers=args.workers,
+        backend=args.backend,
         cache=None if args.no_cache else args.cache,
         ncores=args.ncores,
         on_progress=_progress(args),
@@ -408,6 +443,7 @@ def cmd_compare(args) -> int:
         print(f"    [{mark}] {check['kind']}"
               + (f" ({params})" if params else ""))
     verdict = "HOLDS" if result.holds else "DOES NOT HOLD"
+    _print_backend_stats(result.backend, result.backend_stats)
     print(f"  claim {verdict} -> {path}")
     return 0 if result.holds else 1
 
@@ -447,10 +483,7 @@ def _add_compare_run_options(parser):
     """The execution knobs the comparison commands share (the matrix is
     fixed by the redesign spec, so no --interface/--ops/--pairs here)."""
     _add_ncores_option(parser)
-    parser.add_argument(
-        "--workers", type=_worker_count, default=1, metavar="N",
-        help="process-pool width; 1 = serial, 0 = all cores (default 1)",
-    )
+    _add_backend_options(parser)
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-pair progress lines")
     parser.add_argument("--tests-per-path", type=int, default=1)
@@ -464,6 +497,37 @@ def _add_compare_run_options(parser):
     )
     parser.add_argument("--no-cache", action="store_true",
                         help="recompute every pair")
+
+
+def cmd_docs(args) -> int:
+    """Generate (or ``--check``) ``docs/cli.md`` from the argparse tree,
+    so the CLI reference can never silently drift from the CLI."""
+    from repro.docsgen import render_cli_md
+
+    text = render_cli_md()
+    if args.check:
+        try:
+            with open(args.out) as f:
+                current = f.read()
+        except OSError:
+            current = None
+        if current != text:
+            print(
+                f"{args.out} is missing or stale; regenerate with "
+                "`python -m repro docs`",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{args.out} is up to date")
+        return 0
+    import os
+
+    directory = os.path.dirname(os.path.abspath(args.out))
+    os.makedirs(directory, exist_ok=True)
+    with open(args.out, "w") as f:
+        f.write(text)
+    print(f"wrote {args.out}")
+    return 0
 
 
 def cmd_bench_gate(args) -> int:
@@ -557,6 +621,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help=f"artifact path (default {DEFAULT_COMPARISON_OUT}, "
                         "ncores-suffixed for non-default --ncores)")
     p.set_defaults(fn=cmd_sockets_compare)
+
+    p = sub.add_parser(
+        "docs",
+        help="generate docs/cli.md from this argparse tree "
+             "(--check verifies it instead; tests and CI gate on it)",
+    )
+    p.add_argument("--out", default="docs/cli.md", metavar="PATH",
+                   help="reference path (default docs/cli.md)")
+    p.add_argument("--check", action="store_true",
+                   help="exit 1 if the file is missing or stale "
+                        "instead of writing it")
+    p.set_defaults(fn=cmd_docs)
 
     p = sub.add_parser(
         "bench-gate",

@@ -1,127 +1,39 @@
-"""Execution strategies for the pair-matrix sweep.
+"""Back-compat names for the execution seam (now a backend registry).
 
-A driver maps a job function over a list of jobs and returns the results
-in *input order* — that invariant is what makes the serial and parallel
-drivers interchangeable (and testable against each other: the pair jobs
-commute, so any execution order must produce the same results — the
-repo's own thesis applied to its tooling).
+The Serial-vs-ProcessPool driver pair grew into the named execution-
+backend registry in :mod:`repro.pipeline.backends` (serial / pool /
+work-stealing / subprocess-shard, selected by ``--backend``).  This
+module keeps the historical import surface alive:
 
-* :class:`SerialDriver` runs jobs in-process, one after another.  It
-  places no constraints on the job function or its results.
-* :class:`ParallelDriver` shards jobs across a
-  :class:`concurrent.futures.ProcessPoolExecutor`.  The job function and
-  every job must be picklable (module-level functions, or
-  :func:`functools.partial` over them), and so must the results.
+* :class:`SerialDriver` / :class:`ParallelDriver` are the ``serial`` and
+  ``pool`` backends under their old names — same constructors, same
+  ``map(fn, jobs, on_result)`` contract, results in input order;
+* :class:`Driver` is the backend ABC (subclass it, implement
+  ``_execute``, and it schedules anywhere a driver did);
+* :func:`driver_for` resolves the legacy ``--workers`` alias (``None``/
+  ``1`` serial, ``0`` all cores, else a pool) — the semantics now live
+  in one place, :func:`repro.pipeline.backends.normalize_workers`.
 
-``on_result`` callbacks fire as results arrive: in job order for the
-serial driver, in completion order for the parallel one.  Callers that
-need deterministic ordering should use the returned list, which is always
-in input order.
+New code should import from :mod:`repro.pipeline.backends` and say
+"backend"; see ``docs/backends.md``.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Callable, Optional, Sequence
+from repro.pipeline.backends import (
+    Driver,
+    PoolBackend as ParallelDriver,
+    SerialBackend as SerialDriver,
+    default_workers,
+    driver_for,
+    normalize_workers,
+)
 
-
-def default_workers() -> int:
-    """Worker count when the caller does not choose one: the CPU count."""
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
-
-
-class Driver:
-    """Interface: map ``fn`` over ``jobs``, results in input order."""
-
-    name = "driver"
-    workers = 1
-
-    def map(
-        self,
-        fn: Callable,
-        jobs: Sequence,
-        on_result: Optional[Callable] = None,
-    ) -> list:
-        raise NotImplementedError
-
-    def __repr__(self) -> str:
-        return f"{type(self).__name__}(workers={self.workers})"
-
-
-class SerialDriver(Driver):
-    """Run every job in-process, in order (the seed repo's behavior)."""
-
-    name = "serial"
-
-    def map(self, fn, jobs, on_result=None):
-        results = []
-        for job in jobs:
-            result = fn(job)
-            results.append(result)
-            if on_result is not None:
-                on_result(job, result)
-        return results
-
-
-class ParallelDriver(Driver):
-    """Shard jobs across a process pool.
-
-    ``max_pending`` bounds how many jobs are enqueued at once so a large
-    sweep (the full 171-pair matrix) does not hold every pickled job in
-    the executor queue simultaneously.
-    """
-
-    name = "parallel"
-
-    def __init__(self, workers: Optional[int] = None, max_pending: int = 0):
-        if workers is not None and workers < 0:
-            raise ValueError(
-                f"workers must be >= 0 (0 = all cores), got {workers}"
-            )
-        self.workers = workers if workers else default_workers()
-        self.max_pending = max_pending if max_pending > 0 else 4 * self.workers
-
-    def map(self, fn, jobs, on_result=None):
-        jobs = list(jobs)
-        if not jobs:
-            return []
-        if self.workers <= 1 or len(jobs) == 1:
-            # A pool of one only adds pickling overhead; keep semantics.
-            return SerialDriver().map(fn, jobs, on_result=on_result)
-        results: list = [None] * len(jobs)
-        with ProcessPoolExecutor(max_workers=min(self.workers, len(jobs))) as pool:
-            pending = {}
-            next_job = 0
-            while next_job < len(jobs) or pending:
-                while next_job < len(jobs) and len(pending) < self.max_pending:
-                    future = pool.submit(fn, jobs[next_job])
-                    pending[future] = next_job
-                    next_job += 1
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    index = pending.pop(future)
-                    results[index] = future.result()
-                    if on_result is not None:
-                        on_result(jobs[index], results[index])
-        return results
-
-
-def driver_for(
-    workers: Optional[int], driver: Optional[Driver] = None
-) -> Driver:
-    """Resolve an explicit driver or a worker count into a driver.
-
-    ``workers=None`` or ``1`` means serial; anything larger (or ``0`` for
-    "all cores") selects the process pool.
-    """
-    if driver is not None:
-        return driver
-    if workers is not None and workers < 0:
-        raise ValueError(f"workers must be >= 0 (0 = all cores), got {workers}")
-    if workers is None or workers == 1:
-        return SerialDriver()
-    return ParallelDriver(workers=workers)
+__all__ = [
+    "Driver",
+    "ParallelDriver",
+    "SerialDriver",
+    "default_workers",
+    "driver_for",
+    "normalize_workers",
+]

@@ -1,0 +1,56 @@
+"""The ``subprocess-shard`` backend's worker process.
+
+Speaks the line-delimited JSON protocol documented in
+:class:`repro.pipeline.backends.SubprocessShardBackend`: each stdin line
+is ``{"id": int, "fn": <b64 pickle>, "job": <b64 pickle>}``; each stdout
+line is ``{"id": int, "ok": true, "result": <b64 pickle>}`` or
+``{"id": int, "ok": false, "error": <traceback text>}``.  The worker is
+stateless between lines — every job arrives fully self-contained, which
+is the contract the backend exists to prove.
+
+Run as ``python -m repro.pipeline.shard_worker`` (the backend spawns it;
+nothing else should need to).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import sys
+import traceback
+
+
+def serve(stdin=None, stdout=None) -> int:
+    """Process jobs line by line until stdin closes."""
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    for line in stdin:
+        line = line.strip()
+        if not line:
+            continue
+        message = json.loads(line)
+        try:
+            fn = pickle.loads(base64.b64decode(message["fn"]))
+            job = pickle.loads(base64.b64decode(message["job"]))
+            result = fn(job)
+            reply = {
+                "id": message["id"],
+                "ok": True,
+                "result": base64.b64encode(
+                    pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+                ).decode("ascii"),
+            }
+        except BaseException:
+            reply = {
+                "id": message["id"],
+                "ok": False,
+                "error": traceback.format_exc(),
+            }
+        stdout.write(json.dumps(reply) + "\n")
+        stdout.flush()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(serve())

@@ -3,20 +3,25 @@
 This is the seam every scaling PR builds on: the matrix of unordered op
 pairs is turned into independent :class:`~repro.pipeline.jobs.PairJob`
 units, cached results are split off by fingerprint, the remainder is
-mapped through a driver (serial or process pool), and the merged cells
-come back in deterministic matrix order regardless of execution order.
+mapped through a named execution backend (serial / pool / work-stealing
+/ subprocess-shard — see :mod:`repro.pipeline.backends`), and the merged
+cells come back in deterministic matrix order regardless of execution
+order.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import partial
 from typing import Callable, Optional, Sequence
 
 from repro.model.base import OpDef
+from repro.pipeline.backends import (
+    ExecutionBackend,
+    resolve_backend,
+)
 from repro.pipeline.cache import ResultCache, job_fingerprint
-from repro.pipeline.drivers import Driver, driver_for
 from repro.pipeline.jobs import (
     PairCellData,
     PairJob,
@@ -41,6 +46,8 @@ class SweepResult:
     computed_pairs: int = 0
     interface: str = "posix"
     ncores: int = 4
+    backend: str = "serial"
+    backend_stats: dict = field(default_factory=dict)
 
     @property
     def total_tests(self) -> int:
@@ -131,6 +138,8 @@ class ExecutedJobs:
     cells: list[PairCellData]
     cached: list[bool]       # per job, in input order
     workers: int
+    backend: str = "serial"
+    backend_stats: dict = field(default_factory=dict)
 
     @property
     def cached_pairs(self) -> int:
@@ -144,11 +153,12 @@ class ExecutedJobs:
 def execute_jobs(
     jobs: Sequence[PairJob],
     workers: Optional[int] = None,
-    driver: Optional[Driver] = None,
+    driver: Optional[ExecutionBackend] = None,
     cache: Optional[object] = None,
     on_progress: Optional[Callable[[str], None]] = None,
+    backend: Optional[object] = None,
 ) -> ExecutedJobs:
-    """Run a batch of pair jobs: cache split, one driver pass, merge.
+    """Run a batch of pair jobs: cache split, one backend pass, merge.
 
     The batch may mix interfaces, core counts and kernels — each job
     carries everything its worker needs, and every cache entry is keyed
@@ -156,6 +166,14 @@ def execute_jobs(
     number of sweeps) can share a single worker pool instead of draining
     sequentially.  Results come back in input order regardless of
     execution order.
+
+    ``backend`` names a registered execution backend (or passes an
+    :class:`ExecutionBackend` instance); ``driver`` is the historical
+    keyword for an explicit instance and wins.  With neither, ``workers``
+    picks serial or the process pool as it always has.  The backend
+    changes *where* jobs run, never what they compute: cells and cache
+    entries are identical for every choice, and backend identity is
+    deliberately absent from cache fingerprints.
     """
     jobs = list(jobs)
     if isinstance(cache, (str, bytes)) or hasattr(cache, "__fspath__"):
@@ -202,7 +220,7 @@ def execute_jobs(
                 )
             )
 
-    resolved = driver_for(workers, driver)
+    resolved = resolve_backend(workers, driver, backend)
     computed = resolved.map(
         run_pair_job, [jobs[i] for i in todo], on_result=report
     )
@@ -214,6 +232,8 @@ def execute_jobs(
         cells=list(cells),
         cached=[i not in todo_set for i in range(len(jobs))],
         workers=resolved.workers,
+        backend=resolved.name,
+        backend_stats=resolved.stats(),
     )
 
 
@@ -222,7 +242,7 @@ def run_sweep(
     kernels: Optional[Sequence[tuple[str, Callable]]] = None,
     tests_per_path: int = 1,
     workers: Optional[int] = None,
-    driver: Optional[Driver] = None,
+    driver: Optional[ExecutionBackend] = None,
     cache: Optional[object] = None,
     pair_filter: Optional[Callable[[OpDef, OpDef], bool]] = None,
     on_progress: Optional[Callable[[str], None]] = None,
@@ -231,12 +251,15 @@ def run_sweep(
     solver_cache_size: Optional[int] = None,
     interface: str = "posix",
     ncores: int = 4,
+    backend: Optional[object] = None,
 ) -> SweepResult:
     """The Figure 6 pipeline over the pair matrix.
 
     ``cache`` is a path or a :class:`ResultCache`; pairs whose fingerprint
-    matches a stored entry are not recomputed.  ``driver`` (or ``workers``)
-    picks the execution strategy; results are identical for every choice.
+    matches a stored entry are not recomputed.  ``backend`` (a registered
+    execution-backend name or instance), ``driver`` (an explicit instance,
+    legacy keyword) or ``workers`` picks the execution strategy; results
+    are identical for every choice.
     ``solver_cache_size`` bounds each pair's solver memo (0 = unbounded).
     ``interface`` selects a registered interface bundle: its ops, state
     constructor, equivalence, kernels and TESTGEN hooks (explicit ``ops``/
@@ -261,7 +284,7 @@ def run_sweep(
     )
     executed = execute_jobs(
         jobs, workers=workers, driver=driver, cache=cache,
-        on_progress=on_progress,
+        on_progress=on_progress, backend=backend,
     )
     return SweepResult(
         cells=executed.cells,
@@ -273,6 +296,8 @@ def run_sweep(
         computed_pairs=executed.computed_pairs,
         interface=interface,
         ncores=ncores,
+        backend=executed.backend,
+        backend_stats=executed.backend_stats,
     )
 
 
@@ -317,6 +342,8 @@ class AnalysisSweep:
     elapsed_seconds: float
     workers: int = 1
     interface: str = "posix"
+    backend: str = "serial"
+    backend_stats: dict = field(default_factory=dict)
 
     @property
     def commutative_pairs(self) -> int:
@@ -330,12 +357,13 @@ class AnalysisSweep:
 def run_analysis(
     ops: Optional[Sequence[OpDef]] = None,
     workers: Optional[int] = None,
-    driver: Optional[Driver] = None,
+    driver: Optional[ExecutionBackend] = None,
     pair_filter: Optional[Callable[[OpDef, OpDef], bool]] = None,
     on_progress: Optional[Callable[[str], None]] = None,
     condition_chars: Optional[int] = 4000,
     solver_cache_size: Optional[int] = None,
     interface: str = "posix",
+    backend: Optional[object] = None,
 ) -> AnalysisSweep:
     """ANALYZER over the pair matrix, summaries only (no TESTGEN/MTRACE)."""
     from repro.model.registry import get_interface
@@ -360,7 +388,7 @@ def run_analysis(
                 f"paths commute"
             )
 
-    resolved = driver_for(workers, driver)
+    resolved = resolve_backend(workers, driver, backend)
     summaries = resolved.map(
         partial(run_analyze_job, condition_chars=condition_chars),
         jobs, on_result=report,
@@ -371,4 +399,6 @@ def run_analysis(
         elapsed_seconds=time.time() - start,
         workers=resolved.workers,
         interface=interface,
+        backend=resolved.name,
+        backend_stats=resolved.stats(),
     )

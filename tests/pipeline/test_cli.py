@@ -170,3 +170,54 @@ class TestInProcessCommands:
         with pytest.raises(SystemExit) as excinfo:
             cli.main(["--version"])
         assert excinfo.value.code == 0
+
+
+class TestBackendSelection:
+    def test_backend_flag_parses_and_lands_in_artifact(self, tmp_path,
+                                                       capsys):
+        out = str(tmp_path / "hm.json")
+        rc = cli.main(["heatmap", "--pairs", "link,stat", "--no-cache",
+                       "--backend", "work-stealing", "--workers", "2",
+                       "--out", out, "--quiet"])
+        assert rc == 0
+        raw = json.load(open(out))
+        assert raw["backend"] == "work-stealing"
+        assert raw["backend_stats"]["backend"] == "work-stealing"
+        assert "backend=work-stealing" in capsys.readouterr().out
+
+    def test_workers_alone_keeps_legacy_serial_default(self, tmp_path,
+                                                       capsys):
+        out = str(tmp_path / "hm.json")
+        rc = cli.main(["heatmap", "--pairs", "link,stat", "--no-cache",
+                       "--out", out, "--quiet"])
+        assert rc == 0
+        raw = json.load(open(out))
+        assert raw["backend"] == "serial"
+        assert raw["workers"] == 1
+
+    def test_unknown_backend_rejected_with_choices(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["heatmap", "--backend", "bogus", "--quiet"])
+        assert excinfo.value.code == 2
+        assert "subprocess-shard" in capsys.readouterr().err
+
+    def test_backend_stats_line_printed_for_non_serial(self, tmp_path,
+                                                       capsys):
+        out = str(tmp_path / "hm.json")
+        rc = cli.main(["heatmap", "--pairs", "link,stat", "--no-cache",
+                       "--backend", "pool", "--workers", "2",
+                       "--out", out, "--quiet"])
+        assert rc == 0
+        assert "backend[pool]:" in capsys.readouterr().out
+
+    def test_docs_check_passes_on_fresh_output(self, tmp_path, capsys):
+        out = str(tmp_path / "cli.md")
+        assert cli.main(["docs", "--out", out]) == 0
+        assert cli.main(["docs", "--out", out, "--check"]) == 0
+
+    def test_docs_check_fails_on_stale_file(self, tmp_path, capsys):
+        out = str(tmp_path / "cli.md")
+        with open(out, "w") as f:
+            f.write("stale\n")
+        assert cli.main(["docs", "--out", out, "--check"]) == 1
+        assert "stale" in capsys.readouterr().err
