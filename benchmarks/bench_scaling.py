@@ -1,0 +1,55 @@
+"""Many-core scaling sweep benchmark: one batched ladder, end to end.
+
+The batched runner solves each pair once (ANALYZER + TESTGEN) and replays
+the concrete cases through MTRACE at 2, 16, and 480 cores, so the solver
+counters stay flat no matter how tall the ladder is — that batching is
+what the wall-clock gate protects.  The cost counters are the Amdahl
+accounting at the extreme rungs: the scalefs probe counters must grow
+O(ncores) between 2 and 480 cores (they price the steal paths), while the
+headline claim holds at every rung — scalefs fully conflict-free, mono
+fully conflicted.
+"""
+
+from repro.pipeline.scaling import conflict_free_monotonic, run_scaling_sweep
+
+LADDER = (2, 16, 480)
+
+
+def _sweep():
+    return run_scaling_sweep(interface="sockets-unordered", ladder=LADDER)
+
+
+def test_scaling_sweep(benchmark):
+    result = benchmark.pedantic(_sweep, iterations=1, rounds=1)
+
+    total = result.total_tests
+    assert conflict_free_monotonic(result, "scalefs")["nondecreasing"]
+    for ncores in LADDER:
+        assert result.conflict_free_total("scalefs", ncores) == total
+        assert result.conflict_free_total("mono", ncores) == 0
+
+    low = result.rung_cost(LADDER[0])["scalefs"]
+    high = result.rung_cost(LADDER[-1])["scalefs"]
+    assert high["socket_queue_probes"] > low["socket_queue_probes"]
+    assert high["credit_steal_probes"] > low["credit_steal_probes"]
+
+    benchmark.extra_info.update(
+        {
+            "pairs": len(result.cells),
+            "rungs": len(result.ladder),
+            "tests_per_rung": total,
+            "solver_decisions": result.solver_totals["decisions"],
+            "scalefs_conflict_free": result.conflict_free_total("scalefs", LADDER[-1]),
+            "scalefs_queue_probes_480": high["socket_queue_probes"],
+            "scalefs_credit_probes_480": high["credit_steal_probes"],
+            "scalefs_mem_accesses_480": high["mem_accesses"],
+            "mono_mem_accesses_480": result.rung_cost(LADDER[-1])["mono"]["mem_accesses"],
+        }
+    )
+    print(
+        f"\nscaling sweep: ladder {','.join(str(n) for n in LADDER)}, "
+        f"{len(result.cells)} pairs, {total} tests per rung, "
+        f"{result.solver_totals['decisions']} solver decisions (solved once); "
+        f"scalefs probes at 480 cores: queue {high['socket_queue_probes']}, "
+        f"credit {high['credit_steal_probes']}"
+    )

@@ -13,13 +13,17 @@ Usage::
     python -m repro.browser residues scalefs
     python -m repro.browser compare posix posix-ext
     python -m repro.browser compare results/a.json results/b.json
+    python -m repro.browser scaling sockets-unordered
 
 All commands accept ``--data PATH`` (default results/fig6_heatmap.json)
 or ``--interface NAME``, which resolves the default artifact the heatmap
 pipeline writes for that interface (e.g. ``--interface sockets-unordered``
 reads results/fig6_heatmap_sockets-unordered.json).  ``compare`` instead
 takes two heatmap artifacts — file paths or registered interface names
-(resolved the same way) — and diffs them cell by cell.
+(resolved the same way) — and diffs them cell by cell.  ``scaling``
+reads a ``results/scaling_<interface>.json`` artifact (schema
+repro.scaling/1, written by ``python -m repro scaling``) and renders the
+conflict-fraction-vs-ncores curve with its Amdahl-model cost counters.
 """
 
 from __future__ import annotations
@@ -166,6 +170,38 @@ def cmd_compare(data_a: HeatmapData, data_b: HeatmapData, args) -> None:
         print("  every shared cell is identical")
 
 
+def cmd_scaling(raw: dict, args) -> None:
+    """The scaling-curve view: conflict-free fraction per kernel per
+    ncores rung, the monotonicity verdicts, and the worst-rung cost
+    counters (schema repro.scaling/1)."""
+    kernels = raw["kernels"]
+    total = raw["total"]
+    print(f"scaling {raw['interface']}: ladder "
+          + ",".join(str(n) for n in raw["ladder"])
+          + f" ({raw['pairs']} pairs, {total} tests per rung)")
+    header = f"{'ncores':>7}" + "".join(f"{k:>22}" for k in kernels)
+    print(header)
+    for entry in raw["curve"]:
+        row = f"{entry['ncores']:>7}"
+        for kernel in kernels:
+            ok = entry["conflict_free"].get(kernel, 0)
+            frac = entry["conflict_free_fraction"].get(kernel, 0.0)
+            row += f"{f'{ok}/{total} ({100 * frac:.0f}%)':>22}"
+        print(row)
+    for kernel, verdict in raw.get("monotonicity", {}).items():
+        status = "nondecreasing" if verdict["nondecreasing"] else "DECREASES"
+        print(f"  {kernel:12s} conflict-free fraction {status}")
+    worst = raw["curve"][-1]
+    print(f"cost counters at {worst['ncores']} cores "
+          "(summed over all tests):")
+    for kernel in kernels:
+        counters = worst["cost"].get(kernel, {})
+        rendered = ", ".join(
+            f"{name}={value}" for name, value in sorted(counters.items())
+        ) or "none"
+        print(f"  {kernel:12s} {rendered}")
+
+
 def _resolve_artifact(token: str, ncores: int) -> str:
     """A heatmap artifact from a file path or a registered interface
     name (resolved to that interface's default artifact path)."""
@@ -223,7 +259,26 @@ def main(argv=None) -> int:
                    help="heatmap artifact path or interface name")
     p.add_argument("artifact_b",
                    help="heatmap artifact path or interface name")
+    p = sub.add_parser("scaling")
+    p.add_argument("scaling_interface", nargs="?", default=None,
+                   help="interface whose scaling artifact to read "
+                        "(default: --interface; --data overrides)")
     args = parser.parse_args(argv)
+    if args.command == "scaling":
+        if args.data is None:
+            from repro.pipeline.cli import scaling_artifact_path
+            from repro.pipeline.scaling import DEFAULT_LADDER
+
+            interface = args.scaling_interface or args.interface
+            args.data = scaling_artifact_path(interface, DEFAULT_LADDER)
+            if not os.path.exists(args.data):
+                raise SystemExit(
+                    f"no artifact at {args.data}; run `python -m repro "
+                    f"scaling {interface}` first"
+                )
+        with open(args.data) as f:
+            cmd_scaling(json.load(f), args)
+        return 0
     if args.command == "compare":
         args.artifact_a = _resolve_artifact(args.artifact_a, args.ncores)
         args.artifact_b = _resolve_artifact(args.artifact_b, args.ncores)

@@ -168,10 +168,10 @@ class MonoKernel(Kernel):
         self.tasklist_lock = SpinLock(mem, "tasklist_lock", line=tasks)
         self.pid_counter = tasks.cell("last_pid", 0)
         self.nr_tasks = tasks.cell("nr_tasks", 0)
-        # Per-core TLB generation lines: eager munmap shootdown writes all.
-        self.tlb_gen = [
-            mem.line(f"tlbgen{c}").cell("gen", 0) for c in range(ncores)
-        ]
+        # Per-core TLB generation lines: eager munmap shootdown writes
+        # all of them.  Cells materialize on first shootdown so a
+        # 480-core kernel without munmap traffic allocates none.
+        self._tlb_gen: dict[int, object] = {}
 
     # ------------------------------------------------------------------
     # processes
@@ -572,7 +572,12 @@ class MonoKernel(Kernel):
             # Eager remote TLB shootdown: write every core's generation
             # (§4: "non-scalable remote TLB shootdowns before munmap can
             # return").
-            for cell in self.tlb_gen:
+            self.mem.count("tlb_shootdown_writes", self.ncores)
+            for core in range(self.ncores):
+                cell = self._tlb_gen.get(core)
+                if cell is None:
+                    cell = self.mem.line(f"tlbgen{core}").cell("gen", 0)
+                    self._tlb_gen[core] = cell
                 cell.add(1)
         proc.mmap_sem.release_write()
         return 0

@@ -844,24 +844,41 @@ class _UnorderedSocket:
                  capacity: Optional[int] = None):
         self.ncores = ncores
         self.capacity = capacity
-        self.counts = []
-        self.credits = []
-        self.queues: list[list] = []
-        for core in range(ncores):
-            line = mem.line(f"sfs.sock{index}.q{core}")
-            self.counts.append(line.cell("count", 0))
-            self.queues.append([])
-            credit_line = mem.line(f"sfs.sock{index}.credit{core}")
-            self.credits.append(credit_line.cell("credits", 0))
+        self._mem = mem
+        self._index = index
+        # Per-core count/credit cells materialize on first touch (like
+        # Refcache deltas): a 480-core socket only allocates lines for
+        # the cores traffic actually reaches.  Cell creation is never
+        # recorded, so this is invisible to conflict detection.
+        self._counts: dict[int, object] = {}
+        self._credits: dict[int, object] = {}
+        self.queues: dict[int, list] = {}
+
+    def _count_cell(self, core: int):
+        cell = self._counts.get(core)
+        if cell is None:
+            line = self._mem.line(f"sfs.sock{self._index}.q{core}")
+            cell = line.cell("count", 0)
+            self._counts[core] = cell
+        return cell
+
+    def _credit_cell(self, core: int):
+        cell = self._credits.get(core)
+        if cell is None:
+            line = self._mem.line(f"sfs.sock{self._index}.credit{core}")
+            cell = line.cell("credits", 0)
+            self._credits[core] = cell
+        return cell
+
+    def _queue(self, core: int) -> list:
+        return self.queues.setdefault(core, [])
 
     def _placement(self, first: int, second: int) -> list[int]:
-        order: list[int] = []
-        for core in (first % self.ncores, second % self.ncores):
-            if core not in order:
-                order.append(core)
-        for core in range(self.ncores):
-            if core not in order:
-                order.append(core)
+        order = [first % self.ncores]
+        if second % self.ncores != order[0]:
+            order.append(second % self.ncores)
+        seen = set(order)
+        order.extend(core for core in range(self.ncores) if core not in seen)
         return order
 
     def install_messages(self, messages: list) -> None:
@@ -878,48 +895,50 @@ class _UnorderedSocket:
         msg_order = self._placement(2, 1)
         for i, message in enumerate(messages):
             core = msg_order[i % self.ncores]
-            self.queues[core].append(message)
-            self.counts[core].add(1)
+            self._queue(core).append(message)
+            self._count_cell(core).add(1)
         if self.capacity is not None:
             credit_order = self._placement(1, 2)
             spare = max(self.capacity - len(messages), 0)
             for i in range(spare):
-                self.credits[credit_order[i % self.ncores]].add(1)
+                self._credit_cell(credit_order[i % self.ncores]).add(1)
 
-    def _take_credit(self, core: int) -> bool:
-        if self.credits[core].read() > 0:
-            self.credits[core].add(-1)
+    def _take_credit(self, mem: Memory, core: int) -> bool:
+        if self._credit_cell(core).read() > 0:
+            self._credit_cell(core).add(-1)
             return True
         for probe in range(1, self.ncores):
+            mem.count("credit_steal_probes")
             victim = (core + probe) % self.ncores
-            if self.credits[victim].read() > 0:
-                self.credits[victim].add(-1)
+            if self._credit_cell(victim).read() > 0:
+                self._credit_cell(victim).add(-1)
                 return True
         return False
 
     def send(self, mem: Memory, message) -> int:
         core = mem.current_core
-        if self.capacity is not None and not self._take_credit(core):
+        if self.capacity is not None and not self._take_credit(mem, core):
             return -errors.EAGAIN
-        self.queues[core].append(message)
-        self.counts[core].add(1)
+        self._queue(core).append(message)
+        self._count_cell(core).add(1)
         return 0
 
     def recv(self, mem: Memory):
         core = mem.current_core
         # Own queue first: conflict-free when traffic is balanced.
-        if self.counts[core].read() > 0:
-            self.counts[core].add(-1)
-            message = self.queues[core].pop(0)
+        if self._count_cell(core).read() > 0:
+            self._count_cell(core).add(-1)
+            message = self._queue(core).pop(0)
         else:
             for probe in range(1, self.ncores):
+                mem.count("socket_queue_probes")
                 victim = (core + probe) % self.ncores
-                if self.counts[victim].read() > 0:
-                    self.counts[victim].add(-1)
-                    message = self.queues[victim].pop(0)
+                if self._count_cell(victim).read() > 0:
+                    self._count_cell(victim).add(-1)
+                    message = self._queue(victim).pop(0)
                     break
             else:
                 return -errors.EAGAIN
         if self.capacity is not None:
-            self.credits[core].add(1)
+            self._credit_cell(core).add(1)
         return ("msg", message)

@@ -36,6 +36,10 @@ class Memory:
         self.current_context = ""
         self.recording = False
         self.log: list[Access] = []
+        #: Named cost counters (Amdahl-model accounting: probe loops,
+        #: shootdown fan-out, reconcile scans).  Pure bookkeeping — they
+        #: never touch cells or lines, so they cannot perturb conflicts.
+        self.counters: dict[str, int] = {}
         self._next_line = 0
         #: Optional timing observer (the MESI machine) notified per access.
         self.observer = None
@@ -56,6 +60,12 @@ class Memory:
     def start_recording(self) -> None:
         self.recording = True
         self.log = []
+        self.counters = {}
+
+    def count(self, key: str, n: int = 1) -> None:
+        """Bump a named cost counter (only while recording, like the log)."""
+        if self.recording:
+            self.counters[key] = self.counters.get(key, 0) + n
 
     def stop_recording(self) -> list[Access]:
         self.recording = False

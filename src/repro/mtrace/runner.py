@@ -72,6 +72,11 @@ class MtraceResult:
     conflicts: list[ConflictReport]
     results: tuple
     mismatch: Optional[str]
+    #: Per-run cost accounting (Amdahl model): named kernel counters
+    #: (probe loops, shootdown fan-out, …) plus ``mem_accesses``, the
+    #: recorded-window access count.  Informational only — never part
+    #: of the conflict-freedom verdict.
+    cost: Optional[dict] = None
 
     @property
     def conflict_free(self) -> bool:
@@ -110,6 +115,8 @@ def run_testcase(
         results.append(kernel.call(op.op, op.args))
     mem.set_context("")
     log = mem.stop_recording()
+    cost = dict(mem.counters)
+    cost["mem_accesses"] = len(log)
     conflicts = find_conflicts(log)
     mismatch = None
     for i, (op, expected, got) in enumerate(
@@ -119,7 +126,9 @@ def run_testcase(
         if problem is not None:
             mismatch = f"op{i} {op.op}: {problem}"
             break
-    return MtraceResult(case, kernel.name, conflicts, tuple(results), mismatch)
+    return MtraceResult(
+        case, kernel.name, conflicts, tuple(results), mismatch, cost
+    )
 
 
 def check_testcase(

@@ -35,6 +35,12 @@ Layers
     :func:`run_sweep` / :func:`run_analysis`, the orchestration that
     the public entry points (:func:`repro.bench.heatmap.run_heatmap`,
     :func:`repro.analyzer.analyze_interface`, and the CLI) build on.
+:mod:`repro.pipeline.scaling`
+    The many-core axis: :func:`run_scaling_sweep` runs one interface's
+    matrix across an ncores ladder (ANALYZER/TESTGEN once per pair,
+    MTRACE replayed per rung) and writes the schema-versioned
+    ``results/scaling_<interface>.json`` conflict-fraction-vs-ncores
+    curve with per-core Amdahl-model cost counters.
 :mod:`repro.pipeline.cli`
     The unified ``python -m repro`` command line.
 
@@ -49,6 +55,11 @@ Command line
 ``heatmap``
     The full Figure 6 pipeline; writes ``results/fig6_heatmap.json``
     in the schema :mod:`repro.browser` reads.
+``scaling``
+    The conflict-fraction-vs-ncores scaling curve across an ncores
+    ladder (default 2,4,16,64,128,480) to
+    ``results/scaling_<interface>.json`` — exit 1 when a
+    ``--gate-monotonic`` kernel's curve decreases.
 ``testgen``
     TESTGEN case counts (optionally rendered Figure-5-style C) to
     ``results/testgen.json``.
@@ -120,6 +131,19 @@ from repro.pipeline.jobs import (
     run_analyze_job,
     run_pair_job,
 )
+from repro.pipeline.scaling import (
+    DEFAULT_LADDER,
+    ScalingCellData,
+    ScalingJob,
+    ScalingSweepResult,
+    conflict_free_monotonic,
+    parse_ladder,
+    run_scaling_job,
+    run_scaling_sweep,
+    scaling_fingerprint,
+    scaling_to_dict,
+    strip_volatile_scaling,
+)
 from repro.pipeline.sweep import (
     AnalysisSweep,
     ExecutedJobs,
@@ -135,6 +159,7 @@ from repro.pipeline.sweep import (
 
 __all__ = [
     "AnalysisSweep",
+    "DEFAULT_LADDER",
     "Driver",
     "ExecutedJobs",
     "ExecutionBackend",
@@ -144,6 +169,9 @@ __all__ = [
     "ParallelDriver",
     "PoolBackend",
     "ResultCache",
+    "ScalingCellData",
+    "ScalingJob",
+    "ScalingSweepResult",
     "SerialBackend",
     "SerialDriver",
     "SubprocessShardBackend",
@@ -153,11 +181,13 @@ __all__ = [
     "backend_names",
     "build_pair_jobs",
     "classify_residue",
+    "conflict_free_monotonic",
     "default_workers",
     "driver_for",
     "execute_jobs",
     "get_backend",
     "normalize_workers",
+    "parse_ladder",
     "register_backend",
     "resolve_backend",
     "iter_pairs",
@@ -168,6 +198,11 @@ __all__ = [
     "run_analysis",
     "run_analyze_job",
     "run_pair_job",
+    "run_scaling_job",
+    "run_scaling_sweep",
     "run_sweep",
+    "scaling_fingerprint",
+    "scaling_to_dict",
+    "strip_volatile_scaling",
     "summarize_interface_sweep",
 ]

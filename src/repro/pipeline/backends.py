@@ -114,9 +114,7 @@ def normalize_workers(workers: Optional[int], none_means: int = 1) -> int:
     if workers is None:
         workers = none_means
     if workers < 0:
-        raise ValueError(
-            f"workers must be >= 0 (0 = all cores), got {workers}"
-        )
+        raise ValueError(f"workers must be >= 0 (0 = all cores), got {workers}")
     if workers == 0:
         return default_workers()
     return workers
@@ -142,9 +140,7 @@ class ExecutionBackend(ABC):
     none_workers_means = 0
 
     def __init__(self, workers: Optional[int] = None):
-        self.workers = normalize_workers(
-            workers, none_means=self.none_workers_means
-        )
+        self.workers = normalize_workers(workers, none_means=self.none_workers_means)
         self._pending: list[tuple[Callable, object]] = []
         self._stats: dict = self._base_stats(0)
 
@@ -332,14 +328,11 @@ class PoolBackend(ExecutionBackend):
             return self._run_serially(pending, on_result)
         results: list = [None] * len(pending)
         self._stats["max_pending"] = self.max_pending
-        with ProcessPoolExecutor(
-            max_workers=min(self.workers, len(pending))
-        ) as pool:
+        with ProcessPoolExecutor(max_workers=min(self.workers, len(pending))) as pool:
             in_flight = {}
             next_job = 0
             while next_job < len(pending) or in_flight:
-                while next_job < len(pending) \
-                        and len(in_flight) < self.max_pending:
+                while next_job < len(pending) and len(in_flight) < self.max_pending:
                     fn, job = pending[next_job]
                     future = pool.submit(fn, job)
                     in_flight[future] = next_job
@@ -383,9 +376,7 @@ class WorkStealingBackend(ExecutionBackend):
     def _execute(self, pending, on_result):
         lanes = min(self.workers, len(pending))
         if lanes <= 1:
-            self._stats.update({
-                "inline": True, "lanes": 1, "jobs_stolen": 0,
-            })
+            self._stats.update({"inline": True, "lanes": 1, "jobs_stolen": 0})
             return self._run_serially(pending, on_result)
         total = len(pending)
         owner = [index * lanes // total for index in range(total)]
@@ -417,13 +408,15 @@ class WorkStealingBackend(ExecutionBackend):
                     idle.append(lane)
                     if on_result is not None:
                         on_result(pending[index][1], results[index])
-        self._stats.update({
-            "lanes": lanes,
-            "jobs_stolen": stolen,
-            "lane_owned": lane_owned,
-            "lane_executed": lane_executed,
-            "max_steal_queue_depth": max_steal_depth,
-        })
+        self._stats.update(
+            {
+                "lanes": lanes,
+                "jobs_stolen": stolen,
+                "lane_owned": lane_owned,
+                "lane_executed": lane_executed,
+                "max_steal_queue_depth": max_steal_depth,
+            }
+        )
         return results
 
 
@@ -453,9 +446,7 @@ class SubprocessShardBackend(ExecutionBackend):
 
     def _execute(self, pending, on_result):
         shards = min(self.workers, len(pending))
-        assignment = [
-            self._shard_of(job, shards) for _, job in pending
-        ]
+        assignment = [self._shard_of(job, shards) for _, job in pending]
         shard_jobs = [assignment.count(s) for s in range(shards)]
         per_shard: dict[int, list[int]] = {}
         for index, shard in enumerate(assignment):
@@ -474,8 +465,7 @@ class SubprocessShardBackend(ExecutionBackend):
                 index, ok, payload = inbox.get()
                 if not ok:
                     raise RuntimeError(
-                        f"subprocess-shard job {index} failed in its "
-                        f"worker:\n{payload}"
+                        f"subprocess-shard job {index} failed in its worker:\n{payload}"
                     )
                 results[index] = payload
                 if on_result is not None:
@@ -483,11 +473,13 @@ class SubprocessShardBackend(ExecutionBackend):
         finally:
             for worker in workers:
                 worker.close()
-        self._stats.update({
-            "shards": shards,
-            "shard_jobs": shard_jobs,
-            "shard_spread": max(shard_jobs) - min(shard_jobs),
-        })
+        self._stats.update(
+            {
+                "shards": shards,
+                "shard_jobs": shard_jobs,
+                "shard_spread": max(shard_jobs) - min(shard_jobs),
+            }
+        )
         return results
 
     @staticmethod
@@ -514,14 +506,16 @@ class _ShardWorker:
         # only the parent's sys.path knows about src/.
         import repro
 
-        src = os.path.dirname(os.path.dirname(os.path.abspath(
-            repro.__file__)))
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
         env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
         self.stderr_file = tempfile.TemporaryFile()
         self.process = subprocess.Popen(
             [sys.executable, "-m", "repro.pipeline.shard_worker"],
-            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
-            stderr=self.stderr_file, env=env, text=True,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=self.stderr_file,
+            env=env,
+            text=True,
         )
         self.threads = [
             threading.Thread(target=self._feed, daemon=True),
@@ -533,11 +527,7 @@ class _ShardWorker:
     def _feed(self) -> None:
         try:
             for index, fn, job in self.items:
-                line = json.dumps({
-                    "id": index,
-                    "fn": _b64pickle(fn),
-                    "job": _b64pickle(job),
-                })
+                line = json.dumps({"id": index, "fn": _b64pickle(fn), "job": _b64pickle(job)})
                 self.process.stdin.write(line + "\n")
                 self.process.stdin.flush()
             self.process.stdin.close()
@@ -585,9 +575,7 @@ class _ShardWorker:
 
 
 def _b64pickle(obj) -> str:
-    return base64.b64encode(
-        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-    ).decode("ascii")
+    return base64.b64encode(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)).decode("ascii")
 
 
 def format_backend_stats(stats: dict) -> str:

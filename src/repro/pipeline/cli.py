@@ -36,6 +36,19 @@ def interface_artifact_path(default: str, interface: str,
     return f"{stem}.{ext}"
 
 
+def scaling_artifact_path(interface: str, ladder) -> str:
+    """Default ``scaling`` artifact path: always interface-suffixed
+    (the sweep is inherently per-interface); non-default ladders get an
+    ``_ncores<a-b-c>`` suffix so they never clobber the committed
+    default-ladder artifact."""
+    from repro.pipeline.scaling import DEFAULT_LADDER
+
+    stem = f"results/scaling_{interface}"
+    if tuple(ladder) != DEFAULT_LADDER:
+        stem += "_ncores" + "-".join(str(n) for n in ladder)
+    return f"{stem}.json"
+
+
 def _parse_names(raw: Optional[str]) -> Optional[list[str]]:
     if raw is None:
         return None
@@ -112,6 +125,15 @@ def _ncores(raw: str) -> int:
     return value
 
 
+def _ladder(raw: str) -> tuple:
+    from repro.pipeline.scaling import parse_ladder
+
+    try:
+        return parse_ladder(raw)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def _add_backend_options(parser):
     """``--backend`` (the execution-backend registry) plus ``--workers``
     (kept as a compatible alias: ``--workers N`` alone still means
@@ -143,13 +165,15 @@ def _add_ncores_option(parser):
     )
 
 
-def _add_matrix_options(parser, cache: bool = False):
-    parser.add_argument(
-        "--interface", default="posix", metavar="NAME",
-        help="registered interface to analyze (posix, posix-ext, proc, "
-             "sockets-ordered, sockets-unordered, sockets-stream; "
-             "default posix)",
-    )
+def _add_matrix_options(parser, cache: bool = False,
+                        interface_option: bool = True):
+    if interface_option:
+        parser.add_argument(
+            "--interface", default="posix", metavar="NAME",
+            help="registered interface to analyze (posix, posix-ext, proc, "
+                 "sockets-ordered, sockets-unordered, sockets-stream; "
+                 "default posix)",
+        )
     parser.add_argument(
         "--ops", metavar="a,b,c",
         help="restrict the matrix to these operations",
@@ -252,6 +276,69 @@ def cmd_heatmap(args) -> int:
     )
     _print_backend_stats(result.backend, result.backend_stats)
     return 0
+
+
+def cmd_scaling(args) -> int:
+    """Conflict-fraction-vs-ncores scaling curve (the many-core sweep):
+    ANALYZER/TESTGEN once per pair, MTRACE replayed across the ladder."""
+    from repro.bench.report import write_artifact
+    from repro.pipeline.scaling import (
+        DEFAULT_LADDER,
+        conflict_free_monotonic,
+        run_scaling_sweep,
+        scaling_to_dict,
+    )
+
+    iface, ops, pair_filter = _resolve_matrix(args)
+    ladder = args.ncores if args.ncores is not None else DEFAULT_LADDER
+    if args.out is None:
+        args.out = scaling_artifact_path(iface.name, ladder)
+    cache = None if args.no_cache else args.cache
+    result = run_scaling_sweep(
+        interface=iface.name,
+        ladder=ladder,
+        ops=ops,
+        pair_filter=pair_filter,
+        tests_per_path=args.tests_per_path,
+        workers=args.workers,
+        backend=args.backend,
+        cache=cache,
+        on_progress=_progress(args),
+        solver_cache_size=args.solver_cache_size,
+    )
+    path = write_artifact(args.out, scaling_to_dict(result))
+    total = result.total_tests
+    print(f"[{iface.name}] scaling ladder "
+          + ",".join(str(n) for n in result.ladder)
+          + f": {len(result.cells)} pairs, {total} tests per rung")
+    for entry in result.curve():
+        cf = ", ".join(
+            f"{k} {entry['conflict_free'][k]}/{total} "
+            f"({100 * entry['conflict_free_fraction'][k]:.0f}%)"
+            for k in result.kernels
+        )
+        print(f"  ncores {entry['ncores']:>3}: conflict-free {cf}")
+    exit_code = 0
+    for kernel in args.gate_monotonic or ():
+        if kernel not in result.kernels:
+            raise SystemExit(
+                f"--gate-monotonic: unknown kernel {kernel!r} "
+                f"(kernels: {', '.join(result.kernels)})"
+            )
+        verdict = conflict_free_monotonic(result, kernel)
+        mark = "ok " if verdict["nondecreasing"] else "FAIL"
+        print(f"    [{mark}] {kernel} conflict-free fraction "
+              "nondecreasing with ncores")
+        if not verdict["nondecreasing"]:
+            exit_code = 1
+    print(
+        f"{result.computed_pairs} pairs computed, "
+        f"{result.cached_pairs} cached, workers={result.workers}, "
+        f"backend={result.backend}, "
+        f"{result.elapsed_seconds:.1f}s -> {path}"
+    )
+    _print_backend_stats(result.backend, result.backend_stats)
+    return exit_code
 
 
 def cmd_testgen(args) -> int:
@@ -575,6 +662,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--render", action="store_true",
                    help="print the ASCII matrix and residue tables")
     p.set_defaults(fn=cmd_heatmap)
+
+    p = sub.add_parser(
+        "scaling",
+        help="conflict-fraction-vs-ncores scaling curve: ANALYZER/TESTGEN "
+             "once per pair, MTRACE replayed across an ncores ladder "
+             "(batched many-core sweep; exit 1 if a --gate-monotonic "
+             "kernel's curve decreases)",
+    )
+    p.add_argument("interface", nargs="?", default="posix",
+                   help="registered interface to sweep (default posix)")
+    _add_matrix_options(p, cache=True, interface_option=False)
+    p.add_argument(
+        # The default ladder lives in repro.pipeline.scaling
+        # (DEFAULT_LADDER); the help text mirrors it so the parser needs
+        # no heavyweight import (tests pin the two against each other).
+        "--ncores", type=_ladder, default=None, metavar="a,b,c",
+        help="ncores ladder for the kernels under test "
+             "(default 2,4,16,64,128,480)",
+    )
+    p.add_argument(
+        "--gate-monotonic", action="append", default=None, metavar="KERNEL",
+        help="exit 1 unless KERNEL's conflict-free fraction is "
+             "nondecreasing along the ladder (repeatable)",
+    )
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="artifact path (default results/scaling_"
+                        "<interface>.json, ncores-suffixed for "
+                        "non-default ladders)")
+    p.add_argument("--tests-per-path", type=int, default=1)
+    p.set_defaults(fn=cmd_scaling)
 
     p = sub.add_parser("testgen", help="concrete test cases per pair")
     _add_matrix_options(p)

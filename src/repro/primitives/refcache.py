@@ -43,6 +43,7 @@ class Refcache:
         delta line — expensive but read-only, so conflict-free vs readers."""
         total = self._base.read()
         for core in sorted(self._deltas):
+            self._mem.count("refcache_reconcile_reads")
             total += self._deltas[core].read()
         return total
 

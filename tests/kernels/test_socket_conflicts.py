@@ -186,3 +186,77 @@ class TestEndToEndPairJobs:
         # Degenerate 2-core machines fold both ops onto core 1.
         result = run_testcase(scalefs_factory, case, ncores=2)
         assert result.mismatch is None
+
+
+class TestAmdahlCostCounters:
+    """The per-core cost accounting behind the scaling sweep: counters
+    report the O(ncores) probe loops without perturbing results."""
+
+    def test_balanced_traffic_needs_no_probes(self):
+        """The §4.3 good case: own-core queue and credit hits, so the
+        probe counters stay at zero no matter the core count."""
+        case = socket_case(
+            "usend_urecv_balanced_cost",
+            (OpCall("usend", {"msg": "m0"}), OpCall("urecv", {})),
+            (0, ("msg", "m1")),
+            messages=["m1", "m2"], ordered=False,
+        )
+        result = run_testcase(scalefs_factory, case, ncores=64)
+        assert result.conflict_free
+        assert "socket_queue_probes" not in result.cost
+        assert "credit_steal_probes" not in result.cost
+
+    def test_empty_socket_recv_probes_every_other_core(self):
+        """The unbalanced case the Amdahl model prices: an empty socket
+        makes each recv scan all ncores-1 remote queues before EAGAIN."""
+        for ncores in (4, 64):
+            case = socket_case(
+                "urecv_urecv_empty_cost",
+                (OpCall("urecv", {}), OpCall("urecv", {})),
+                (-errors.EAGAIN, -errors.EAGAIN),
+                messages=[], ordered=False,
+            )
+            result = run_testcase(scalefs_factory, case, ncores=ncores)
+            # Two recvs, each probing every remote per-core queue.
+            assert result.cost["socket_queue_probes"] == 2 * (ncores - 1)
+
+    def test_full_socket_send_probes_every_other_core(self):
+        for ncores in (4, 64):
+            case = socket_case(
+                "usend_usend_full_cost",
+                (OpCall("usend", {"msg": "x"}), OpCall("usend", {"msg": "y"})),
+                (-errors.EAGAIN, -errors.EAGAIN),
+                messages=["a", "b", "c"], ordered=False,
+            )
+            result = run_testcase(scalefs_factory, case, ncores=ncores)
+            assert result.cost["credit_steal_probes"] == 2 * (ncores - 1)
+
+    def test_cost_is_informational_only(self):
+        """Same conflicts/results at both core counts — the counters
+        never feed back into the recorded trace."""
+        case = socket_case(
+            "usend_urecv_same",
+            (OpCall("usend", {"msg": "m0"}), OpCall("urecv", {})),
+            (0, ("msg", "m1")),
+            messages=["m1", "m2"], ordered=False,
+        )
+        a = run_testcase(scalefs_factory, case, ncores=4)
+        b = run_testcase(scalefs_factory, case, ncores=64)
+        assert a.conflict_free == b.conflict_free
+        assert a.results == b.results
+        assert a.mismatch == b.mismatch
+
+    def test_mono_tlb_shootdown_counts_every_core(self):
+        from repro.kernels import MonoKernel
+        from repro.mtrace.memory import Memory
+
+        for ncores in (4, 16):
+            mem = Memory(ncores=ncores)
+            kernel = MonoKernel(mem, nfds=8, ncores=ncores)
+            kernel.create_process()
+            kernel.mmap(0, True, 1, True, 0, 0, True)
+            mem.start_recording()
+            mem.set_core(0)
+            assert kernel.munmap(0, 1) == 0
+            mem.stop_recording()
+            assert mem.counters["tlb_shootdown_writes"] == ncores

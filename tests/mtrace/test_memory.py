@@ -105,3 +105,38 @@ def test_peek_is_unrecorded():
     mem.start_recording()
     assert cell.peek() == 5
     assert mem.stop_recording() == []
+
+
+def test_count_only_while_recording():
+    mem = Memory()
+    mem.count("probes")
+    assert mem.counters == {}
+    mem.start_recording()
+    mem.count("probes")
+    mem.count("probes", 3)
+    assert mem.counters == {"probes": 4}
+    mem.stop_recording()
+    mem.count("probes")
+    assert mem.counters == {"probes": 4}
+
+
+def test_count_resets_per_recording():
+    mem = Memory()
+    mem.start_recording()
+    mem.count("a", 2)
+    mem.stop_recording()
+    mem.start_recording()
+    assert mem.counters == {}
+    mem.count("b")
+    assert mem.stop_recording() == []
+    assert mem.counters == {"b": 1}
+
+
+def test_count_never_touches_the_log():
+    mem = Memory()
+    cell = mem.line("x").cell("v", 0)
+    mem.start_recording()
+    cell.write(1)
+    mem.count("bookkeeping", 100)
+    log = mem.stop_recording()
+    assert len(log) == 1

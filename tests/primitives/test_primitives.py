@@ -111,6 +111,21 @@ class TestRefcache:
         assert rc.read_base() == 4
         assert rc.read() == 4
 
+    def test_read_counts_reconcile_cost(self):
+        # The Amdahl accounting: read() scans one delta line per
+        # contributing core, and the counter says so (while recording).
+        mem = Memory(ncores=4)
+        rc = Refcache(mem, "rc", 4)
+        mem.set_core(1)
+        rc.adjust(mem, 1)
+        mem.set_core(2)
+        rc.adjust(mem, 1)
+        mem.start_recording()
+        mem.set_core(3)
+        rc.read()
+        mem.stop_recording()
+        assert mem.counters["refcache_reconcile_reads"] == 2
+
 
 class TestPerCore:
     def test_counter_ids_unique_across_cores(self):
