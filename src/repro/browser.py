@@ -14,6 +14,8 @@ Usage::
     python -m repro.browser compare posix posix-ext
     python -m repro.browser compare results/a.json results/b.json
     python -m repro.browser scaling sockets-unordered
+    python -m repro.browser staticpredict sockets-unordered
+    python -m repro.browser staticpredict posix --op pipe
 
 All commands accept ``--data PATH`` (default results/fig6_heatmap.json)
 or ``--interface NAME``, which resolves the default artifact the heatmap
@@ -24,6 +26,9 @@ takes two heatmap artifacts — file paths or registered interface names
 reads a ``results/scaling_<interface>.json`` artifact (schema
 repro.scaling/1, written by ``python -m repro scaling``) and renders the
 conflict-fraction-vs-ncores curve with its Amdahl-model cost counters.
+``staticpredict`` reads a ``results/staticpredict_<interface>.json``
+artifact (schema repro.staticpredict/1, written by ``python -m repro
+lint``) and renders the statically predicted conflict matrix.
 """
 
 from __future__ import annotations
@@ -202,6 +207,61 @@ def cmd_scaling(raw: dict, args) -> None:
         print(f"  {kernel:12s} {rendered}")
 
 
+def cmd_staticpredict(raw: dict, args) -> None:
+    """The statically predicted conflict map (schema
+    repro.staticpredict/1, written by ``python -m repro lint``):
+    per-kernel verdict matrices, or one op's abstract footprint and
+    row with ``--op``."""
+    ops = raw["ops"]
+    by_pair = {}
+    for pair in raw["pairs"]:
+        by_pair[(pair["op0"], pair["op1"])] = pair["verdict"]
+        by_pair[(pair["op1"], pair["op0"])] = pair["verdict"]
+    kernels = raw["kernels"]
+    if args.kernel is not None:
+        if args.kernel not in kernels:
+            raise SystemExit(
+                f"no verdicts for kernel {args.kernel!r}; "
+                f"kernels: {kernels}")
+        kernels = [args.kernel]
+    print(f"staticpredict {raw['interface']}: {len(raw['pairs'])} pairs")
+    if args.op is not None:
+        if args.op not in ops:
+            raise SystemExit(f"unknown op {args.op!r}; ops: {ops}")
+        for kernel in kernels:
+            print(f"{kernel}: {args.op} abstract footprint")
+            for line in raw["footprints"][kernel].get(args.op, []):
+                print(f"  {line}")
+            for other in ops:
+                verdict = by_pair[(args.op, other)][kernel]
+                regions = (verdict["balanced_regions"]
+                           or verdict["strict_regions"])
+                detail = (f" via {', '.join(regions)}" if regions
+                          else "")
+                print(f"  vs {other:10s} {verdict['balanced']:13s} "
+                      f"(strict {verdict['strict']}){detail}")
+        return
+    print("  . conflict-free   ~ conflict-free balanced only   "
+          "# conflict")
+    width = max(len(op) for op in ops)
+    for kernel in kernels:
+        summary = raw["summary"][kernel]
+        print(f"{kernel}: {summary['conflict_free_balanced']}"
+              f"/{summary['pairs']} balanced conflict-free "
+              f"({summary['conflict_free_strict']} strict)")
+        for op0 in ops:
+            row = ""
+            for op1 in ops:
+                verdict = by_pair[(op0, op1)][kernel]
+                if verdict["balanced"] != "conflict-free":
+                    row += "#"
+                elif verdict["strict"] != "conflict-free":
+                    row += "~"
+                else:
+                    row += "."
+            print(f"  {op0:>{width}} {row}")
+
+
 def _resolve_artifact(token: str, ncores: int) -> str:
     """A heatmap artifact from a file path or a registered interface
     name (resolved to that interface's default artifact path)."""
@@ -263,7 +323,30 @@ def main(argv=None) -> int:
     p.add_argument("scaling_interface", nargs="?", default=None,
                    help="interface whose scaling artifact to read "
                         "(default: --interface; --data overrides)")
+    p = sub.add_parser("staticpredict")
+    p.add_argument("sp_interface", nargs="?", default=None,
+                   help="interface whose staticpredict artifact to read "
+                        "(default: --interface; --data overrides)")
+    p.add_argument("--kernel", default=None,
+                   help="show only this kernel's verdicts")
+    p.add_argument("--op", default=None,
+                   help="show one op's abstract footprint and row "
+                        "instead of the matrix")
     args = parser.parse_args(argv)
+    if args.command == "staticpredict":
+        if args.data is None:
+            from repro.pipeline.cli import staticpredict_artifact_path
+
+            interface = args.sp_interface or args.interface
+            args.data = staticpredict_artifact_path(interface)
+            if not os.path.exists(args.data):
+                raise SystemExit(
+                    f"no artifact at {args.data}; run `python -m repro "
+                    f"lint --interface {interface}` first"
+                )
+        with open(args.data) as f:
+            cmd_staticpredict(json.load(f), args)
+        return 0
     if args.command == "scaling":
         if args.data is None:
             from repro.pipeline.cli import scaling_artifact_path

@@ -24,6 +24,7 @@ from typing import Optional
 from repro import errors
 from repro.kernels.base import Kernel, KernelError
 from repro.mtrace.memory import CacheLine, Memory
+from repro.primitives.sharing import PER_CORE
 from repro.primitives.spinlock import RWLock, SpinLock
 from repro.testgen.casegen import ConcreteSetup
 
@@ -576,7 +577,8 @@ class MonoKernel(Kernel):
             for core in range(self.ncores):
                 cell = self._tlb_gen.get(core)
                 if cell is None:
-                    cell = self.mem.line(f"tlbgen{core}").cell("gen", 0)
+                    cell = self.mem.line(f"tlbgen{core}",
+                                         sharing=PER_CORE).cell("gen", 0)
                     self._tlb_gen[core] = cell
                 cell.add(1)
         proc.mmap_sem.release_write()

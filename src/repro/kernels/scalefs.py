@@ -33,6 +33,7 @@ from repro.primitives.percpu import PerCoreCounter, PerCorePartition
 from repro.primitives.radix import RadixArray
 from repro.primitives.refcache import Refcache
 from repro.primitives.seqlock import SeqLock
+from repro.primitives.sharing import PER_CORE, SHARED, imbalance_path
 from repro.primitives.spinlock import SpinLock
 from repro.testgen.casegen import ConcreteSetup
 
@@ -52,7 +53,8 @@ class SharedCounter:
 
     def __init__(self, mem: Memory, name: str, initial: int = 0):
         # Own line, to isolate exactly the one-contended-line effect.
-        self._cell = mem.line(name).cell("count", initial)
+        # The declared sharing class is the point: one SHARED line.
+        self._cell = mem.line(name, sharing=SHARED).cell("count", initial)
 
     def adjust(self, mem: Memory, delta: int) -> None:
         self._cell.add(delta)
@@ -857,7 +859,8 @@ class _UnorderedSocket:
     def _count_cell(self, core: int):
         cell = self._counts.get(core)
         if cell is None:
-            line = self._mem.line(f"sfs.sock{self._index}.q{core}")
+            line = self._mem.line(f"sfs.sock{self._index}.q{core}",
+                                  sharing=PER_CORE)
             cell = line.cell("count", 0)
             self._counts[core] = cell
         return cell
@@ -865,7 +868,8 @@ class _UnorderedSocket:
     def _credit_cell(self, core: int):
         cell = self._credits.get(core)
         if cell is None:
-            line = self._mem.line(f"sfs.sock{self._index}.credit{core}")
+            line = self._mem.line(f"sfs.sock{self._index}.credit{core}",
+                                  sharing=PER_CORE)
             cell = line.cell("credits", 0)
             self._credits[core] = cell
         return cell
@@ -907,12 +911,15 @@ class _UnorderedSocket:
         if self._credit_cell(core).read() > 0:
             self._credit_cell(core).add(-1)
             return True
-        for probe in range(1, self.ncores):
-            mem.count("credit_steal_probes")
-            victim = (core + probe) % self.ncores
-            if self._credit_cell(victim).read() > 0:
-                self._credit_cell(victim).add(-1)
-                return True
+        # Only reachable when prior traffic drained this core's credits:
+        # declared imbalance path (balanced installs never enter it).
+        with imbalance_path(mem):
+            for probe in range(1, self.ncores):
+                mem.count("credit_steal_probes")
+                victim = (core + probe) % self.ncores
+                if self._credit_cell(victim).read() > 0:
+                    self._credit_cell(victim).add(-1)
+                    return True
         return False
 
     def send(self, mem: Memory, message) -> int:
@@ -930,15 +937,18 @@ class _UnorderedSocket:
             self._count_cell(core).add(-1)
             message = self._queue(core).pop(0)
         else:
-            for probe in range(1, self.ncores):
-                mem.count("socket_queue_probes")
-                victim = (core + probe) % self.ncores
-                if self._count_cell(victim).read() > 0:
-                    self._count_cell(victim).add(-1)
-                    message = self._queue(victim).pop(0)
-                    break
-            else:
-                return -errors.EAGAIN
+            # Declared imbalance path: stealing from another core's
+            # queue only happens when balanced traffic left ours empty.
+            with imbalance_path(mem):
+                for probe in range(1, self.ncores):
+                    mem.count("socket_queue_probes")
+                    victim = (core + probe) % self.ncores
+                    if self._count_cell(victim).read() > 0:
+                        self._count_cell(victim).add(-1)
+                        message = self._queue(victim).pop(0)
+                        break
+                else:
+                    return -errors.EAGAIN
         if self.capacity is not None:
             self._credit_cell(core).add(1)
         return ("msg", message)

@@ -141,12 +141,20 @@ class OpDef:
     variables for corresponding allocations — this is how "states can be
     equivalent for some choice of nondeterministic values" (§5.1) is
     realized.
+
+    ``lint_waivers`` maps a lint rule name (``repro.staticcheck.linter``)
+    to the reason this op is exempt from it; waived findings are still
+    reported but never gate.  A waiver needs a real justification —
+    typically that the "fix" would change the op's explored paths and
+    therefore its cache fingerprints and committed artifacts.
     """
 
-    def __init__(self, name: str, params: list[Param], fn: Callable):
+    def __init__(self, name: str, params: list[Param], fn: Callable,
+                 lint_waivers: Optional[dict[str, str]] = None):
         self.name = name
         self.params = params
         self.fn = fn
+        self.lint_waivers = dict(lint_waivers or {})
 
     def make_args(self, factory: VarFactory) -> dict:
         return {p.name: p.make(factory) for p in self.params}
@@ -159,11 +167,13 @@ class OpDef:
         return f"OpDef({self.name})"
 
 
-def defop(registry: list, name: str, *params: Param):
+def defop(registry: list, name: str, *params: Param,
+          lint_waivers: Optional[dict[str, str]] = None):
     """Decorator registering a model operation in ``registry``."""
 
     def register(fn):
-        registry.append(OpDef(name, list(params), fn))
+        registry.append(OpDef(name, list(params), fn,
+                              lint_waivers=lint_waivers))
         return fn
 
     return register

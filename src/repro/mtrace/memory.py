@@ -53,9 +53,17 @@ class Memory:
         """Label subsequent accesses with the operation being executed."""
         self.current_context = context
 
-    def line(self, name: str) -> "CacheLine":
+    def line(self, name: str, sharing: str = "shared") -> "CacheLine":
+        """Allocate a line.  ``sharing`` is the line's *declared sharing
+        class* — ``"shared"`` (one line all cores may touch) or
+        ``"per_core"`` (one line of a per-core family; same-core accesses
+        never conflict by design).  The declaration is metadata for the
+        static sharing analyzer (``repro.staticcheck``); it does not
+        change recording or conflict detection."""
+        if sharing not in ("shared", "per_core"):
+            raise ValueError(f"unknown sharing class {sharing!r}")
         self._next_line += 1
-        return CacheLine(self, f"{name}#{self._next_line}", name)
+        return CacheLine(self, f"{name}#{self._next_line}", name, sharing)
 
     def start_recording(self) -> None:
         self.recording = True
@@ -85,12 +93,14 @@ class CacheLine:
     """One cache line holding named cells (false sharing is deliberate:
     cells on the same line conflict together)."""
 
-    __slots__ = ("memory", "name", "label", "_cells")
+    __slots__ = ("memory", "name", "label", "sharing", "_cells")
 
-    def __init__(self, memory: Memory, name: str, label: str):
+    def __init__(self, memory: Memory, name: str, label: str,
+                 sharing: str = "shared"):
         self.memory = memory
         self.name = name
         self.label = label
+        self.sharing = sharing
         self._cells: dict[str, object] = {}
 
     def cell(self, name: str, init=0) -> "Cell":

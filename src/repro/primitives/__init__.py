@@ -16,6 +16,14 @@ conflict behaviour is observable by MTRACE:
   (ScaleFS directories: distinct names are conflict-free barring collisions).
 """
 
+from repro.primitives.sharing import (
+    PER_CORE,
+    SHARED,
+    Acc,
+    Handle,
+    MethodSummary,
+    imbalance_path,
+)
 from repro.primitives.spinlock import SpinLock, RWLock
 from repro.primitives.seqlock import SeqLock
 from repro.primitives.refcache import Refcache
@@ -24,6 +32,12 @@ from repro.primitives.radix import RadixArray
 from repro.primitives.hashtable import HashDir
 
 __all__ = [
+    "PER_CORE",
+    "SHARED",
+    "Acc",
+    "Handle",
+    "MethodSummary",
+    "imbalance_path",
     "SpinLock",
     "RWLock",
     "SeqLock",

@@ -15,6 +15,7 @@ import zlib
 from typing import Optional
 
 from repro.mtrace.memory import Memory
+from repro.primitives.sharing import SHARED, MethodSummary, rd, wr
 
 
 def _stable_hash(key) -> int:
@@ -37,6 +38,18 @@ class _Bucket:
 
 
 class HashDir:
+    #: Buckets are per-*name* lines; distinct names usually miss each
+    #: other, but bucket choice is data-dependent (hash), so the
+    #: declared class is SHARED (may-alias) — sound, conservative.
+    STATIC_SHARING = {"buckets": SHARED}
+    STATIC_FOOTPRINT = {
+        "get": MethodSummary(accesses=(rd("buckets"),)),
+        "contains": MethodSummary(accesses=(rd("buckets"),)),
+        "put": MethodSummary(accesses=(rd("buckets"), wr("buckets"))),
+        "remove": MethodSummary(accesses=(rd("buckets"), wr("buckets"))),
+        "keys": MethodSummary(),  # unrecorded
+    }
+
     def __init__(self, mem: Memory, name: str, nbuckets: int = 64):
         self.nbuckets = nbuckets
         self._buckets = [

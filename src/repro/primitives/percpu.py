@@ -11,11 +11,20 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.mtrace.memory import Memory
+from repro.primitives.sharing import (
+    PER_CORE, SCOPE_OWN, MethodSummary, rd, wr,
+)
 
 
 class PerCoreCounter:
     """Monotonic per-core id allocation: ids are ``n * ncores + core``.
     Per-core lines materialize on first use."""
+
+    STATIC_SHARING = {"ctr": PER_CORE}
+    STATIC_FOOTPRINT = {
+        "alloc": MethodSummary(accesses=(rd("ctr", SCOPE_OWN),
+                                         wr("ctr", SCOPE_OWN))),
+    }
 
     def __init__(self, mem: Memory, name: str, ncores: int, start: int = 0):
         self.ncores = ncores
@@ -28,7 +37,8 @@ class PerCoreCounter:
         core = mem.current_core
         cell = self._cells.get(core)
         if cell is None:
-            line = self._mem.line(f"{self._name}.ctr{core}")
+            line = self._mem.line(f"{self._name}.ctr{core}",
+                                  sharing=PER_CORE)
             cell = line.cell("next", self.start)
             self._cells[core] = cell
         n = cell.read()
@@ -43,6 +53,16 @@ class PerCorePartition:
     partition, touching only that partition's bookkeeping line.
     """
 
+    STATIC_SHARING = {"part": PER_CORE}
+    STATIC_FOOTPRINT = {
+        # The global-scan fallback re-invokes taken() over the whole
+        # space but touches no partition line beyond the core's own.
+        "alloc": MethodSummary(accesses=(rd("part", SCOPE_OWN),
+                                         wr("part", SCOPE_OWN)),
+                               calls_args=("taken",)),
+        "range_for": MethodSummary(),
+    }
+
     def __init__(self, mem: Memory, name: str, ncores: int, size: int):
         self.ncores = ncores
         self.size = size
@@ -54,7 +74,8 @@ class PerCorePartition:
     def _hint_cell(self, core: int):
         cell = self._hints.get(core)
         if cell is None:
-            line = self._mem.line(f"{self._name}.part{core}")
+            line = self._mem.line(f"{self._name}.part{core}",
+                                  sharing=PER_CORE)
             cell = line.cell("hint", 0)
             self._hints[core] = cell
         return cell

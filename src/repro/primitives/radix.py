@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Callable, Iterator, Optional
 
 from repro.mtrace.memory import CacheLine, Memory
+from repro.primitives.sharing import SHARED, Handle, MethodSummary, rd, wr
 
 
 class RadixSlot:
@@ -29,6 +30,25 @@ class RadixSlot:
 
 class RadixArray:
     """Sparse index → value map with per-slot cache lines."""
+
+    #: Slots are one line per *index*, not per core.  Distinct indexes
+    #: never conflict, but static analysis cannot in general prove two
+    #: data-dependent indexes distinct, so the declared class is SHARED
+    #: (may-alias) — sound, conservative.
+    STATIC_SHARING = {"slots": SHARED}
+    STATIC_HANDLES = {
+        "slot": Handle(attrs={"present": "slots", "value": "slots"}),
+    }
+    STATIC_FOOTPRINT = {
+        "slot": MethodSummary(returns="slot"),
+        "get": MethodSummary(accesses=(rd("slots"),)),
+        "contains": MethodSummary(accesses=(rd("slots"),)),
+        "set": MethodSummary(accesses=(wr("slots"),)),
+        "remove": MethodSummary(accesses=(wr("slots"),)),
+        # Unrecorded install/debug plumbing:
+        "known_indexes": MethodSummary(),
+        "peek_present": MethodSummary(),
+    }
 
     def __init__(self, mem: Memory, name: str):
         self._mem = mem

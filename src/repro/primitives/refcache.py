@@ -11,12 +11,26 @@ Figure 7(a): link/unlink scale, fstat pays 3.9× to reconcile st_nlink.
 from __future__ import annotations
 
 from repro.mtrace.memory import Memory
+from repro.primitives.sharing import (
+    PER_CORE, SHARED, SCOPE_ALL, SCOPE_OWN, MethodSummary, rd, wr,
+)
 
 
 class Refcache:
     """Per-core delta slots materialize on a core's first touch, as in the
     real Refcache (each core keeps a local cache of counters it adjusted;
     reconciliation visits only cores holding deltas)."""
+
+    STATIC_SHARING = {"base": SHARED, "delta": PER_CORE}
+    STATIC_FOOTPRINT = {
+        "adjust": MethodSummary(accesses=(rd("delta", SCOPE_OWN),
+                                          wr("delta", SCOPE_OWN))),
+        "read": MethodSummary(accesses=(rd("base"), rd("delta", SCOPE_ALL))),
+        "read_base": MethodSummary(accesses=(rd("base"),)),
+        "flush": MethodSummary(accesses=(rd("base"), wr("base"),
+                                         rd("delta", SCOPE_ALL),
+                                         wr("delta", SCOPE_ALL))),
+    }
 
     def __init__(self, mem: Memory, name: str, ncores: int, initial: int = 0):
         self.ncores = ncores
@@ -29,7 +43,8 @@ class Refcache:
     def _delta_cell(self, core: int):
         cell = self._deltas.get(core)
         if cell is None:
-            line = self._mem.line(f"{self._name}.delta{core}")
+            line = self._mem.line(f"{self._name}.delta{core}",
+                                  sharing=PER_CORE)
             cell = line.cell("delta", 0)
             self._deltas[core] = cell
         return cell

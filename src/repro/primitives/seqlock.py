@@ -4,9 +4,19 @@ seqlocks among ScaleFS's techniques, citing Lameter [28])."""
 from __future__ import annotations
 
 from repro.mtrace.memory import CacheLine, Memory
+from repro.primitives.sharing import SHARED, MethodSummary, rd, wr
 
 
 class SeqLock:
+    STATIC_SHARING = {"self": SHARED}
+    STATIC_LINE_PARAM = "line"
+    STATIC_FOOTPRINT = {
+        "read_begin": MethodSummary(accesses=(rd("self"),)),
+        "read_retry": MethodSummary(accesses=(rd("self"),)),
+        "write_begin": MethodSummary(accesses=(rd("self"), wr("self"))),
+        "write_end": MethodSummary(accesses=(rd("self"), wr("self"))),
+    }
+
     def __init__(self, mem: Memory, name: str, line: CacheLine = None):
         self._line = line if line is not None else mem.line(name)
         self._version = self._line.cell(f"{name}.seq", 0)

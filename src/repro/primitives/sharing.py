@@ -1,0 +1,128 @@
+"""Declared sharing classes and static footprint summaries.
+
+The static sharing analyzer (``repro.staticcheck``) never guesses what a
+primitive touches from its line-name strings.  Instead every primitive
+*declares* its memory behaviour right next to its implementation:
+
+* ``Memory.line(name, sharing=...)`` tags each allocated line with a
+  **sharing class** — :data:`SHARED` (one line all cores touch) or
+  :data:`PER_CORE` (a family of lines, one per core, where same-core
+  accesses never conflict).
+* A primitive class carries ``STATIC_SHARING`` (logical region name →
+  sharing class) and ``STATIC_FOOTPRINT`` (method name →
+  :class:`MethodSummary` listing the abstract :class:`Acc` accesses the
+  method may perform).  The analyzer expands these summaries instead of
+  descending into primitive code.
+* :func:`imbalance_path` marks code reachable only when per-core state
+  is imbalanced (e.g. the unordered socket's credit-steal scan).  At
+  runtime it is a no-op context manager; the analyzer tags accesses
+  inside the block so the *balanced* verdict can exclude them while the
+  *strict* verdict keeps them.
+
+Scopes on per-core accesses:
+
+* ``"own"`` — touches only the executing core's line of the family.
+  Two different cores' own-scope accesses can never collide.
+* ``"any"`` — may touch some other core's line (index not provably the
+  current core).
+* ``"all"`` — touches every core's line (fan-out loops).
+
+For conflict prediction ``"any"`` and ``"all"`` are equally pessimistic;
+both may overlap another core's accesses.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+#: Sharing classes a line can declare.
+SHARED = "shared"
+PER_CORE = "per_core"
+
+SHARING_CLASSES = (SHARED, PER_CORE)
+
+#: Per-core access scopes.
+SCOPE_OWN = "own"
+SCOPE_ANY = "any"
+SCOPE_ALL = "all"
+
+
+@dataclass(frozen=True)
+class Acc:
+    """One abstract access in a primitive's declared footprint.
+
+    ``region`` names a logical line family inside the primitive
+    (``"self"`` for its main line, ``"base"``/``"delta"`` for Refcache,
+    ``"slots"`` for RadixArray, ...).  The region's sharing class comes
+    from the owning class's ``STATIC_SHARING``.
+    """
+
+    region: str
+    write: bool
+    scope: str = SCOPE_ANY
+
+    def __post_init__(self):
+        if self.scope not in (SCOPE_OWN, SCOPE_ANY, SCOPE_ALL):
+            raise ValueError(f"unknown scope {self.scope!r}")
+
+
+@dataclass(frozen=True)
+class MethodSummary:
+    """Declared effect of one primitive method.
+
+    ``accesses`` are the abstract accesses the method may perform.
+    ``returns`` optionally names a handle from the class's
+    ``STATIC_HANDLES`` — an object whose attributes are cells the caller
+    may then read/write directly (RadixArray slots).
+    ``calls_args`` lists parameter names whose values are *callbacks*
+    the method may invoke (PerCorePartition's ``taken``); the analyzer
+    conservatively folds the callback's own accesses into the caller.
+    """
+
+    accesses: tuple = ()
+    returns: str | None = None
+    calls_args: tuple = ()
+
+
+@dataclass(frozen=True)
+class Handle:
+    """A returned sub-object: attribute name → (region, write-through).
+
+    Each attribute behaves like a :class:`repro.mtrace.memory.Cell` on
+    the named region; reads and writes through it are accesses to that
+    region with the handle's scope.
+    """
+
+    attrs: dict = field(default_factory=dict)
+
+
+def rd(region: str, scope: str = SCOPE_ANY) -> Acc:
+    return Acc(region, write=False, scope=scope)
+
+
+def wr(region: str, scope: str = SCOPE_ANY) -> Acc:
+    return Acc(region, write=True, scope=scope)
+
+
+@contextmanager
+def imbalance_path(mem=None):
+    """Mark a block as reachable only under per-core imbalance.
+
+    Runtime no-op (touches no cells, records nothing); the static
+    analyzer tags accesses inside the block as ``imbalanced`` so the
+    balanced conflict verdict can exclude them.  TESTGEN's installs are
+    deliberately balanced, so dynamic heatmaps exercise these paths only
+    on non-commutative cases.
+    """
+    yield
+
+
+def declared_footprint(cls) -> dict | None:
+    """The class's declared method summaries, or None if undeclared."""
+    return getattr(cls, "STATIC_FOOTPRINT", None)
+
+
+def declared_sharing(cls) -> dict:
+    """The class's declared region sharing classes (default empty)."""
+    return dict(getattr(cls, "STATIC_SHARING", {}) or {})

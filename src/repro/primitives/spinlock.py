@@ -9,11 +9,24 @@ precisely the serialized ownership transfer §1 identifies as non-scalable.
 from __future__ import annotations
 
 from repro.mtrace.memory import CacheLine, Memory
+from repro.primitives.sharing import SHARED, MethodSummary, rd, wr
 
 
 class SpinLock:
     """Test-and-set lock; may live on its own line or share one (false
     sharing with protected data is a deliberate modeling choice)."""
+
+    #: Declared static footprint (see repro.primitives.sharing).  The
+    #: "self" region aliases the constructor's ``line=`` argument when
+    #: one is passed (STATIC_LINE_PARAM).
+    STATIC_SHARING = {"self": SHARED}
+    STATIC_LINE_PARAM = "line"
+    STATIC_FOOTPRINT = {
+        "acquire": MethodSummary(accesses=(rd("self"), wr("self"))),
+        "release": MethodSummary(accesses=(wr("self"),)),
+        "__enter__": MethodSummary(accesses=(rd("self"), wr("self"))),
+        "__exit__": MethodSummary(accesses=(wr("self"),)),
+    }
 
     def __init__(self, mem: Memory, name: str, line: CacheLine = None):
         self._line = line if line is not None else mem.line(name)
@@ -46,6 +59,15 @@ class RWLock:
     Even read acquisition writes the reader count — which is why Linux page
     faults on ``mmap_sem`` do not scale (§6.2), and why RadixVM exists.
     """
+
+    STATIC_SHARING = {"self": SHARED}
+    STATIC_LINE_PARAM = "line"
+    STATIC_FOOTPRINT = {
+        "acquire_read": MethodSummary(accesses=(rd("self"), wr("self"))),
+        "release_read": MethodSummary(accesses=(rd("self"), wr("self"))),
+        "acquire_write": MethodSummary(accesses=(rd("self"), wr("self"))),
+        "release_write": MethodSummary(accesses=(wr("self"),)),
+    }
 
     def __init__(self, mem: Memory, name: str, line: CacheLine = None):
         self._line = line if line is not None else mem.line(name)

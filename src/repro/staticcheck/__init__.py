@@ -1,0 +1,34 @@
+"""Static analyses over the kernels, models, and specs.
+
+Two coordinated passes (see docs/lint.md):
+
+* :mod:`repro.staticcheck.analyzer` + :mod:`repro.staticcheck.predict` —
+  the kernel sharing analyzer: an AST walk over a kernel module that
+  collects every cache-line access an op handler may perform (driven by
+  the *declared* sharing classes and footprint summaries in
+  ``repro.primitives``) and predicts, per op pair, whether the two ops
+  can touch a shared line at all.  Emits ``repro.staticpredict/1``.
+* :mod:`repro.staticcheck.linter` — rule-based checks over the
+  ``Interface`` registry and ``InterfaceSpec``s (dispatch gaps, unused
+  params, UNSAT/tautological preconditions, asymmetric redesign pairs,
+  unregistered kernel bindings, artifact schema drift).
+
+:mod:`repro.staticcheck.crosscheck` is the soundness gate: a static
+"conflict-free" verdict that a committed MTRACE heatmap refutes is a
+hard failure; precision (how many dynamically conflict-free pairs the
+static pass proves) is a tracked metric.
+"""
+
+from repro.staticcheck.analyzer import KernelSharingAnalysis, analyze_kernel
+from repro.staticcheck.predict import predict_interface, staticpredict_payload
+from repro.staticcheck.crosscheck import crosscheck_heatmap
+from repro.staticcheck.linter import run_lint_rules
+
+__all__ = [
+    "KernelSharingAnalysis",
+    "analyze_kernel",
+    "predict_interface",
+    "staticpredict_payload",
+    "crosscheck_heatmap",
+    "run_lint_rules",
+]

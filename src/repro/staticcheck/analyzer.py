@@ -1,0 +1,1361 @@
+"""The kernel sharing analyzer: an abstract AST walk over a kernel module.
+
+For every op handler (resolved through ``repro.kernels.base._DISPATCH``)
+the analyzer computes the set of **abstract cache-line accesses** the
+handler may perform, by walking the kernel module's AST with a small
+abstract interpreter:
+
+* ``Memory.line(name, sharing=...)`` calls yield abstract lines whose
+  **region** is the line-name template (f-string with the holes blanked,
+  e.g. ``"sfs.sock{}.q{}"``) and whose sharing class is the *declared*
+  one.  Two accesses may alias iff their regions are equal (templates
+  are unique per line family by construction).
+* Primitive classes (``SpinLock``, ``Refcache``, ``RadixArray``, ...)
+  are never descended into; their **declared footprint summaries**
+  (``STATIC_FOOTPRINT`` in ``repro.primitives``) are expanded instead.
+* Per-core lines get an access **scope**: ``own`` when the core index
+  is provably ``mem.current_core``, else ``any``.  Two ops' own-scope
+  accesses to the same per-core family never conflict (MTRACE drives
+  the pair on two different cores).
+* Anything the walk cannot resolve degrades to the **unknown region**
+  ``"?"`` which may alias every line — conservatism can cost precision,
+  never soundness.
+* Accesses inside a declared ``imbalance_path()`` block are tagged, so
+  the *balanced* verdict can exclude them (TESTGEN installs balanced
+  worlds) while the *strict* verdict keeps them.
+
+The walk is flow-insensitive inside a statement list (both branches of
+unresolved conditionals are taken; loops walked once — access *sets*
+make iteration counts irrelevant) and context-sensitive across calls
+(methods are evaluated per abstract-argument signature, memoized).
+Helper classes are summarized by a per-class attribute environment
+joined over every constructor call site in the module.
+"""
+
+from __future__ import annotations
+
+import ast
+import functools
+import importlib
+import inspect
+import types as _types
+from dataclasses import dataclass
+
+from repro.primitives.sharing import (
+    PER_CORE,
+    SCOPE_ANY,
+    SCOPE_OWN,
+    SHARED,
+    declared_footprint,
+)
+
+UNKNOWN_REGION = "?"
+
+#: Kernel name → (module, kernel class name).  The registry the CLI and
+#: crosscheck use; kernels registered for MTRACE via
+#: ``repro.model.spec.register_kernel_binding`` and analyzable statically
+#: should appear in both.
+ANALYZABLE_KERNELS = {
+    "mono": ("repro.kernels.mono", "MonoKernel"),
+    "scalefs": ("repro.kernels.scalefs", "ScaleFsKernel"),
+}
+
+#: Per (kernel, interface) overrides of a kernel attribute's container
+#: contents, mirroring what the interface's TESTGEN setup installs.
+#: ScaleFS holds ordered *or* unordered sockets depending on the
+#: interface's ``ordered`` flag; without the override the joined
+#: element set would include both and the ordered socket's lock would
+#: poison the unordered verdicts.
+WORLD_OVERRIDES = {
+    ("scalefs", "sockets-ordered"): {"sockets": ("_OrderedSocket",)},
+    ("scalefs", "sockets-stream"): {"sockets": ("_OrderedSocket",)},
+    ("scalefs", "sockets-unordered"): {"sockets": ("_UnorderedSocket",)},
+}
+
+_PHASE_A_ROUNDS = 4
+
+
+# ---------------------------------------------------------------------------
+# Abstract values.  Evaluation always returns a *tuple* of these (a join);
+# the empty tuple means "no value" and behaves like unknown.
+
+class _Unknown:
+    key = "?"
+
+    def __repr__(self):
+        return "Unknown"
+
+
+UNKNOWN = _Unknown()
+
+
+class CoreVal:
+    """Provably ``mem.current_core`` of the executing op."""
+
+    key = "core"
+
+    def __repr__(self):
+        return "CoreVal"
+
+
+CORE = CoreVal()
+
+
+class MemVal:
+    key = "mem"
+
+    def __repr__(self):
+        return "MemVal"
+
+
+MEM = MemVal()
+
+
+class DictArgs:
+    """The opaque concrete-args dict a dispatch lambda indexes into."""
+
+    key = "args"
+
+
+ARGS = DictArgs()
+
+
+@dataclass(frozen=True)
+class Const:
+    value: object
+
+    @property
+    def key(self):
+        return f"const:{self.value!r}"
+
+
+@dataclass(frozen=True)
+class StrTemplate:
+    """An f-string name with the formatted holes blanked to ``{}``;
+    ``core_hole`` records whether any hole held a CoreVal."""
+
+    template: str
+    core_hole: bool
+
+    @property
+    def key(self):
+        return f"str:{self.template}:{self.core_hole}"
+
+
+@dataclass(frozen=True)
+class LineVal:
+    region: str
+    sharing: str
+    scope: str
+
+    @property
+    def key(self):
+        return f"line:{self.region}:{self.sharing}:{self.scope}"
+
+
+@dataclass(frozen=True)
+class CellVal:
+    region: str
+    sharing: str
+    scope: str
+
+    @property
+    def key(self):
+        return f"cell:{self.region}:{self.sharing}:{self.scope}"
+
+
+@dataclass(frozen=True)
+class ObjVal:
+    """An instance of a class defined in an analyzed module."""
+
+    cls: str  # class name in the module
+
+    @property
+    def key(self):
+        return f"obj:{self.cls}"
+
+
+@dataclass(frozen=True)
+class PrimVal:
+    """An instance of a primitive with a declared footprint summary."""
+
+    cls: type
+    prefix: str          # region prefix (line-name template), or "?"
+    bound_region: str | None = None   # STATIC_LINE_PARAM alias target
+    bound_sharing: str | None = None
+
+    @property
+    def key(self):
+        return (f"prim:{self.cls.__name__}:{self.prefix}"
+                f":{self.bound_region}")
+
+    def region_for(self, logical: str) -> tuple[str, str]:
+        """(region, sharing) of one logical region of this primitive."""
+        if logical == "self" and self.bound_region is not None:
+            return self.bound_region, self.bound_sharing
+        sharing = dict(getattr(self.cls, "STATIC_SHARING", {})).get(
+            logical, SHARED)
+        if self.prefix == UNKNOWN_REGION:
+            return UNKNOWN_REGION, sharing
+        return f"{self.prefix}::{logical}", sharing
+
+
+@dataclass(frozen=True)
+class HandleVal:
+    """A sub-object a primitive method returned (RadixArray slots):
+    its attributes are cells on the primitive's regions."""
+
+    prim: PrimVal
+    attrs: tuple  # ((attr_name, logical_region), ...)
+    scope: str
+
+    @property
+    def key(self):
+        return f"handle:{self.prim.key}:{self.attrs}:{self.scope}"
+
+
+class ContainerVal:
+    """A list/dict/set attribute or literal; elements join over every
+    store the walk observes.  Identity is the *store* (a shared
+    mutable element set), so an append in one method is visible to a
+    get in another."""
+
+    def __init__(self, label: str):
+        self.label = label
+        self.elements: dict[str, object] = {}
+
+    @property
+    def key(self):
+        return f"cont:{self.label}:{id(self)}"
+
+    def add(self, values):
+        for v in values:
+            self.elements.setdefault(v.key, v)
+
+    def join(self):
+        return tuple(self.elements.values())
+
+
+class FrozenContainerVal(ContainerVal):
+    """A WORLD_OVERRIDES container: its contents are exactly what the
+    interface's TESTGEN setup installs, so joins through kernel code
+    that builds *other* worlds (``socket(ordered=True)`` during phase A)
+    must not widen it."""
+
+    def add(self, values):
+        pass
+
+    def seed(self, values):
+        ContainerVal.add(self, values)
+
+
+@dataclass(frozen=True)
+class TupleVal:
+    items: tuple
+
+    @property
+    def key(self):
+        return "tup:" + ",".join(
+            "|".join(v.key for v in item) for item in self.items)
+
+
+@dataclass(frozen=True)
+class ClassRef:
+    """A class defined in an analyzed module."""
+
+    cls: str
+    module: str
+
+    @property
+    def key(self):
+        return f"clsref:{self.module}:{self.cls}"
+
+
+@dataclass(frozen=True)
+class PrimClassRef:
+    cls: type
+
+    @property
+    def key(self):
+        return f"primref:{self.cls.__name__}"
+
+
+@dataclass(frozen=True)
+class FuncRef:
+    """A module-level function in an analyzed module."""
+
+    name: str
+    module: str
+
+    @property
+    def key(self):
+        return f"func:{self.module}:{self.name}"
+
+
+@dataclass(frozen=True)
+class LambdaVal:
+    node: object
+    module: str
+
+    @property
+    def key(self):
+        return f"lambda:{self.module}:{id(self.node)}"
+
+
+@dataclass(frozen=True)
+class Bound:
+    """A method looked up but not yet called."""
+
+    kind: str      # "obj" | "prim" | "cell" | "line" | "mem" | "cont" | "?"
+    recv: object
+    name: str
+
+    @property
+    def key(self):
+        recv_key = self.recv.key if hasattr(self.recv, "key") else "?"
+        return f"bound:{self.kind}:{recv_key}:{self.name}"
+
+
+class ImbalanceCM:
+    key = "imbalance"
+
+
+class SuperVal:
+    """The object ``super()`` returns.  Base-class methods of the
+    kernel hierarchy only wire plain attributes (``self.mem = mem``),
+    which phase A seeds directly, so attribute calls on it are no-ops."""
+
+    key = "super"
+
+
+SUPER = SuperVal()
+
+
+@dataclass(frozen=True)
+class ModuleRef:
+    """An imported module (``errors``); attributes resolve against the
+    live module to constants where possible."""
+
+    name: str
+    module: object
+
+    @property
+    def key(self):
+        return f"modref:{self.name}"
+
+
+#: Builtins that never touch instrumented memory.
+_PURE_BUILTINS = {
+    "range", "len", "max", "min", "sorted", "list", "tuple", "set",
+    "dict", "bool", "int", "str", "enumerate", "zip", "isinstance",
+    "abs", "sum", "repr", "id", "print", "reversed", "iter", "next",
+    "hasattr", "getattr",
+}
+
+
+@dataclass(frozen=True)
+class StaticAccess:
+    """One abstract access an op may perform."""
+
+    region: str
+    sharing: str
+    scope: str
+    write: bool
+    imbalanced: bool
+
+    def render(self) -> str:
+        rw = "W" if self.write else "R"
+        tag = " [imbalance]" if self.imbalanced else ""
+        if self.sharing == PER_CORE:
+            return f"{rw} {self.region} (per_core/{self.scope}){tag}"
+        return f"{rw} {self.region} (shared){tag}"
+
+
+# ---------------------------------------------------------------------------
+# Module model
+
+
+class _ModuleInfo:
+    def __init__(self, module):
+        self.module = module
+        self.name = module.__name__
+        self.tree = ast.parse(inspect.getsource(module))
+        self.classes: dict[str, ast.ClassDef] = {}
+        self.functions: dict[str, ast.FunctionDef] = {}
+        for node in self.tree.body:
+            if isinstance(node, ast.ClassDef):
+                self.classes[node.name] = node
+            elif isinstance(node, ast.FunctionDef):
+                self.functions[node.name] = node
+
+    @functools.lru_cache(maxsize=None)
+    def methods(self, cls: str) -> dict:
+        out = {}
+        node = self.classes.get(cls)
+        if node is not None:
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef):
+                    out[item.name] = item
+        return out
+
+    def resolve_global(self, name: str):
+        """A module-level name, resolved against the *live* module."""
+        if name == "super":
+            return (Bound("builtin", UNKNOWN, "super"),)
+        if name in self.classes:
+            return (ClassRef(name, self.name),)
+        if name in self.functions:
+            return (FuncRef(name, self.name),)
+        live = getattr(self.module, name, None)
+        if live is None and not hasattr(self.module, name):
+            if name in _PURE_BUILTINS:
+                return (Bound("builtin", UNKNOWN, name),)
+            return (UNKNOWN,)
+        from repro.primitives.sharing import imbalance_path
+        if live is imbalance_path:
+            return (Bound("imbalance", UNKNOWN, name),)
+        if isinstance(live, type) and declared_footprint(live) is not None:
+            return (PrimClassRef(live),)
+        if isinstance(live, type) and issubclass(live, BaseException):
+            # Raising/constructing an exception never touches
+            # instrumented memory.
+            return (Bound("builtin", UNKNOWN, name),)
+        if isinstance(live, _types.ModuleType):
+            return (ModuleRef(name, live),)
+        if isinstance(live, (bool, int, str, float)) or live is None:
+            return (Const(live),)
+        return (UNKNOWN,)
+
+
+@functools.lru_cache(maxsize=None)
+def _module_info(module_name: str) -> _ModuleInfo:
+    return _ModuleInfo(importlib.import_module(module_name))
+
+
+# ---------------------------------------------------------------------------
+# The evaluator
+
+
+class _Evaluator:
+    def __init__(self, kernel_module: str, kernel_class: str,
+                 overrides: dict | None = None):
+        self.kmod = _module_info(kernel_module)
+        self.base = _module_info("repro.kernels.base")
+        self.kernel_class = kernel_class
+        self.overrides = dict(overrides or {})
+        # class name -> attr name -> {key: value}
+        self.attrs: dict[str, dict[str, dict]] = {}
+        # class name -> param name -> {key: value} (ctor arg joins)
+        self.ctor_args: dict[str, dict[str, dict]] = {}
+        # (cls, attr) / literal containers
+        self.containers: dict[str, ContainerVal] = {}
+        self.sink: set[StaticAccess] | None = None
+        self.imbalance = 0
+        self.memo: dict | None = None
+        self._stack: set = set()
+        self.building = False
+        # The base Kernel.__init__ (another module) does self.mem = mem;
+        # seed it rather than cross-module-analyze the trivial ctor.
+        self._attr_store(kernel_class, "mem")[MEM.key] = MEM
+
+    # -- environment plumbing ------------------------------------------
+
+    def _attr_store(self, cls: str, attr: str) -> dict:
+        return self.attrs.setdefault(cls, {}).setdefault(attr, {})
+
+    def _container(self, label: str) -> ContainerVal:
+        cont = self.containers.get(label)
+        if cont is None:
+            cont = ContainerVal(label)
+            self.containers[label] = cont
+        return cont
+
+    def _join_into(self, store: dict, values) -> None:
+        for v in values:
+            store.setdefault(v.key, v)
+
+    def env_snapshot(self) -> tuple:
+        return (
+            tuple(sorted(
+                (c, a, tuple(sorted(vals)))
+                for c, attrs in self.attrs.items()
+                for a, vals in attrs.items())),
+            tuple(sorted(
+                (label, tuple(sorted(cont.elements)))
+                for label, cont in self.containers.items())),
+        )
+
+    # -- phase A: build class attribute environments -------------------
+
+    def build_env(self) -> None:
+        self.building = True
+        for _ in range(_PHASE_A_ROUNDS):
+            before = self.env_snapshot()
+            self.memo = {}
+            for cls in self.kmod.classes:
+                for name, node in self.kmod.methods(cls).items():
+                    self._eval_method(cls, name, self._phase_a_args(cls, node))
+            if self.env_snapshot() == before:
+                break
+        self.building = False
+
+    def _phase_a_args(self, cls: str, node: ast.FunctionDef):
+        args = []
+        joined = self.ctor_args.get(cls, {})
+        for arg in node.args.args[1:]:  # skip self
+            if node.name == "__init__" and arg.arg in joined:
+                args.append(tuple(joined[arg.arg].values()))
+            elif arg.arg in ("mem", "memory"):
+                args.append((MEM,))
+            else:
+                args.append((UNKNOWN,))
+        return args
+
+    # -- phase B: per-op access collection ------------------------------
+
+    def op_accesses(self, opname: str) -> set[StaticAccess]:
+        """All abstract accesses the op's kernel handler may perform."""
+        if self.memo is None or self.building:
+            self.memo = {}
+        dispatch = self._dispatch_entry(opname)
+        if dispatch is None:
+            return {StaticAccess(UNKNOWN_REGION, SHARED, SCOPE_ANY,
+                                 True, False)}
+        self.sink = set()
+        kernel = ObjVal(self.kernel_class)
+        self._call_function(dispatch, [(kernel,), (ARGS,)], {})
+        out, self.sink = self.sink, None
+        return out
+
+    @functools.lru_cache(maxsize=None)
+    def _dispatch_entry(self, opname: str):
+        """The dispatch function/lambda node for an op, from base._DISPATCH."""
+        for node in ast.walk(self.base.tree):
+            if (isinstance(node, ast.Assign)
+                    and any(isinstance(t, ast.Name) and t.id == "_DISPATCH"
+                            for t in node.targets)
+                    and isinstance(node.value, ast.Dict)):
+                for k, v in zip(node.value.keys, node.value.values):
+                    if isinstance(k, ast.Constant) and k.value == opname:
+                        if isinstance(v, ast.Lambda):
+                            return LambdaVal(v, self.base.name)
+                        if isinstance(v, ast.Name):
+                            return FuncRef(v.id, self.base.name)
+        return None
+
+    # -- recording ------------------------------------------------------
+
+    def record(self, region: str, sharing: str, scope: str,
+               write: bool) -> None:
+        if self.sink is not None:
+            self.sink.add(StaticAccess(
+                region, sharing, scope, write, self.imbalance > 0))
+
+    def record_unknown(self) -> None:
+        self.record(UNKNOWN_REGION, SHARED, SCOPE_ANY, True)
+
+    # -- calls ----------------------------------------------------------
+
+    def _argsig(self, args, kwargs) -> str:
+        parts = ["|".join(v.key for v in a) for a in args]
+        parts += [f"{k}=" + "|".join(v.key for v in v2)
+                  for k, v2 in sorted(kwargs.items())]
+        return ";".join(parts)
+
+    def _eval_method(self, cls: str, name: str, args, kwargs=None):
+        """Evaluate a method of an analyzed-module class; returns the
+        joined return values, recording accesses into the sink."""
+        kwargs = kwargs or {}
+        node = self.kmod.methods(cls).get(name)
+        if node is None:
+            return (UNKNOWN,)
+        key = (cls, name, self._argsig(args, kwargs), self.imbalance > 0,
+               self.building)
+        if self.memo is not None and key in self.memo:
+            accesses, ret = self.memo[key]
+            if self.sink is not None:
+                self.sink.update(accesses)
+            return ret
+        if key in self._stack:
+            return (UNKNOWN,)
+        self._stack.add(key)
+        outer_sink = self.sink
+        self.sink = set() if outer_sink is not None else None
+        env = self._bind_params(node, [(ObjVal(cls),)] + list(args), kwargs,
+                                skip_self=False)
+        walker = _BodyWalker(self, self.kmod, env, cls)
+        walker.walk(node.body)
+        ret = walker.returns or (UNKNOWN,)
+        accesses = self.sink if self.sink is not None else set()
+        if outer_sink is not None:
+            outer_sink.update(accesses)
+        self.sink = outer_sink
+        self._stack.discard(key)
+        if self.memo is not None:
+            self.memo[key] = (frozenset(accesses), ret)
+        return ret
+
+    def _call_function(self, fn, args, kwargs):
+        """Call a FuncRef/LambdaVal (dispatch entries, module helpers)."""
+        if isinstance(fn, FuncRef):
+            mod = _module_info(fn.module)
+            node = mod.functions.get(fn.name)
+            if node is None:
+                return (UNKNOWN,)
+            env = self._bind_params(node, args, kwargs, skip_self=True)
+            walker = _BodyWalker(self, mod, env, None)
+            walker.walk(node.body)
+            return walker.returns or (UNKNOWN,)
+        if isinstance(fn, LambdaVal):
+            mod = _module_info(fn.module)
+            env = self._bind_params(fn.node, args, kwargs, skip_self=True)
+            walker = _BodyWalker(self, mod, env, None)
+            return walker.eval(fn.node.body)
+        return (UNKNOWN,)
+
+    def _bind_params(self, node, args, kwargs, skip_self: bool) -> dict:
+        env: dict[str, tuple] = {}
+        params = node.args.args
+        for i, param in enumerate(params):
+            if i < len(args):
+                env[param.arg] = tuple(args[i])
+            elif param.arg in kwargs:
+                env[param.arg] = tuple(kwargs[param.arg])
+            else:
+                # default value, if any
+                defaults = node.args.defaults
+                j = i - (len(params) - len(defaults))
+                if 0 <= j < len(defaults):
+                    d = defaults[j]
+                    if isinstance(d, ast.Constant):
+                        env[param.arg] = (Const(d.value),)
+                    else:
+                        env[param.arg] = (UNKNOWN,)
+                else:
+                    env[param.arg] = (UNKNOWN,)
+        for k, v in kwargs.items():
+            env.setdefault(k, tuple(v))
+        return env
+
+    # -- world lookup ---------------------------------------------------
+
+    def lookup_attr(self, cls: str, attr: str):
+        if cls == self.kernel_class and attr in self.overrides:
+            # The override models the *container* attribute with the
+            # interface's installed contents (so both subscripting and
+            # iteration see exactly those classes).
+            label = f"override:{attr}"
+            cont = self.containers.get(label)
+            if cont is None:
+                cont = FrozenContainerVal(label)
+                cont.seed(tuple(ObjVal(c) for c in self.overrides[attr]))
+                self.containers[label] = cont
+            return (cont,)
+        store = self.attrs.get(cls, {}).get(attr)
+        if store:
+            return tuple(store.values())
+        return None
+
+
+class _BodyWalker:
+    """Walks one function body, evaluating statements in order."""
+
+    def __init__(self, ev: _Evaluator, mod: _ModuleInfo, env: dict,
+                 cls: str | None):
+        self.ev = ev
+        self.mod = mod
+        self.env = env
+        self.cls = cls
+        self.returns: tuple = ()
+
+    # -- statements -----------------------------------------------------
+
+    def walk(self, body) -> None:
+        for stmt in body:
+            self.stmt(stmt)
+
+    def stmt(self, node) -> None:
+        if isinstance(node, ast.Assign):
+            vals = self.eval(node.value)
+            for target in node.targets:
+                self.assign(target, vals)
+        elif isinstance(node, ast.AugAssign):
+            self.eval(node.value)
+            self.assign(node.target, (UNKNOWN,))
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                self.assign(node.target, self.eval(node.value))
+        elif isinstance(node, ast.Expr):
+            self.eval(node.value)
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                vals = self.eval(node.value)
+            else:
+                vals = (Const(None),)
+            self.returns = _join(self.returns, vals)
+        elif isinstance(node, ast.If):
+            test = self.eval(node.test)
+            truth = _const_truth(test)
+            if truth is not False:
+                self.walk(node.body)
+            if truth is not True:
+                self.walk(node.orelse)
+        elif isinstance(node, ast.While):
+            self.eval(node.test)
+            self.walk(node.body)
+            self.walk(node.orelse)
+        elif isinstance(node, ast.For):
+            elems = _iter_elements(self.eval(node.iter))
+            self.assign(node.target, elems)
+            self.walk(node.body)
+            self.walk(node.orelse)
+        elif isinstance(node, ast.With):
+            imbalance = False
+            for item in node.items:
+                vals = self.eval(item.context_expr)
+                for v in vals:
+                    if isinstance(v, ImbalanceCM):
+                        imbalance = True
+                    elif isinstance(v, PrimVal):
+                        self._prim_method(v, "__enter__", [], {})
+                if item.optional_vars is not None:
+                    self.assign(item.optional_vars, vals)
+            if imbalance:
+                self.ev.imbalance += 1
+            try:
+                self.walk(node.body)
+            finally:
+                if imbalance:
+                    self.ev.imbalance -= 1
+            for item in node.items:
+                for v in self.eval(item.context_expr):
+                    if isinstance(v, PrimVal):
+                        self._prim_method(v, "__exit__", [], {})
+        elif isinstance(node, ast.Raise):
+            if node.exc is not None:
+                self.eval(node.exc)
+        elif isinstance(node, ast.Try):
+            self.walk(node.body)
+            for handler in node.handlers:
+                self.walk(handler.body)
+            self.walk(node.orelse)
+            self.walk(node.finalbody)
+        elif isinstance(node, ast.Assert):
+            self.eval(node.test)
+        elif isinstance(node, (ast.Pass, ast.Break, ast.Continue,
+                               ast.Global, ast.Nonlocal, ast.Import,
+                               ast.ImportFrom, ast.FunctionDef)):
+            pass
+        elif isinstance(node, ast.Delete):
+            pass
+        else:
+            # Unmodeled statement kind: stay conservative.
+            self.ev.record_unknown()
+
+    def assign(self, target, vals) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = _join(self.env.get(target.id, ()), vals)
+        elif isinstance(target, ast.Attribute):
+            recv = self.eval(target.value)
+            for r in recv:
+                if isinstance(r, ObjVal):
+                    store = self.ev._attr_store(r.cls, target.attr)
+                    self.ev._join_into(store, vals)
+        elif isinstance(target, ast.Subscript):
+            recv = self.eval(target.value)
+            self.eval(target.slice)
+            for r in recv:
+                if isinstance(r, ContainerVal):
+                    r.add(vals)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self.assign(elt, _iter_elements(vals))
+        elif isinstance(target, ast.Starred):
+            self.assign(target.value, vals)
+
+    # -- expressions ----------------------------------------------------
+
+    def eval(self, node) -> tuple:
+        if isinstance(node, ast.Constant):
+            return (Const(node.value),)
+        if isinstance(node, ast.Name):
+            if node.id in self.env:
+                return self.env[node.id]
+            return self.mod.resolve_global(node.id)
+        if isinstance(node, ast.Attribute):
+            return self.attribute(node)
+        if isinstance(node, ast.Call):
+            return self.call(node)
+        if isinstance(node, ast.Subscript):
+            return self.subscript(node)
+        if isinstance(node, ast.JoinedStr):
+            return (self.fstring(node),)
+        if isinstance(node, ast.BinOp):
+            self.eval(node.left)
+            self.eval(node.right)
+            return (UNKNOWN,)
+        if isinstance(node, ast.UnaryOp):
+            operand = self.eval(node.operand)
+            if isinstance(node.op, ast.Not):
+                truth = _const_truth(operand)
+                if truth is not None:
+                    return (Const(not truth),)
+            return (UNKNOWN,)
+        if isinstance(node, ast.BoolOp):
+            results = [self.eval(v) for v in node.values]
+            truths = [_const_truth(r) for r in results]
+            if isinstance(node.op, ast.And) and False in truths:
+                return (Const(False),)
+            if isinstance(node.op, ast.Or) and True in truths:
+                return (Const(True),)
+            if all(t is not None for t in truths):
+                fold = (all(truths) if isinstance(node.op, ast.And)
+                        else any(truths))
+                return (Const(fold),)
+            return (UNKNOWN,)
+        if isinstance(node, ast.Compare):
+            self.eval(node.left)
+            for cmp in node.comparators:
+                self.eval(cmp)
+            folded = _fold_compare(self, node)
+            return folded if folded is not None else (UNKNOWN,)
+        if isinstance(node, ast.IfExp):
+            test = self.eval(node.test)
+            truth = _const_truth(test)
+            if truth is True:
+                return self.eval(node.body)
+            if truth is False:
+                return self.eval(node.orelse)
+            return _join(self.eval(node.body), self.eval(node.orelse))
+        if isinstance(node, (ast.List, ast.Set)):
+            cont = ContainerVal(f"lit@{id(node)}")
+            for elt in node.elts:
+                if isinstance(elt, ast.Starred):
+                    cont.add(_iter_elements(self.eval(elt.value)))
+                else:
+                    cont.add(self.eval(elt))
+            return (cont,)
+        if isinstance(node, ast.Tuple):
+            return (TupleVal(tuple(
+                self.eval(elt) for elt in node.elts)),)
+        if isinstance(node, ast.Dict):
+            cont = ContainerVal(f"lit@{id(node)}")
+            for k, v in zip(node.keys, node.values):
+                if k is not None:
+                    self.eval(k)
+                cont.add(self.eval(v))
+            return (cont,)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            cont = ContainerVal(f"comp@{id(node)}")
+            self._comprehension(node.generators, lambda: cont.add(
+                self.eval(node.elt)))
+            return (cont,)
+        if isinstance(node, ast.DictComp):
+            cont = ContainerVal(f"comp@{id(node)}")
+            self._comprehension(node.generators, lambda: (
+                self.eval(node.key), cont.add(self.eval(node.value))))
+            return (cont,)
+        if isinstance(node, ast.Lambda):
+            return (LambdaVal(node, self.mod.name),)
+        if isinstance(node, ast.Starred):
+            return _iter_elements(self.eval(node.value))
+        if isinstance(node, ast.FormattedValue):
+            return self.eval(node.value)
+        if isinstance(node, ast.NamedExpr):
+            vals = self.eval(node.value)
+            self.assign(node.target, vals)
+            return vals
+        # Unmodeled expression: unknown value (no access by itself).
+        return (UNKNOWN,)
+
+    def _comprehension(self, generators, emit) -> None:
+        for gen in generators:
+            self.assign(gen.target, _iter_elements(self.eval(gen.iter)))
+            for cond in gen.ifs:
+                self.eval(cond)
+        emit()
+
+    def fstring(self, node: ast.JoinedStr):
+        parts = []
+        core_hole = False
+        for piece in node.values:
+            if isinstance(piece, ast.Constant):
+                parts.append(str(piece.value))
+            else:
+                vals = self.eval(piece.value)
+                if any(isinstance(v, CoreVal) for v in vals):
+                    core_hole = True
+                parts.append("{}")
+        return StrTemplate("".join(parts), core_hole)
+
+    # -- attribute / subscript ------------------------------------------
+
+    def attribute(self, node: ast.Attribute) -> tuple:
+        out: list = []
+        unresolved = 0
+        for recv in self.eval(node.value):
+            out_len = len(out)
+            if isinstance(recv, MemVal):
+                if node.attr == "current_core":
+                    out.append(CORE)
+                elif node.attr in ("ncores",):
+                    out.append(UNKNOWN)
+                else:
+                    out.append(Bound("mem", recv, node.attr))
+            elif isinstance(recv, ObjVal):
+                attr_vals = self.ev.lookup_attr(recv.cls, node.attr)
+                if attr_vals is not None:
+                    out.extend(attr_vals)
+                elif node.attr in self.ev.kmod.methods(recv.cls):
+                    out.append(Bound("obj", recv, node.attr))
+                else:
+                    unresolved += 1
+            elif isinstance(recv, PrimVal):
+                footprint = declared_footprint(recv.cls) or {}
+                if node.attr in footprint:
+                    out.append(Bound("prim", recv, node.attr))
+                elif (node.attr == "line"
+                      and recv.bound_region is not None):
+                    out.append(LineVal(recv.bound_region,
+                                       recv.bound_sharing, SCOPE_ANY))
+                else:
+                    out.append(UNKNOWN)
+            elif isinstance(recv, CellVal):
+                out.append(Bound("cell", recv, node.attr))
+            elif isinstance(recv, LineVal):
+                out.append(Bound("line", recv, node.attr))
+            elif isinstance(recv, HandleVal):
+                attrs = dict(recv.attrs)
+                if node.attr in attrs:
+                    region, sharing = recv.prim.region_for(attrs[node.attr])
+                    out.append(CellVal(region, sharing, recv.scope))
+                else:
+                    out.append(UNKNOWN)
+            elif isinstance(recv, ContainerVal):
+                out.append(Bound("cont", recv, node.attr))
+            elif isinstance(recv, (TupleVal,)):
+                out.append(Bound("cont-ro", recv, node.attr))
+            elif isinstance(recv, ClassRef):
+                out.append(UNKNOWN)
+            elif isinstance(recv, SuperVal):
+                out.append(Bound("noop", recv, node.attr))
+            elif isinstance(recv, ModuleRef):
+                out.extend(_module_attr(recv, node.attr))
+            elif isinstance(recv, Const):
+                # Attribute of a Python constant: either a pure
+                # str/int/float method or a dead None-path — never an
+                # instrumented-memory access.
+                out.append(Bound("noop", recv, node.attr))
+            else:
+                out.append(Bound("?", recv, node.attr))
+            if len(out) == out_len:
+                pass
+        if not out:
+            # Attribute missing on every resolved receiver: unknown —
+            # may-share, never private.
+            if unresolved:
+                out.append(Bound("?", UNKNOWN, node.attr))
+            else:
+                out.append(UNKNOWN)
+        return _dedup(out)
+
+    def subscript(self, node: ast.Subscript) -> tuple:
+        recv = self.eval(node.value)
+        key = self.eval(node.slice)
+        out: list = []
+        for r in recv:
+            if isinstance(r, ContainerVal):
+                out.extend(_retrieve(r, key))
+            elif isinstance(r, TupleVal):
+                for item in r.items:
+                    out.extend(item)
+            elif isinstance(r, DictArgs):
+                out.append(UNKNOWN)
+            else:
+                out.append(UNKNOWN)
+        return _dedup(out) or (UNKNOWN,)
+
+    # -- calls ----------------------------------------------------------
+
+    def call(self, node: ast.Call) -> tuple:
+        args = [self.eval(a) for a in node.args
+                if not isinstance(a, ast.Starred)]
+        for a in node.args:
+            if isinstance(a, ast.Starred):
+                self.eval(a.value)
+        kwargs = {}
+        for kw in node.keywords:
+            if kw.arg is not None:
+                kwargs[kw.arg] = self.eval(kw.value)
+            else:
+                self.eval(kw.value)
+        callees = self.eval(node.func)
+        out: list = []
+        for fn in callees:
+            out.extend(self._call_one(fn, args, kwargs))
+        return _dedup(out) or (UNKNOWN,)
+
+    def _call_one(self, fn, args, kwargs) -> tuple:
+        ev = self.ev
+        if isinstance(fn, Bound):
+            if fn.kind == "mem":
+                return self._mem_method(fn, args, kwargs)
+            if fn.kind == "obj":
+                return ev._eval_method(fn.recv.cls, fn.name, args, kwargs)
+            if fn.kind == "prim":
+                return self._prim_method(fn.recv, fn.name, args, kwargs)
+            if fn.kind == "cell":
+                return self._cell_method(fn.recv, fn.name)
+            if fn.kind == "line":
+                if fn.name == "cell":
+                    line = fn.recv
+                    return (CellVal(line.region, line.sharing, line.scope),)
+                return (UNKNOWN,)
+            if fn.kind == "cont":
+                return self._container_method(fn.recv, fn.name, args)
+            if fn.kind == "cont-ro":
+                return (UNKNOWN,)
+            if fn.kind == "noop":
+                return (UNKNOWN,)
+            if fn.kind == "builtin":
+                if fn.name == "super":
+                    return (SUPER,)
+                return (UNKNOWN,)
+            if fn.kind == "imbalance":
+                return (ImbalanceCM(),)
+            # Method call on an unresolved receiver: conservatively an
+            # unknown read-write (may-share, never private).
+            ev.record_unknown()
+            self._eval_callback_args(args, kwargs)
+            return (UNKNOWN,)
+        if isinstance(fn, ClassRef):
+            return self._construct(fn, args, kwargs)
+        if isinstance(fn, PrimClassRef):
+            return self._construct_prim(fn.cls, args, kwargs)
+        if isinstance(fn, (FuncRef, LambdaVal)):
+            return ev._call_function(fn, args, kwargs)
+        if isinstance(fn, _Unknown):
+            # Calling an unknown value: assume it may touch anything.
+            ev.record_unknown()
+            self._eval_callback_args(args, kwargs)
+            return (UNKNOWN,)
+        return (UNKNOWN,)
+
+    def _eval_callback_args(self, args, kwargs) -> None:
+        """Run any function-valued arguments with unknown parameters so
+        their accesses are not lost when passed to opaque callees."""
+        for vals in list(args) + list(kwargs.values()):
+            for v in vals:
+                if isinstance(v, (LambdaVal, FuncRef)):
+                    node = (v.node if isinstance(v, LambdaVal)
+                            else _module_info(v.module).functions[v.name])
+                    nparams = len(node.args.args)
+                    self.ev._call_function(
+                        v, [(UNKNOWN,)] * nparams, {})
+                elif isinstance(v, Bound) and v.kind == "obj":
+                    mdef = self.ev.kmod.methods(v.recv.cls).get(v.name)
+                    nparams = len(mdef.args.args) - 1 if mdef else 0
+                    self.ev._eval_method(
+                        v.recv.cls, v.name, [(UNKNOWN,)] * nparams)
+
+    def _mem_method(self, fn: Bound, args, kwargs) -> tuple:
+        if fn.name == "line":
+            name_vals = args[0] if args else (UNKNOWN,)
+            sharing = SHARED
+            sv = kwargs.get("sharing") or (args[1] if len(args) > 1 else None)
+            if sv:
+                for v in sv:
+                    if isinstance(v, Const) and v.value in (SHARED, PER_CORE):
+                        sharing = v.value
+            out = []
+            for nv in name_vals:
+                if isinstance(nv, StrTemplate):
+                    region = nv.template
+                    scope = (SCOPE_OWN if sharing == PER_CORE and nv.core_hole
+                             else SCOPE_ANY)
+                elif isinstance(nv, Const) and isinstance(nv.value, str):
+                    region, scope = nv.value, SCOPE_ANY
+                else:
+                    region, scope = UNKNOWN_REGION, SCOPE_ANY
+                out.append(LineVal(region, sharing, scope))
+            return tuple(out)
+        if fn.name in ("count", "set_context", "set_core", "peek",
+                       "start_recording", "stop_recording"):
+            return (UNKNOWN,)
+        # Unmodeled Memory method: conservative.
+        self.ev.record_unknown()
+        return (UNKNOWN,)
+
+    def _cell_method(self, cell: CellVal, name: str) -> tuple:
+        if name == "read":
+            self.ev.record(cell.region, cell.sharing, cell.scope, False)
+        elif name == "write":
+            self.ev.record(cell.region, cell.sharing, cell.scope, True)
+        elif name == "add":
+            self.ev.record(cell.region, cell.sharing, cell.scope, False)
+            self.ev.record(cell.region, cell.sharing, cell.scope, True)
+        elif name == "peek":
+            pass  # unrecorded by contract
+        else:
+            self.ev.record_unknown()
+        return (UNKNOWN,)
+
+    def _prim_method(self, prim: PrimVal, name: str, args, kwargs) -> tuple:
+        footprint = declared_footprint(prim.cls) or {}
+        summary = footprint.get(name)
+        if summary is None:
+            self.ev.record_unknown()
+            return (UNKNOWN,)
+        for acc in summary.accesses:
+            region, sharing = prim.region_for(acc.region)
+            scope = SCOPE_OWN if acc.scope == SCOPE_OWN else SCOPE_ANY
+            if acc.write:
+                self.ev.record(region, sharing, scope, True)
+            else:
+                self.ev.record(region, sharing, scope, False)
+        if summary.calls_args:
+            # Callback params: fold the callback's own accesses in.
+            node_args = self._summary_callback_values(
+                prim, name, args, kwargs, summary.calls_args)
+            self._eval_callback_args([node_args], {})
+        if summary.returns is not None:
+            handles = getattr(prim.cls, "STATIC_HANDLES", {})
+            handle = handles.get(summary.returns)
+            if handle is not None:
+                return (HandleVal(prim, tuple(sorted(handle.attrs.items())),
+                                  SCOPE_ANY),)
+        return (UNKNOWN,)
+
+    def _summary_callback_values(self, prim, name, args, kwargs,
+                                 callback_params) -> tuple:
+        """The values passed for a summary's declared callback params."""
+        out: list = []
+        # Align positionally against the live method's signature.
+        try:
+            live = getattr(prim.cls, name)
+            params = [p for p in inspect.signature(live).parameters
+                      if p != "self"]
+        except (AttributeError, ValueError):
+            params = []
+        for cb in callback_params:
+            if cb in kwargs:
+                out.extend(kwargs[cb])
+            elif cb in params and params.index(cb) < len(args):
+                out.extend(args[params.index(cb)])
+        return tuple(out)
+
+    def _container_method(self, cont: ContainerVal, name: str,
+                          args) -> tuple:
+        if name in ("append", "add"):
+            for a in args:
+                cont.add(a)
+            return (Const(None),)
+        if name == "setdefault":
+            if len(args) > 1:
+                cont.add(args[1])
+            key = args[0] if args else (UNKNOWN,)
+            return _retrieve(cont, key)
+        if name == "get":
+            key = args[0] if args else (UNKNOWN,)
+            vals = _retrieve(cont, key)
+            default = args[1] if len(args) > 1 else (Const(None),)
+            return _dedup(list(vals) + list(default))
+        if name == "pop":
+            key = args[0] if args else (UNKNOWN,)
+            return _retrieve(cont, key)
+        if name == "values":
+            return (cont,)
+        if name == "items":
+            pair = TupleVal(((UNKNOWN,), cont.join() or (UNKNOWN,)))
+            wrapper = ContainerVal(f"items@{id(cont)}")
+            wrapper.add((pair,))
+            return (wrapper,)
+        if name in ("keys", "index", "count", "extend", "remove",
+                    "insert", "clear", "copy", "update", "sort"):
+            for a in args:
+                cont.add(_iter_elements(a))
+            return (UNKNOWN,)
+        return (UNKNOWN,)
+
+    def _construct(self, ref: ClassRef, args, kwargs) -> tuple:
+        mod = _module_info(ref.module)
+        if ref.cls not in mod.classes:
+            return (UNKNOWN,)
+        if mod is not self.ev.kmod:
+            return (UNKNOWN,)
+        init = self.ev.kmod.methods(ref.cls).get("__init__")
+        if init is not None:
+            # Join ctor args into the class's param environment (phase A
+            # state), then walk the ctor for any recorded accesses.
+            store = self.ev.ctor_args.setdefault(ref.cls, {})
+            params = init.args.args[1:]
+            for i, p in enumerate(params):
+                if i < len(args):
+                    self.ev._join_into(
+                        store.setdefault(p.arg, {}), args[i])
+                elif p.arg in kwargs:
+                    self.ev._join_into(
+                        store.setdefault(p.arg, {}), kwargs[p.arg])
+            self.ev._eval_method(ref.cls, "__init__", args, kwargs)
+        return (ObjVal(ref.cls),)
+
+    def _construct_prim(self, cls: type, args, kwargs) -> tuple:
+        # Positional layout of every primitive ctor: (mem, name, ...).
+        name_vals = args[1] if len(args) > 1 else kwargs.get("name", ())
+        prefix = UNKNOWN_REGION
+        for v in name_vals:
+            if isinstance(v, StrTemplate):
+                prefix = v.template
+                break
+            if isinstance(v, Const) and isinstance(v.value, str):
+                prefix = v.value
+                break
+        bound_region = bound_sharing = None
+        line_param = getattr(cls, "STATIC_LINE_PARAM", None)
+        if line_param is not None:
+            bound_vals = kwargs.get(line_param, ())
+            if not bound_vals:
+                try:
+                    params = list(inspect.signature(cls).parameters)
+                    idx = params.index(line_param)
+                    if idx < len(args):
+                        bound_vals = args[idx]
+                except ValueError:
+                    bound_vals = ()
+            for v in bound_vals:
+                if isinstance(v, LineVal):
+                    bound_region, bound_sharing = v.region, v.sharing
+                    break
+                if isinstance(v, _Unknown):
+                    bound_region, bound_sharing = UNKNOWN_REGION, SHARED
+                    break
+        return (PrimVal(cls, prefix, bound_region, bound_sharing),)
+
+
+# ---------------------------------------------------------------------------
+# Join helpers
+
+
+def _module_attr(ref: ModuleRef, attr: str) -> tuple:
+    live = getattr(ref.module, attr, None)
+    if isinstance(live, (bool, int, str, float)):
+        return (Const(live),)
+    if isinstance(live, type) and issubclass(live, BaseException):
+        return (Bound("builtin", UNKNOWN, attr),)
+    return (UNKNOWN,)
+
+
+def _dedup(values) -> tuple:
+    seen = {}
+    for v in values:
+        seen.setdefault(v.key, v)
+    return tuple(seen.values())
+
+
+def _join(a, b) -> tuple:
+    return _dedup(list(a) + list(b))
+
+
+def _const_truth(vals):
+    """True/False when every member is a Const with the same truth."""
+    truths = set()
+    for v in vals:
+        if isinstance(v, Const):
+            truths.add(bool(v.value))
+        else:
+            return None
+    if len(truths) == 1:
+        return truths.pop()
+    return None
+
+
+def _fold_compare(walker, node):
+    if len(node.comparators) != 1:
+        return None
+    left = walker.eval(node.left)
+    right = walker.eval(node.comparators[0])
+    if (len(left) == 1 and isinstance(left[0], Const)
+            and len(right) == 1 and isinstance(right[0], Const)):
+        lv, rv = left[0].value, right[0].value
+        op = node.ops[0]
+        try:
+            if isinstance(op, ast.Is):
+                return (Const(lv is rv),)
+            if isinstance(op, ast.IsNot):
+                return (Const(lv is not rv),)
+            if isinstance(op, ast.Eq):
+                return (Const(lv == rv),)
+            if isinstance(op, ast.NotEq):
+                return (Const(lv != rv),)
+        except Exception:
+            return None
+    return None
+
+
+def _retrieve(cont: ContainerVal, key_vals) -> tuple:
+    """Container lookup; per-core elements get their scope from the key
+    (CoreVal key → own-core line, anything else → any core's line)."""
+    own = any(isinstance(k, CoreVal) for k in key_vals)
+    out = []
+    for v in cont.join():
+        if isinstance(v, (CellVal, LineVal)) and v.sharing == PER_CORE:
+            scope = SCOPE_OWN if own else SCOPE_ANY
+            if isinstance(v, CellVal):
+                out.append(CellVal(v.region, v.sharing, scope))
+            else:
+                out.append(LineVal(v.region, v.sharing, scope))
+        else:
+            out.append(v)
+    return _dedup(out)
+
+
+def _iter_elements(vals) -> tuple:
+    out = []
+    for v in vals:
+        if isinstance(v, ContainerVal):
+            out.extend(v.join())
+        elif isinstance(v, TupleVal):
+            out.append(v)
+        else:
+            out.append(UNKNOWN)
+    return _dedup(out) or (UNKNOWN,)
+
+
+# ---------------------------------------------------------------------------
+# Public API
+
+
+class KernelSharingAnalysis:
+    """Per-op abstract access sets for one kernel under one interface."""
+
+    def __init__(self, kernel: str, interface: str | None,
+                 accesses: dict[str, set]):
+        self.kernel = kernel
+        self.interface = interface
+        self.accesses = accesses
+
+    def footprint(self, op: str) -> set:
+        return self.accesses[op]
+
+
+def analyze_kernel(kernel: str, ops, interface: str | None = None,
+                   module_name: str | None = None,
+                   class_name: str | None = None) -> KernelSharingAnalysis:
+    """Analyze one kernel's handlers for the given ops.
+
+    ``kernel`` is a name from :data:`ANALYZABLE_KERNELS` unless
+    ``module_name``/``class_name`` pin a module directly (tests use this
+    with synthetic mini-kernels).
+    """
+    if module_name is None or class_name is None:
+        try:
+            module_name, class_name = ANALYZABLE_KERNELS[kernel]
+        except KeyError:
+            raise ValueError(
+                f"kernel {kernel!r} is not statically analyzable; "
+                f"known: {sorted(ANALYZABLE_KERNELS)}") from None
+    overrides = WORLD_OVERRIDES.get((kernel, interface))
+    ev = _Evaluator(module_name, class_name, overrides)
+    ev.build_env()
+    accesses = {op: ev.op_accesses(op) for op in ops}
+    return KernelSharingAnalysis(kernel, interface, accesses)

@@ -1,0 +1,102 @@
+"""Soundness gate: static conflict map vs committed MTRACE heatmaps.
+
+The static analyzer makes a one-sided claim: a pair it marks
+**conflict-free** (balanced verdict) must never show an MTRACE conflict
+under the balanced TESTGEN worlds the pipeline installs.  A committed
+``repro.heatmap/1`` artifact that refutes the claim (``fails > 0`` on a
+statically conflict-free pair) is a *soundness violation* — a hard
+failure, not a metric.
+
+The converse is precision: of the pairs MTRACE found conflict-free, how
+many could the static pass prove?  Precision below a threshold is a
+quality regression but never unsound.
+"""
+
+from __future__ import annotations
+
+from repro.staticcheck.predict import CONFLICT_FREE
+
+
+def _pair_key(op0: str, op1: str) -> tuple[str, str]:
+    return (op0, op1) if op0 <= op1 else (op1, op0)
+
+
+def crosscheck_heatmap(static_payload: dict, heatmap: dict) -> dict:
+    """Cross-check a ``repro.staticpredict/1`` payload against a
+    ``repro.heatmap/1`` payload.
+
+    Returns per-kernel stats plus a flat list of soundness violations.
+    Heatmap cells with ``total == 0`` (no commutative witnesses, so
+    MTRACE never ran the pair) are excluded from both counts.
+    """
+    static_by_pair = {
+        _pair_key(p["op0"], p["op1"]): p["verdict"]
+        for p in static_payload["pairs"]
+    }
+    kernels = [k for k in static_payload["kernels"]
+               if k in heatmap["kernels"]]
+    stats = {
+        k: {"checked": 0, "dynamic_cf": 0, "static_cf": 0,
+            "agree_cf": 0, "unsound": []}
+        for k in kernels
+    }
+    skipped = []
+    for cell in heatmap["cells"]:
+        key = _pair_key(cell["op0"], cell["op1"])
+        verdicts = static_by_pair.get(key)
+        if verdicts is None:
+            skipped.append("/".join(key))
+            continue
+        if cell.get("total", 0) == 0:
+            continue
+        for kernel in kernels:
+            st = stats[kernel]
+            st["checked"] += 1
+            dynamic_cf = cell["fails"][kernel] == 0
+            static_cf = verdicts[kernel]["balanced"] == CONFLICT_FREE
+            if dynamic_cf:
+                st["dynamic_cf"] += 1
+            if static_cf:
+                st["static_cf"] += 1
+                if dynamic_cf:
+                    st["agree_cf"] += 1
+                else:
+                    st["unsound"].append("/".join(key))
+    violations = []
+    for kernel in kernels:
+        st = stats[kernel]
+        st["precision"] = (st["agree_cf"] / st["dynamic_cf"]
+                           if st["dynamic_cf"] else None)
+        violations.extend(f"{kernel}:{pair}" for pair in st["unsound"])
+    return {
+        "heatmap_schema": heatmap.get("schema"),
+        "interface": static_payload["interface"],
+        "kernels": stats,
+        "violations": sorted(violations),
+        "pairs_missing_static": sorted(set(skipped)),
+        "sound": not violations,
+    }
+
+
+def gate_crosscheck(result: dict,
+                    precision_floor: dict | None = None) -> list[str]:
+    """Hard-failure messages for ``--gate`` mode.
+
+    ``precision_floor`` maps kernel name → minimum precision required
+    (only enforced when the heatmap has dynamically conflict-free
+    pairs for that kernel).
+    """
+    failures = [
+        f"soundness violation: statically conflict-free pair {v} "
+        f"has MTRACE conflicts" for v in result["violations"]
+    ]
+    for kernel, floor in (precision_floor or {}).items():
+        st = result["kernels"].get(kernel)
+        if st is None or st["precision"] is None:
+            continue
+        if st["precision"] < floor:
+            failures.append(
+                f"precision {st['precision']:.2f} for kernel "
+                f"'{kernel}' on {result['interface']} below floor "
+                f"{floor:.2f}")
+    return failures

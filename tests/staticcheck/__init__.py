@@ -1,0 +1,1 @@
+"""Tests for repro.staticcheck (analyzer, predictor, crosscheck, linter)."""

@@ -1,0 +1,1 @@
+"""Importable fixture modules for the staticcheck tests."""

@@ -1,0 +1,75 @@
+"""Synthetic mini-kernels for the static sharing analyzer tests.
+
+Never executed: the analyzer only reads their source.  Each class
+exercises one classification behavior through the real ``send``/``recv``
+dispatch entries in ``repro.kernels.base`` (``lambda k, a: k.sendto(0,
+a["msg"])`` …), so the tests drive the same entry path as the real
+kernels.  No ``__init__``: like the real kernels, ``self.mem`` comes
+from the base class, which the analyzer models by seeding.
+"""
+
+from repro.primitives.sharing import imbalance_path
+
+
+class MiniShared:
+    """Both ops funnel through a helper into one shared cell."""
+
+    def sendto(self, sock, message):
+        self._bump(message)
+
+    def _bump(self, value):
+        self.mem.line("mini.counter").cell("n").write(value)
+
+    def recvfrom(self, sock):
+        return self.mem.line("mini.counter").cell("n").read()
+
+
+class MiniPerCore:
+    """Provably same-core per-core slots: the own-scope exemption."""
+
+    def sendto(self, sock, message):
+        core = self.mem.current_core
+        line = self.mem.line(f"mini.slot{core}", sharing="per_core")
+        line.cell("v").write(message)
+
+    def recvfrom(self, sock):
+        core = self.mem.current_core
+        line = self.mem.line(f"mini.slot{core}", sharing="per_core")
+        return line.cell("v").read()
+
+
+class MiniPerCoreUnproven:
+    """A per-core family indexed by a non-core value on the send side:
+    the analyzer must not grant the own-scope exemption."""
+
+    def sendto(self, sock, message):
+        line = self.mem.line(f"mini.slot{sock}", sharing="per_core")
+        line.cell("v").write(message)
+
+    def recvfrom(self, sock):
+        core = self.mem.current_core
+        line = self.mem.line(f"mini.slot{core}", sharing="per_core")
+        return line.cell("v").read()
+
+
+class MiniUnknown:
+    """A method call on an attribute nothing assigns: the walk must
+    degrade to a may-shared-write, never to private."""
+
+    def sendto(self, sock, message):
+        self.gadget.poke(message)
+
+    def recvfrom(self, sock):
+        return 0
+
+
+class MiniImbalance:
+    """The shared write happens only on the load-imbalance path."""
+
+    def sendto(self, sock, message):
+        cell = self.mem.line("mini.bal").cell("v")
+        with imbalance_path(self.mem):
+            cell.write(message)
+
+    def recvfrom(self, sock):
+        return self.mem.line("mini.bal").cell("v").read()

@@ -1,0 +1,94 @@
+"""Analyzer-core tests against the synthetic mini-kernels.
+
+Each mini-kernel isolates one classification behavior; the real-kernel
+predictions (and their soundness against MTRACE) are covered in
+test_predict.py and test_crosscheck.py.
+"""
+
+from repro.staticcheck.analyzer import (
+    PER_CORE,
+    SCOPE_ANY,
+    SCOPE_OWN,
+    SHARED,
+    UNKNOWN_REGION,
+    analyze_kernel,
+)
+from repro.staticcheck.predict import CONFLICT, CONFLICT_FREE, predict_pair
+
+MODULE = "tests.staticcheck.fixtures.mini_kernels"
+
+
+def analyze(cls, ops=("send", "recv")):
+    return analyze_kernel("mini", list(ops), module_name=MODULE,
+                          class_name=cls)
+
+
+def verdict(cls, op0="send", op1="recv"):
+    analysis = analyze(cls)
+    return predict_pair(analysis.footprint(op0), analysis.footprint(op1))
+
+
+def test_shared_write_conflicts():
+    v = verdict("MiniShared")
+    assert v["balanced"] == CONFLICT
+    assert v["strict"] == CONFLICT
+    assert v["balanced_regions"] == ["mini.counter"]
+
+
+def test_helper_call_graph_reachability():
+    # send's write happens inside the _bump helper, not the handler.
+    footprint = analyze("MiniShared").footprint("send")
+    writes = {a.region for a in footprint if a.write}
+    assert "mini.counter" in writes
+    assert all(a.sharing == SHARED for a in footprint)
+
+
+def test_per_core_own_scope_is_conflict_free():
+    analysis = analyze("MiniPerCore")
+    for op in ("send", "recv"):
+        accesses = analysis.footprint(op)
+        assert accesses, f"{op} footprint empty"
+        assert all(a.sharing == PER_CORE for a in accesses)
+        assert all(a.scope == SCOPE_OWN for a in accesses)
+    v = verdict("MiniPerCore")
+    assert v["balanced"] == CONFLICT_FREE
+    assert v["strict"] == CONFLICT_FREE
+
+
+def test_per_core_without_proven_core_index_conflicts():
+    # send indexes the per-core family with a non-core value, so the
+    # own-scope exemption must not apply.
+    send = analyze("MiniPerCoreUnproven").footprint("send")
+    assert any(a.scope == SCOPE_ANY for a in send if a.write)
+    v = verdict("MiniPerCoreUnproven")
+    assert v["balanced"] == CONFLICT
+
+
+def test_unknown_attribute_degrades_to_may_shared_write():
+    send = analyze("MiniUnknown").footprint("send")
+    unknown = [a for a in send if a.region == UNKNOWN_REGION]
+    assert unknown, "unresolved call must record an unknown access"
+    assert any(a.write for a in unknown)
+    assert all(a.sharing == SHARED for a in unknown)
+    # The unknown region aliases everything, including itself.
+    v = verdict("MiniUnknown", "send", "send")
+    assert v["balanced"] == CONFLICT
+    # ... but an op with no accesses at all cannot conflict.
+    v = verdict("MiniUnknown", "send", "recv")
+    assert v["balanced"] == CONFLICT_FREE
+
+
+def test_imbalance_path_splits_balanced_from_strict():
+    v = verdict("MiniImbalance")
+    assert v["balanced"] == CONFLICT_FREE
+    assert v["strict"] == CONFLICT
+    assert v["strict_regions"] == ["mini.bal"]
+
+
+def test_undispatched_op_degrades_to_unknown_write():
+    # An op with no _DISPATCH entry can never be validated by MTRACE,
+    # so its footprint must be the conservative unknown write.
+    footprint = analyze(
+        "MiniShared", ops=("no-such-op",)).footprint("no-such-op")
+    assert {a.region for a in footprint} == {UNKNOWN_REGION}
+    assert all(a.write and a.sharing == SHARED for a in footprint)

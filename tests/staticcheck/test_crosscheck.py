@@ -1,0 +1,128 @@
+"""Crosscheck tests: soundness detection, precision math, gating."""
+
+from repro.staticcheck.crosscheck import crosscheck_heatmap, gate_crosscheck
+
+
+def make_static(pairs):
+    """A minimal repro.staticpredict/1 payload for two ops a/b."""
+    return {
+        "schema": "repro.staticpredict/1",
+        "interface": "toy",
+        "kernels": ["mono", "scalefs"],
+        "ops": ["a", "b"],
+        "pairs": [
+            {"op0": op0, "op1": op1,
+             "verdict": {k: {"balanced": v, "strict": v,
+                             "balanced_regions": [], "strict_regions": []}
+                         for k, v in verdicts.items()}}
+            for (op0, op1), verdicts in pairs.items()
+        ],
+    }
+
+
+def make_heatmap(cells):
+    return {
+        "schema": "repro.heatmap/1",
+        "kernels": ["mono", "scalefs"],
+        "ops": ["a", "b"],
+        "cells": [
+            {"op0": op0, "op1": op1, "total": total,
+             "fails": dict(fails)}
+            for (op0, op1, total), fails in cells.items()
+        ],
+    }
+
+
+CF = "conflict-free"
+CO = "conflict"
+
+
+def test_agreement_is_sound_with_full_precision():
+    static = make_static({
+        ("a", "a"): {"mono": CO, "scalefs": CF},
+        ("a", "b"): {"mono": CO, "scalefs": CF},
+        ("b", "b"): {"mono": CO, "scalefs": CF},
+    })
+    heatmap = make_heatmap({
+        ("a", "a", 10): {"mono": 3, "scalefs": 0},
+        ("a", "b", 10): {"mono": 1, "scalefs": 0},
+        ("b", "b", 10): {"mono": 2, "scalefs": 0},
+    })
+    result = crosscheck_heatmap(static, heatmap)
+    assert result["sound"]
+    assert result["violations"] == []
+    st = result["kernels"]["scalefs"]
+    assert (st["checked"], st["dynamic_cf"], st["static_cf"],
+            st["agree_cf"]) == (3, 3, 3, 3)
+    assert st["precision"] == 1.0
+    # mono: nothing statically CF, nothing dynamically CF.
+    assert result["kernels"]["mono"]["precision"] is None
+    assert gate_crosscheck(result, {"scalefs": 0.5}) == []
+
+
+def test_soundness_violation_detected_and_gated():
+    static = make_static({("a", "b"): {"mono": CF, "scalefs": CF}})
+    heatmap = make_heatmap({("a", "b", 10): {"mono": 4, "scalefs": 0}})
+    result = crosscheck_heatmap(static, heatmap)
+    assert not result["sound"]
+    assert result["violations"] == ["mono:a/b"]
+    failures = gate_crosscheck(result)
+    assert len(failures) == 1
+    assert "soundness violation" in failures[0]
+
+
+def test_pair_key_is_order_insensitive():
+    # The heatmap stores (b, a); the static payload stores (a, b).
+    static = make_static({("a", "b"): {"mono": CF, "scalefs": CF}})
+    heatmap = make_heatmap({("b", "a", 5): {"mono": 0, "scalefs": 0}})
+    result = crosscheck_heatmap(static, heatmap)
+    assert result["sound"]
+    assert result["kernels"]["mono"]["agree_cf"] == 1
+    assert result["pairs_missing_static"] == []
+
+
+def test_total_zero_cells_are_excluded():
+    # MTRACE never ran a/b (no commutative witnesses): the cell must
+    # count toward neither soundness nor precision.
+    static = make_static({("a", "b"): {"mono": CF, "scalefs": CO}})
+    heatmap = make_heatmap({("a", "b", 0): {"mono": 7, "scalefs": 0}})
+    result = crosscheck_heatmap(static, heatmap)
+    assert result["sound"]
+    for kernel in ("mono", "scalefs"):
+        assert result["kernels"][kernel]["checked"] == 0
+        assert result["kernels"][kernel]["precision"] is None
+
+
+def test_precision_floor_enforced():
+    static = make_static({
+        ("a", "a"): {"mono": CO, "scalefs": CO},
+        ("a", "b"): {"mono": CO, "scalefs": CF},
+        ("b", "b"): {"mono": CO, "scalefs": CO},
+    })
+    heatmap = make_heatmap({
+        ("a", "a", 10): {"mono": 0, "scalefs": 0},
+        ("a", "b", 10): {"mono": 0, "scalefs": 0},
+        ("b", "b", 10): {"mono": 0, "scalefs": 0},
+    })
+    result = crosscheck_heatmap(static, heatmap)
+    assert result["sound"]  # imprecision is never unsound
+    st = result["kernels"]["scalefs"]
+    assert st["precision"] == 1 / 3
+    failures = gate_crosscheck(result, {"scalefs": 0.5})
+    assert len(failures) == 1
+    assert "precision" in failures[0]
+    # Below-floor mono precision (0/3) also fails when floored.
+    assert len(gate_crosscheck(result, {"mono": 0.5})) == 1
+    # No floor, no failure.
+    assert gate_crosscheck(result) == []
+
+
+def test_missing_static_pairs_are_reported_not_fatal():
+    static = make_static({("a", "a"): {"mono": CF, "scalefs": CF}})
+    heatmap = make_heatmap({
+        ("a", "a", 5): {"mono": 0, "scalefs": 0},
+        ("a", "b", 5): {"mono": 0, "scalefs": 0},
+    })
+    result = crosscheck_heatmap(static, heatmap)
+    assert result["pairs_missing_static"] == ["a/b"]
+    assert result["sound"]

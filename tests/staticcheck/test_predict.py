@@ -1,0 +1,95 @@
+"""Predictor tests: artifact payload shape and real-kernel verdicts.
+
+The real-kernel assertions pin the analysis results this PR ships —
+most importantly the §4.3 claim the analyzer exists to prove: the
+scalable kernel's unordered sockets are statically conflict-free on
+balanced paths and conflicted on the credit-steal (imbalance) paths.
+"""
+
+import itertools
+
+import pytest
+
+from repro.staticcheck.predict import (
+    CONFLICT,
+    CONFLICT_FREE,
+    STATICPREDICT_SCHEMA,
+    staticpredict_payload,
+)
+
+
+@pytest.fixture(scope="module")
+def unordered():
+    return staticpredict_payload("sockets-unordered")
+
+
+@pytest.fixture(scope="module")
+def posix():
+    return staticpredict_payload("posix")
+
+
+def _verdicts(payload, op0, op1):
+    key = tuple(sorted((op0, op1)))
+    for pair in payload["pairs"]:
+        if tuple(sorted((pair["op0"], pair["op1"]))) == key:
+            return pair["verdict"]
+    raise AssertionError(f"no pair {key} in payload")
+
+
+def test_payload_shape(unordered):
+    assert unordered["schema"] == STATICPREDICT_SCHEMA
+    assert unordered["interface"] == "sockets-unordered"
+    assert unordered["kernels"] == ["mono", "scalefs"]
+    ops = unordered["ops"]
+    expected = list(itertools.combinations_with_replacement(ops, 2))
+    assert len(unordered["pairs"]) == len(expected)
+    for kernel in unordered["kernels"]:
+        summary = unordered["summary"][kernel]
+        assert summary["pairs"] == len(expected)
+        balanced = sum(
+            1 for p in unordered["pairs"]
+            if p["verdict"][kernel]["balanced"] == CONFLICT_FREE)
+        assert summary["conflict_free_balanced"] == balanced
+        assert set(unordered["footprints"][kernel]) == set(ops)
+
+
+def test_unordered_sockets_scalefs_balanced_conflict_free(unordered):
+    # The headline: every usend/urecv pair is conflict-free on
+    # balanced paths, and conflicted only through the steal loops.
+    for op0, op1 in itertools.combinations_with_replacement(
+            unordered["ops"], 2):
+        verdict = _verdicts(unordered, op0, op1)["scalefs"]
+        assert verdict["balanced"] == CONFLICT_FREE, (op0, op1)
+        assert verdict["strict"] == CONFLICT, (op0, op1)
+
+
+def test_unordered_sockets_mono_conflicts(unordered):
+    # mono's sockets share one queue: statically conflicted throughout.
+    for op0, op1 in itertools.combinations_with_replacement(
+            unordered["ops"], 2):
+        verdict = _verdicts(unordered, op0, op1)["mono"]
+        assert verdict["balanced"] == CONFLICT, (op0, op1)
+
+
+def test_posix_pipe_vs_memory_ops_proven_conflict_free(posix):
+    # pipe touches only fd tables and pipe state; munmap/mprotect only
+    # the address space — provably disjoint on both kernels (and
+    # dynamically conflict-free in the committed heatmap).
+    for other in ("munmap", "mprotect"):
+        for kernel in posix["kernels"]:
+            verdict = _verdicts(posix, "pipe", other)[kernel]
+            assert verdict["balanced"] == CONFLICT_FREE, (other, kernel)
+            assert verdict["balanced_regions"] == []
+
+
+def test_proc_exec_wait_proven_conflict_free():
+    payload = staticpredict_payload("proc")
+    for kernel in payload["kernels"]:
+        verdict = _verdicts(payload, "exec", "wait")[kernel]
+        assert verdict["balanced"] == CONFLICT_FREE, kernel
+
+
+def test_conflict_regions_name_the_witness(unordered):
+    verdict = _verdicts(unordered, "usend", "urecv")["scalefs"]
+    assert verdict["balanced_regions"] == []
+    assert any("sfs.sock" in r for r in verdict["strict_regions"])
