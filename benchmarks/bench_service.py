@@ -1,0 +1,90 @@
+"""Job-service benchmark: one serve/submit cycle, cold then warm.
+
+The whole stack is in-process but real — an asyncio HTTP server on an
+ephemeral port, the stdlib client, NDJSON event streaming — so the
+wall-clock gate prices the service overhead end to end.  The cold
+submission computes a small heatmap (3 pairs); the warm resubmission
+of the identical request must be answered from the content-addressed
+store without running a single pair.  The counters pin that contract:
+pair/event counts per phase and the store hit are deterministic, while
+the submit-to-first-event latencies are printed for eyeballing but
+never gated (they are scheduler noise on shared runners).
+"""
+
+import time
+
+from repro.service import ArtifactStore, JobManager, ServiceClient, ServiceServer
+
+PARAMS = {"interface": "posix", "ops": ["link", "stat"]}
+
+
+def _submit_and_drain(client):
+    """One submission; returns (record, first-event latency, events)."""
+    start = time.perf_counter()
+    job = client.submit("heatmap", dict(PARAMS))
+    events = []
+    first_event_s = None
+    for event in client.events(job["id"]):
+        if first_event_s is None:
+            first_event_s = time.perf_counter() - start
+        events.append(event)
+    return client.job(job["id"]), first_event_s, events
+
+
+def _cycle(tmp_path, out):
+    manager = JobManager(
+        cache=str(tmp_path / "cache.json"),
+        store=ArtifactStore(str(tmp_path / "store")),
+        workers=1,
+    )
+    server = ServiceServer(manager, port=0).start_background()
+    try:
+        client = ServiceClient(port=server.port, timeout=600.0)
+        t0 = time.perf_counter()
+        cold, cold_latency, cold_events = _submit_and_drain(client)
+        t1 = time.perf_counter()
+        warm, warm_latency, warm_events = _submit_and_drain(client)
+        t2 = time.perf_counter()
+        out.update(
+            cold=cold,
+            warm=warm,
+            cold_events=cold_events,
+            warm_events=warm_events,
+            cold_latency_s=cold_latency,
+            warm_latency_s=warm_latency,
+            cold_wall_s=t1 - t0,
+            warm_wall_s=t2 - t1,
+            store_artifacts=len(manager.store.ls()),
+        )
+    finally:
+        server.stop_background()
+
+
+def test_service_cycle(benchmark, tmp_path):
+    out = {}
+    benchmark.pedantic(_cycle, args=(tmp_path, out), iterations=1, rounds=1)
+
+    cold, warm = out["cold"], out["warm"]
+    assert cold["status"] == "done" and warm["status"] == "done"
+    assert warm["store_hit"] and warm["artifact"] == cold["artifact"]
+    assert warm["computed_pairs"] == 0
+    assert out["warm_wall_s"] < out["cold_wall_s"]
+
+    benchmark.extra_info.update(
+        {
+            "cold_computed_pairs": cold["computed_pairs"],
+            "cold_cached_pairs": cold["cached_pairs"],
+            "cold_events": len(out["cold_events"]),
+            "warm_computed_pairs": warm["computed_pairs"],
+            "warm_cached_pairs": warm["cached_pairs"],
+            "warm_events": len(out["warm_events"]),
+            "warm_store_hit": int(warm["store_hit"]),
+            "store_artifacts": out["store_artifacts"],
+        }
+    )
+    print(
+        f"\nservice cycle: cold {out['cold_wall_s']:.3f}s "
+        f"({cold['computed_pairs']} pairs computed, first event after "
+        f"{out['cold_latency_s'] * 1000:.1f}ms), warm {out['warm_wall_s']:.3f}s "
+        f"(store hit, first event after {out['warm_latency_s'] * 1000:.1f}ms)"
+    )

@@ -66,8 +66,11 @@ class HeatmapData:
 
 def cmd_summary(data: HeatmapData, args) -> None:
     total = data.raw["total"]
-    print(f"{total} commutative test cases "
-          f"({data.raw['elapsed']:.0f}s pipeline)")
+    # Stripped projections (e.g. service-store artifacts) carry no
+    # volatile execution keys such as "elapsed".
+    elapsed = data.raw.get("elapsed")
+    timing = f" ({elapsed:.0f}s pipeline)" if elapsed is not None else ""
+    print(f"{total} commutative test cases{timing}")
     for kernel, ok in data.raw["conflict_free"].items():
         print(f"  {kernel:12s} {ok:6d} conflict-free "
               f"({100 * ok / total:.1f}%)")

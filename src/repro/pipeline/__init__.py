@@ -148,11 +148,13 @@ from repro.pipeline.sweep import (
     AnalysisSweep,
     ExecutedJobs,
     SweepResult,
+    TimedPairResult,
     build_pair_jobs,
     execute_jobs,
     iter_pairs,
     make_pair_filter,
     run_analysis,
+    run_pair_job_timed,
     run_sweep,
     summarize_interface_sweep,
 )
@@ -176,6 +178,7 @@ __all__ = [
     "SerialDriver",
     "SubprocessShardBackend",
     "SweepResult",
+    "TimedPairResult",
     "UnknownBackendError",
     "WorkStealingBackend",
     "backend_names",
@@ -198,6 +201,7 @@ __all__ = [
     "run_analysis",
     "run_analyze_job",
     "run_pair_job",
+    "run_pair_job_timed",
     "run_scaling_job",
     "run_scaling_sweep",
     "run_sweep",

@@ -24,8 +24,12 @@ File layout (JSON, human-inspectable)::
 
 A fingerprint mismatch is treated as a miss and overwritten on ``put``;
 a corrupt or missing file starts an empty cache.  ``save()`` writes
-atomically (tmp file + rename) so an interrupted sweep never destroys
-the previous cache.
+atomically (tmp file + ``os.replace``) so an interrupted sweep never
+destroys the previous cache, and *merges*: under an exclusive advisory
+lock it re-reads the file and folds the entries this writer dirtied into
+whatever other writers landed meanwhile, so concurrent jobs sharing one
+cache directory (the service's worker pool, two CLI sweeps) never lose
+each other's entries.  The cache object itself is thread-safe.
 """
 
 from __future__ import annotations
@@ -35,8 +39,14 @@ import json
 import os
 import sys
 import tempfile
+import threading
 from functools import lru_cache
 from typing import Optional
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from repro.model import spec as model_spec
 from repro.model.base import OpDef
@@ -217,48 +227,103 @@ def job_fingerprint(job: PairJob) -> str:
 
 
 class ResultCache:
-    """JSON-backed pair-result cache with hit/miss accounting."""
+    """JSON-backed pair-result cache with hit/miss accounting.
+
+    Safe for concurrent use: method-level locking makes one instance
+    shareable across threads (the service runs several jobs against one
+    cache), and ``save()`` merges rather than overwrites, so separate
+    writers — instances in other threads *or other processes* — pointed
+    at the same path keep each other's entries.
+    """
 
     def __init__(self, path: str):
         self.path = str(path)
         self.hits = 0
         self.misses = 0
-        self._dirty = False
+        self._lock = threading.Lock()
+        self._dirty_keys: set[str] = set()
         self._entries: dict[str, dict] = {}
-        self._load()
+        self._entries.update(self._read_entries())
 
-    def _load(self) -> None:
+    def _read_entries(self) -> dict[str, dict]:
+        """The entries currently on disk (empty for missing/corrupt)."""
         try:
             with open(self.path) as f:
                 raw = json.load(f)
         except (OSError, ValueError):
-            return
+            return {}
         if not isinstance(raw, dict) or raw.get("version") != CACHE_VERSION:
-            return
+            return {}
         entries = raw.get("entries")
-        if isinstance(entries, dict):
-            self._entries = entries
+        return entries if isinstance(entries, dict) else {}
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def get(self, key: str, fingerprint: str) -> Optional[dict]:
         """The cached cell dict, or None on a miss or stale fingerprint."""
-        entry = self._entries.get(key)
-        if entry is not None and entry.get("fingerprint") == fingerprint:
-            self.hits += 1
-            return entry.get("cell")
-        self.misses += 1
-        return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry.get("fingerprint") == fingerprint:
+                self.hits += 1
+                return entry.get("cell")
+            self.misses += 1
+            return None
 
     def put(self, key: str, fingerprint: str, cell: dict) -> None:
-        self._entries[key] = {"fingerprint": fingerprint, "cell": cell}
-        self._dirty = True
+        with self._lock:
+            self._entries[key] = {"fingerprint": fingerprint, "cell": cell}
+            self._dirty_keys.add(key)
 
     def save(self) -> None:
-        if not self._dirty:
-            return
-        atomic_write_json(
-            self.path, {"version": CACHE_VERSION, "entries": self._entries}
-        )
-        self._dirty = False
+        """Persist this writer's dirty entries, merging with the file.
+
+        Read-merge-write runs under an exclusive advisory lock on a
+        sidecar ``<path>.lock`` file (when ``fcntl`` exists), so two
+        writers saving simultaneously serialize instead of each
+        publishing a file missing the other's keys.  Disk entries for
+        keys this writer never touched are adopted into memory — a
+        concurrent sweep's results become this instance's cache hits;
+        stale adopted entries are harmless because ``get`` always checks
+        the fingerprint.
+        """
+        with self._lock:
+            if not self._dirty_keys:
+                return
+            with _file_lock(self.path + ".lock"):
+                disk = self._read_entries()
+                for key, entry in disk.items():
+                    if key not in self._dirty_keys:
+                        self._entries[key] = entry
+                atomic_write_json(
+                    self.path,
+                    {"version": CACHE_VERSION, "entries": self._entries},
+                )
+            self._dirty_keys.clear()
+
+
+class _file_lock:
+    """Exclusive advisory lock held for a read-merge-write critical
+    section.  ``flock`` is per open-file-description, so it serializes
+    threads and processes alike; without ``fcntl`` it degrades to the
+    pre-merge behavior (atomic replace, last writer wins the race
+    window)."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fd: Optional[int] = None
+
+    def __enter__(self):
+        if fcntl is not None:
+            directory = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(directory, exist_ok=True)
+            self._fd = os.open(self.path, os.O_CREAT | os.O_RDWR, 0o644)
+            fcntl.flock(self._fd, fcntl.LOCK_EX)
+        return self
+
+    def __exit__(self, *exc):
+        if self._fd is not None:
+            fcntl.flock(self._fd, fcntl.LOCK_UN)
+            os.close(self._fd)
+            self._fd = None
+        return False

@@ -774,6 +774,151 @@ def cmd_bench_gate(args) -> int:
     )
 
 
+def cmd_serve(args) -> int:
+    """Boot the COMMUTER service (see docs/service.md): an asyncio
+    HTTP/JSON job server sharing one result cache and one
+    content-addressed artifact store across jobs."""
+    from repro.service import ArtifactStore, JobManager, ServiceServer
+
+    manager = JobManager(
+        cache=None if args.no_cache else args.cache,
+        store=ArtifactStore(args.store),
+        workers=args.jobs,
+        backend=args.backend,
+        backend_workers=args.workers,
+    )
+    server = ServiceServer(manager, host=args.host, port=args.port)
+    server.start_background()
+    print(
+        f"repro service listening on http://{args.host}:{server.port} "
+        f"(store {args.store}, {args.jobs} concurrent jobs)",
+        flush=True,
+    )
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop_background()
+    return 0
+
+
+def _submit_params(args) -> dict:
+    """The submit CLI's flags as a job-parameters object (only the keys
+    meaningful for the requested kind; the server validates)."""
+    params: dict = {}
+    if args.kind != "compare":
+        params["interface"] = args.interface
+        ops = _parse_names(args.ops)
+        if ops is not None:
+            params["ops"] = ops
+        pairs = _parse_pairs(args.pairs)
+        if pairs is not None:
+            params["pairs"] = [list(p) for p in pairs]
+    else:
+        if args.name is None:
+            raise SystemExit("submit compare: --name is required")
+        params["name"] = args.name
+    if args.kind in ("heatmap", "compare"):
+        params["ncores"] = args.ncores
+    if args.kind == "scaling" and args.ladder is not None:
+        params["ladder"] = list(args.ladder)
+    if args.kind != "analyze":
+        params["tests_per_path"] = args.tests_per_path
+    if args.backend is not None:
+        params["backend"] = args.backend
+    if args.workers is not None:
+        params["workers"] = args.workers
+    return params
+
+
+def _print_event(event: dict) -> None:
+    kind = event.get("event")
+    if kind == "status":
+        print(f"  status: {event['status']}", flush=True)
+    elif kind == "pair":
+        suffix = " (cached)" if event.get("cached") \
+            else f" ({event.get('elapsed', 0.0):.2f}s)"
+        detail = (
+            f"{event['total']} tests" if "total" in event
+            else f"{event.get('commutative_paths', 0)}"
+                 f"/{event.get('explored_paths', 0)} paths commute"
+        )
+        print(f"  {event['pair']}: {event['verdict']}, {detail}{suffix}",
+              flush=True)
+    elif kind == "progress":
+        print(f"  {event['line']}", flush=True)
+    elif kind == "store":
+        print(f"  served from store: {event['artifact']}", flush=True)
+
+
+def cmd_submit(args) -> int:
+    """Submit one job to a running ``repro serve``, stream its NDJSON
+    events, and report the final artifact digest."""
+    import json
+
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(host=args.host, port=args.port)
+    try:
+        job = client.submit(args.kind, _submit_params(args))
+        print(f"job {job['id']} ({args.kind}) submitted "
+              f"to http://{args.host}:{args.port}", flush=True)
+        if args.no_wait:
+            print(json.dumps(job, indent=2, sort_keys=True))
+            return 0
+        for event in client.events(job["id"]):
+            _print_event(event)
+        final = client.job(job["id"])
+    except (ServiceError, OSError) as exc:
+        raise SystemExit(f"submit: {exc}") from None
+    print(f"{final['computed_pairs']} pairs computed, "
+          f"{final['cached_pairs']} cached"
+          + (" (served from store)" if final["store_hit"] else ""))
+    if final.get("artifact"):
+        print(f"artifact {final['artifact']}")
+        if args.out is not None:
+            import os
+
+            blob = client.artifact_bytes(final["artifact"])
+            directory = os.path.dirname(os.path.abspath(args.out))
+            os.makedirs(directory, exist_ok=True)
+            with open(args.out, "wb") as f:
+                f.write(blob)
+            print(f"-> {args.out}")
+    if final["status"] == "error":
+        print(final.get("error") or "job failed", file=sys.stderr)
+        return 1
+    if final["status"] == "cancelled":
+        print("job cancelled")
+        return 1
+    return 0
+
+
+def cmd_store(args) -> int:
+    """Inspect (``ls``) or garbage-collect (``gc``) the service's
+    content-addressed artifact store."""
+    from repro.service import ArtifactStore
+
+    store = ArtifactStore(args.store)
+    if args.action == "ls":
+        records = store.ls()
+        print(f"store {args.store}: {len(records)} artifact(s)")
+        for r in records:
+            missing = "" if r["present"] else "  MISSING"
+            print(f"  {r['digest'][:16]}  {r['kind'] or '?':8s} "
+                  f"{r['bytes']:>8d}B  seq {r['seq']:>3d}  "
+                  f"{r['requests']} request(s){missing}")
+        return 0
+    removed = store.gc(keep_last=args.keep_last)
+    print(f"store {args.store}: removed {len(removed)} "
+          f"unreferenced artifact(s)"
+          + (f" (kept last {args.keep_last})" if args.keep_last else ""))
+    for digest in removed:
+        print(f"  {digest}")
+    return 0
+
+
 def cmd_browse(argv: Sequence[str]) -> int:
     from repro import browser
 
@@ -941,6 +1086,79 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--baseline", default="benchmarks/bench_baseline.json",
                    metavar="PATH")
     p.set_defaults(fn=cmd_bench_gate)
+
+    p = sub.add_parser(
+        "serve",
+        help="COMMUTER-as-a-service: asyncio HTTP/JSON job server over "
+             "the pipeline (jobs, NDJSON event streams, content-"
+             "addressed artifacts; see docs/service.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1", metavar="HOST",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8321, metavar="PORT",
+                   help="bind port (default 8321; 0 = ephemeral, printed "
+                        "on startup)")
+    p.add_argument("--jobs", type=int, default=2, metavar="N",
+                   help="how many jobs run concurrently (default 2; each "
+                        "job fans pairs out through its own backend)")
+    _add_backend_options(p)
+    p.add_argument(
+        "--cache", default=DEFAULT_CACHE, metavar="PATH",
+        help=f"shared persistent result cache (default {DEFAULT_CACHE})",
+    )
+    p.add_argument("--no-cache", action="store_true",
+                   help="recompute every pair in every job")
+    p.add_argument("--store", default="results/store", metavar="DIR",
+                   help="content-addressed artifact store directory "
+                        "(default results/store)")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a job to a running `repro serve`, stream its "
+             "per-pair NDJSON events, and print the artifact digest",
+    )
+    p.add_argument("kind",
+                   choices=("analyze", "heatmap", "compare", "scaling"),
+                   help="job kind")
+    p.add_argument("--host", default="127.0.0.1", metavar="HOST",
+                   help="service address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8321, metavar="PORT",
+                   help="service port (default 8321)")
+    p.add_argument("--interface", default="posix", metavar="NAME",
+                   help="registered interface (non-compare kinds; "
+                        "default posix)")
+    p.add_argument("--ops", metavar="a,b,c",
+                   help="restrict the matrix to these operations")
+    p.add_argument("--pairs", metavar="a,b", action="append",
+                   help="restrict to one pair (repeatable)")
+    p.add_argument("--name", default=None, metavar="NAME",
+                   help="registered comparison (compare jobs)")
+    _add_ncores_option(p)
+    p.add_argument("--ladder", type=_ladder, default=None, metavar="a,b,c",
+                   help="ncores ladder (scaling jobs; default "
+                        "2,4,16,64,128,480)")
+    p.add_argument("--tests-per-path", type=int, default=1)
+    _add_backend_options(p)
+    p.add_argument("--no-wait", action="store_true",
+                   help="print the job record and exit without streaming")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the artifact's canonical bytes to PATH "
+                        "after completion")
+    p.set_defaults(fn=cmd_submit)
+
+    p = sub.add_parser(
+        "store",
+        help="inspect (ls) or garbage-collect (gc) the service's "
+             "content-addressed artifact store",
+    )
+    p.add_argument("action", choices=("ls", "gc"))
+    p.add_argument("--store", default="results/store", metavar="DIR",
+                   help="store directory (default results/store)")
+    p.add_argument("--keep-last", type=int, default=0, metavar="N",
+                   help="gc: keep the N most recently stored "
+                        "unreferenced artifacts (default 0 = drop all)")
+    p.set_defaults(fn=cmd_store)
 
     sub.add_parser(
         "browse", add_help=False,

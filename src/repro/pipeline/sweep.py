@@ -34,6 +34,31 @@ from repro.pipeline.jobs import (
 
 
 @dataclass
+class TimedPairResult:
+    """A pair cell plus how long its worker spent computing it.
+
+    Produced by :func:`run_pair_job_timed` when a caller asked for
+    structured per-pair progress (the service's NDJSON events); the
+    elapsed time is measured *in the worker*, so it is honest under any
+    execution backend, and is deliberately kept outside
+    :class:`PairCellData` so cache entries and artifacts never carry it.
+    (It lives here, not in :mod:`repro.pipeline.jobs`, because that
+    module's source is part of every cache fingerprint and progress
+    plumbing must never invalidate cached results.)
+    """
+
+    cell: PairCellData
+    elapsed: float
+
+
+def run_pair_job_timed(job: PairJob) -> TimedPairResult:
+    """:func:`run_pair_job` plus worker-side wall-clock accounting."""
+    start = time.perf_counter()
+    cell = run_pair_job(job)
+    return TimedPairResult(cell, time.perf_counter() - start)
+
+
+@dataclass
 class SweepResult:
     """The full matrix in plain data, plus execution accounting."""
 
@@ -157,6 +182,7 @@ def execute_jobs(
     cache: Optional[object] = None,
     on_progress: Optional[Callable[[str], None]] = None,
     backend: Optional[object] = None,
+    on_pair: Optional[Callable[[PairJob, PairCellData, bool, float], None]] = None,
 ) -> ExecutedJobs:
     """Run a batch of pair jobs: cache split, one backend pass, merge.
 
@@ -174,6 +200,12 @@ def execute_jobs(
     changes *where* jobs run, never what they compute: cells and cache
     entries are identical for every choice, and backend identity is
     deliberately absent from cache fingerprints.
+
+    ``on_pair(job, cell, cached, elapsed)`` is the structured sibling of
+    ``on_progress``: it fires once per pair, in completion order, with
+    the plain-data cell, whether it was served from the cache, and the
+    worker-side seconds spent computing it (0.0 for cache hits).  The
+    service's NDJSON event stream is built on it.
     """
     jobs = list(jobs)
     if isinstance(cache, (str, bytes)) or hasattr(cache, "__fspath__"):
@@ -199,12 +231,18 @@ def execute_jobs(
                         f"{label(job)}: cached "
                         f"({cells[index].total} tests)"
                     )
+                if on_pair is not None:
+                    on_pair(job, cells[index], True, 0.0)
                 continue
         todo.append(index)
 
     fingerprint_of = {id(jobs[i]): fingerprints.get(i) for i in todo}
 
-    def report(job: PairJob, cell: PairCellData) -> None:
+    def report(job: PairJob, result) -> None:
+        if isinstance(result, TimedPairResult):
+            cell, elapsed = result.cell, result.elapsed
+        else:
+            cell, elapsed = result, 0.0
         if cache is not None:
             # Persist as results arrive so an interrupted or failing
             # sweep keeps every pair already computed (the point of the
@@ -219,13 +257,19 @@ def execute_jobs(
                     for k, _ in job.kernels
                 )
             )
+        if on_pair is not None:
+            on_pair(job, cell, False, elapsed)
 
+    # The timed runner only rides along when someone is listening: the
+    # historical path keeps its exact fn (subprocess-shard hashes, repr
+    # stability, no wrapper pickling).
+    run = run_pair_job if on_pair is None else run_pair_job_timed
     resolved = resolve_backend(workers, driver, backend)
-    computed = resolved.map(
-        run_pair_job, [jobs[i] for i in todo], on_result=report
-    )
-    for index, cell in zip(todo, computed):
-        cells[index] = cell
+    computed = resolved.map(run, [jobs[i] for i in todo], on_result=report)
+    for index, result in zip(todo, computed):
+        cells[index] = (
+            result.cell if isinstance(result, TimedPairResult) else result
+        )
 
     todo_set = set(todo)
     return ExecutedJobs(
@@ -252,6 +296,7 @@ def run_sweep(
     interface: str = "posix",
     ncores: int = 4,
     backend: Optional[object] = None,
+    on_pair: Optional[Callable[[PairJob, PairCellData, bool, float], None]] = None,
 ) -> SweepResult:
     """The Figure 6 pipeline over the pair matrix.
 
@@ -284,7 +329,7 @@ def run_sweep(
     )
     executed = execute_jobs(
         jobs, workers=workers, driver=driver, cache=cache,
-        on_progress=on_progress, backend=backend,
+        on_progress=on_progress, backend=backend, on_pair=on_pair,
     )
     return SweepResult(
         cells=executed.cells,

@@ -1,0 +1,140 @@
+"""Thin stdlib client for the COMMUTER service.
+
+``http.client`` only — the client mirrors the server's no-dependency
+rule, so ``python -m repro submit`` and the tests speak to a running
+``repro serve`` with nothing installed.  The server closes every
+connection after one response, so each call opens a fresh one;
+:meth:`ServiceClient.events` reads the NDJSON stream line by line off
+the close-framed response body.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Iterator, Optional
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response; carries the HTTP status and the error body."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """One service endpoint (`host:port`); every method is one request."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8321,
+                 timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing --------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[dict] = None) -> dict:
+        conn = self._connect()
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            parsed = json.loads(raw.decode("utf-8")) if raw else {}
+            if response.status >= 400:
+                raise ServiceError(
+                    response.status,
+                    parsed.get("error", raw.decode("utf-8", "replace")),
+                )
+            return parsed
+        finally:
+            conn.close()
+
+    # -- API -------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/v1/health")
+
+    def interfaces(self) -> dict:
+        return self._request("GET", "/v1/interfaces")
+
+    def submit(self, kind: str, params: Optional[dict] = None) -> dict:
+        """POST a job; returns its ``repro.job/1`` record."""
+        return self._request(
+            "POST", "/v1/jobs", {"kind": kind, "params": params or {}}
+        )
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> bool:
+        return self._request("DELETE", f"/v1/jobs/{job_id}")["cancelled"]
+
+    def events(self, job_id: str, since: int = 0) -> Iterator[dict]:
+        """Stream the job's NDJSON events; ends when the job does.
+
+        The generator holds one streaming connection open; breaking out
+        early closes it (a DELETE from another connection still
+        cancels the job).
+        """
+        conn = self._connect()
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events?since={since}")
+            response = conn.getresponse()
+            if response.status >= 400:
+                raw = response.read().decode("utf-8", "replace")
+                try:
+                    message = json.loads(raw).get("error", raw)
+                except ValueError:
+                    message = raw
+                raise ServiceError(response.status, message)
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            conn.close()
+
+    def wait(self, job_id: str, since: int = 0) -> dict:
+        """Drain the event stream, then return the final job record."""
+        for _ in self.events(job_id, since=since):
+            pass
+        return self.job(job_id)
+
+    def artifact_bytes(self, digest: str) -> bytes:
+        """The canonical artifact bytes for ``digest`` (byte-identical
+        to the store file and to the batch CLI's stripped projection)."""
+        conn = self._connect()
+        try:
+            conn.request("GET", f"/v1/artifacts/{digest}")
+            response = conn.getresponse()
+            raw = response.read()
+            if response.status >= 400:
+                try:
+                    message = json.loads(raw.decode("utf-8")).get("error")
+                except ValueError:
+                    message = raw.decode("utf-8", "replace")
+                raise ServiceError(response.status, message)
+            return raw
+        finally:
+            conn.close()
+
+    def artifact(self, digest: str) -> dict:
+        return json.loads(self.artifact_bytes(digest).decode("utf-8"))
+
+    def store_index(self) -> dict:
+        return self._request("GET", "/v1/store")

@@ -1,0 +1,258 @@
+"""Content-addressed artifact store for the COMMUTER service.
+
+Every finished job's artifact — the *result projection* of a sweep,
+with the volatile execution-accounting keys already stripped — is
+serialized canonically (sorted keys, fixed separators, one trailing
+newline) and filed under the SHA-256 of those bytes::
+
+    results/store/
+      <sha256>.json   # the canonical artifact bytes, one file per digest
+      index.json      # digest -> {kind, schema, seq, bytes, requests}
+
+Content addressing gives the service its two load-bearing properties:
+
+* **byte identity** — two requests that produce the same result produce
+  the same digest and are served the same bytes, no matter which worker
+  (or which run) computed them;
+* **request memoization** — the index also maps a *request key* (a hash
+  over the job kind, its normalized parameters, and the per-pair cache
+  fingerprints of every pair the request would sweep) to its digest, so
+  a repeated request is served straight from the store with zero pairs
+  executed.  Because the request key folds in the pair fingerprints, a
+  spec edit changes it and the request honestly recomputes — through
+  the pair-granular :class:`~repro.pipeline.cache.ResultCache`, so only
+  the invalidated rows/columns actually run.
+
+``gc(keep_last=N)`` drops artifacts no request references, keeping the
+N most recently stored unreferenced ones.  The index is written
+atomically and merged under the same advisory-lock discipline as the
+result cache, so concurrent jobs (and a ``store ls`` while the server
+runs) never tear it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from typing import Optional
+
+from repro.pipeline.cache import _file_lock, atomic_write_json
+
+STORE_INDEX_VERSION = 1
+
+#: Default store directory, next to the other ``results/`` artifacts.
+DEFAULT_STORE = "results/store"
+
+
+def canonical_bytes(payload: dict) -> bytes:
+    """The canonical serialization the store addresses by: sorted keys,
+    fixed separators, UTF-8, one trailing newline.  Both sides of every
+    byte-identity claim (service artifact vs batch artifact) must pass
+    through this function."""
+    text = json.dumps(
+        payload, sort_keys=True, indent=1, ensure_ascii=False
+    )
+    return (text + "\n").encode("utf-8")
+
+
+def artifact_digest(payload: dict) -> str:
+    """SHA-256 hex digest of the canonical bytes."""
+    return hashlib.sha256(canonical_bytes(payload)).hexdigest()
+
+
+class UnknownArtifactError(KeyError):
+    """A digest with no stored artifact."""
+
+
+class ArtifactStore:
+    """Content-addressed artifact files plus a small JSON index.
+
+    Thread-safe; index writes merge under an advisory file lock so
+    multiple store instances (service workers, CLI inspection) can share
+    one directory.
+    """
+
+    def __init__(self, root: str = DEFAULT_STORE):
+        self.root = str(root)
+        self._lock = threading.Lock()
+
+    # -- paths ----------------------------------------------------------
+
+    @property
+    def index_path(self) -> str:
+        return os.path.join(self.root, "index.json")
+
+    def artifact_path(self, digest: str) -> str:
+        if not _digest_ok(digest):
+            raise UnknownArtifactError(f"malformed digest {digest!r}")
+        return os.path.join(self.root, f"{digest}.json")
+
+    # -- index ----------------------------------------------------------
+
+    def _read_index(self) -> dict:
+        try:
+            with open(self.index_path) as f:
+                raw = json.load(f)
+        except (OSError, ValueError):
+            raw = None
+        if (
+            not isinstance(raw, dict)
+            or raw.get("version") != STORE_INDEX_VERSION
+        ):
+            return {
+                "version": STORE_INDEX_VERSION,
+                "seq": 0,
+                "artifacts": {},
+                "requests": {},
+            }
+        raw.setdefault("seq", 0)
+        raw.setdefault("artifacts", {})
+        raw.setdefault("requests", {})
+        return raw
+
+    def index(self) -> dict:
+        """A snapshot of the index (plain data, safe to serialize)."""
+        with self._lock:
+            return self._read_index()
+
+    def _update_index(self, mutate) -> dict:
+        """Read-mutate-write the index under the advisory lock."""
+        with _file_lock(self.index_path + ".lock"):
+            index = self._read_index()
+            mutate(index)
+            atomic_write_json(self.index_path, index)
+        return index
+
+    # -- artifacts ------------------------------------------------------
+
+    def put(
+        self,
+        payload: dict,
+        kind: str,
+        request_key: Optional[str] = None,
+    ) -> str:
+        """Store one artifact; returns its digest.
+
+        Idempotent: an already-stored digest writes no second file (the
+        bytes are equal by construction), but the index entry gains the
+        new request key, so many requests may share one artifact.
+        """
+        blob = canonical_bytes(payload)
+        digest = hashlib.sha256(blob).hexdigest()
+        with self._lock:
+            path = self.artifact_path(digest)
+            if not os.path.exists(path):
+                os.makedirs(self.root, exist_ok=True)
+                tmp = path + ".tmp"
+                with open(tmp, "wb") as f:
+                    f.write(blob)
+                os.replace(tmp, path)
+
+            def mutate(index: dict) -> None:
+                entry = index["artifacts"].setdefault(
+                    digest,
+                    {
+                        "kind": kind,
+                        "schema": payload.get("schema"),
+                        "seq": index["seq"] + 1,
+                        "bytes": len(blob),
+                        "requests": [],
+                    },
+                )
+                index["seq"] = max(index["seq"], entry["seq"])
+                if request_key is not None:
+                    index["requests"][request_key] = digest
+                    if request_key not in entry["requests"]:
+                        entry["requests"].append(request_key)
+
+            self._update_index(mutate)
+        return digest
+
+    def get_bytes(self, digest: str) -> bytes:
+        """The stored canonical bytes for ``digest``."""
+        try:
+            with open(self.artifact_path(digest), "rb") as f:
+                return f.read()
+        except OSError:
+            raise UnknownArtifactError(
+                f"no stored artifact with digest {digest!r}"
+            ) from None
+
+    def load(self, digest: str) -> dict:
+        """The stored artifact, parsed."""
+        return json.loads(self.get_bytes(digest).decode("utf-8"))
+
+    def lookup(self, request_key: str) -> Optional[str]:
+        """The digest a request key memoizes to, if the artifact is
+        still on disk (a GC'd or hand-deleted file is a miss)."""
+        with self._lock:
+            index = self._read_index()
+            digest = index["requests"].get(request_key)
+        if digest is None:
+            return None
+        if not os.path.exists(self.artifact_path(digest)):
+            return None
+        return digest
+
+    # -- inspection / maintenance --------------------------------------
+
+    def ls(self) -> list[dict]:
+        """One record per stored artifact, most recent first."""
+        index = self.index()
+        records = []
+        for digest, entry in index["artifacts"].items():
+            records.append(
+                {
+                    "digest": digest,
+                    "kind": entry.get("kind"),
+                    "schema": entry.get("schema"),
+                    "seq": entry.get("seq", 0),
+                    "bytes": entry.get("bytes", 0),
+                    "requests": len(entry.get("requests", [])),
+                    "present": os.path.exists(self.artifact_path(digest)),
+                }
+            )
+        records.sort(key=lambda r: -r["seq"])
+        return records
+
+    def gc(self, keep_last: int = 0) -> list[str]:
+        """Drop unreferenced artifacts; returns the removed digests.
+
+        An artifact is referenced while any request key maps to it.  Of
+        the unreferenced ones, the ``keep_last`` most recently stored
+        survive (0 = drop them all).
+        """
+        removed: list[str] = []
+        with self._lock:
+
+            def mutate(index: dict) -> None:
+                referenced = set(index["requests"].values())
+                unreferenced = sorted(
+                    (
+                        (entry.get("seq", 0), digest)
+                        for digest, entry in index["artifacts"].items()
+                        if digest not in referenced
+                    ),
+                    reverse=True,
+                )
+                for _, digest in unreferenced[max(keep_last, 0):]:
+                    index["artifacts"].pop(digest, None)
+                    removed.append(digest)
+
+            self._update_index(mutate)
+            for digest in removed:
+                try:
+                    os.unlink(self.artifact_path(digest))
+                except OSError:
+                    pass
+        return removed
+
+
+def _digest_ok(digest: str) -> bool:
+    return (
+        isinstance(digest, str)
+        and len(digest) == 64
+        and all(c in "0123456789abcdef" for c in digest)
+    )

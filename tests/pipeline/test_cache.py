@@ -6,6 +6,7 @@ and knob changes invalidate everything.
 """
 
 import json
+import os
 
 from repro.model.base import OpDef, Param
 from repro.model.posix import op_by_name
@@ -19,6 +20,9 @@ from repro.pipeline import (
 )
 
 OPS = ("link", "unlink", "stat")
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
 
 
 def _ops():
@@ -176,3 +180,117 @@ class TestIncrementalSweep:
         assert len(cache) == 1
         result = run_sweep(ops=[op_by_name("link")], cache=cache)
         assert result.cached_pairs == 1
+
+
+class TestConcurrentWriters:
+    """``save()`` must merge, not overwrite: concurrent jobs sharing a
+    cache path (the service's worker pool, two parallel CLI sweeps)
+    may not lose each other's entries."""
+
+    def test_two_writer_stress_threads(self, tmp_path):
+        """Two writers (separate ResultCache instances, as two sweeps
+        would hold) hammer one path with interleaved per-put saves; the
+        final file must contain every entry from both."""
+        import threading
+
+        path = str(tmp_path / "cache.json")
+        errors = []
+
+        def writer(tag):
+            try:
+                cache = ResultCache(path)
+                for k in range(40):
+                    cache.put(f"{tag}|{k}", "fp", {"total": k})
+                    cache.save()
+            except Exception as exc:  # pragma: no cover - diagnostics
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(tag,))
+            for tag in ("alpha", "beta")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        with open(path) as f:
+            entries = json.load(f)["entries"]
+        assert len(entries) == 80
+        for tag in ("alpha", "beta"):
+            for k in range(40):
+                assert entries[f"{tag}|{k}"]["cell"] == {"total": k}
+
+    def test_two_writer_stress_processes(self, tmp_path):
+        """The same guarantee across real process boundaries (the
+        advisory file lock, not the in-process mutex, is what serializes
+        the read-merge-write here)."""
+        import os
+        import subprocess
+        import sys
+
+        path = str(tmp_path / "cache.json")
+        script = (
+            "import sys\n"
+            "from repro.pipeline.cache import ResultCache\n"
+            "tag, path = sys.argv[1], sys.argv[2]\n"
+            "cache = ResultCache(path)\n"
+            "for k in range(40):\n"
+            "    cache.put(f'{tag}|{k}', 'fp', {'total': k})\n"
+            "    cache.save()\n"
+        )
+        env = dict(os.environ)
+        src = os.path.join(REPO, "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, tag, path],
+                env=env, stderr=subprocess.PIPE, text=True,
+            )
+            for tag in ("alpha", "beta")
+        ]
+        for proc in procs:
+            _, stderr = proc.communicate(timeout=120)
+            assert proc.returncode == 0, stderr
+        with open(path) as f:
+            entries = json.load(f)["entries"]
+        assert len(entries) == 80
+
+    def test_shared_instance_is_thread_safe(self, tmp_path):
+        """One instance shared by many threads (the service's jobs all
+        hold the server's cache object) must not corrupt its entries."""
+        import threading
+
+        path = str(tmp_path / "cache.json")
+        cache = ResultCache(path)
+
+        def worker(tag):
+            for k in range(50):
+                cache.put(f"{tag}|{k}", "fp", {"total": k})
+                cache.save()
+                assert cache.get(f"{tag}|{k}", "fp") == {"total": k}
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        reloaded = ResultCache(path)
+        assert len(reloaded) == 200
+
+    def test_save_adopts_concurrent_writers_entries(self, tmp_path):
+        """After a merge-save, another writer's disk entries become this
+        instance's cache hits (shared caching across service jobs)."""
+        path = str(tmp_path / "cache.json")
+        ours = ResultCache(path)
+        theirs = ResultCache(path)
+        theirs.put("their|pair", "fp", {"total": 7})
+        theirs.save()
+        ours.put("our|pair", "fp", {"total": 3})
+        ours.save()
+        assert ours.get("their|pair", "fp") == {"total": 7}
+        reloaded = ResultCache(path)
+        assert reloaded.get("our|pair", "fp") == {"total": 3}
+        assert reloaded.get("their|pair", "fp") == {"total": 7}

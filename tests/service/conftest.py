@@ -1,0 +1,62 @@
+"""Shared fixtures for the service tests: tmp-scoped managers and
+throwaway registered interfaces (cleaned out of the global registry so
+no other test suite ever sees them)."""
+
+import dataclasses
+import time
+
+import pytest
+
+from repro.model.registry import (
+    _REGISTRY,
+    get_interface,
+    register_interface,
+)
+from repro.service import ArtifactStore, JobManager, TERMINAL
+
+
+@pytest.fixture
+def manager(tmp_path):
+    """A JobManager with its own cache and store under tmp_path."""
+    mgr = JobManager(
+        cache=str(tmp_path / "cache.json"),
+        store=ArtifactStore(str(tmp_path / "store")),
+        workers=2,
+    )
+    yield mgr
+    mgr.shutdown()
+
+
+@pytest.fixture
+def scratch_interface():
+    """Register throwaway interfaces derived from posix; every name
+    registered through the returned helper is removed on teardown."""
+    registered = []
+
+    def make(name, ops):
+        posix = get_interface("posix")
+        iface = dataclasses.replace(
+            posix, name=name, description=f"test interface {name}",
+            ops=tuple(ops),
+        )
+        register_interface(iface)
+        registered.append(name)
+        return iface
+
+    yield make
+    for name in registered:
+        _REGISTRY.pop(name, None)
+
+
+def wait_done(manager, job_id, timeout=120.0):
+    """Drain a job's events until it reaches a terminal status."""
+    record = manager.get(job_id)
+    deadline = time.monotonic() + timeout
+    since = 0
+    while record.status not in TERMINAL:
+        fresh, _finished = manager.wait_events(job_id, since, timeout=1.0)
+        if fresh:
+            since = fresh[-1]["seq"]
+        if time.monotonic() > deadline:
+            raise TimeoutError(f"job {job_id} still {record.status}")
+    return record

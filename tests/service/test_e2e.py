@@ -1,0 +1,119 @@
+"""Acceptance end-to-end: a real ``repro serve`` subprocess, jobs over
+HTTP via ``repro submit``, and byte identity between the service's
+content-addressed artifact and the batch pipeline's stripped
+projection."""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+OPS = "link,stat"
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    """One serve subprocess plus two submits of the same heatmap."""
+    tmp = tmp_path_factory.mktemp("serve")
+    env = dict(os.environ)
+    src = os.path.join(REPO, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+
+    def repro_cmd(*args, **kwargs):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            capture_output=True, text=True, env=env, cwd=str(tmp),
+            timeout=600, **kwargs,
+        )
+
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--cache", "cache.json", "--store", "store"],
+        env=env, cwd=str(tmp), stdout=subprocess.PIPE, text=True,
+    )
+    try:
+        banner = server.stdout.readline()
+        match = re.search(r"http://127\.0\.0\.1:(\d+)", banner)
+        assert match, f"no port in serve banner: {banner!r}"
+        port = match.group(1)
+
+        first = repro_cmd(
+            "submit", "heatmap", "--port", port, "--ops", OPS,
+            "--out", "artifact.json",
+        )
+        second = repro_cmd(
+            "submit", "heatmap", "--port", port, "--ops", OPS,
+        )
+        yield tmp, first, second
+    finally:
+        server.send_signal(signal.SIGINT)
+        try:
+            server.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            server.kill()
+
+
+class TestServeSubmit:
+    def test_both_submissions_succeed(self, served):
+        _, first, second = served
+        assert first.returncode == 0, first.stderr
+        assert second.returncode == 0, second.stderr
+
+    def test_first_run_computes_and_streams_pairs(self, served):
+        _, first, _ = served
+        assert "status: running" in first.stdout
+        assert "link|link:" in first.stdout
+        assert "3 pairs computed, 0 cached" in first.stdout
+
+    def test_second_run_is_served_from_the_store(self, served):
+        _, _, second = served
+        assert "0 pairs computed" in second.stdout
+        assert "(served from store)" in second.stdout
+        assert "served from store:" in second.stdout  # the store event
+
+    def test_both_runs_name_the_same_digest(self, served):
+        _, first, second = served
+        digests = set(re.findall(r"artifact ([0-9a-f]{64})",
+                                 first.stdout + second.stdout))
+        assert len(digests) == 1
+
+    def test_service_artifact_is_byte_identical_to_batch(self, served):
+        """The acceptance criterion: the artifact fetched by digest over
+        HTTP equals the batch pipeline's stripped projection, byte for
+        byte, through the one canonical serialization."""
+        from repro.bench.heatmap import run_heatmap
+        from repro.bench.report import heatmap_to_dict, \
+            strip_volatile_heatmap
+        from repro.model.registry import resolve_ops
+        from repro.service.store import canonical_bytes
+
+        tmp, first, _ = served
+        with open(tmp / "artifact.json", "rb") as f:
+            fetched = f.read()
+        batch = run_heatmap(ops=resolve_ops("posix", OPS.split(",")))
+        expected = canonical_bytes(
+            strip_volatile_heatmap(heatmap_to_dict(batch))
+        )
+        assert fetched == expected
+
+        digest = re.search(r"artifact ([0-9a-f]{64})",
+                           first.stdout).group(1)
+        with open(tmp / "store" / f"{digest}.json", "rb") as f:
+            assert f.read() == fetched
+
+    def test_store_index_records_the_request(self, served):
+        tmp, _, _ = served
+        with open(tmp / "store" / "index.json") as f:
+            index = json.load(f)
+        assert index["version"] == 1
+        assert len(index["artifacts"]) == 1
+        (entry,) = index["artifacts"].values()
+        assert entry["kind"] == "heatmap"
+        assert len(index["requests"]) == 1

@@ -1,0 +1,148 @@
+"""The content-addressed artifact store: digests, memoization, GC."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.service import (
+    ArtifactStore,
+    UnknownArtifactError,
+    artifact_digest,
+    canonical_bytes,
+)
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+
+def repro_cmd(*args, cwd=None):
+    env = dict(os.environ)
+    src = os.path.join(REPO, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, env=env, cwd=cwd or REPO,
+        timeout=600,
+    )
+
+
+class TestCanonicalBytes:
+    def test_key_order_never_changes_the_digest(self):
+        a = {"x": 1, "y": [1, 2], "z": {"k": "v"}}
+        b = {"z": {"k": "v"}, "y": [1, 2], "x": 1}
+        assert canonical_bytes(a) == canonical_bytes(b)
+        assert artifact_digest(a) == artifact_digest(b)
+
+    def test_bytes_end_with_one_newline(self):
+        blob = canonical_bytes({"a": 1})
+        assert blob.endswith(b"\n") and not blob.endswith(b"\n\n")
+
+    def test_digest_is_sha256_of_the_bytes(self):
+        import hashlib
+
+        payload = {"schema": "repro.test/1", "n": 3}
+        assert artifact_digest(payload) == hashlib.sha256(
+            canonical_bytes(payload)
+        ).hexdigest()
+
+
+class TestArtifactStore:
+    def test_put_load_roundtrip(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        payload = {"schema": "repro.test/1", "cells": [1, 2, 3]}
+        digest = store.put(payload, "heatmap")
+        assert digest == artifact_digest(payload)
+        assert store.load(digest) == payload
+        assert store.get_bytes(digest) == canonical_bytes(payload)
+
+    def test_same_payload_same_digest_one_file(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        payload = {"schema": "repro.test/1", "n": 1}
+        d1 = store.put(payload, "heatmap", request_key="req-a")
+        d2 = store.put(payload, "heatmap", request_key="req-b")
+        assert d1 == d2
+        (record,) = store.ls()
+        assert record["requests"] == 2
+        assert store.lookup("req-a") == d1
+        assert store.lookup("req-b") == d1
+
+    def test_lookup_misses_for_unknown_and_deleted(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        assert store.lookup("nope") is None
+        digest = store.put({"n": 1}, "heatmap", request_key="req")
+        os.unlink(store.artifact_path(digest))
+        # A GC'd or hand-deleted artifact must be an honest miss.
+        assert store.lookup("req") is None
+
+    def test_unknown_digest_raises(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        with pytest.raises(UnknownArtifactError):
+            store.get_bytes("0" * 64)
+        with pytest.raises(UnknownArtifactError):
+            store.artifact_path("../../../etc/passwd")
+
+    def test_ls_most_recent_first(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        store.put({"n": 1}, "heatmap")
+        store.put({"n": 2}, "analyze")
+        kinds = [r["kind"] for r in store.ls()]
+        assert kinds == ["analyze", "heatmap"]
+
+    def test_gc_drops_only_unreferenced(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        kept = store.put({"n": 1}, "heatmap", request_key="req")
+        orphan = store.put({"n": 2}, "heatmap")
+        removed = store.gc()
+        assert removed == [orphan]
+        assert not os.path.exists(store.artifact_path(orphan))
+        assert store.load(kept) == {"n": 1}
+
+    def test_gc_keep_last_spares_recent_orphans(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        old = store.put({"n": 1}, "heatmap")
+        new = store.put({"n": 2}, "heatmap")
+        removed = store.gc(keep_last=1)
+        assert removed == [old]
+        assert store.load(new) == {"n": 2}
+
+    def test_index_survives_corruption(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        store.put({"n": 1}, "heatmap")
+        with open(store.index_path, "w") as f:
+            f.write("{not json")
+        assert store.ls() == []
+        store.put({"n": 2}, "heatmap")
+        assert len(store.ls()) == 1
+
+
+class TestStoreCli:
+    def test_ls_and_gc(self, tmp_path):
+        root = str(tmp_path / "store")
+        store = ArtifactStore(root)
+        kept = store.put({"n": 1}, "heatmap", request_key="req")
+        store.put({"n": 2}, "analyze")
+
+        ls = repro_cmd("store", "ls", "--store", root)
+        assert ls.returncode == 0, ls.stderr
+        assert "2 artifact(s)" in ls.stdout
+        assert kept[:16] in ls.stdout
+
+        gc = repro_cmd("store", "gc", "--store", root)
+        assert gc.returncode == 0, gc.stderr
+        assert "removed 1 unreferenced artifact(s)" in gc.stdout
+        assert len(store.ls()) == 1
+
+    def test_gc_keep_last(self, tmp_path):
+        root = str(tmp_path / "store")
+        store = ArtifactStore(root)
+        store.put({"n": 1}, "heatmap")
+        store.put({"n": 2}, "heatmap")
+        gc = repro_cmd("store", "gc", "--store", root, "--keep-last", "1")
+        assert gc.returncode == 0, gc.stderr
+        assert "removed 1 unreferenced artifact(s) (kept last 1)" \
+            in gc.stdout
+        (record,) = store.ls()
+        assert json.loads(store.get_bytes(record["digest"])) == {"n": 2}

@@ -41,6 +41,18 @@ def test_summary(data_file, capsys):
     assert "scalefs" in out and "96.7%" in out
 
 
+def test_summary_of_stripped_projection(data_file, capsys, tmp_path):
+    # Service-store artifacts are stripped projections: no volatile
+    # execution keys.  The browser must read them too.
+    raw = json.loads(open(data_file).read())
+    del raw["elapsed"]
+    path = tmp_path / "stripped.json"
+    path.write_text(json.dumps(raw))
+    out = run(["--data", str(path), "summary"], capsys)
+    assert "30 commutative test cases" in out
+    assert "pipeline)" not in out
+
+
 def test_cell(data_file, capsys):
     out = run(["--data", data_file, "cell", "open", "link"], capsys)
     assert "12 commutative tests" in out
