@@ -1,0 +1,97 @@
+"""Cluster-backend benchmark: the price of real sockets, priced honestly.
+
+One cycle runs the same 3-pair sweep three ways: the in-process
+``pool`` at two workers (the reference), a spawned two-worker cluster
+fleet (the coordination tax: bind, fork, handshake, dispatch over
+TCP), and the same fleet with a deterministic mid-sweep worker kill
+(the recovery tax).  The dispatch-to-first-result latency — dominated
+by worker startup, the Amdahl term of the per-drain lifecycle — is
+printed for eyeballing but never gated; shared runners make it noise.
+The gated counters are deterministic: pair counts, fleet size,
+cross-backend parity, and the fault run's requeue/loss counters
+(kill-after-result=1 fires after the victim's slot was refilled, so
+exactly one job is requeued, every time).
+"""
+
+import json
+import time
+
+from repro.bench.heatmap import run_heatmap
+from repro.bench.report import heatmap_to_dict, strip_volatile_heatmap
+from repro.cluster.backend import ClusterBackend
+from repro.cluster.faults import parse_fault
+from repro.model.posix import op_by_name
+
+OPS = ("link", "stat")
+
+
+def _ops():
+    return [op_by_name(name) for name in OPS]
+
+
+def _canon(result):
+    return json.dumps(
+        strip_volatile_heatmap(heatmap_to_dict(result)), sort_keys=True
+    )
+
+
+def _timed_heatmap(backend, out, key):
+    first_pair_s = [None]
+    start = time.perf_counter()
+
+    def on_progress(_line):
+        if first_pair_s[0] is None:
+            first_pair_s[0] = time.perf_counter() - start
+
+    result = run_heatmap(
+        ops=_ops(), backend=backend, on_progress=on_progress
+    )
+    out[f"{key}_wall_s"] = time.perf_counter() - start
+    out[f"{key}_first_result_s"] = first_pair_s[0]
+    out[key] = result
+    return result
+
+
+def _cycle(out):
+    _timed_heatmap(ClusterBackend(spawn_local=2), out, "cluster")
+    out["cluster_stats"] = out["cluster"].backend_stats
+
+    _timed_heatmap("pool", out, "pool")
+
+    faulted = ClusterBackend(
+        spawn_local=2, fault=parse_fault("kill-after-result=1")
+    )
+    _timed_heatmap(faulted, out, "fault")
+    out["fault_stats"] = out["fault"].backend_stats
+
+
+def test_cluster_sweep(benchmark):
+    out = {}
+    benchmark.pedantic(_cycle, args=(out,), iterations=1, rounds=1)
+
+    parity = len(
+        {_canon(out[key]) for key in ("cluster", "pool", "fault")}
+    ) == 1
+    assert parity, "cluster/pool/faulted artifacts diverged"
+    stats, fault_stats = out["cluster_stats"], out["fault_stats"]
+    assert stats["jobs_requeued"] == 0 and stats["workers_lost"] == 0
+
+    benchmark.extra_info.update(
+        {
+            "pairs": out["cluster"].computed_pairs,
+            "cluster_workers": stats["cluster_workers"],
+            "parity": int(parity),
+            "fault_jobs_requeued": fault_stats["jobs_requeued"],
+            "fault_workers_lost": fault_stats["workers_lost"],
+        }
+    )
+    print(
+        f"\ncluster sweep ({out['cluster'].computed_pairs} pairs): "
+        f"wall {out['cluster_wall_s']:.3f}s, dispatch->first-result "
+        f"{out['cluster_first_result_s']:.3f}s "
+        f"(pool@2: wall {out['pool_wall_s']:.3f}s, first "
+        f"{out['pool_first_result_s']:.3f}s); "
+        f"faulted wall {out['fault_wall_s']:.3f}s, "
+        f"jobs_requeued={fault_stats['jobs_requeued']}, "
+        f"workers_lost={fault_stats['workers_lost']}"
+    )

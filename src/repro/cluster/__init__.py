@@ -1,0 +1,29 @@
+"""Distributed cluster backend: a coordinator plus a TCP worker fleet.
+
+The pipeline's ``subprocess-shard`` backend proved that every pair job
+is self-contained picklable data that can leave the parent process
+through a byte stream; this package takes the same line-frame protocol
+(:mod:`repro.pipeline.protocol`) across a socket, so the fleet can live
+on N real hosts:
+
+* :mod:`repro.cluster.coordinator` — accepts worker connections,
+  verifies the versioned handshake (protocol version, analysis-context
+  fingerprint, interface coverage), dispatches jobs slot-by-slot with
+  backpressure, detects dead workers by heartbeat timeout, and
+  requeues their in-flight jobs;
+* :mod:`repro.cluster.worker` — connects to a coordinator, executes
+  jobs on a bounded thread pool, streams results and heartbeats back;
+  runnable as ``python -m repro.cluster.worker`` or via the CLI's
+  ``repro cluster worker``;
+* :mod:`repro.cluster.backend` — the :class:`ExecutionBackend`
+  registered as ``--backend cluster``, with ``--spawn-local N`` to
+  fork localhost workers so the full network path runs without real
+  hosts;
+* :mod:`repro.cluster.faults` — deterministic fault injection
+  (kill/timeout a worker after the k-th result) for pinning recovery
+  behavior in tests and CI.
+
+Operations guide: ``docs/cluster.md``.
+"""
+
+from repro.cluster.faults import FaultPlan, parse_fault  # noqa: F401

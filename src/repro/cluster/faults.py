@@ -1,0 +1,93 @@
+"""Deterministic fault injection for the cluster coordinator.
+
+Failure recovery is the part of a distributed backend that ordinary
+runs never exercise — workers mostly don't die.  A :class:`FaultPlan`
+makes them die *on schedule*: the coordinator applies the plan at
+well-defined points in its dispatch loop, so a test (or the CI cluster
+job) can assert exact recovery behavior — ``jobs_requeued >= 1``, the
+duplicate-result dedup path — instead of hoping a race happens.
+
+Two triggers, both keyed to the global result counter (the k-th result
+the coordinator receives, 1-based, counting every result including
+duplicates):
+
+``kill-after-result=K``
+    After recording the K-th result and refilling that worker's slots,
+    close the producing worker's socket.  The worker observes EOF and
+    exits; the coordinator requeues whatever it had in flight.  This is
+    the crash-stop failure.
+
+``timeout-after-result=K``
+    Same trigger point, but the socket stays open: the coordinator
+    merely stops counting the worker's heartbeats, so the liveness scan
+    declares it dead while the process keeps computing.  Its in-flight
+    jobs are requeued *and* its late results still arrive — the
+    duplicate-result dedup path, exercised deterministically.
+
+Plans are parsed from ``--fault`` or the ``REPRO_CLUSTER_FAULT``
+environment variable as comma-separated ``name=value`` terms, e.g.
+``kill-after-result=1`` or ``kill-after-result=2,timeout-after-result=4``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Environment variable the backend and CLI read a fault plan from.
+FAULT_ENV = "REPRO_CLUSTER_FAULT"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Scheduled coordinator-side faults (``None`` = never trigger)."""
+
+    kill_after_result: Optional[int] = None
+    timeout_after_result: Optional[int] = None
+
+    def __bool__(self) -> bool:
+        return (
+            self.kill_after_result is not None
+            or self.timeout_after_result is not None
+        )
+
+    def describe(self) -> str:
+        terms = []
+        if self.kill_after_result is not None:
+            terms.append(f"kill-after-result={self.kill_after_result}")
+        if self.timeout_after_result is not None:
+            terms.append(f"timeout-after-result={self.timeout_after_result}")
+        return ",".join(terms) or "none"
+
+
+def parse_fault(text: Optional[str]) -> FaultPlan:
+    """Parse a fault spec string; empty/None means no faults."""
+    if not text or not text.strip():
+        return FaultPlan()
+    fields = {}
+    for term in text.split(","):
+        term = term.strip()
+        if not term:
+            continue
+        name, sep, value = term.partition("=")
+        name = name.strip()
+        if not sep:
+            raise ValueError(f"fault term {term!r} is not name=value")
+        try:
+            count = int(value)
+        except ValueError:
+            raise ValueError(
+                f"fault term {term!r} needs an integer result count"
+            ) from None
+        if count < 1:
+            raise ValueError(f"fault term {term!r} must count from 1")
+        if name == "kill-after-result":
+            fields["kill_after_result"] = count
+        elif name == "timeout-after-result":
+            fields["timeout_after_result"] = count
+        else:
+            raise ValueError(
+                f"unknown fault {name!r}; known faults: "
+                "kill-after-result, timeout-after-result"
+            )
+    return FaultPlan(**fields)

@@ -1,0 +1,253 @@
+"""The cluster worker: connect, verify, execute, heartbeat.
+
+A worker owns no state a sweep depends on: every job arrives fully
+self-contained (the contract ``subprocess-shard`` proved), results go
+back as they finish, and a heartbeat frame flows every
+``heartbeat_interval`` seconds so the coordinator can tell "slow" from
+"dead".  ``slots`` bounds how many jobs the coordinator may keep in
+flight here — the worker-side half of the dispatch backpressure.
+
+Run as ``python -m repro.cluster.worker --connect HOST:PORT`` (or via
+the CLI: ``python -m repro cluster worker``).  :func:`run_worker` is
+also directly callable — tests run workers in threads against an
+in-process coordinator to exercise the full network path cheaply.
+
+With ``reconnect > 0`` the worker is self-healing: a refused initial
+connection or a dropped coordinator is retried every ``reconnect``
+seconds, forever, until a coordinator sends the explicit ``shutdown``
+frame (or rejects the handshake, which no retry can fix).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import threading
+import time
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional, Union
+
+from repro.pipeline.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_payload,
+    encode_frame,
+    encode_payload,
+    read_frames,
+)
+
+
+def parse_address(address: Union[str, tuple]) -> tuple[str, int]:
+    """``"host:port"`` (or a ready ``(host, port)`` pair) → tuple."""
+    if isinstance(address, tuple):
+        return address[0], int(address[1])
+    host, sep, port = address.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"address {address!r} is not HOST:PORT"
+        )
+    return host, int(port)
+
+
+class _Session:
+    """One connection's send side: a socket, a lock, a heartbeat clock."""
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self.wlock = threading.Lock()
+        self.send_failed = False
+
+    def send(self, frame: dict) -> None:
+        try:
+            data = encode_frame(frame)
+            with self.wlock:
+                self.sock.sendall(data)
+        except OSError:
+            # The read loop observes the dead socket and ends the
+            # session; losing one send is the coordinator's requeue
+            # problem, not ours.
+            self.send_failed = True
+
+
+def _execute_job(session: _Session, frame: dict) -> None:
+    try:
+        fn = decode_payload(frame["fn"])
+        job = decode_payload(frame["job"])
+        result = fn(job)
+        reply = {
+            "type": "result",
+            "id": frame["id"],
+            "ok": True,
+            "result": encode_payload(result),
+        }
+    except BaseException:
+        reply = {
+            "type": "result",
+            "id": frame.get("id"),
+            "ok": False,
+            "error": traceback.format_exc(),
+        }
+    session.send(reply)
+
+
+def _heartbeat_loop(
+    session: _Session, interval: float, stop: threading.Event
+) -> None:
+    seq = 0
+    while not stop.wait(interval):
+        seq += 1
+        session.send({"type": "heartbeat", "seq": seq})
+        if session.send_failed:
+            return
+
+
+def _serve_once(
+    address: tuple[str, int],
+    slots: int,
+    heartbeat_interval: float,
+    name: str,
+    log,
+) -> str:
+    """One connect→serve session; returns why it ended:
+    ``"shutdown"`` | ``"eof"`` | ``"rejected"``."""
+    from repro.model.registry import interface_names
+    from repro.pipeline.cache import context_fingerprint
+
+    sock = socket.create_connection(address, timeout=30.0)
+    stop = threading.Event()
+    try:
+        sock.settimeout(None)
+        session = _Session(sock)
+        rfile = sock.makefile("rb")
+        session.send(
+            {
+                "type": "hello",
+                "version": PROTOCOL_VERSION,
+                "slots": slots,
+                "fingerprint": context_fingerprint(),
+                "interfaces": list(interface_names()),
+                "name": name,
+            }
+        )
+        frames = read_frames(rfile)
+        try:
+            greeting = next(frames, None)
+        except ProtocolError:
+            return "eof"
+        if greeting is None:
+            return "eof"
+        if greeting.get("type") == "reject":
+            log(f"coordinator rejected us: {greeting.get('reason')}")
+            return "rejected"
+        if greeting.get("type") != "welcome":
+            log(f"unexpected greeting frame: {greeting!r}")
+            return "eof"
+        log(f"connected to {address[0]}:{address[1]} with {slots} slot(s)")
+        heartbeat = threading.Thread(
+            target=_heartbeat_loop,
+            args=(session, heartbeat_interval, stop),
+            name="cluster-heartbeat",
+            daemon=True,
+        )
+        heartbeat.start()
+        with ThreadPoolExecutor(max_workers=slots) as pool:
+            try:
+                for frame in frames:
+                    kind = frame.get("type")
+                    if kind == "job":
+                        pool.submit(_execute_job, session, frame)
+                    elif kind == "shutdown":
+                        log("coordinator sent shutdown")
+                        return "shutdown"
+            except ProtocolError as exc:
+                log(f"connection lost mid-frame: {exc}")
+        return "eof"
+    finally:
+        stop.set()
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def run_worker(
+    address: Union[str, tuple],
+    slots: int = 1,
+    heartbeat_interval: float = 0.5,
+    reconnect: float = 0.0,
+    name: Optional[str] = None,
+    quiet: bool = False,
+) -> int:
+    """Serve a coordinator until shutdown; the ``cluster worker`` body.
+
+    Exit codes: ``0`` clean shutdown (or coordinator gone with no
+    reconnect configured), ``1`` could not connect, ``2`` handshake
+    rejected.
+    """
+    address = parse_address(address)
+    if name is None:
+        name = f"{socket.gethostname()}:{os.getpid()}"
+    if slots < 1:
+        raise ValueError(f"slots must be >= 1, got {slots}")
+
+    def log(message: str) -> None:
+        if not quiet:
+            print(f"[cluster-worker {name}] {message}", file=sys.stderr)
+
+    while True:
+        try:
+            ended = _serve_once(address, slots, heartbeat_interval, name, log)
+        except OSError as exc:
+            if reconnect > 0:
+                log(f"connect to {address[0]}:{address[1]} failed ({exc}); "
+                    f"retrying in {reconnect:.1f}s")
+                time.sleep(reconnect)
+                continue
+            log(f"could not connect to {address[0]}:{address[1]}: {exc}")
+            return 1
+        if ended == "shutdown":
+            return 0
+        if ended == "rejected":
+            return 2
+        if reconnect > 0:  # "eof": the coordinator vanished
+            log(f"coordinator gone; reconnecting in {reconnect:.1f}s")
+            time.sleep(reconnect)
+            continue
+        return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster.worker",
+        description="Cluster worker process (see docs/cluster.md).",
+    )
+    parser.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="coordinator address")
+    parser.add_argument("--slots", type=int, default=1,
+                        help="max jobs in flight on this worker (default 1)")
+    parser.add_argument("--heartbeat", type=float, default=0.5,
+                        help="heartbeat interval in seconds (default 0.5)")
+    parser.add_argument("--reconnect", type=float, default=0.0,
+                        help="seconds between reconnect attempts "
+                             "(0 = exit when the coordinator goes away)")
+    parser.add_argument("--name", default=None,
+                        help="worker name in coordinator logs/stats "
+                             "(default host:pid)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress stderr progress lines")
+    args = parser.parse_args(argv)
+    return run_worker(
+        args.connect,
+        slots=args.slots,
+        heartbeat_interval=args.heartbeat,
+        reconnect=args.reconnect,
+        name=args.name,
+        quiet=args.quiet,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

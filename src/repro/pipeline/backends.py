@@ -71,9 +71,7 @@ Authoring guide: ``docs/backends.md``.
 
 from __future__ import annotations
 
-import base64
 import hashlib
-import json
 import os
 import pickle
 import queue
@@ -85,6 +83,14 @@ from abc import ABC, abstractmethod
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Callable, Optional, Sequence, Union
+
+from repro.pipeline.protocol import (
+    ProtocolError,
+    decode_payload,
+    dump_frame,
+    encode_payload,
+    read_frames,
+)
 
 
 def default_workers() -> int:
@@ -527,8 +533,8 @@ class _ShardWorker:
     def _feed(self) -> None:
         try:
             for index, fn, job in self.items:
-                line = json.dumps({"id": index, "fn": _b64pickle(fn), "job": _b64pickle(job)})
-                self.process.stdin.write(line + "\n")
+                frame = {"id": index, "fn": encode_payload(fn), "job": encode_payload(job)}
+                self.process.stdin.write(dump_frame(frame) + "\n")
                 self.process.stdin.flush()
             self.process.stdin.close()
         except (BrokenPipeError, OSError):
@@ -536,17 +542,16 @@ class _ShardWorker:
 
     def _collect(self) -> None:
         seen = 0
-        for line in self.process.stdout:
-            line = line.strip()
-            if not line:
-                continue
-            msg = json.loads(line)
-            if msg.get("ok"):
-                payload = pickle.loads(base64.b64decode(msg["result"]))
-                self.inbox.put((msg["id"], True, payload))
-            else:
-                self.inbox.put((msg["id"], False, msg.get("error", "")))
-            seen += 1
+        try:
+            for msg in read_frames(self.process.stdout):
+                if msg.get("ok"):
+                    payload = decode_payload(msg["result"])
+                    self.inbox.put((msg["id"], True, payload))
+                else:
+                    self.inbox.put((msg["id"], False, msg.get("error", "")))
+                seen += 1
+        except ProtocolError:
+            pass  # a dying worker's half-written frame; handled below
         if seen < len(self.items):
             # The worker died mid-batch; fail every job still owed.
             self.process.wait()
@@ -574,10 +579,6 @@ class _ShardWorker:
             self.stderr_file.close()
 
 
-def _b64pickle(obj) -> str:
-    return base64.b64encode(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)).decode("ascii")
-
-
 def format_backend_stats(stats: dict) -> str:
     """One-line ``key=value`` rendering of a stats dict (CLI summaries);
     the identity keys every backend carries are left out."""
@@ -587,3 +588,11 @@ def format_backend_stats(stats: dict) -> str:
             continue
         parts.append(f"{key}={stats[key]}")
     return " ".join(parts)
+
+
+# The distributed backend lives in its own package but registers here
+# like every built-in.  Module-form import: if repro.cluster.backend is
+# mid-import (it imports this module), the partial module object in
+# sys.modules satisfies this statement and registration completes when
+# its body finishes.
+import repro.cluster.backend  # noqa: E402,F401

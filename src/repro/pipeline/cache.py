@@ -194,6 +194,17 @@ def _context_hash() -> str:
     return h.hexdigest()
 
 
+def context_fingerprint() -> str:
+    """The analysis-context hash shared by every job fingerprint.
+
+    This is the cluster handshake's compatibility check: a worker whose
+    checkout computes a different context hash would produce results
+    the coordinator's cache fingerprints could silently mis-attribute,
+    so the coordinator rejects it at connect time instead.
+    """
+    return _context_hash()
+
+
 def job_fingerprint(job: PairJob) -> str:
     """Fingerprint guarding one pair's cached result.
 

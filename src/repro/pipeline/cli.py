@@ -147,11 +147,12 @@ def _ladder(raw: str) -> tuple:
         raise argparse.ArgumentTypeError(str(exc)) from None
 
 
-def _add_backend_options(parser):
+def _add_backend_options(parser, cluster: bool = True):
     """``--backend`` (the execution-backend registry) plus ``--workers``
     (kept as a compatible alias: ``--workers N`` alone still means
     serial for 1, the process pool otherwise — see docs/backends.md
-    for the 0/None/1 semantics table)."""
+    for the 0/None/1 semantics table).  ``cluster`` adds the flags that
+    only make sense with ``--backend cluster`` (docs/cluster.md)."""
     from repro.pipeline.backends import backend_names
 
     parser.add_argument(
@@ -166,6 +167,42 @@ def _add_backend_options(parser):
              "cores with --backend, otherwise 1 = serial; --workers N "
              "alone selects the process pool)",
     )
+    if cluster:
+        parser.add_argument(
+            "--spawn-local", type=_worker_count, default=None, metavar="N",
+            help="with --backend cluster: fork N localhost workers "
+                 "(0 = all cores) instead of waiting for external ones",
+        )
+        parser.add_argument(
+            "--cluster-listen", default=None, metavar="HOST:PORT",
+            help="with --backend cluster: accept external workers "
+                 "(repro cluster worker --connect) on this address",
+        )
+
+
+def _cli_backend(args):
+    """``--backend`` plus the cluster-only flags, resolved to what the
+    pipeline's ``resolve_backend`` accepts: a registry name, ``None``,
+    or (for ``cluster``, which needs its spawn/listen configuration) a
+    prebuilt backend instance."""
+    from repro.pipeline.backends import ExecutionBackend
+
+    backend = getattr(args, "backend", None)
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    spawn = getattr(args, "spawn_local", None)
+    listen = getattr(args, "cluster_listen", None)
+    if backend != "cluster":
+        if spawn is not None or listen is not None:
+            raise SystemExit(
+                "--spawn-local/--cluster-listen require --backend cluster"
+            )
+        return backend
+    from repro.cluster.backend import ClusterBackend
+
+    return ClusterBackend(
+        workers=args.workers, spawn_local=spawn, listen=listen
+    )
 
 
 def _add_ncores_option(parser):
@@ -179,7 +216,8 @@ def _add_ncores_option(parser):
 
 
 def _add_matrix_options(parser, cache: bool = False,
-                        interface_option: bool = True):
+                        interface_option: bool = True,
+                        backend_options: bool = True):
     if interface_option:
         parser.add_argument(
             "--interface", default="posix", metavar="NAME",
@@ -195,7 +233,8 @@ def _add_matrix_options(parser, cache: bool = False,
         "--pairs", metavar="a,b", action="append",
         help="restrict to one pair (repeatable; order-insensitive)",
     )
-    _add_backend_options(parser)
+    if backend_options:
+        _add_backend_options(parser)
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-pair progress lines")
     parser.add_argument(
@@ -220,7 +259,7 @@ def cmd_analyze(args) -> int:
     result = run_analysis(
         ops=ops,
         workers=args.workers,
-        backend=args.backend,
+        backend=_cli_backend(args),
         pair_filter=pair_filter,
         on_progress=_progress(args),
         condition_chars=args.condition_chars,
@@ -267,7 +306,7 @@ def cmd_heatmap(args) -> int:
         tests_per_path=args.tests_per_path,
         on_progress=_progress(args),
         workers=args.workers,
-        backend=args.backend,
+        backend=_cli_backend(args),
         cache=cache,
         pair_filter=pair_filter,
         solver_cache_size=args.solver_cache_size,
@@ -314,7 +353,7 @@ def cmd_scaling(args) -> int:
         pair_filter=pair_filter,
         tests_per_path=args.tests_per_path,
         workers=args.workers,
-        backend=args.backend,
+        backend=_cli_backend(args),
         cache=cache,
         on_progress=_progress(args),
         solver_cache_size=args.solver_cache_size,
@@ -377,7 +416,7 @@ def cmd_testgen(args) -> int:
             progress(f"{result['op0']}/{result['op1']}: "
                      f"{result['cases']} cases")
 
-    resolved = resolve_backend(args.workers, backend=args.backend)
+    resolved = resolve_backend(args.workers, backend=_cli_backend(args))
     results = resolved.map(
         partial(run_testgen_job, render=args.render), jobs, on_result=report
     )
@@ -491,7 +530,7 @@ def _run_compare_cli(args, redesign):
         redesign,
         tests_per_path=args.tests_per_path,
         workers=args.workers,
-        backend=args.backend,
+        backend=_cli_backend(args),
         cache=None if args.no_cache else args.cache,
         ncores=args.ncores,
         on_progress=_progress(args),
@@ -778,7 +817,22 @@ def cmd_serve(args) -> int:
     """Boot the COMMUTER service (see docs/service.md): an asyncio
     HTTP/JSON job server sharing one result cache and one
     content-addressed artifact store across jobs."""
+    import os
+
     from repro.service import ArtifactStore, JobManager, ServiceServer
+
+    # The service builds one backend per job from its name, so cluster
+    # configuration travels by environment (the same REPRO_CLUSTER_*
+    # variables the flags set; see docs/cluster.md).
+    if args.backend == "cluster":
+        if args.spawn_local is not None:
+            os.environ["REPRO_CLUSTER_SPAWN_LOCAL"] = str(args.spawn_local)
+        if args.cluster_listen is not None:
+            os.environ["REPRO_CLUSTER_LISTEN"] = args.cluster_listen
+    elif args.spawn_local is not None or args.cluster_listen is not None:
+        raise SystemExit(
+            "--spawn-local/--cluster-listen require --backend cluster"
+        )
 
     manager = JobManager(
         cache=None if args.no_cache else args.cache,
@@ -917,6 +971,52 @@ def cmd_store(args) -> int:
     for digest in removed:
         print(f"  {digest}")
     return 0
+
+
+def cmd_cluster_worker(args) -> int:
+    """Run one cluster worker against a coordinator (docs/cluster.md)."""
+    from repro.cluster.worker import run_worker
+
+    try:
+        return run_worker(
+            args.connect,
+            slots=args.slots,
+            heartbeat_interval=args.heartbeat,
+            reconnect=args.reconnect,
+            name=args.name,
+            quiet=args.quiet,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"cluster worker: {exc}") from None
+
+
+def cmd_cluster_coordinator(args) -> int:
+    """Listen for workers and drive a heatmap sweep across the fleet:
+    the explicit-deployment spelling of ``heatmap --backend cluster``
+    (same artifacts, same cache; see docs/cluster.md)."""
+    from repro.cluster.backend import ClusterBackend
+    from repro.cluster.faults import parse_fault
+
+    try:
+        fault = parse_fault(args.fault) if args.fault else None
+    except ValueError as exc:
+        raise SystemExit(f"cluster coordinator: {exc}") from None
+    verbose = None if args.quiet else (
+        lambda line: print(f"  [coordinator] {line}", flush=True)
+    )
+    args.backend = ClusterBackend(
+        listen=args.listen,
+        spawn_local=args.spawn_local,
+        min_workers=args.min_workers,
+        slots=args.slots,
+        fault=fault,
+        on_event=verbose,
+        on_listening=lambda host, port: print(
+            f"cluster coordinator listening on {host}:{port}", flush=True
+        ),
+    )
+    args.workers = None
+    return cmd_heatmap(args)
 
 
 def cmd_browse(argv: Sequence[str]) -> int:
@@ -1139,7 +1239,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="ncores ladder (scaling jobs; default "
                         "2,4,16,64,128,480)")
     p.add_argument("--tests-per-path", type=int, default=1)
-    _add_backend_options(p)
+    # No cluster flags here: spawn/listen configuration belongs to the
+    # server process (`repro serve --backend cluster` or REPRO_CLUSTER_*).
+    _add_backend_options(p, cluster=False)
     p.add_argument("--no-wait", action="store_true",
                    help="print the job record and exit without streaming")
     p.add_argument("--out", default=None, metavar="PATH",
@@ -1159,6 +1261,66 @@ def build_parser() -> argparse.ArgumentParser:
                    help="gc: keep the N most recently stored "
                         "unreferenced artifacts (default 0 = drop all)")
     p.set_defaults(fn=cmd_store)
+
+    p = sub.add_parser(
+        "cluster",
+        help="distributed fleet: a coordinator driving TCP workers on N "
+             "hosts, with heartbeat failure detection and requeue "
+             "(see docs/cluster.md; `--backend cluster` on any command "
+             "uses the same machinery)",
+    )
+    csub = p.add_subparsers(dest="cluster_command", required=True)
+
+    c = csub.add_parser(
+        "coordinator",
+        help="listen for workers and run a heatmap sweep across the "
+             "fleet (artifacts byte-identical to --backend serial)",
+    )
+    c.add_argument("--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+                   help="bind address for worker connections (default "
+                        "127.0.0.1:0 = ephemeral, printed on startup)")
+    c.add_argument("--min-workers", type=int, default=1, metavar="N",
+                   help="wait for N connected workers before dispatching "
+                        "(default 1)")
+    c.add_argument("--spawn-local", type=_worker_count, default=None,
+                   metavar="N",
+                   help="also fork N localhost workers (0 = all cores)")
+    c.add_argument("--slots", type=int, default=1, metavar="K",
+                   help="jobs in flight per spawned local worker "
+                        "(default 1)")
+    c.add_argument("--fault", default=None, metavar="SPEC",
+                   help="deterministic fault injection, e.g. "
+                        "kill-after-result=2 (tests/CI; docs/cluster.md)")
+    _add_matrix_options(c, cache=True, backend_options=False)
+    _add_ncores_option(c)
+    c.add_argument("--out", default=None, metavar="PATH",
+                   help=f"artifact path (default {DEFAULT_HEATMAP_OUT}; "
+                        f"{DEFAULT_PARTIAL_OUT} for --ops/--pairs runs)")
+    c.add_argument("--tests-per-path", type=int, default=1)
+    c.add_argument("--render", action="store_true",
+                   help="print the ASCII matrix and residue tables")
+    c.set_defaults(fn=cmd_cluster_coordinator)
+
+    w = csub.add_parser(
+        "worker",
+        help="connect to a coordinator and execute dispatched pair jobs "
+             "until it shuts the fleet down",
+    )
+    w.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="coordinator address")
+    w.add_argument("--slots", type=int, default=1, metavar="K",
+                   help="max jobs in flight on this worker (default 1)")
+    w.add_argument("--heartbeat", type=float, default=0.5, metavar="SECS",
+                   help="heartbeat interval (default 0.5)")
+    w.add_argument("--reconnect", type=float, default=0.0, metavar="SECS",
+                   help="retry cadence when the coordinator is missing "
+                        "(default 0 = exit instead)")
+    w.add_argument("--name", default=None, metavar="NAME",
+                   help="worker name in coordinator logs/stats "
+                        "(default host:pid)")
+    w.add_argument("--quiet", action="store_true",
+                   help="suppress stderr progress lines")
+    w.set_defaults(fn=cmd_cluster_worker)
 
     sub.add_parser(
         "browse", add_help=False,

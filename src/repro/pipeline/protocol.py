@@ -1,0 +1,166 @@
+"""Line-delimited JSON framing shared by the byte-stream backends.
+
+One frame is one JSON object on one ``\\n``-terminated line; binary
+payloads (pickled jobs, functions, results) travel inside frames as
+base64 text.  This is the wire format of both the ``subprocess-shard``
+backend's stdio workers (:mod:`repro.pipeline.shard_worker`) and the
+``cluster`` backend's TCP fleet (:mod:`repro.cluster`) — factored out
+here so the two speak *the same* protocol and are tested once.
+
+The decoding side is defensive by construction, because frames arrive
+from other processes and other hosts:
+
+* a non-JSON or non-object line raises :class:`MalformedFrameError`;
+* a line longer than ``max_bytes`` raises :class:`FrameTooLargeError`
+  **without buffering the oversized line** (:func:`read_frames` caps
+  every ``readline``), so a corrupt or hostile peer cannot balloon
+  memory;
+* a final line with no terminating newline — the classic half-written
+  frame of a dying peer — raises :class:`TruncatedFrameError`;
+* :func:`read_frames` never blocks beyond the underlying stream's own
+  timeout semantics and never spins: each iteration either yields a
+  frame, raises a typed error, or returns on clean EOF.
+
+All errors derive from :class:`ProtocolError`, so callers can treat
+"the peer spoke garbage" as one condition distinct from "the job
+raised" (which travels *inside* a well-formed frame).
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+import pickle
+from typing import Iterator, Union
+
+#: Version of the framing + handshake contract.  Bump when a frame's
+#: meaning changes; the cluster handshake refuses mismatched peers.
+PROTOCOL_VERSION = 1
+
+#: Default ceiling for one frame (the base64 payload of a large pair
+#: job is ~100 KB; 64 MiB is far beyond anything legitimate).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """A peer violated the line-frame protocol."""
+
+
+class MalformedFrameError(ProtocolError):
+    """A line that is not one JSON object (or a payload that is not
+    valid base64-pickle)."""
+
+
+class FrameTooLargeError(ProtocolError):
+    """A line longer than the frame ceiling (never fully buffered)."""
+
+
+class TruncatedFrameError(ProtocolError):
+    """EOF in the middle of a frame (no terminating newline)."""
+
+
+def dump_frame(message: dict, max_bytes: int = MAX_FRAME_BYTES) -> str:
+    """One frame as a single JSON line (no trailing newline)."""
+    line = json.dumps(message)
+    if len(line) + 1 > max_bytes:
+        raise FrameTooLargeError(
+            f"frame of {len(line) + 1} bytes exceeds the "
+            f"{max_bytes}-byte ceiling"
+        )
+    return line
+
+
+def encode_frame(message: dict, max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """One frame as newline-terminated bytes (the socket spelling)."""
+    return (dump_frame(message, max_bytes) + "\n").encode("utf-8")
+
+
+def decode_frame(
+    line: Union[str, bytes], max_bytes: int = MAX_FRAME_BYTES
+) -> dict:
+    """Parse one received line into a frame dict, or raise typed errors."""
+    if len(line) > max_bytes:
+        raise FrameTooLargeError(
+            f"frame of {len(line)} bytes exceeds the {max_bytes}-byte ceiling"
+        )
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise MalformedFrameError(f"frame is not UTF-8: {exc}") from None
+    line = line.strip()
+    if not line:
+        raise MalformedFrameError("empty frame")
+    try:
+        message = json.loads(line)
+    except ValueError as exc:
+        raise MalformedFrameError(
+            f"frame is not JSON ({exc}): {line[:120]!r}"
+        ) from None
+    if not isinstance(message, dict):
+        raise MalformedFrameError(
+            f"frame is not a JSON object: {line[:120]!r}"
+        )
+    return message
+
+
+def read_frames(stream, max_bytes: int = MAX_FRAME_BYTES) -> Iterator[dict]:
+    """Yield frames from a line-oriented stream until clean EOF.
+
+    Works on byte and text streams alike (``socket.makefile('rb')``,
+    a subprocess pipe, ``sys.stdin``).  Every read is capped at
+    ``max_bytes + 1`` so an oversized line is rejected without being
+    buffered; blank lines are skipped (keep-alive friendly); a final
+    unterminated line raises :class:`TruncatedFrameError`.
+    """
+    newline: Union[str, bytes, None] = None
+    while True:
+        line = stream.readline(max_bytes + 1)
+        if newline is None:
+            newline = b"\n" if isinstance(line, bytes) else "\n"
+        if not line:
+            return
+        if len(line) > max_bytes:
+            raise FrameTooLargeError(
+                f"frame exceeds the {max_bytes}-byte ceiling"
+            )
+        if not line.endswith(newline):
+            # readline stopped at EOF, not a newline: a half-written
+            # frame from a peer that died mid-send.
+            if line.strip():
+                raise TruncatedFrameError(
+                    f"stream ended mid-frame after {len(line)} bytes"
+                )
+            return
+        if not line.strip():
+            continue
+        yield decode_frame(line, max_bytes=max_bytes)
+
+
+def encode_payload(obj) -> str:
+    """An arbitrary picklable object as base64 text (frame-embeddable)."""
+    return base64.b64encode(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def decode_payload(text: str):
+    """Inverse of :func:`encode_payload`, with typed decode errors.
+
+    Unpickling executes the payload's constructors, so this must only
+    be called on frames from trusted peers — the cluster handshake's
+    fingerprint check exists to keep it that way.
+    """
+    try:
+        blob = base64.b64decode(text, validate=True)
+    except (binascii.Error, TypeError, ValueError) as exc:
+        raise MalformedFrameError(
+            f"payload is not valid base64: {exc}"
+        ) from None
+    try:
+        return pickle.loads(blob)
+    except Exception as exc:
+        raise MalformedFrameError(
+            f"payload does not unpickle: {exc!r}"
+        ) from None

@@ -1,6 +1,7 @@
 """The ``subprocess-shard`` backend's worker process.
 
-Speaks the line-delimited JSON protocol documented in
+Speaks the line-delimited JSON protocol of
+:mod:`repro.pipeline.protocol` with the frame shapes documented in
 :class:`repro.pipeline.backends.SubprocessShardBackend`: each stdin line
 is ``{"id": int, "fn": <b64 pickle>, "job": <b64 pickle>}``; each stdout
 line is ``{"id": int, "ok": true, "result": <b64 pickle>}`` or
@@ -14,32 +15,30 @@ nothing else should need to).
 
 from __future__ import annotations
 
-import base64
-import json
-import pickle
 import sys
 import traceback
+
+from repro.pipeline.protocol import (
+    decode_payload,
+    dump_frame,
+    encode_payload,
+    read_frames,
+)
 
 
 def serve(stdin=None, stdout=None) -> int:
     """Process jobs line by line until stdin closes."""
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
-    for line in stdin:
-        line = line.strip()
-        if not line:
-            continue
-        message = json.loads(line)
+    for message in read_frames(stdin):
         try:
-            fn = pickle.loads(base64.b64decode(message["fn"]))
-            job = pickle.loads(base64.b64decode(message["job"]))
+            fn = decode_payload(message["fn"])
+            job = decode_payload(message["job"])
             result = fn(job)
             reply = {
                 "id": message["id"],
                 "ok": True,
-                "result": base64.b64encode(
-                    pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
-                ).decode("ascii"),
+                "result": encode_payload(result),
             }
         except BaseException:
             reply = {
@@ -47,7 +46,7 @@ def serve(stdin=None, stdout=None) -> int:
                 "ok": False,
                 "error": traceback.format_exc(),
             }
-        stdout.write(json.dumps(reply) + "\n")
+        stdout.write(dump_frame(reply) + "\n")
         stdout.flush()
     return 0
 

@@ -1,0 +1,103 @@
+"""Shared helpers for the cluster tests: in-thread workers and scripted
+fake workers speaking the raw wire protocol.
+
+A *real* worker runs :func:`repro.cluster.worker.run_worker` in a
+thread against an in-process coordinator — the full TCP path with none
+of the subprocess startup cost.  A *scripted* worker is a raw socket
+the test drives frame by frame, for pinning handshake rejection and
+failure-recovery behavior deterministically.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.cluster.coordinator import Coordinator
+from repro.cluster.worker import run_worker
+from repro.pipeline.protocol import (
+    PROTOCOL_VERSION,
+    decode_frame,
+    encode_frame,
+)
+
+
+def start_thread_worker(address, **kwargs):
+    """Run a real worker in a daemon thread; returns (thread, rc_box)."""
+    box = {}
+
+    def target():
+        box["code"] = run_worker(address, quiet=True, **kwargs)
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    return thread, box
+
+
+class ScriptedWorker:
+    """A raw-socket fake worker the test drives frame by frame.
+
+    Frames are read through an explicit byte buffer (not a buffered
+    file object) so a receive *timeout* is a clean, recoverable event
+    — the backpressure test relies on "no frame arrives" being
+    observable without wrecking the stream.
+    """
+
+    def __init__(self, address):
+        self.sock = socket.create_connection(address, timeout=10.0)
+        self.buffer = b""
+
+    def send(self, frame):
+        self.sock.sendall(encode_frame(frame))
+
+    def hello(self, *, version=PROTOCOL_VERSION, fingerprint=None,
+              interfaces=None, slots=1, name="scripted"):
+        from repro.model.registry import interface_names
+        from repro.pipeline.cache import context_fingerprint
+
+        if fingerprint is None:
+            fingerprint = context_fingerprint()
+        if interfaces is None:
+            interfaces = list(interface_names())
+        self.send({
+            "type": "hello", "version": version, "slots": slots,
+            "fingerprint": fingerprint, "interfaces": interfaces,
+            "name": name,
+        })
+        return self.recv()
+
+    def recv(self, timeout=10.0):
+        """Next frame, ``None`` on EOF, ``TimeoutError`` when nothing
+        arrives in time (the buffer is left intact)."""
+        self.sock.settimeout(timeout)
+        while b"\n" not in self.buffer:
+            try:
+                chunk = self.sock.recv(65536)
+            except TimeoutError:
+                raise
+            except OSError as exc:  # pragma: no cover - diagnostics
+                raise AssertionError(f"socket died mid-script: {exc}")
+            if not chunk:
+                return None
+            self.buffer += chunk
+        line, self.buffer = self.buffer.split(b"\n", 1)
+        return decode_frame(line)
+
+    def close(self):
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+@pytest.fixture
+def coordinator(request):
+    """A started coordinator on an ephemeral port, closed on teardown.
+
+    Parametrize indirectly with a kwargs dict to override timeouts or
+    inject faults.
+    """
+    kwargs = getattr(request, "param", {})
+    coord = Coordinator("127.0.0.1", 0, **kwargs).start()
+    yield coord
+    coord.close()

@@ -1,0 +1,181 @@
+"""Coordinator handshake and dispatch: verify-then-trust, slot-bounded.
+
+Every admission decision is pinned at the wire level with scripted
+workers (wrong version, wrong fingerprint, missing interface, garbage
+first frame), and the happy path with a real worker over real TCP.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster.coordinator import ClusterError, Coordinator
+from repro.pipeline.protocol import PROTOCOL_VERSION
+
+from tests.cluster.conftest import ScriptedWorker, start_thread_worker
+
+
+def square(n):
+    return n * n
+
+
+class TestHandshake:
+    def test_real_worker_joins_and_serves(self, coordinator):
+        thread, box = start_thread_worker(coordinator.address, slots=2)
+        coordinator.wait_for_workers(1, timeout=10)
+        jobs = [3, 1, 4, 1, 5]
+        results = coordinator.run_batch([(square, n) for n in jobs])
+        assert results == [n * n for n in jobs]
+        stats = coordinator.stats()
+        assert stats["workers_joined"] == 1
+        assert stats["workers_lost"] == 0
+        assert stats["jobs_requeued"] == 0
+        assert stats["worker_jobs"] == [len(jobs)]
+        # close() broadcasts shutdown; the worker exits cleanly.
+        coordinator.close()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert box["code"] == 0
+
+    def test_wrong_version_rejected(self, coordinator):
+        fake = ScriptedWorker(coordinator.address)
+        reply = fake.hello(version=PROTOCOL_VERSION + 1)
+        assert reply["type"] == "reject"
+        assert "version" in reply["reason"]
+        fake.close()
+        assert coordinator.stats()["workers_rejected"] == 1
+        assert coordinator.stats()["workers_joined"] == 0
+
+    def test_wrong_fingerprint_rejected(self, coordinator):
+        fake = ScriptedWorker(coordinator.address)
+        reply = fake.hello(fingerprint="not-the-same-checkout")
+        assert reply["type"] == "reject"
+        assert "fingerprint" in reply["reason"]
+        fake.close()
+
+    def test_missing_interface_rejected(self, coordinator):
+        fake = ScriptedWorker(coordinator.address)
+        reply = fake.hello(interfaces=["posix"])
+        assert reply["type"] == "reject"
+        assert "interfaces" in reply["reason"]
+        fake.close()
+
+    def test_garbage_first_frame_rejected(self, coordinator):
+        fake = ScriptedWorker(coordinator.address)
+        fake.send({"type": "result", "id": 0})
+        reply = fake.recv()
+        assert reply["type"] == "reject"
+        assert "hello" in reply["reason"]
+        fake.close()
+
+    def test_rejected_real_worker_exits_with_code_2(self):
+        coord = Coordinator(
+            "127.0.0.1", 0, fingerprint="a-different-checkout"
+        ).start()
+        try:
+            thread, box = start_thread_worker(coord.address)
+            thread.join(timeout=10)
+            assert box["code"] == 2
+        finally:
+            coord.close()
+
+    def test_welcome_carries_protocol_version(self, coordinator):
+        fake = ScriptedWorker(coordinator.address)
+        reply = fake.hello()
+        assert reply == {"type": "welcome", "version": PROTOCOL_VERSION}
+        fake.close()
+
+
+class TestDispatch:
+    def test_slot_bounded_backpressure(self, coordinator):
+        fake = ScriptedWorker(coordinator.address)
+        assert fake.hello(slots=2)["type"] == "welcome"
+        coordinator.wait_for_workers(1, timeout=10)
+
+        seen = []
+        batch_result = {}
+
+        def drive():
+            batch_result["results"] = coordinator.run_batch(
+                [(square, n) for n in range(5)]
+            )
+
+        thread = threading.Thread(target=drive, daemon=True)
+        thread.start()
+        # Exactly two jobs may be outstanding before any result.
+        for _ in range(2):
+            frame = fake.recv()
+            assert frame["type"] == "job"
+            seen.append(frame)
+        with pytest.raises(TimeoutError):
+            # A third pre-result job would violate the slot bound.
+            fake.recv(timeout=0.5)
+        # Each acknowledged result opens exactly one slot.
+        from repro.pipeline.protocol import encode_payload
+
+        while len(seen) < 5:
+            done = seen[len(seen) - 2]
+            fake.send({
+                "type": "result", "id": done["id"], "ok": True,
+                "result": encode_payload(square(done["id"])),
+            })
+            frame = fake.recv()
+            assert frame["type"] == "job"
+            seen.append(frame)
+        for done in seen[-2:]:
+            fake.send({
+                "type": "result", "id": done["id"], "ok": True,
+                "result": encode_payload(square(done["id"])),
+            })
+        thread.join(timeout=10)
+        assert batch_result["results"] == [n * n for n in range(5)]
+        assert sorted(f["id"] for f in seen) == list(range(5))
+        fake.close()
+
+    def test_on_result_streams_jobs_and_results(self, coordinator):
+        start_thread_worker(coordinator.address, slots=1)
+        coordinator.wait_for_workers(1, timeout=10)
+        streamed = []
+        coordinator.run_batch(
+            [(square, n) for n in (2, 7)],
+            on_result=lambda job, result: streamed.append((job, result)),
+        )
+        assert sorted(streamed) == [(2, 4), (7, 49)]
+
+    def test_batches_reusable_on_one_fleet(self, coordinator):
+        start_thread_worker(coordinator.address, slots=1)
+        coordinator.wait_for_workers(1, timeout=10)
+        assert coordinator.run_batch([(square, 3)]) == [9]
+        assert coordinator.run_batch([(square, n) for n in (4, 5)]) \
+            == [16, 25]
+        assert coordinator.stats()["worker_jobs"] == [3]
+
+    def test_empty_batch_is_free(self, coordinator):
+        assert coordinator.run_batch([]) == []
+
+
+class TestStarvation:
+    def test_wait_for_workers_times_out(self, coordinator):
+        with pytest.raises(ClusterError, match="0 of 1 workers joined"):
+            coordinator.wait_for_workers(1, timeout=0.3)
+
+    @pytest.mark.parametrize(
+        "coordinator", [{"join_timeout": 0.5}], indirect=True
+    )
+    def test_batch_with_no_workers_gives_up(self, coordinator):
+        start = time.monotonic()
+        with pytest.raises(ClusterError, match="no live workers"):
+            coordinator.run_batch([(square, 1)])
+        assert time.monotonic() - start < 10
+
+    @pytest.mark.parametrize(
+        "coordinator", [{"join_timeout": 8.0}], indirect=True
+    )
+    def test_late_join_rescues_a_starved_batch(self, coordinator):
+        def join_late():
+            time.sleep(0.8)
+            start_thread_worker(coordinator.address)
+
+        threading.Thread(target=join_late, daemon=True).start()
+        assert coordinator.run_batch([(square, 6)]) == [36]

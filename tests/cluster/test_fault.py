@@ -1,0 +1,161 @@
+"""Failure recovery, pinned deterministically via fault injection.
+
+The fault hooks (docs/cluster.md) make workers die on schedule, so
+requeue-on-death, heartbeat-timeout detection, and duplicate-result
+dedup are asserted exactly — no hoping for a race.
+"""
+
+import time
+
+import pytest
+
+from repro.cluster.backend import ClusterBackend
+from repro.cluster.coordinator import Coordinator
+from repro.cluster.faults import FaultPlan, parse_fault
+from repro.pipeline.protocol import encode_payload
+
+from tests.cluster.conftest import ScriptedWorker, start_thread_worker
+
+
+def square(n):
+    return n * n
+
+
+def slow_square(n):
+    time.sleep(0.15)
+    return n * n
+
+
+class TestParseFault:
+    def test_empty_means_no_faults(self):
+        assert not parse_fault(None)
+        assert not parse_fault("")
+        assert not parse_fault("  ")
+
+    def test_kill_and_timeout_terms(self):
+        plan = parse_fault("kill-after-result=2,timeout-after-result=5")
+        assert plan.kill_after_result == 2
+        assert plan.timeout_after_result == 5
+        assert plan.describe() == \
+            "kill-after-result=2,timeout-after-result=5"
+
+    @pytest.mark.parametrize("spec", [
+        "kill-after-result", "kill-after-result=x",
+        "kill-after-result=0", "frobnicate=1",
+    ])
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            parse_fault(spec)
+
+
+class TestKillAfterResult:
+    def test_requeue_on_death_completes_the_sweep(self):
+        backend = ClusterBackend(
+            spawn_local=2, fault=parse_fault("kill-after-result=1")
+        )
+        jobs = [1, 2, 3, 4, 5]
+        assert backend.map(square, jobs) == [n * n for n in jobs]
+        stats = backend.stats()
+        assert stats["workers_lost"] == 1
+        # The kill fires after the victim's slot was refilled, so it
+        # always dies holding work: requeue is guaranteed, not lucky.
+        assert stats["jobs_requeued"] >= 1
+        assert stats["workers_joined"] == 2
+
+    def test_in_thread_fleet_recovers_too(self):
+        coord = Coordinator(
+            "127.0.0.1", 0, fault=FaultPlan(kill_after_result=1)
+        ).start()
+        try:
+            start_thread_worker(coord.address)
+            start_thread_worker(coord.address)
+            coord.wait_for_workers(2, timeout=10)
+            jobs = list(range(6))
+            assert coord.run_batch([(square, n) for n in jobs]) \
+                == [n * n for n in jobs]
+            stats = coord.stats()
+            assert stats["workers_lost"] == 1
+            assert stats["jobs_requeued"] >= 1
+        finally:
+            coord.close()
+
+
+class TestHeartbeatTimeout:
+    def test_silent_worker_is_declared_dead_and_jobs_requeued(self):
+        # A scripted worker accepts a job and goes silent: only the
+        # heartbeat scan can notice (the socket stays open).
+        coord = Coordinator(
+            "127.0.0.1", 0, heartbeat_timeout=0.6, join_timeout=10.0
+        ).start()
+        try:
+            fake = ScriptedWorker(coord.address)
+            assert fake.hello(slots=1)["type"] == "welcome"
+            coord.wait_for_workers(1, timeout=10)
+            # The real worker joins late so the fake holds a job first.
+            start_thread_worker(coord.address)
+            jobs = list(range(4))
+            results = coord.run_batch([(square, n) for n in jobs])
+            assert results == [n * n for n in jobs]
+            stats = coord.stats()
+            assert stats["workers_lost"] == 1
+            assert stats["jobs_requeued"] >= 1
+            fake.close()
+        finally:
+            coord.close()
+
+    def test_timeout_fault_pins_the_same_path(self):
+        backend = ClusterBackend(
+            spawn_local=2,
+            fault=parse_fault("timeout-after-result=1"),
+            heartbeat_timeout=5.0,
+        )
+        jobs = [1, 2, 3, 4, 5]
+        assert backend.map(square, jobs) == [n * n for n in jobs]
+        stats = backend.stats()
+        assert stats["workers_lost"] == 1
+        assert stats["jobs_requeued"] >= 1
+
+
+class TestDuplicateResultDedup:
+    def test_late_result_from_presumed_dead_worker_is_deduplicated(self):
+        """The fake worker is declared dead holding job 0; the live
+        worker recomputes it; the fake's stale result then arrives and
+        must be counted and discarded, not double-applied."""
+        coord = Coordinator(
+            "127.0.0.1", 0, heartbeat_timeout=0.6, join_timeout=10.0
+        ).start()
+        try:
+            fake = ScriptedWorker(coord.address)
+            assert fake.hello(slots=1)["type"] == "welcome"
+            coord.wait_for_workers(1, timeout=10)
+            start_thread_worker(coord.address)
+
+            jobs = list(range(20))
+            import threading
+
+            stale_sent = threading.Event()
+
+            def stale_sender():
+                # The fake's one job, delivered long after the
+                # heartbeat scan (~0.6s) requeued it and the live
+                # worker (~0.15s/job) recomputed it.
+                frame = fake.recv()
+                assert frame["type"] == "job"
+                time.sleep(2.2)
+                fake.send({
+                    "type": "result", "id": frame["id"], "ok": True,
+                    "result": encode_payload(slow_square(frame["id"])),
+                })
+                stale_sent.set()
+
+            threading.Thread(target=stale_sender, daemon=True).start()
+            results = coord.run_batch([(slow_square, n) for n in jobs])
+            assert results == [n * n for n in jobs]
+            assert stale_sent.wait(timeout=10)
+            stats = coord.stats()
+            assert stats["workers_lost"] == 1
+            assert stats["jobs_requeued"] == 1
+            assert stats["duplicate_results"] == 1
+            fake.close()
+        finally:
+            coord.close()

@@ -1,0 +1,116 @@
+"""Artifact parity: cluster sweeps are byte-identical to serial.
+
+Backend identity stays out of cache fingerprints, so the cluster
+backend must reproduce ``serial``'s artifacts exactly through the
+volatile-stripping projection — including under fault injection, and
+including the degenerate fully-cached rerun (which must not spawn a
+fleet at all).
+"""
+
+import json
+
+import pytest
+
+from repro.bench.heatmap import run_heatmap
+from repro.bench.report import heatmap_to_dict, strip_volatile_heatmap
+from repro.cluster.backend import ClusterBackend
+from repro.cluster.faults import parse_fault
+from repro.model.posix import op_by_name
+
+OPS = ("link", "stat")
+
+
+def _ops():
+    return [op_by_name(name) for name in OPS]
+
+
+def _canon(artifact):
+    return json.dumps(strip_volatile_heatmap(artifact), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def serial_posix():
+    return heatmap_to_dict(run_heatmap(ops=_ops(), backend="serial"))
+
+
+@pytest.fixture(scope="module")
+def serial_sockets():
+    return heatmap_to_dict(
+        run_heatmap(interface="sockets-unordered", backend="serial")
+    )
+
+
+class TestFreshSweepParity:
+    def test_posix_matrix_byte_identical(self, serial_posix):
+        backend = ClusterBackend(spawn_local=2)
+        result = run_heatmap(ops=_ops(), backend=backend)
+        assert result.backend == "cluster"
+        assert result.computed_pairs == 3
+        assert _canon(heatmap_to_dict(result)) == _canon(serial_posix)
+
+    def test_sockets_unordered_byte_identical(self, serial_sockets):
+        # The acceptance interface from the issue, end to end.
+        backend = ClusterBackend(spawn_local=2)
+        result = run_heatmap(
+            interface="sockets-unordered", backend=backend
+        )
+        assert _canon(heatmap_to_dict(result)) == _canon(serial_sockets)
+
+    def test_artifact_carries_recovery_counters(self, serial_posix):
+        backend = ClusterBackend(spawn_local=2)
+        artifact = heatmap_to_dict(run_heatmap(ops=_ops(), backend=backend))
+        stats = artifact["backend_stats"]
+        assert stats["backend"] == "cluster"
+        assert stats["jobs_requeued"] == 0
+        assert stats["workers_lost"] == 0
+        assert stats["cluster_workers"] == 2
+        assert sum(stats["worker_jobs"]) == 3
+        # The counters are volatile: they never reach the projection.
+        assert "backend_stats" not in strip_volatile_heatmap(artifact)
+
+
+class TestCachedRerun:
+    def test_fully_cached_rerun_spawns_no_fleet(self, tmp_path,
+                                                monkeypatch, serial_posix):
+        cache = str(tmp_path / "cache.json")
+        seeded = run_heatmap(ops=_ops(), cache=cache)
+        assert seeded.computed_pairs == 3
+
+        def no_fleet(self, pending, on_result):  # pragma: no cover
+            raise AssertionError(
+                "cached rerun must not start a coordinator"
+            )
+
+        monkeypatch.setattr(ClusterBackend, "_execute", no_fleet)
+        rerun = run_heatmap(
+            ops=_ops(), backend=ClusterBackend(spawn_local=2), cache=cache
+        )
+        assert rerun.computed_pairs == 0
+        assert rerun.cached_pairs == 3
+        assert _canon(heatmap_to_dict(rerun)) == _canon(serial_posix)
+
+    def test_cluster_seeds_the_cache_for_serial(self, tmp_path):
+        cache = str(tmp_path / "cache.json")
+        first = run_heatmap(
+            ops=_ops(), backend=ClusterBackend(spawn_local=2), cache=cache
+        )
+        assert first.computed_pairs == 3
+        rerun = run_heatmap(ops=_ops(), backend="serial", cache=cache)
+        # Backend identity is not fingerprinted: serial reuses the
+        # cluster run's entries wholesale, and vice versa.
+        assert rerun.computed_pairs == 0
+        assert _canon(heatmap_to_dict(rerun)) == \
+            _canon(heatmap_to_dict(first))
+
+
+class TestFaultedSweepParity:
+    def test_mid_sweep_worker_kill_preserves_parity(self, serial_posix):
+        backend = ClusterBackend(
+            spawn_local=2, fault=parse_fault("kill-after-result=1")
+        )
+        result = run_heatmap(ops=_ops(), backend=backend)
+        artifact = heatmap_to_dict(result)
+        assert _canon(artifact) == _canon(serial_posix)
+        stats = artifact["backend_stats"]
+        assert stats["workers_lost"] == 1
+        assert stats["jobs_requeued"] >= 1

@@ -1,6 +1,6 @@
 """The execution-backend registry: every backend is interchangeable.
 
-Pair jobs commute, so all four registered backends must produce
+Pair jobs commute, so every registered backend must produce
 byte-identical sweep artifacts (through the volatile-stripping
 projection — see docs/artifacts.md) and identical cache behavior;
 backend identity must never reach a cache fingerprint.
@@ -28,7 +28,8 @@ from repro.pipeline.backends import (
     resolve_backend,
 )
 
-BACKENDS = ("serial", "pool", "work-stealing", "subprocess-shard")
+BACKENDS = ("serial", "pool", "work-stealing", "subprocess-shard",
+            "cluster")
 OPS = ("link", "stat")
 
 
@@ -113,7 +114,7 @@ class TestCapabilities:
         }
         assert flags == {
             "serial": False, "pool": True, "work-stealing": True,
-            "subprocess-shard": True,
+            "subprocess-shard": True, "cluster": True,
         }
 
     def test_every_builtin_supports_interleave(self):
@@ -210,7 +211,7 @@ class TestSubprocessShard:
 
 
 class TestSweepParity:
-    """The acceptance bar: same batch, four backends, one artifact."""
+    """The acceptance bar: same batch, every backend, one artifact."""
 
     @pytest.fixture(scope="class")
     def artifacts(self):

@@ -1,0 +1,153 @@
+"""The line-frame protocol round-trips, and failure is typed, not a hang.
+
+Every byte-stream backend (``subprocess-shard`` stdio workers, the
+``cluster`` TCP fleet) rides on :mod:`repro.pipeline.protocol`; these
+tests pin the contract once: frames and payloads round-trip for
+arbitrary JSON/picklable values, and every malformed input — garbage
+line, truncated frame, oversized payload — raises a *typed*
+:class:`ProtocolError` subclass immediately instead of hanging or
+buffering unboundedly.
+"""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pipeline.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameTooLargeError,
+    MalformedFrameError,
+    ProtocolError,
+    TruncatedFrameError,
+    decode_frame,
+    decode_payload,
+    dump_frame,
+    encode_frame,
+    encode_payload,
+    read_frames,
+)
+
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**53), max_value=2**53)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=40),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=10), children, max_size=4),
+    max_leaves=12,
+)
+
+frames = st.dictionaries(st.text(max_size=10), json_values, max_size=6)
+
+
+class TestFrameRoundTrip:
+    @given(frames)
+    @settings(max_examples=60, deadline=None)
+    def test_dump_decode_round_trip(self, message):
+        assert decode_frame(dump_frame(message)) == message
+
+    @given(frames)
+    @settings(max_examples=60, deadline=None)
+    def test_encode_bytes_round_trip(self, message):
+        data = encode_frame(message)
+        assert data.endswith(b"\n")
+        assert decode_frame(data) == message
+
+    @given(st.lists(frames, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_stream_round_trip_binary_and_text(self, messages):
+        blob = b"".join(encode_frame(m) for m in messages)
+        assert list(read_frames(io.BytesIO(blob))) == messages
+        text = "".join(dump_frame(m) + "\n" for m in messages)
+        assert list(read_frames(io.StringIO(text))) == messages
+
+    def test_version_constant(self):
+        assert PROTOCOL_VERSION == 1
+
+
+class TestPayloadRoundTrip:
+    @given(
+        json_values
+        | st.tuples(st.integers(), st.text(max_size=20))
+        | st.binary(max_size=64)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_payload_round_trip(self, obj):
+        assert decode_payload(encode_payload(obj)) == obj
+
+    def test_callable_payload_round_trip(self):
+        fn = decode_payload(encode_payload(len))
+        assert fn("abc") == 3
+
+
+class TestTypedFailures:
+    @pytest.mark.parametrize(
+        "line",
+        ["", "   ", "not json", "{broken", "[1, 2, 3]", '"a string"', "42"],
+    )
+    def test_malformed_lines(self, line):
+        with pytest.raises(MalformedFrameError):
+            decode_frame(line)
+
+    def test_non_utf8_bytes(self):
+        with pytest.raises(MalformedFrameError):
+            decode_frame(b"\xff\xfe{}")
+
+    def test_oversized_frame_rejected_on_encode(self):
+        with pytest.raises(FrameTooLargeError):
+            dump_frame({"blob": "x" * 100}, max_bytes=50)
+
+    def test_oversized_frame_rejected_on_decode(self):
+        with pytest.raises(FrameTooLargeError):
+            decode_frame('{"blob": "' + "x" * 100 + '"}', max_bytes=50)
+
+    def test_oversized_line_in_stream_not_buffered(self):
+        # One giant line well past the ceiling: read_frames must raise
+        # after reading at most max_bytes + 1 bytes, not slurp it all.
+        line = b'{"blob": "' + b"x" * 4096 + b'"}\n'
+        stream = io.BytesIO(line)
+        with pytest.raises(FrameTooLargeError):
+            list(read_frames(stream, max_bytes=64))
+        assert stream.tell() <= 65 + 1
+
+    def test_truncated_final_frame(self):
+        stream = io.BytesIO(b'{"ok": true}\n{"id": 3, "ok"')
+        frames_out = []
+        with pytest.raises(TruncatedFrameError):
+            for frame in read_frames(stream):
+                frames_out.append(frame)
+        assert frames_out == [{"ok": True}]
+
+    def test_trailing_whitespace_only_tail_is_clean_eof(self):
+        assert list(read_frames(io.BytesIO(b'{"a": 1}\n  '))) == [{"a": 1}]
+
+    def test_blank_lines_skipped(self):
+        blob = b'\n\n{"a": 1}\n\n{"b": 2}\n'
+        assert list(read_frames(io.BytesIO(blob))) == [{"a": 1}, {"b": 2}]
+
+    @pytest.mark.parametrize("text", ["not base64!!", "AAAA"])
+    def test_bad_payloads(self, text):
+        with pytest.raises(MalformedFrameError):
+            decode_payload(text)
+
+    def test_unpicklable_frame_value(self):
+        with pytest.raises(TypeError):
+            dump_frame({"fn": object()})
+
+    def test_errors_share_a_root(self):
+        for cls in (MalformedFrameError, FrameTooLargeError, TruncatedFrameError):
+            assert issubclass(cls, ProtocolError)
+
+    def test_never_hangs_on_unterminated_garbage(self):
+        # A stream that ends mid-line without ever producing a newline:
+        # the reader must terminate with a typed error, not block.
+        stream = io.BytesIO(b"garbage with no newline")
+        with pytest.raises(TruncatedFrameError):
+            list(read_frames(stream))
+
+    def test_default_ceiling_is_sane(self):
+        assert MAX_FRAME_BYTES >= 2**20
